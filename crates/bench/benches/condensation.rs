@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the graph-condensation substrate: one gradient
+//! matching step per method, surrogate training, and the GC-SNTK kernel ridge
+//! regression objective.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bgc_condense::{condense_sntk, CondensationConfig, GradientMatchingState, MatchingVariant};
+use bgc_graph::DatasetKind;
+
+fn bench_matching_step(c: &mut Criterion) {
+    let graph = DatasetKind::Cora.load_small(0);
+    let mut group = c.benchmark_group("gradient_matching_step");
+    for variant in [
+        MatchingVariant::DcGraph,
+        MatchingVariant::GCond,
+        MatchingVariant::GCondX,
+    ] {
+        let config = CondensationConfig::quick(0.2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.name()),
+            &variant,
+            |bench, &variant| {
+                let mut state = GradientMatchingState::new(&graph, variant, config.clone());
+                state.train_surrogate(3);
+                bench.iter(|| state.step(&graph));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_surrogate_training(c: &mut Criterion) {
+    let graph = DatasetKind::Citeseer.load_small(1);
+    let config = CondensationConfig::quick(0.2);
+    let mut state = GradientMatchingState::new(&graph, MatchingVariant::GCondX, config);
+    c.bench_function("surrogate_training_10_steps", |b| {
+        b.iter(|| state.train_surrogate(10))
+    });
+}
+
+fn bench_sntk_condensation(c: &mut Criterion) {
+    let graph = DatasetKind::Cora.load_small(2);
+    let mut config = CondensationConfig::quick(0.2);
+    config.outer_epochs = 5;
+    c.bench_function("gc_sntk_condense_5_epochs", |b| {
+        b.iter(|| condense_sntk(&graph, &config).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matching_step,
+    bench_surrogate_training,
+    bench_sntk_condensation
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the numerical substrate: dense matmul,
+//! sparse-dense products, GCN normalization, autograd forward+backward, and
+//! k-means — the kernels every experiment spends its time in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bgc_graph::DatasetKind;
+use bgc_nn::{AdjacencyRef, GnnArchitecture};
+use bgc_tensor::init::{randn, rng_from_seed};
+use bgc_tensor::{CsrMatrix, Matrix, Tape};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_matmul");
+    for &n in &[64usize, 128, 256] {
+        let mut rng = rng_from_seed(0);
+        let a = randn(n, n, 0.0, 1.0, &mut rng);
+        let b = randn(n, n, 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_dense_spmm");
+    for &(nodes, deg) in &[(1000usize, 5usize), (5000, 10)] {
+        let mut rng = rng_from_seed(1);
+        let edges: Vec<(usize, usize)> = (0..nodes * deg)
+            .map(|i| (i % nodes, (i * 7 + 3) % nodes))
+            .collect();
+        let adj = CsrMatrix::from_edges(nodes, &edges).symmetrize().gcn_normalize();
+        let x = randn(nodes, 64, 0.0, 1.0, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}", nodes, deg)),
+            &nodes,
+            |bench, _| bench.iter(|| adj.spmm(&x)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gcn_normalize(c: &mut Criterion) {
+    let graph = DatasetKind::Cora.load_small(0);
+    c.bench_function("gcn_normalize_small_cora", |b| {
+        b.iter(|| graph.adjacency.gcn_normalize())
+    });
+}
+
+fn bench_gcn_forward_backward(c: &mut Criterion) {
+    let graph = DatasetKind::Cora.load_small(0);
+    let adj = AdjacencyRef::from_graph(&graph);
+    let mut rng = rng_from_seed(2);
+    let model = GnnArchitecture::Gcn.build(graph.num_features(), 32, graph.num_classes, 2, &mut rng);
+    let labels: Vec<usize> = graph.labels.clone();
+    c.bench_function("gcn_forward_backward_small_cora", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.leaf((*graph.features).clone());
+            let pass = model.forward(&mut tape, &adj, x);
+            let loss = tape.softmax_cross_entropy(pass.logits, &labels);
+            tape.backward(loss)
+        })
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = rng_from_seed(3);
+    let points = randn(500, 16, 0.0, 1.0, &mut rng);
+    c.bench_function("kmeans_500x16_k5", |b| {
+        b.iter(|| bgc_core::kmeans(&points, 5, 20, &mut rng))
+    });
+}
+
+fn bench_cholesky_solve(c: &mut Criterion) {
+    let mut rng = rng_from_seed(4);
+    let m = randn(60, 60, 0.0, 1.0, &mut rng);
+    let a = m.matmul(&m.transpose()).add(&Matrix::identity(60).scale(60.0));
+    let b = randn(60, 8, 0.0, 1.0, &mut rng);
+    c.bench_function("spd_solve_60x60", |bench| {
+        bench.iter(|| bgc_tensor::linalg::solve_spd(&a, &b).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_spmm,
+    bench_gcn_normalize,
+    bench_gcn_forward_backward,
+    bench_kmeans,
+    bench_cholesky_solve
+);
+criterion_main!(benches);

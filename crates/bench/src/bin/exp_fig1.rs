@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 (Clean vs Naive Poison vs BGC) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_fig1 [--scale quick|paper] [--full]`.
+fn main() {
+    let (scale, _full) = bgc_bench::cli();
+    bgc_eval::experiments::fig1(scale).print_and_save();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (BGC vs GTA vs DOORPING) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_fig4 [--scale quick|paper] [--full]`.
+fn main() {
+    let (scale, full) = bgc_bench::cli();
+    bgc_eval::experiments::fig4(scale, full).print_and_save();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (condensation epochs) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_fig6 [--scale quick|paper] [--full]`.
+fn main() {
+    let (scale, full) = bgc_bench::cli();
+    bgc_eval::experiments::fig6(scale, full).print_and_save();
+}

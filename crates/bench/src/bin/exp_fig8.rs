@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (trigger size) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_fig8 [--scale quick|paper] [--full]`.
+fn main() {
+    let (scale, _full) = bgc_bench::cli();
+    bgc_eval::experiments::fig8(scale).print_and_save();
+}

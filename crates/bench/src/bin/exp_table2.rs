@@ -1,0 +1,5 @@
+//! Regenerates Table II (CTA/ASR across datasets, methods, ratios) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_table2 [--scale quick|paper] [--full]`.
+fn main() {
+    let (scale, full) = bgc_bench::cli();
+    bgc_eval::experiments::table2(scale, full).print_and_save();
+}

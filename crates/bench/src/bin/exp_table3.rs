@@ -1,0 +1,5 @@
+//! Regenerates Table III (GNN architecture transfer) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_table3 [--scale quick|paper] [--full]`.
+fn main() {
+    let (scale, full) = bgc_bench::cli();
+    bgc_eval::experiments::table3(scale, full).print_and_save();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table IV (defenses: Prune, Randsmooth) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_table4 [--scale quick|paper] [--full]`.
+fn main() {
+    let (scale, full) = bgc_bench::cli();
+    bgc_eval::experiments::table4(scale, full).print_and_save();
+}

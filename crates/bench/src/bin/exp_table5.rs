@@ -1,0 +1,5 @@
+//! Regenerates Table V (trigger generator ablation) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_table5 [--scale quick|paper] [--full]`.
+fn main() {
+    let (scale, _full) = bgc_bench::cli();
+    bgc_eval::experiments::table5(scale).print_and_save();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table VI (directed attack) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_table6 [--scale quick|paper] [--full]`.
+fn main() {
+    let (scale, _full) = bgc_bench::cli();
+    bgc_eval::experiments::table6(scale).print_and_save();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table VII (poisoning budget) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_table7 [--scale quick|paper] [--full]`.
+fn main() {
+    let (scale, full) = bgc_bench::cli();
+    bgc_eval::experiments::table7(scale, full).print_and_save();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table VIII (GNN layer count) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_table8 [--scale quick|paper] [--full]`.
+fn main() {
+    let (scale, full) = bgc_bench::cli();
+    bgc_eval::experiments::table8(scale, full).print_and_save();
+}

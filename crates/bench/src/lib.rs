@@ -1,0 +1,13 @@
+//! Shared helpers for the experiment regenerator binaries (`exp_*`).
+//!
+//! Every binary accepts `--scale quick|paper` (default `quick`) and `--full`
+//! (include all four datasets in sweeps at quick scale).
+
+use bgc_eval::ExperimentScale;
+
+/// Parses the common command-line flags of the regenerator binaries.
+pub fn cli() -> (ExperimentScale, bool) {
+    let scale = ExperimentScale::from_args();
+    let full = std::env::args().any(|a| a == "--full");
+    (scale, full)
+}

@@ -1,0 +1,109 @@
+//! Configuration shared by the graph condensation methods.
+
+/// Hyper-parameters of a condensation run (Eq. 1 / Eq. 6 of the paper).
+#[derive(Clone, Debug)]
+pub struct CondensationConfig {
+    /// Condensation ratio `r`: the synthetic node count is
+    /// `max(C, round(r * |train|))`.
+    pub ratio: f32,
+    /// Number of outer condensation epochs (updates of `S`).  The paper uses
+    /// 1000; the quick experiment scale uses far fewer.
+    pub outer_epochs: usize,
+    /// Number of SGC propagation steps `K` used by the surrogate.
+    pub propagation_steps: usize,
+    /// Surrogate refresh period: a new random surrogate initialization is
+    /// drawn every this many outer epochs (gradient matching over multiple
+    /// initializations, as in GCond).
+    pub surrogate_resample_every: usize,
+    /// Number of surrogate training steps on `S` per outer epoch (the `T`
+    /// inner iterations of Eq. 16).
+    pub surrogate_steps: usize,
+    /// Learning rate for the surrogate model.
+    pub surrogate_lr: f32,
+    /// Learning rate for the synthetic features `X'`.
+    pub feature_lr: f32,
+    /// Learning rate for the structure generator parameters.
+    pub structure_lr: f32,
+    /// Rank of the low-rank structure generator (GCond only).
+    pub structure_rank: usize,
+    /// Threshold below which learned adjacency entries are dropped when the
+    /// final condensed graph is materialized.
+    pub structure_threshold: f32,
+    /// Ridge regularization strength for GC-SNTK's kernel ridge regression.
+    pub krr_lambda: f32,
+    /// Node-count limit above which GC-SNTK reports out-of-memory, mirroring
+    /// the OOM entries of Table II (the kernel is quadratic in the training
+    /// set size).
+    pub sntk_node_limit: usize,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Default for CondensationConfig {
+    fn default() -> Self {
+        Self {
+            ratio: 0.02,
+            outer_epochs: 1000,
+            propagation_steps: 2,
+            surrogate_resample_every: 50,
+            surrogate_steps: 5,
+            surrogate_lr: 0.1,
+            feature_lr: 0.05,
+            structure_lr: 0.05,
+            structure_rank: 32,
+            structure_threshold: 0.5,
+            krr_lambda: 1e-2,
+            sntk_node_limit: 20_000,
+            seed: 0,
+        }
+    }
+}
+
+impl CondensationConfig {
+    /// Paper-scale configuration for a given condensation ratio.
+    pub fn paper(ratio: f32) -> Self {
+        Self {
+            ratio,
+            ..Self::default()
+        }
+    }
+
+    /// Reduced configuration for unit tests and the `quick` experiment scale.
+    pub fn quick(ratio: f32) -> Self {
+        Self {
+            ratio,
+            outer_epochs: 60,
+            surrogate_resample_every: 20,
+            surrogate_steps: 3,
+            ..Self::default()
+        }
+    }
+
+    /// Synthetic node count for a training set of the given size.
+    pub fn synthetic_nodes(&self, train_size: usize, num_classes: usize) -> usize {
+        ((train_size as f32 * self.ratio).round() as usize).max(num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_node_count_respects_ratio_and_floor() {
+        let cfg = CondensationConfig::paper(0.013);
+        // Cora: 140 training nodes, 7 classes => max(7, round(1.82)) = 7.
+        assert_eq!(cfg.synthetic_nodes(140, 7), 7);
+        // Larger ratio.
+        let cfg = CondensationConfig::paper(0.052);
+        assert_eq!(cfg.synthetic_nodes(140, 7), 7);
+        // Reddit-like: 7696 train nodes at 0.2%.
+        let cfg = CondensationConfig::paper(0.002);
+        assert_eq!(cfg.synthetic_nodes(7696, 10), 15);
+    }
+
+    #[test]
+    fn quick_config_is_smaller() {
+        assert!(CondensationConfig::quick(0.01).outer_epochs < CondensationConfig::paper(0.01).outer_epochs);
+    }
+}

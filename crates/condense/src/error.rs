@@ -1,0 +1,51 @@
+//! Error type shared by the condensation methods.
+
+use std::fmt;
+
+/// Errors a condensation method may report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CondenseError {
+    /// The method's memory footprint exceeds its configured limit — GC-SNTK
+    /// reports this on Reddit-scale graphs, reproducing the `OOM` cells of
+    /// Table II.
+    OutOfMemory {
+        /// Number of training nodes of the offending graph.
+        nodes: usize,
+        /// Configured node limit.
+        limit: usize,
+    },
+    /// The training split is empty, so there is nothing to condense.
+    NoTrainingNodes,
+    /// The kernel ridge regression system was numerically singular.
+    SingularKernel,
+}
+
+impl fmt::Display for CondenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondenseError::OutOfMemory { nodes, limit } => write!(
+                f,
+                "out of memory: {} training nodes exceed the kernel method limit of {}",
+                nodes, limit
+            ),
+            CondenseError::NoTrainingNodes => write!(f, "the graph has no training nodes"),
+            CondenseError::SingularKernel => {
+                write!(f, "kernel ridge regression system is singular")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CondenseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_oom() {
+        let err = CondenseError::OutOfMemory { nodes: 100, limit: 10 };
+        assert!(err.to_string().contains("out of memory"));
+        assert!(CondenseError::NoTrainingNodes.to_string().contains("training"));
+    }
+}

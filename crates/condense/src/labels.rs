@@ -1,0 +1,104 @@
+//! Synthetic label allocation: the condensed graph keeps (approximately) the
+//! class distribution of the original training set, with at least one
+//! synthetic node per class (the convention of GCond).
+
+use bgc_graph::Graph;
+
+/// Allocates `total` synthetic labels proportionally to the training class
+/// distribution of `graph`, guaranteeing at least one node per class that has
+/// any training examples.
+pub fn allocate_synthetic_labels(graph: &Graph, total: usize) -> Vec<usize> {
+    let counts = graph.train_class_counts();
+    allocate_from_counts(&counts, total)
+}
+
+/// Proportional allocation from raw class counts.
+pub fn allocate_from_counts(counts: &[usize], total: usize) -> Vec<usize> {
+    let num_classes = counts.len();
+    let present: Vec<usize> = (0..num_classes).filter(|&c| counts[c] > 0).collect();
+    assert!(!present.is_empty(), "no class has any training node");
+    let total = total.max(present.len());
+    let sum: usize = counts.iter().sum();
+    // Initial floor allocation of one per present class.
+    let mut alloc = vec![0usize; num_classes];
+    for &c in &present {
+        alloc[c] = 1;
+    }
+    let mut remaining = total - present.len();
+    // Largest-remainder apportionment of what is left.
+    let mut fractional: Vec<(f32, usize)> = present
+        .iter()
+        .map(|&c| {
+            let ideal = counts[c] as f32 / sum as f32 * remaining as f32;
+            (ideal, c)
+        })
+        .collect();
+    for &(ideal, c) in &fractional {
+        let floor = ideal.floor() as usize;
+        alloc[c] += floor;
+        remaining -= floor.min(remaining);
+    }
+    fractional.sort_by(|a, b| {
+        (b.0 - b.0.floor())
+            .partial_cmp(&(a.0 - a.0.floor()))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut i = 0;
+    while remaining > 0 {
+        alloc[fractional[i % fractional.len()].1] += 1;
+        remaining -= 1;
+        i += 1;
+    }
+    // Expand to an explicit label vector, grouped by class.
+    let mut labels = Vec::with_capacity(total);
+    for (c, &n) in alloc.iter().enumerate() {
+        labels.extend(std::iter::repeat(c).take(n));
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgc_graph::DatasetKind;
+
+    #[test]
+    fn allocation_sums_to_total_and_covers_classes() {
+        let labels = allocate_from_counts(&[50, 30, 20], 10);
+        assert_eq!(labels.len(), 10);
+        let per_class: Vec<usize> = (0..3)
+            .map(|c| labels.iter().filter(|&&l| l == c).count())
+            .collect();
+        assert!(per_class.iter().all(|&n| n >= 1));
+        assert_eq!(per_class.iter().sum::<usize>(), 10);
+        // Majority class gets the most synthetic nodes.
+        assert!(per_class[0] >= per_class[1] && per_class[1] >= per_class[2]);
+    }
+
+    #[test]
+    fn total_below_class_count_is_raised() {
+        let labels = allocate_from_counts(&[5, 5, 5, 5], 2);
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn empty_classes_get_nothing() {
+        let labels = allocate_from_counts(&[10, 0, 10], 6);
+        assert!(!labels.contains(&1));
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn works_on_a_generated_dataset() {
+        let g = DatasetKind::Cora.load_small(0);
+        let labels = allocate_synthetic_labels(&g, 14);
+        assert_eq!(labels.len(), 14);
+        assert!(labels.iter().all(|&l| l < g.num_classes));
+    }
+
+    #[test]
+    #[should_panic(expected = "no class")]
+    fn rejects_empty_counts() {
+        let _ = allocate_from_counts(&[0, 0], 4);
+    }
+}

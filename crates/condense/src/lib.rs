@@ -1,0 +1,25 @@
+//! # bgc-condense
+//!
+//! Graph condensation substrate for the Rust reproduction of *"Backdoor Graph
+//! Condensation"* (ICDE 2025): the four condensation methods the paper
+//! attacks — DC-Graph, GCond, GCond-X (gradient matching, Eq. 6) and GC-SNTK
+//! (kernel ridge regression) — plus the re-entrant gradient-matching state
+//! machine that the BGC attack drives with a poisoned graph (Algorithm 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod labels;
+pub mod matching;
+pub mod methods;
+pub mod sntk;
+pub mod structure;
+
+pub use config::CondensationConfig;
+pub use error::CondenseError;
+pub use matching::{GradientMatchingState, MatchingVariant};
+pub use methods::{working_graph, CondensationKind, CondensationMethod};
+pub use sntk::{condense_sntk, sntk_kernel, SntkPredictor};
+pub use structure::StructureGenerator;

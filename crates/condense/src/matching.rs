@@ -1,0 +1,450 @@
+//! Gradient-matching graph condensation (Eq. 6 of the paper), implemented as
+//! a re-entrant state machine.
+//!
+//! The same state machine drives three things:
+//!
+//! * the stand-alone condensation methods DC-Graph, GCond and GCond-X
+//!   ([`crate::methods`]),
+//! * the *backdoored* condensation of BGC, which interleaves trigger-generator
+//!   updates between condensation steps (Algorithm 1 of the paper) — the
+//!   attack crate calls [`GradientMatchingState::step`] with the poisoned
+//!   graph `G_P` instead of the clean graph,
+//! * the surrogate SGC model `f_c` (Eq. 12/16), whose weight matrix lives in
+//!   the state and is refreshed/trained here.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use bgc_graph::{CondensedGraph, Graph};
+use bgc_nn::{Adam, Optimizer};
+use bgc_tensor::init::{rng_from_seed, xavier_uniform};
+use bgc_tensor::{Matrix, Tape};
+
+use crate::config::CondensationConfig;
+use crate::labels::allocate_synthetic_labels;
+use crate::structure::StructureGenerator;
+
+/// Which flavour of gradient matching to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MatchingVariant {
+    /// DC adapted to graphs: raw features, structure-free condensed graph.
+    DcGraph,
+    /// GCond: propagated features, learned synthetic structure.
+    GCond,
+    /// GCond-X: propagated features, structure-free condensed graph.
+    GCondX,
+}
+
+impl MatchingVariant {
+    /// Whether the original features are propagated through `Â^K` before
+    /// gradients are computed.
+    pub fn propagates_real_features(&self) -> bool {
+        !matches!(self, MatchingVariant::DcGraph)
+    }
+
+    /// Whether a synthetic structure generator is learned.
+    pub fn learns_structure(&self) -> bool {
+        matches!(self, MatchingVariant::GCond)
+    }
+
+    /// Display name used in result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MatchingVariant::DcGraph => "DC-Graph",
+            MatchingVariant::GCond => "GCond",
+            MatchingVariant::GCondX => "GCond-X",
+        }
+    }
+}
+
+/// Re-entrant gradient-matching condensation state.
+pub struct GradientMatchingState {
+    /// Matching flavour.
+    pub variant: MatchingVariant,
+    /// Hyper-parameters.
+    pub config: CondensationConfig,
+    /// Synthetic features `X'` (optimized).
+    pub syn_features: Matrix,
+    /// Synthetic labels `Y'` (fixed).
+    pub syn_labels: Vec<usize>,
+    /// Surrogate SGC weight `W` (`d x C`).
+    pub surrogate_weight: Matrix,
+    structure: Option<StructureGenerator>,
+    feature_opt: Adam,
+    structure_opt: Adam,
+    num_classes: usize,
+    rng: StdRng,
+    epochs_done: usize,
+}
+
+impl GradientMatchingState {
+    /// Initializes the state from a (clean) graph: allocates synthetic labels
+    /// proportionally and initializes `X'` by sampling real training nodes of
+    /// the matching class, exactly as GCond does.
+    pub fn new(graph: &Graph, variant: MatchingVariant, config: CondensationConfig) -> Self {
+        let mut rng = rng_from_seed(config.seed);
+        let n_syn = config.synthetic_nodes(graph.split.train.len(), graph.num_classes);
+        let syn_labels = allocate_synthetic_labels(graph, n_syn);
+        let d = graph.num_features();
+        let mut syn_features = Matrix::zeros(syn_labels.len(), d);
+        for (i, &c) in syn_labels.iter().enumerate() {
+            let candidates = graph.train_nodes_of_class(c);
+            let source = candidates[rng.gen_range(0..candidates.len())];
+            syn_features
+                .row_mut(i)
+                .copy_from_slice(graph.features.row(source));
+        }
+        let structure = if variant.learns_structure() {
+            Some(StructureGenerator::new(d, config.structure_rank, &mut rng))
+        } else {
+            None
+        };
+        let surrogate_weight = xavier_uniform(d, graph.num_classes, &mut rng);
+        let feature_opt = Adam::new(config.feature_lr, 0.0);
+        let structure_opt = Adam::new(config.structure_lr, 0.0);
+        Self {
+            variant,
+            config,
+            syn_features,
+            syn_labels,
+            surrogate_weight,
+            structure,
+            feature_opt,
+            structure_opt,
+            num_classes: graph.num_classes,
+            rng,
+            epochs_done: 0,
+        }
+    }
+
+    /// Number of synthetic nodes `N'`.
+    pub fn num_synthetic(&self) -> usize {
+        self.syn_labels.len()
+    }
+
+    /// Number of condensation steps performed so far.
+    pub fn epochs_done(&self) -> usize {
+        self.epochs_done
+    }
+
+    /// Real-graph representation the gradients are computed on: raw features
+    /// for DC-Graph, `Â^K X` for GCond / GCond-X.
+    pub fn real_representation(&self, graph: &Graph) -> Matrix {
+        if self.variant.propagates_real_features() {
+            graph.propagated_features(self.config.propagation_steps)
+        } else {
+            (*graph.features).clone()
+        }
+    }
+
+    /// Draws a fresh random surrogate initialization (gradient matching is
+    /// performed across many initializations).
+    pub fn resample_surrogate(&mut self) {
+        self.surrogate_weight = xavier_uniform(
+            self.surrogate_weight.rows(),
+            self.surrogate_weight.cols(),
+            &mut self.rng,
+        );
+    }
+
+    /// Row-normalized synthetic propagation operator `(A' + I)` (dense), using
+    /// the current materialized structure; identity-based for structure-free
+    /// variants.
+    pub fn synthetic_propagation_matrix(&self) -> Matrix {
+        let n = self.num_synthetic();
+        let adj = match &self.structure {
+            Some(gen) => gen.materialize(&self.syn_features, 0.0),
+            None => Matrix::zeros(n, n),
+        };
+        let mut a = adj;
+        for i in 0..n {
+            a.add_at(i, i, 1.0);
+        }
+        // Row-normalize.
+        for r in 0..n {
+            let sum: f32 = a.row(r).iter().sum::<f32>() + 1e-8;
+            for v in a.row_mut(r) {
+                *v /= sum;
+            }
+        }
+        a
+    }
+
+    /// Propagated synthetic representation `Z' = (D^{-1}(A'+I))^K X'` as a
+    /// plain matrix (used for surrogate training).
+    pub fn synthetic_representation(&self) -> Matrix {
+        let prop = self.synthetic_propagation_matrix();
+        let mut z = self.syn_features.clone();
+        for _ in 0..self.config.propagation_steps {
+            z = prop.matmul(&z);
+        }
+        z
+    }
+
+    /// Trains the surrogate SGC weight on the current condensed graph for
+    /// `steps` gradient steps (the `T` inner iterations of Eq. 16).
+    pub fn train_surrogate(&mut self, steps: usize) {
+        let z = self.synthetic_representation();
+        let y = Matrix::one_hot(&self.syn_labels, self.num_classes);
+        let n = self.syn_labels.len().max(1) as f32;
+        for _ in 0..steps {
+            let logits = z.matmul(&self.surrogate_weight);
+            let probs = logits.softmax_rows();
+            let diff = probs.sub(&y);
+            let grad = z.transpose_matmul(&diff).scale(1.0 / n);
+            self.surrogate_weight
+                .add_scaled_assign(&grad, -self.config.surrogate_lr);
+        }
+    }
+
+    /// Surrogate training loss on the current condensed graph (diagnostic).
+    pub fn surrogate_loss(&self) -> f32 {
+        let z = self.synthetic_representation();
+        let logits = z.matmul(&self.surrogate_weight);
+        let probs = logits.softmax_rows();
+        let mut loss = 0.0;
+        for (i, &c) in self.syn_labels.iter().enumerate() {
+            loss -= (probs.get(i, c) + 1e-12).ln();
+        }
+        loss / self.syn_labels.len().max(1) as f32
+    }
+
+    /// Per-class surrogate gradient on the real (possibly poisoned) graph:
+    /// `∇_W L_c = Z_c^T (softmax(Z_c W) - Y_c) / n_c`, a constant during the
+    /// synthetic-graph update.
+    fn real_class_gradient(&self, z_real: &Matrix, graph: &Graph, class: usize) -> Option<Matrix> {
+        let nodes: Vec<usize> = graph
+            .split
+            .train
+            .iter()
+            .copied()
+            .filter(|&i| graph.labels[i] == class)
+            .collect();
+        if nodes.is_empty() {
+            return None;
+        }
+        let zc = z_real.select_rows(&nodes);
+        let labels: Vec<usize> = vec![class; nodes.len()];
+        let y = Matrix::one_hot(&labels, self.num_classes);
+        let logits = zc.matmul(&self.surrogate_weight);
+        let probs = logits.softmax_rows();
+        let diff = probs.sub(&y);
+        Some(zc.transpose_matmul(&diff).scale(1.0 / nodes.len() as f32))
+    }
+
+    /// One outer condensation step (Eq. 18): matches per-class surrogate
+    /// gradients of the synthetic graph against those of `graph` (which may be
+    /// the clean graph or BGC's poisoned graph) and updates `X'` and the
+    /// structure generator.  Returns the matching loss.
+    pub fn step(&mut self, graph: &Graph) -> f32 {
+        let z_real = self.real_representation(graph);
+        self.step_with_real_representation(graph, &z_real)
+    }
+
+    /// Same as [`GradientMatchingState::step`] but with a precomputed real
+    /// representation (avoids re-propagating when the caller already has it).
+    pub fn step_with_real_representation(&mut self, graph: &Graph, z_real: &Matrix) -> f32 {
+        assert_eq!(
+            z_real.cols(),
+            self.syn_features.cols(),
+            "real representation feature dimension mismatch"
+        );
+        let mut tape = Tape::new();
+        let x_var = tape.leaf(self.syn_features.clone());
+        // Synthetic representation Z' (differentiable w.r.t. X' and structure).
+        let (z_syn, structure_params) = match &self.structure {
+            Some(gen) => {
+                let (adj, params) = gen.forward(&mut tape, x_var);
+                let identity = tape.leaf(Matrix::identity(self.num_synthetic()));
+                let adj_loops = tape.add(adj, identity);
+                let prop = tape.row_normalize(adj_loops);
+                let mut z = x_var;
+                for _ in 0..self.config.propagation_steps {
+                    z = tape.matmul(prop, z);
+                }
+                (z, params)
+            }
+            None => (x_var, Vec::new()),
+        };
+        let w_const = tape.leaf(self.surrogate_weight.clone());
+
+        // Per-class matching terms.
+        let mut total: Option<bgc_tensor::Var> = None;
+        let mut matched_classes = 0usize;
+        for class in 0..self.num_classes {
+            let syn_idx: Vec<usize> = self
+                .syn_labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == class)
+                .map(|(i, _)| i)
+                .collect();
+            if syn_idx.is_empty() {
+                continue;
+            }
+            let real_grad = match self.real_class_gradient(z_real, graph, class) {
+                Some(g) => g,
+                None => continue,
+            };
+            matched_classes += 1;
+            let zc = tape.row_select(z_syn, &syn_idx);
+            let logits = tape.matmul(zc, w_const);
+            let probs = tape.softmax_rows(logits);
+            let onehot = tape.leaf(Matrix::one_hot(&vec![class; syn_idx.len()], self.num_classes));
+            let diff = tape.sub(probs, onehot);
+            let zc_t = tape.transpose(zc);
+            let grad_syn = tape.matmul(zc_t, diff);
+            let grad_syn = tape.scale(grad_syn, 1.0 / syn_idx.len() as f32);
+            let term = tape.cosine_match_to_const(grad_syn, Arc::new(real_grad));
+            total = Some(match total {
+                Some(acc) => tape.add(acc, term),
+                None => term,
+            });
+        }
+        let total = match total {
+            Some(t) => t,
+            None => return 0.0,
+        };
+        let loss_value = tape.scalar(total);
+        let grads = tape.backward(total);
+
+        // Update X'.
+        let x_grad = grads.get_or_zeros(x_var, self.syn_features.rows(), self.syn_features.cols());
+        self.feature_opt
+            .step(&mut [&mut self.syn_features], &[x_grad]);
+        // Update the structure generator (if any).
+        if let Some(gen) = &mut self.structure {
+            let shapes: Vec<(usize, usize)> = gen.parameters().iter().map(|p| p.shape()).collect();
+            let grad_mats: Vec<Matrix> = structure_params
+                .iter()
+                .zip(shapes.iter())
+                .map(|(&v, &(r, c))| grads.get_or_zeros(v, r, c))
+                .collect();
+            let mut params = gen.parameters_mut();
+            self.structure_opt.step(&mut params, &grad_mats);
+        }
+        self.epochs_done += 1;
+        let _ = matched_classes;
+        loss_value
+    }
+
+    /// Materializes the current condensed graph `S = {A', X', Y'}`.
+    pub fn to_condensed(&self) -> CondensedGraph {
+        match &self.structure {
+            Some(gen) => {
+                let adj = gen.materialize(&self.syn_features, self.config.structure_threshold);
+                CondensedGraph::new(
+                    self.syn_features.clone(),
+                    adj,
+                    self.syn_labels.clone(),
+                    self.num_classes,
+                )
+            }
+            None => CondensedGraph::structure_free(
+                self.syn_features.clone(),
+                self.syn_labels.clone(),
+                self.num_classes,
+            ),
+        }
+    }
+
+    /// Runs the full condensation loop on a single (clean or poisoned) graph:
+    /// resample/train the surrogate, then one matching step, for
+    /// `config.outer_epochs` iterations.
+    pub fn run(&mut self, graph: &Graph) -> Vec<f32> {
+        let mut losses = Vec::with_capacity(self.config.outer_epochs);
+        for epoch in 0..self.config.outer_epochs {
+            if epoch % self.config.surrogate_resample_every == 0 {
+                self.resample_surrogate();
+            }
+            self.train_surrogate(self.config.surrogate_steps);
+            losses.push(self.step(graph));
+        }
+        losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgc_graph::DatasetKind;
+
+    fn quick_state(variant: MatchingVariant) -> (Graph, GradientMatchingState) {
+        let graph = DatasetKind::Cora.load_small(1);
+        let config = CondensationConfig::quick(0.1);
+        let state = GradientMatchingState::new(&graph, variant, config);
+        (graph, state)
+    }
+
+    #[test]
+    fn initialization_matches_label_allocation() {
+        let (graph, state) = quick_state(MatchingVariant::GCond);
+        assert_eq!(state.num_synthetic(), state.syn_labels.len());
+        assert!(state.num_synthetic() >= graph.num_classes);
+        assert_eq!(state.syn_features.cols(), graph.num_features());
+        // Features were copied from real nodes, hence have unit-ish norm.
+        assert!(state.syn_features.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn matching_step_reduces_loss() {
+        let (graph, mut state) = quick_state(MatchingVariant::GCondX);
+        state.train_surrogate(5);
+        let first = state.step(&graph);
+        let mut last = first;
+        for _ in 0..30 {
+            last = state.step(&graph);
+        }
+        assert!(last < first, "matching loss should decrease: {} -> {}", first, last);
+        assert_eq!(state.epochs_done(), 31);
+    }
+
+    #[test]
+    fn structure_variant_materializes_structure() {
+        let (graph, mut state) = quick_state(MatchingVariant::GCond);
+        state.train_surrogate(3);
+        for _ in 0..5 {
+            state.step(&graph);
+        }
+        let condensed = state.to_condensed();
+        assert_eq!(condensed.num_nodes(), state.num_synthetic());
+        // Adjacency is symmetric.
+        for r in 0..condensed.num_nodes() {
+            for c in 0..condensed.num_nodes() {
+                let a = condensed.adjacency.get(r, c);
+                let b = condensed.adjacency.get(c, r);
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn structure_free_variants_have_identity_adjacency() {
+        for variant in [MatchingVariant::DcGraph, MatchingVariant::GCondX] {
+            let (_, state) = quick_state(variant);
+            let condensed = state.to_condensed();
+            assert!(!condensed.has_structure(1e-6), "{} must be structure-free", variant.name());
+        }
+    }
+
+    #[test]
+    fn surrogate_training_reduces_surrogate_loss() {
+        let (_, mut state) = quick_state(MatchingVariant::GCondX);
+        let before = state.surrogate_loss();
+        state.train_surrogate(30);
+        let after = state.surrogate_loss();
+        assert!(after < before, "surrogate loss should decrease: {} -> {}", before, after);
+    }
+
+    #[test]
+    fn dc_graph_uses_raw_features() {
+        let (graph, state) = quick_state(MatchingVariant::DcGraph);
+        let repr = state.real_representation(&graph);
+        assert!(repr.approx_eq(&graph.features, 0.0));
+        let (graph, state) = quick_state(MatchingVariant::GCond);
+        let repr = state.real_representation(&graph);
+        assert!(!repr.approx_eq(&graph.features, 1e-6));
+    }
+}

@@ -1,0 +1,319 @@
+//! The BGC attack loop (Algorithm 1 of the paper).
+//!
+//! Per condensation epoch the attack (i) refreshes/trains the surrogate SGC
+//! model on the current condensed graph (Eq. 16), (ii) updates the adaptive
+//! trigger generator so that the surrogate misclassifies triggered computation
+//! graphs into the target class (Eq. 17), (iii) attaches the current triggers
+//! to the selected poisoned nodes to form the poisoned graph `G_P`, and
+//! (iv) performs one gradient-matching update of the condensed graph against
+//! `G_P` (Eq. 18).  The output is the poisoned condensed graph plus the
+//! trained trigger generator used at inference time.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+
+use bgc_condense::{
+    condense_sntk, working_graph, CondensationKind, CondenseError, GradientMatchingState,
+    MatchingVariant,
+};
+use bgc_graph::{CondensedGraph, Graph};
+use bgc_nn::{AdjacencyRef, Adam, Optimizer};
+use bgc_tensor::init::{rng_from_seed, sample_without_replacement};
+use bgc_tensor::{Matrix, Tape};
+
+use crate::attach::{attach_to_computation_graph, build_poisoned_graph, AttachedGraph};
+use crate::config::BgcConfig;
+use crate::selector::{select_poisoned_nodes, SelectionResult};
+use crate::trigger::TriggerGenerator;
+
+/// Result of a BGC attack run.
+pub struct BgcOutcome {
+    /// The poisoned condensed graph `S` handed to the victim.
+    pub condensed: CondensedGraph,
+    /// The trained adaptive trigger generator `f_g` (used at test time).
+    pub generator: TriggerGenerator,
+    /// The poisoned node set `V_P` (indices into the working graph).
+    pub poisoned_nodes: Vec<usize>,
+    /// The graph the condensation actually ran on (training subgraph for
+    /// inductive datasets, the full graph otherwise).
+    pub working_graph: Graph,
+    /// Gradient-matching loss per condensation epoch.
+    pub matching_losses: Vec<f32>,
+    /// Trigger-generator loss per generator update.
+    pub trigger_losses: Vec<f32>,
+    /// Details of the poisoned-node selection.
+    pub selection: SelectionResult,
+}
+
+/// The BGC attack (the malicious condensation service provider).
+pub struct BgcAttack {
+    /// Attack configuration.
+    pub config: BgcConfig,
+}
+
+impl BgcAttack {
+    /// Creates an attack with the given configuration.
+    pub fn new(config: BgcConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the attack against the given condensation method.
+    ///
+    /// For the gradient-matching methods (DC-Graph, GCond, GCond-X) the
+    /// trigger updates are interleaved with the condensation updates exactly
+    /// as in Algorithm 1.  For GC-SNTK the triggers are optimized against a
+    /// gradient-matching surrogate and the final poisoned graph is then
+    /// condensed with the kernel method (the adaptation is documented in
+    /// DESIGN.md); the OOM behaviour of GC-SNTK is preserved.
+    pub fn run(&self, graph: &Graph, kind: CondensationKind) -> Result<BgcOutcome, CondenseError> {
+        let work = working_graph(graph);
+        if work.split.train.is_empty() {
+            return Err(CondenseError::NoTrainingNodes);
+        }
+        if kind == CondensationKind::GcSntk
+            && work.split.train.len() > self.config.condensation.sntk_node_limit
+        {
+            return Err(CondenseError::OutOfMemory {
+                nodes: work.split.train.len(),
+                limit: self.config.condensation.sntk_node_limit,
+            });
+        }
+        let selection = select_poisoned_nodes(&work, &self.config);
+        assert!(
+            !selection.poisoned_nodes.is_empty(),
+            "poisoned node selection returned no nodes"
+        );
+        let mut rng = rng_from_seed(self.config.seed ^ 0xb6c);
+        let mut generator = TriggerGenerator::with_feature_scale(
+            self.config.generator,
+            work.num_features(),
+            self.config.hidden_dim,
+            self.config.trigger_size,
+            self.config.trigger_feature_scale,
+            &mut rng,
+        );
+        let adj = AdjacencyRef::from_graph(&work);
+        let matching_variant = kind
+            .matching_variant()
+            .unwrap_or(MatchingVariant::GCondX);
+        let mut state =
+            GradientMatchingState::new(&work, matching_variant, self.config.condensation.clone());
+        let mut generator_opt = Adam::new(self.config.generator_lr, 0.0);
+        let mut attached_cache: HashMap<usize, AttachedGraph> = HashMap::new();
+        let mut matching_losses = Vec::new();
+        let mut trigger_losses = Vec::new();
+
+        for epoch in 0..self.config.condensation.outer_epochs {
+            if epoch % self.config.condensation.surrogate_resample_every == 0 {
+                state.resample_surrogate();
+            }
+            // (i) T surrogate steps on the current condensed graph (Eq. 16).
+            state.train_surrogate(self.config.surrogate_steps);
+            // (ii) M trigger-generator steps (Eq. 17).
+            for _ in 0..self.config.generator_steps {
+                let loss = self.update_generator(
+                    &mut generator,
+                    &mut generator_opt,
+                    &work,
+                    &adj,
+                    &state.surrogate_weight,
+                    &mut rng,
+                    &mut attached_cache,
+                );
+                trigger_losses.push(loss);
+            }
+            // (iii) attach the updated triggers to V_P to form G_P.
+            let trigger_features =
+                generator.generate_plain(&adj, &work.features, &selection.poisoned_nodes);
+            let poisoned = build_poisoned_graph(
+                &work,
+                &selection.poisoned_nodes,
+                &trigger_features,
+                self.config.trigger_size,
+                self.config.target_class,
+            );
+            // (iv) one condensed-graph update against G_P (Eq. 18).
+            matching_losses.push(state.step(&poisoned));
+        }
+
+        let condensed = if kind == CondensationKind::GcSntk {
+            let trigger_features =
+                generator.generate_plain(&adj, &work.features, &selection.poisoned_nodes);
+            let poisoned = build_poisoned_graph(
+                &work,
+                &selection.poisoned_nodes,
+                &trigger_features,
+                self.config.trigger_size,
+                self.config.target_class,
+            );
+            condense_sntk(&poisoned, &self.config.condensation)?
+        } else {
+            state.to_condensed()
+        };
+
+        Ok(BgcOutcome {
+            condensed,
+            generator,
+            poisoned_nodes: selection.poisoned_nodes.clone(),
+            working_graph: work,
+            matching_losses,
+            trigger_losses,
+            selection,
+        })
+    }
+
+    /// One trigger-generator update step (Eq. 17).
+    #[allow(clippy::too_many_arguments)]
+    fn update_generator(
+        &self,
+        generator: &mut TriggerGenerator,
+        optimizer: &mut Adam,
+        graph: &Graph,
+        adj: &AdjacencyRef,
+        surrogate_weight: &Matrix,
+        rng: &mut StdRng,
+        cache: &mut HashMap<usize, AttachedGraph>,
+    ) -> f32 {
+        generator_update_step(
+            &self.config,
+            generator,
+            optimizer,
+            graph,
+            adj,
+            surrogate_weight,
+            rng,
+            cache,
+        )
+    }
+}
+
+/// One trigger-generator update step (Eq. 17): sample `V_U`, attach the
+/// generated triggers to each node's computation graph, and minimize the
+/// surrogate's cross-entropy towards the target class.  Shared with the GTA
+/// baseline (which optimizes against a static surrogate).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn generator_update_step(
+    config: &BgcConfig,
+    generator: &mut TriggerGenerator,
+    optimizer: &mut Adam,
+    graph: &Graph,
+    adj: &AdjacencyRef,
+    surrogate_weight: &Matrix,
+    rng: &mut StdRng,
+    cache: &mut HashMap<usize, AttachedGraph>,
+) -> f32 {
+    let sample_size = config.update_sample_size.min(graph.num_nodes()).max(1);
+    let sample = sample_without_replacement(graph.num_nodes(), sample_size, rng);
+    for &node in &sample {
+        cache.entry(node).or_insert_with(|| {
+            attach_to_computation_graph(
+                graph,
+                node,
+                config.trigger_size,
+                config.khop,
+                config.max_neighbors_per_hop,
+            )
+        });
+    }
+    let mut tape = Tape::new();
+    let batch = generator.generate(&mut tape, adj, &graph.features, &sample);
+    let w_const = tape.leaf(surrogate_weight.clone());
+    let mut total: Option<bgc_tensor::Var> = None;
+    for (i, &node) in sample.iter().enumerate() {
+        let attached = cache.get(&node).expect("cache populated above").clone();
+        let rows: Vec<usize> =
+            (i * config.trigger_size..(i + 1) * config.trigger_size).collect();
+        let trigger_block = tape.row_select(batch.features, &rows);
+        let x = attached.combined_features(&mut tape, trigger_block);
+        let mut z = x;
+        for _ in 0..config.condensation.propagation_steps {
+            z = tape.const_matmul(attached.norm_adj.clone(), z);
+        }
+        let center = tape.row_select(z, &[attached.center]);
+        let logits = tape.matmul(center, w_const);
+        let term = tape.softmax_cross_entropy(logits, &[config.target_class]);
+        total = Some(match total {
+            Some(acc) => tape.add(acc, term),
+            None => term,
+        });
+    }
+    let total = total.expect("sample is non-empty");
+    let loss = tape.scale(total, 1.0 / sample.len() as f32);
+    let loss_value = tape.scalar(loss);
+    let grads = tape.backward(loss);
+    let shapes: Vec<(usize, usize)> = generator.parameters().iter().map(|p| p.shape()).collect();
+    let grad_mats: Vec<Matrix> = batch
+        .param_vars
+        .iter()
+        .zip(shapes.iter())
+        .map(|(&v, &(r, c))| grads.get_or_zeros(v, r, c))
+        .collect();
+    let mut params = generator.parameters_mut();
+    optimizer.step(&mut params, &grad_mats);
+    loss_value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgc_graph::{DatasetKind, PoisonBudget};
+
+    fn tiny_config() -> BgcConfig {
+        let mut config = BgcConfig::quick();
+        config.condensation.outer_epochs = 15;
+        config.condensation.ratio = 0.2;
+        config.poison_budget = PoisonBudget::Count(8);
+        config.update_sample_size = 8;
+        config.max_neighbors_per_hop = 6;
+        config
+    }
+
+    #[test]
+    fn attack_produces_condensed_graph_and_decreasing_trigger_loss() {
+        let graph = DatasetKind::Cora.load_small(21);
+        let attack = BgcAttack::new(tiny_config());
+        let outcome = attack
+            .run(&graph, CondensationKind::GCondX)
+            .expect("attack should run");
+        assert!(outcome.condensed.num_nodes() >= graph.num_classes);
+        assert_eq!(outcome.matching_losses.len(), 15);
+        assert!(!outcome.trigger_losses.is_empty());
+        // The trigger loss at the end should be far below the start: the
+        // generator learns to flip the surrogate towards the target class.
+        let first = outcome.trigger_losses[0];
+        let last = *outcome.trigger_losses.last().unwrap();
+        assert!(
+            last < first,
+            "trigger loss should decrease ({} -> {})",
+            first,
+            last
+        );
+        // Poisoned nodes never come from the target class.
+        for &p in &outcome.poisoned_nodes {
+            assert_ne!(outcome.working_graph.labels[p], attack.config.target_class);
+        }
+    }
+
+    #[test]
+    fn attack_reports_oom_for_sntk_above_limit() {
+        let graph = DatasetKind::Cora.load_small(22);
+        let mut config = tiny_config();
+        config.condensation.sntk_node_limit = 2;
+        let attack = BgcAttack::new(config);
+        let result = attack.run(&graph, CondensationKind::GcSntk);
+        assert!(matches!(result, Err(CondenseError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn attack_against_sntk_produces_structure_free_graph() {
+        let graph = DatasetKind::Citeseer.load_small(23);
+        let mut config = tiny_config();
+        config.condensation.outer_epochs = 8;
+        let attack = BgcAttack::new(config);
+        let outcome = attack
+            .run(&graph, CondensationKind::GcSntk)
+            .expect("attack should run");
+        assert!(!outcome.condensed.has_structure(1e-6));
+    }
+}

@@ -1,0 +1,218 @@
+//! DOORPING (Liu et al., NDSS 2023) adapted from dataset distillation on
+//! images to graph condensation.
+//!
+//! DOORPING learns a *universal* trigger — a single feature pattern shared by
+//! every poisoned sample — and keeps updating it during the condensation
+//! loop.  The adaptation here follows the paper's Section VI-B: the poisoned
+//! nodes are chosen with BGC's selection module, the trigger is a single
+//! `|g| x d` feature block optimized against the condensation surrogate, and
+//! the poisoned graph is re-built with the current trigger before every
+//! condensed-graph update.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+
+use bgc_condense::{
+    working_graph, CondensationKind, CondenseError, GradientMatchingState, MatchingVariant,
+};
+use bgc_graph::{CondensedGraph, Graph};
+use bgc_nn::{Adam, Optimizer};
+use bgc_tensor::init::{randn, rng_from_seed, sample_without_replacement};
+use bgc_tensor::{Matrix, Tape};
+
+use crate::attach::{attach_to_computation_graph, build_poisoned_graph, AttachedGraph};
+use crate::config::BgcConfig;
+use crate::selector::{select_poisoned_nodes, SelectionResult};
+use crate::trigger::UniversalTrigger;
+
+/// Result of the adapted DOORPING attack.
+pub struct DoorpingOutcome {
+    /// The poisoned condensed graph.
+    pub condensed: CondensedGraph,
+    /// The learned universal trigger.
+    pub trigger: UniversalTrigger,
+    /// Selected poisoned nodes.
+    pub poisoned_nodes: Vec<usize>,
+    /// Graph the condensation operated on.
+    pub working_graph: Graph,
+    /// Selection details.
+    pub selection: SelectionResult,
+}
+
+/// The adapted DOORPING baseline.
+pub struct DoorpingAttack {
+    /// Shared attack configuration.
+    pub config: BgcConfig,
+}
+
+impl DoorpingAttack {
+    /// Creates the attack.
+    pub fn new(config: BgcConfig) -> Self {
+        Self { config }
+    }
+
+    /// One universal-trigger update against the current surrogate.
+    fn update_trigger(
+        &self,
+        trigger: &mut Matrix,
+        optimizer: &mut Adam,
+        graph: &Graph,
+        surrogate_weight: &Matrix,
+        rng: &mut StdRng,
+        cache: &mut HashMap<usize, AttachedGraph>,
+    ) -> f32 {
+        let sample_size = self.config.update_sample_size.min(graph.num_nodes()).max(1);
+        let sample = sample_without_replacement(graph.num_nodes(), sample_size, rng);
+        for &node in &sample {
+            cache.entry(node).or_insert_with(|| {
+                attach_to_computation_graph(
+                    graph,
+                    node,
+                    self.config.trigger_size,
+                    self.config.khop,
+                    self.config.max_neighbors_per_hop,
+                )
+            });
+        }
+        let mut tape = Tape::new();
+        let trig_var = tape.leaf(trigger.clone());
+        let w_const = tape.leaf(surrogate_weight.clone());
+        let mut total: Option<bgc_tensor::Var> = None;
+        for &node in &sample {
+            let attached = cache.get(&node).expect("cache populated").clone();
+            let x = attached.combined_features(&mut tape, trig_var);
+            let mut z = x;
+            for _ in 0..self.config.condensation.propagation_steps {
+                z = tape.const_matmul(attached.norm_adj.clone(), z);
+            }
+            let center = tape.row_select(z, &[attached.center]);
+            let logits = tape.matmul(center, w_const);
+            let term = tape.softmax_cross_entropy(logits, &[self.config.target_class]);
+            total = Some(match total {
+                Some(acc) => tape.add(acc, term),
+                None => term,
+            });
+        }
+        let total = total.expect("sample non-empty");
+        let loss = tape.scale(total, 1.0 / sample.len() as f32);
+        let loss_value = tape.scalar(loss);
+        let grads = tape.backward(loss);
+        let grad = grads.get_or_zeros(trig_var, trigger.rows(), trigger.cols());
+        optimizer.step(&mut [trigger], &[grad]);
+        loss_value
+    }
+
+    /// Runs the attack against a gradient-matching condensation method.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        kind: CondensationKind,
+    ) -> Result<DoorpingOutcome, CondenseError> {
+        let work = working_graph(graph);
+        if work.split.train.is_empty() {
+            return Err(CondenseError::NoTrainingNodes);
+        }
+        let selection = select_poisoned_nodes(&work, &self.config);
+        let mut rng = rng_from_seed(self.config.seed ^ 0xd00);
+        let mut trigger = randn(
+            self.config.trigger_size,
+            work.num_features(),
+            0.0,
+            0.5,
+            &mut rng,
+        );
+        let variant = kind.matching_variant().unwrap_or(MatchingVariant::GCondX);
+        let mut state =
+            GradientMatchingState::new(&work, variant, self.config.condensation.clone());
+        let mut optimizer = Adam::new(self.config.generator_lr, 0.0);
+        let mut cache = HashMap::new();
+        for epoch in 0..self.config.condensation.outer_epochs {
+            if epoch % self.config.condensation.surrogate_resample_every == 0 {
+                state.resample_surrogate();
+            }
+            state.train_surrogate(self.config.surrogate_steps);
+            for _ in 0..self.config.generator_steps {
+                self.update_trigger(
+                    &mut trigger,
+                    &mut optimizer,
+                    &work,
+                    &state.surrogate_weight,
+                    &mut rng,
+                    &mut cache,
+                );
+            }
+            // Every poisoned node receives the same universal trigger block.
+            let mut rows = Vec::with_capacity(selection.poisoned_nodes.len());
+            for _ in 0..selection.poisoned_nodes.len() {
+                rows.push(trigger.clone());
+            }
+            let stacked = rows
+                .iter()
+                .skip(1)
+                .fold(rows[0].clone(), |acc, m| acc.vstack(m));
+            let poisoned = build_poisoned_graph(
+                &work,
+                &selection.poisoned_nodes,
+                &stacked,
+                self.config.trigger_size,
+                self.config.target_class,
+            );
+            state.step(&poisoned);
+        }
+        let condensed = if kind == CondensationKind::GcSntk {
+            let mut rows = Vec::with_capacity(selection.poisoned_nodes.len());
+            for _ in 0..selection.poisoned_nodes.len() {
+                rows.push(trigger.clone());
+            }
+            let stacked = rows
+                .iter()
+                .skip(1)
+                .fold(rows[0].clone(), |acc, m| acc.vstack(m));
+            let poisoned = build_poisoned_graph(
+                &work,
+                &selection.poisoned_nodes,
+                &stacked,
+                self.config.trigger_size,
+                self.config.target_class,
+            );
+            bgc_condense::condense_sntk(&poisoned, &self.config.condensation)?
+        } else {
+            state.to_condensed()
+        };
+        Ok(DoorpingOutcome {
+            condensed,
+            trigger: UniversalTrigger::new(trigger),
+            poisoned_nodes: selection.poisoned_nodes.clone(),
+            working_graph: work,
+            selection,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgc_graph::{DatasetKind, PoisonBudget};
+
+    #[test]
+    fn doorping_runs_and_learns_a_shared_trigger() {
+        let graph = DatasetKind::Cora.load_small(51);
+        let mut config = BgcConfig::quick();
+        config.condensation.outer_epochs = 10;
+        config.condensation.ratio = 0.2;
+        config.poison_budget = PoisonBudget::Count(6);
+        config.max_neighbors_per_hop = 6;
+        let attack = DoorpingAttack::new(config.clone());
+        let outcome = attack
+            .run(&graph, CondensationKind::GCondX)
+            .expect("DOORPING should run");
+        assert_eq!(
+            outcome.trigger.features.shape(),
+            (config.trigger_size, graph.num_features())
+        );
+        assert!(outcome.condensed.num_nodes() >= graph.num_classes);
+        // The trigger moved away from its random initialization.
+        assert!(outcome.trigger.features.frobenius_norm() > 0.0);
+    }
+}

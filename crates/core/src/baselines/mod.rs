@@ -1,0 +1,18 @@
+//! Baseline attacks the paper compares BGC against:
+//!
+//! * **Naive Poison** (Figure 1) — directly injects triggers into the already
+//!   condensed graph.
+//! * **GTA** (Figure 4) — an adaptive trigger generator optimized against a
+//!   surrogate trained on the *original* graph, applied once before
+//!   condensation (the trigger is not updated during condensation).
+//! * **DOORPING** (Figure 4) — a universal (sample-agnostic) trigger that is
+//!   updated during condensation, adapted from the dataset-distillation
+//!   backdoor for images.
+
+pub mod doorping;
+pub mod gta;
+pub mod naive_poison;
+
+pub use doorping::DoorpingAttack;
+pub use gta::GtaAttack;
+pub use naive_poison::NaivePoisonAttack;

@@ -1,0 +1,303 @@
+//! Attack evaluation: clean test accuracy (CTA) and attack success rate
+//! (ASR) of a victim GNN trained on a (possibly poisoned) condensed graph —
+//! the protocol of Section V / Table II.
+
+use bgc_graph::{CondensedGraph, Graph};
+use bgc_nn::{
+    accuracy, attack_success_rate, evaluate, train_on_condensed, AdjacencyRef, GnnArchitecture,
+    TrainConfig,
+};
+use bgc_tensor::init::{rng_from_seed, sample_without_replacement};
+
+use crate::attach::attach_to_computation_graph;
+use crate::config::BgcConfig;
+use crate::trigger::TriggerProvider;
+
+/// Which victim model is trained on the condensed graph.
+#[derive(Clone, Debug)]
+pub struct VictimSpec {
+    /// Victim architecture (GCN by default, Table III varies it).
+    pub architecture: GnnArchitecture,
+    /// Hidden dimension.
+    pub hidden_dim: usize,
+    /// Number of layers (Table VIII varies it).
+    pub num_layers: usize,
+    /// Training hyper-parameters on the condensed graph.
+    pub train: TrainConfig,
+}
+
+impl Default for VictimSpec {
+    fn default() -> Self {
+        Self {
+            architecture: GnnArchitecture::Gcn,
+            hidden_dim: 64,
+            num_layers: 2,
+            train: TrainConfig {
+                epochs: 200,
+                patience: None,
+                ..TrainConfig::default()
+            },
+        }
+    }
+}
+
+impl VictimSpec {
+    /// A faster spec for tests and the `quick` experiment scale.
+    pub fn quick() -> Self {
+        Self {
+            hidden_dim: 32,
+            train: TrainConfig::quick(),
+            ..Self::default()
+        }
+    }
+}
+
+/// CTA and ASR of one victim model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttackEvaluation {
+    /// Clean test accuracy of the victim.
+    pub cta: f32,
+    /// Attack success rate on triggered test nodes.
+    pub asr: f32,
+    /// Number of test nodes used for the ASR estimate.
+    pub asr_nodes: usize,
+}
+
+/// Options controlling the ASR estimate.
+#[derive(Clone, Debug)]
+pub struct EvaluationOptions {
+    /// Maximum number of test nodes used to estimate the ASR (the paper uses
+    /// the full test set; a cap keeps the quick scale fast).
+    pub max_asr_nodes: usize,
+    /// Restrict the ASR estimate to test nodes of this class (used by the
+    /// directed-attack study, Table VI).
+    pub asr_source_class: Option<usize>,
+    /// Random seed for victim initialization and ASR-node sampling.
+    pub seed: u64,
+}
+
+impl Default for EvaluationOptions {
+    fn default() -> Self {
+        Self {
+            max_asr_nodes: 200,
+            asr_source_class: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Trains a victim model on `condensed` and evaluates CTA on the clean graph
+/// and ASR on triggered test nodes.
+///
+/// The generator is always the attacker's trained generator; when the victim
+/// was trained on a *clean* condensed graph this yields the paper's C-CTA /
+/// C-ASR reference columns.
+pub fn evaluate_backdoor(
+    graph: &Graph,
+    condensed: &CondensedGraph,
+    generator: &dyn TriggerProvider,
+    attack_config: &BgcConfig,
+    victim: &VictimSpec,
+    options: &EvaluationOptions,
+) -> AttackEvaluation {
+    let mut rng = rng_from_seed(options.seed ^ 0xe7a1);
+    let mut model = victim.architecture.build(
+        graph.num_features(),
+        victim.hidden_dim,
+        graph.num_classes,
+        victim.num_layers,
+        &mut rng,
+    );
+    train_on_condensed(model.as_mut(), condensed, &victim.train);
+
+    // Clean test accuracy on the full original graph.
+    let full_adj = AdjacencyRef::from_graph(graph);
+    let cta = evaluate(
+        model.as_ref(),
+        &full_adj,
+        &graph.features,
+        &graph.labels,
+        &graph.split.test,
+    );
+
+    // Attack success rate on triggered test nodes.
+    let candidates: Vec<usize> = match options.asr_source_class {
+        Some(class) => graph
+            .split
+            .test
+            .iter()
+            .copied()
+            .filter(|&i| graph.labels[i] == class)
+            .collect(),
+        None => graph.split.test.clone(),
+    };
+    if candidates.is_empty() {
+        return AttackEvaluation {
+            cta,
+            asr: 0.0,
+            asr_nodes: 0,
+        };
+    }
+    let count = candidates.len().min(options.max_asr_nodes.max(1));
+    let picked = sample_without_replacement(candidates.len(), count, &mut rng);
+    let mut triggered_predictions = Vec::with_capacity(count);
+    for &local in &picked {
+        let node = candidates[local];
+        let attached = attach_to_computation_graph(
+            graph,
+            node,
+            generator.trigger_size(),
+            attack_config.khop,
+            attack_config.max_neighbors_per_hop,
+        );
+        let trigger = generator.trigger_for(&full_adj, &graph.features, node);
+        let features = attached.combined_features_plain(&trigger);
+        let preds = model.predict(&attached.adjacency_ref(), &features);
+        triggered_predictions.push(preds[attached.center]);
+    }
+    let asr = attack_success_rate(&triggered_predictions, attack_config.target_class);
+    AttackEvaluation {
+        cta,
+        asr,
+        asr_nodes: triggered_predictions.len(),
+    }
+}
+
+/// Clean-model reference: trains a victim on a clean condensed graph and
+/// reports its CTA (C-CTA) plus the ASR the attacker's triggers achieve
+/// against it (C-ASR).  In the paper C-ASR stays near chance level, showing
+/// the triggers only work through the poisoned condensed graph.
+pub fn evaluate_clean_reference(
+    graph: &Graph,
+    clean_condensed: &CondensedGraph,
+    generator: &dyn TriggerProvider,
+    attack_config: &BgcConfig,
+    victim: &VictimSpec,
+    options: &EvaluationOptions,
+) -> AttackEvaluation {
+    evaluate_backdoor(
+        graph,
+        clean_condensed,
+        generator,
+        attack_config,
+        victim,
+        options,
+    )
+}
+
+/// Utility check used by Figure 1: accuracy of a model trained directly on
+/// the original graph (the "Clean Model" upper bound).
+pub fn full_graph_reference_accuracy(graph: &Graph, victim: &VictimSpec, seed: u64) -> f32 {
+    let mut rng = rng_from_seed(seed);
+    let mut model = victim.architecture.build(
+        graph.num_features(),
+        victim.hidden_dim,
+        graph.num_classes,
+        victim.num_layers,
+        &mut rng,
+    );
+    let adj = AdjacencyRef::from_graph(graph);
+    bgc_nn::train_node_classifier(
+        model.as_mut(),
+        &adj,
+        &graph.features,
+        &graph.labels,
+        &graph.split.train,
+        &graph.split.val,
+        &victim.train,
+    );
+    let preds = model.predict(&adj, &graph.features);
+    let test_preds: Vec<usize> = graph.split.test.iter().map(|&i| preds[i]).collect();
+    let test_labels = graph.labels_of(&graph.split.test);
+    accuracy(&test_preds, &test_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::BgcAttack;
+    use bgc_condense::CondensationKind;
+    use bgc_graph::{DatasetKind, PoisonBudget};
+
+    #[test]
+    fn backdoored_model_reaches_high_asr_and_reasonable_cta() {
+        // End-to-end sanity check of the paper's headline claim on a small
+        // Cora-like graph: ASR of the backdoored model is high while the
+        // clean model's ASR stays near chance.
+        let graph = DatasetKind::Cora.load_small(31);
+        let mut config = BgcConfig::quick();
+        config.condensation.outer_epochs = 40;
+        config.condensation.ratio = 0.3;
+        config.poison_budget = PoisonBudget::Count(10);
+        config.max_neighbors_per_hop = 8;
+        let attack = BgcAttack::new(config.clone());
+        let outcome = attack
+            .run(&graph, CondensationKind::GCondX)
+            .expect("attack should run");
+
+        let victim = VictimSpec::quick();
+        let options = EvaluationOptions {
+            max_asr_nodes: 60,
+            ..Default::default()
+        };
+        let backdoored =
+            evaluate_backdoor(&graph, &outcome.condensed, &outcome.generator, &config, &victim, &options);
+        assert!(
+            backdoored.asr > 0.7,
+            "backdoored ASR should be high, got {}",
+            backdoored.asr
+        );
+        let chance = 1.0 / graph.num_classes as f32;
+        assert!(
+            backdoored.cta > 1.5 * chance,
+            "backdoored CTA {} should stay well above chance {}",
+            backdoored.cta,
+            chance
+        );
+
+        // Clean reference: condense the clean graph with the same method.
+        let clean = CondensationKind::GCondX
+            .build()
+            .condense(&graph, &config.condensation)
+            .expect("clean condensation");
+        let reference =
+            evaluate_clean_reference(&graph, &clean, &outcome.generator, &config, &victim, &options);
+        assert!(
+            backdoored.asr > reference.asr + 0.2,
+            "backdoored ASR ({}) should clearly exceed the clean model's ASR ({})",
+            backdoored.asr,
+            reference.asr
+        );
+    }
+
+    #[test]
+    fn directed_evaluation_restricts_the_source_class() {
+        let graph = DatasetKind::Cora.load_small(33);
+        let mut config = BgcConfig::quick();
+        config.condensation.outer_epochs = 5;
+        config.poison_budget = PoisonBudget::Count(6);
+        let attack = BgcAttack::new(config.clone());
+        let outcome = attack.run(&graph, CondensationKind::GCondX).unwrap();
+        let victim = VictimSpec::quick();
+        let options = EvaluationOptions {
+            max_asr_nodes: 30,
+            asr_source_class: Some(1),
+            ..Default::default()
+        };
+        let eval = evaluate_backdoor(&graph, &outcome.condensed, &outcome.generator, &config, &victim, &options);
+        let class_1_test = graph
+            .split
+            .test
+            .iter()
+            .filter(|&&i| graph.labels[i] == 1)
+            .count();
+        assert!(eval.asr_nodes <= class_1_test.min(30));
+    }
+
+    #[test]
+    fn full_graph_reference_beats_chance() {
+        let graph = DatasetKind::Citeseer.load_small(34);
+        let acc = full_graph_reference_accuracy(&graph, &VictimSpec::quick(), 0);
+        assert!(acc > 1.5 / graph.num_classes as f32);
+    }
+}

@@ -1,0 +1,169 @@
+//! Lloyd's K-means, used by the poisoned-node selector to find representative
+//! nodes inside every class (Section IV-B).
+
+use rand::rngs::StdRng;
+
+use bgc_tensor::init::sample_without_replacement;
+use bgc_tensor::Matrix;
+
+/// Result of a K-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster centroids (`k x d`).
+    pub centroids: Matrix,
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f32,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Euclidean distance from row `i` of `points` to its assigned centroid.
+    pub fn distance_to_centroid(&self, points: &Matrix, i: usize) -> f32 {
+        Matrix::euclidean_distance(points.row(i), self.centroids.row(self.assignments[i]))
+    }
+
+    /// Indices of the points assigned to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs Lloyd's K-means on the rows of `points`.
+///
+/// `k` is clamped to the number of points.  Empty clusters are re-seeded with
+/// the point farthest from its centroid.
+pub fn kmeans(points: &Matrix, k: usize, max_iter: usize, rng: &mut StdRng) -> KMeansResult {
+    let n = points.rows();
+    assert!(n > 0, "kmeans requires at least one point");
+    let k = k.clamp(1, n);
+    let init = sample_without_replacement(n, k, rng);
+    let mut centroids = points.select_rows(&init);
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for _ in 0..max_iter.max(1) {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for i in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = Matrix::euclidean_distance(points.row(i), centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = Matrix::zeros(k, points.cols());
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[assignments[i]] += 1;
+            for (s, &v) in sums.row_mut(assignments[i]).iter_mut().zip(points.row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed the empty cluster with the worst-fitting point.
+                let worst = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = Matrix::euclidean_distance(points.row(a), centroids.row(assignments[a]));
+                        let db = Matrix::euclidean_distance(points.row(b), centroids.row(assignments[b]));
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap_or(0);
+                centroids.row_mut(c).copy_from_slice(points.row(worst));
+            } else {
+                for (cv, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                    *cv = s / counts[c] as f32;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = (0..n)
+        .map(|i| {
+            let d = Matrix::euclidean_distance(points.row(i), centroids.row(assignments[i]));
+            d * d
+        })
+        .sum();
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgc_tensor::init::rng_from_seed;
+
+    fn two_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![5.0 + (i % 3) as f32 * 0.1, 5.0]);
+            rows.push(vec![-5.0, -5.0 - (i % 3) as f32 * 0.1]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let points = two_blobs();
+        let mut rng = rng_from_seed(0);
+        let result = kmeans(&points, 2, 50, &mut rng);
+        // Rows alternate between the two blobs, so assignments must alternate.
+        for i in (0..points.rows()).step_by(2) {
+            assert_eq!(result.assignments[i], result.assignments[0]);
+            assert_eq!(result.assignments[i + 1], result.assignments[1]);
+        }
+        assert_ne!(result.assignments[0], result.assignments[1]);
+        assert!(result.inertia < 5.0);
+    }
+
+    #[test]
+    fn k_is_clamped_to_point_count() {
+        let points = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let mut rng = rng_from_seed(1);
+        let result = kmeans(&points, 10, 10, &mut rng);
+        assert_eq!(result.centroids.rows(), 2);
+    }
+
+    #[test]
+    fn members_and_distances_are_consistent() {
+        let points = two_blobs();
+        let mut rng = rng_from_seed(2);
+        let result = kmeans(&points, 2, 50, &mut rng);
+        let m0 = result.members(0);
+        let m1 = result.members(1);
+        assert_eq!(m0.len() + m1.len(), points.rows());
+        for &i in &m0 {
+            assert!(result.distance_to_centroid(&points, i) < 10.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_input_panics() {
+        let mut rng = rng_from_seed(3);
+        let _ = kmeans(&Matrix::zeros(0, 2), 2, 5, &mut rng);
+    }
+}

@@ -1,0 +1,428 @@
+//! The adaptive trigger generator `f_g` (Eq. 10–11).
+//!
+//! The generator encodes a node into a hidden representation and decodes it
+//! into the features (and, optionally, the structure) of a `|g|`-node trigger:
+//!
+//! * **MLP encoder** (default): two feature-only layers.
+//! * **GCN encoder**: two message-passing layers over the original graph
+//!   (Eq. 10 of the paper).
+//! * **Transformer decoder** (Table V): the hidden representation is expanded
+//!   into `|g|` slot embeddings which attend to each other through a
+//!   single-head self-attention layer before being projected to features.
+//!
+//! The structure head `W_a` produces a binarized trigger adjacency through a
+//! straight-through estimator (Eq. 11); the attack pipeline defaults to fully
+//! connected triggers, the invariance assumption of the paper's convergence
+//! analysis, and the head is kept for completeness.
+
+use rand::rngs::StdRng;
+
+use bgc_nn::AdjacencyRef;
+use bgc_tensor::init::xavier_uniform;
+use bgc_tensor::{Matrix, Tape, Var};
+
+use crate::config::GeneratorKind;
+
+/// Differentiable output of the generator for a batch of nodes.
+pub struct TriggerBatch {
+    /// Trigger node features, shape `(len(nodes) * trigger_size) x d`; the
+    /// rows of node `i` occupy the block `i*trigger_size .. (i+1)*trigger_size`.
+    pub features: Var,
+    /// Tape handles of the generator parameters, aligned with
+    /// [`TriggerGenerator::parameters`].
+    pub param_vars: Vec<Var>,
+}
+
+/// The adaptive trigger generator.
+#[derive(Clone, Debug)]
+pub struct TriggerGenerator {
+    kind: GeneratorKind,
+    trigger_size: usize,
+    feat_dim: usize,
+    hidden: usize,
+    // Encoder (shared by all variants; the GCN variant interleaves message
+    // passing between the two layers).
+    enc_w1: Matrix,
+    enc_b1: Matrix,
+    enc_w2: Matrix,
+    enc_b2: Matrix,
+    // Feature head: `hidden -> trigger_size * d` for MLP/GCN, or
+    // `hidden -> trigger_size * hidden` slot embeddings for the Transformer.
+    w_feat: Matrix,
+    // Transformer-only attention + output projection.
+    w_query: Option<Matrix>,
+    w_key: Option<Matrix>,
+    w_value: Option<Matrix>,
+    w_out: Option<Matrix>,
+    // Structure head `hidden -> trigger_size^2` (Eq. 11).
+    w_adj: Matrix,
+    // L2 norm every generated trigger row is rescaled to (keeps triggers on
+    // the data's feature scale so they survive condensation and transfer to
+    // the victim model).
+    feature_scale: f32,
+}
+
+impl TriggerGenerator {
+    /// Creates a generator for `feat_dim`-dimensional node features with the
+    /// default trigger feature scale.
+    pub fn new(
+        kind: GeneratorKind,
+        feat_dim: usize,
+        hidden: usize,
+        trigger_size: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self::with_feature_scale(kind, feat_dim, hidden, trigger_size, 3.0, rng)
+    }
+
+    /// Creates a generator whose trigger rows are rescaled to the given L2
+    /// norm.
+    pub fn with_feature_scale(
+        kind: GeneratorKind,
+        feat_dim: usize,
+        hidden: usize,
+        trigger_size: usize,
+        feature_scale: f32,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(feature_scale > 0.0, "feature scale must be positive");
+        assert!(trigger_size >= 1, "trigger size must be at least 1");
+        let hidden = hidden.max(4);
+        let feat_head_out = match kind {
+            GeneratorKind::Transformer => trigger_size * hidden,
+            _ => trigger_size * feat_dim,
+        };
+        let (w_query, w_key, w_value, w_out) = if kind == GeneratorKind::Transformer {
+            (
+                Some(xavier_uniform(hidden, hidden, rng)),
+                Some(xavier_uniform(hidden, hidden, rng)),
+                Some(xavier_uniform(hidden, hidden, rng)),
+                Some(xavier_uniform(hidden, feat_dim, rng)),
+            )
+        } else {
+            (None, None, None, None)
+        };
+        Self {
+            kind,
+            trigger_size,
+            feat_dim,
+            hidden,
+            enc_w1: xavier_uniform(feat_dim, hidden, rng),
+            enc_b1: Matrix::zeros(1, hidden),
+            enc_w2: xavier_uniform(hidden, hidden, rng),
+            enc_b2: Matrix::zeros(1, hidden),
+            w_feat: xavier_uniform(hidden, feat_head_out, rng),
+            w_query,
+            w_key,
+            w_value,
+            w_out,
+            w_adj: xavier_uniform(hidden, trigger_size * trigger_size, rng),
+            feature_scale,
+        }
+    }
+
+    /// Encoder variant in use.
+    pub fn kind(&self) -> GeneratorKind {
+        self.kind
+    }
+
+    /// Number of trigger nodes per poisoned node.
+    pub fn trigger_size(&self) -> usize {
+        self.trigger_size
+    }
+
+    /// Feature dimensionality of the generated trigger nodes.
+    pub fn feature_dim(&self) -> usize {
+        self.feat_dim
+    }
+
+    /// Immutable parameter views (order matches `TriggerBatch::param_vars`).
+    pub fn parameters(&self) -> Vec<&Matrix> {
+        let mut out = vec![
+            &self.enc_w1,
+            &self.enc_b1,
+            &self.enc_w2,
+            &self.enc_b2,
+            &self.w_feat,
+        ];
+        if let (Some(q), Some(k), Some(v), Some(o)) =
+            (&self.w_query, &self.w_key, &self.w_value, &self.w_out)
+        {
+            out.extend([q, k, v, o]);
+        }
+        out
+    }
+
+    /// Mutable parameter views (same order as [`TriggerGenerator::parameters`]).
+    pub fn parameters_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut out = vec![
+            &mut self.enc_w1,
+            &mut self.enc_b1,
+            &mut self.enc_w2,
+            &mut self.enc_b2,
+            &mut self.w_feat,
+        ];
+        if let (Some(q), Some(k), Some(v), Some(o)) = (
+            self.w_query.as_mut(),
+            self.w_key.as_mut(),
+            self.w_value.as_mut(),
+            self.w_out.as_mut(),
+        ) {
+            out.extend([q, k, v, o]);
+        }
+        out
+    }
+
+    /// Encodes the listed nodes into hidden representations (`n x hidden`),
+    /// returning the parameter vars registered so far.
+    fn encode(
+        &self,
+        tape: &mut Tape,
+        adj: &AdjacencyRef,
+        features: &Matrix,
+        nodes: &[usize],
+    ) -> (Var, Vec<Var>) {
+        let w1 = tape.leaf(self.enc_w1.clone());
+        let b1 = tape.leaf(self.enc_b1.clone());
+        let w2 = tape.leaf(self.enc_w2.clone());
+        let b2 = tape.leaf(self.enc_b2.clone());
+        let params = vec![w1, b1, w2, b2];
+        let h = match self.kind {
+            GeneratorKind::Gcn => {
+                // Full-graph message passing, then select the requested rows.
+                let x = tape.leaf(features.clone());
+                let p1 = adj.propagate(tape, x);
+                let l1 = tape.matmul(p1, w1);
+                let l1 = tape.add_bias(l1, b1);
+                let h1 = tape.relu(l1);
+                let p2 = adj.propagate(tape, h1);
+                let l2 = tape.matmul(p2, w2);
+                let h2 = tape.add_bias(l2, b2);
+                tape.row_select(h2, nodes)
+            }
+            GeneratorKind::Mlp | GeneratorKind::Transformer => {
+                // Feature-only encoding: restrict to the requested rows first
+                // (cheaper on large graphs).
+                let x = tape.leaf(features.select_rows(nodes));
+                let l1 = tape.matmul(x, w1);
+                let l1 = tape.add_bias(l1, b1);
+                let h1 = tape.relu(l1);
+                let l2 = tape.matmul(h1, w2);
+                tape.add_bias(l2, b2)
+            }
+        };
+        (h, params)
+    }
+
+    /// Generates trigger features for a batch of nodes, differentiably.
+    pub fn generate(
+        &self,
+        tape: &mut Tape,
+        adj: &AdjacencyRef,
+        features: &Matrix,
+        nodes: &[usize],
+    ) -> TriggerBatch {
+        assert!(!nodes.is_empty(), "generate called with no nodes");
+        let (hidden, mut param_vars) = self.encode(tape, adj, features, nodes);
+        let w_feat = tape.leaf(self.w_feat.clone());
+        param_vars.push(w_feat);
+        let decoded = tape.matmul(hidden, w_feat);
+        let features_var = match self.kind {
+            GeneratorKind::Mlp | GeneratorKind::Gcn => {
+                tape.reshape(decoded, nodes.len() * self.trigger_size, self.feat_dim)
+            }
+            GeneratorKind::Transformer => {
+                let wq = tape.leaf(self.w_query.clone().expect("transformer weights"));
+                let wk = tape.leaf(self.w_key.clone().expect("transformer weights"));
+                let wv = tape.leaf(self.w_value.clone().expect("transformer weights"));
+                let wo = tape.leaf(self.w_out.clone().expect("transformer weights"));
+                param_vars.extend([wq, wk, wv, wo]);
+                let slots_all =
+                    tape.reshape(decoded, nodes.len() * self.trigger_size, self.hidden);
+                let scale = 1.0 / (self.hidden as f32).sqrt();
+                let mut per_node = Vec::with_capacity(nodes.len());
+                for i in 0..nodes.len() {
+                    let idx: Vec<usize> =
+                        (i * self.trigger_size..(i + 1) * self.trigger_size).collect();
+                    let slots = tape.row_select(slots_all, &idx);
+                    let q = tape.matmul(slots, wq);
+                    let k = tape.matmul(slots, wk);
+                    let v = tape.matmul(slots, wv);
+                    let k_t = tape.transpose(k);
+                    let scores = tape.matmul(q, k_t);
+                    let scores = tape.scale(scores, scale);
+                    let attn = tape.softmax_rows(scores);
+                    let mixed = tape.matmul(attn, v);
+                    let projected = tape.matmul(mixed, wo);
+                    per_node.push(projected);
+                }
+                let mut acc = per_node[0];
+                for &p in per_node.iter().skip(1) {
+                    acc = tape.concat_rows(acc, p);
+                }
+                acc
+            }
+        };
+        let normalized = tape.l2_normalize_rows(features_var);
+        let scaled = tape.scale(normalized, self.feature_scale);
+        TriggerBatch {
+            features: scaled,
+            param_vars,
+        }
+    }
+
+    /// Non-differentiable trigger-feature generation (used at attack inference
+    /// time and when materializing the poisoned graph).
+    pub fn generate_plain(
+        &self,
+        adj: &AdjacencyRef,
+        features: &Matrix,
+        nodes: &[usize],
+    ) -> Matrix {
+        let mut tape = Tape::new();
+        let batch = self.generate(&mut tape, adj, features, nodes);
+        tape.value(batch.features)
+    }
+
+    /// Generates the binarized trigger adjacency for a single node through the
+    /// structure head `W_a` with a straight-through estimator (Eq. 11).
+    pub fn generate_structure_plain(
+        &self,
+        adj: &AdjacencyRef,
+        features: &Matrix,
+        node: usize,
+    ) -> Matrix {
+        let mut tape = Tape::new();
+        let (hidden, _) = self.encode(&mut tape, adj, features, &[node]);
+        let w_adj = tape.leaf(self.w_adj.clone());
+        let logits = tape.matmul(hidden, w_adj);
+        let probs = tape.sigmoid(logits);
+        let binary = tape.binarize_ste(probs);
+        let shaped = tape.reshape(binary, self.trigger_size, self.trigger_size);
+        let mut out = tape.value(shaped);
+        // Symmetrize and clear the diagonal so the result is a valid
+        // undirected trigger topology.
+        for r in 0..self.trigger_size {
+            out.set(r, r, 0.0);
+            for c in (r + 1)..self.trigger_size {
+                let v = if out.get(r, c) > 0.0 || out.get(c, r) > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                };
+                out.set(r, c, v);
+                out.set(c, r, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgc_tensor::init::{randn, rng_from_seed};
+    use bgc_tensor::CsrMatrix;
+
+    fn toy_inputs() -> (AdjacencyRef, Matrix) {
+        let adj = AdjacencyRef::sparse(
+            CsrMatrix::from_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 5)])
+                .symmetrize()
+                .gcn_normalize(),
+        );
+        let mut rng = rng_from_seed(3);
+        (adj, randn(6, 10, 0.0, 1.0, &mut rng))
+    }
+
+    #[test]
+    fn all_variants_generate_correct_shapes() {
+        let (adj, features) = toy_inputs();
+        for kind in GeneratorKind::all() {
+            let mut rng = rng_from_seed(1);
+            let gen = TriggerGenerator::new(kind, 10, 16, 4, &mut rng);
+            let out = gen.generate_plain(&adj, &features, &[0, 3, 5]);
+            assert_eq!(out.shape(), (12, 10), "{} wrong output shape", kind.name());
+            assert!(!out.has_non_finite());
+        }
+    }
+
+    #[test]
+    fn different_nodes_get_different_triggers() {
+        let (adj, features) = toy_inputs();
+        let mut rng = rng_from_seed(2);
+        let gen = TriggerGenerator::new(GeneratorKind::Mlp, 10, 16, 2, &mut rng);
+        let out = gen.generate_plain(&adj, &features, &[0, 4]);
+        let first = out.select_rows(&[0, 1]);
+        let second = out.select_rows(&[2, 3]);
+        assert!(
+            !first.approx_eq(&second, 1e-6),
+            "sample-specific triggers must differ between nodes"
+        );
+    }
+
+    #[test]
+    fn generator_parameters_receive_gradients() {
+        let (adj, features) = toy_inputs();
+        for kind in GeneratorKind::all() {
+            let mut rng = rng_from_seed(4);
+            let gen = TriggerGenerator::new(kind, 10, 8, 3, &mut rng);
+            let mut tape = Tape::new();
+            let batch = gen.generate(&mut tape, &adj, &features, &[1, 2]);
+            let loss = tape.mean_all(batch.features);
+            let grads = tape.backward(loss);
+            assert_eq!(batch.param_vars.len(), gen.parameters().len());
+            let with_grad = batch
+                .param_vars
+                .iter()
+                .filter(|&&v| grads.get(v).is_some())
+                .count();
+            assert!(
+                with_grad >= gen.parameters().len() - 2,
+                "{}: only {} of {} parameters received gradients",
+                kind.name(),
+                with_grad,
+                gen.parameters().len()
+            );
+        }
+    }
+
+    #[test]
+    fn structure_head_produces_symmetric_binary_adjacency() {
+        let (adj, features) = toy_inputs();
+        let mut rng = rng_from_seed(5);
+        let gen = TriggerGenerator::new(GeneratorKind::Mlp, 10, 8, 4, &mut rng);
+        let a = gen.generate_structure_plain(&adj, &features, 2);
+        assert_eq!(a.shape(), (4, 4));
+        for r in 0..4 {
+            assert_eq!(a.get(r, r), 0.0);
+            for c in 0..4 {
+                assert!(a.get(r, c) == 0.0 || a.get(r, c) == 1.0);
+                assert_eq!(a.get(r, c), a.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn gcn_encoder_uses_the_structure() {
+        let (_, features) = toy_inputs();
+        let mut rng = rng_from_seed(6);
+        let gen = TriggerGenerator::new(GeneratorKind::Gcn, 10, 8, 2, &mut rng);
+        let adj_a = AdjacencyRef::sparse(
+            CsrMatrix::from_edges(6, &[(0, 1), (1, 2)]).symmetrize().gcn_normalize(),
+        );
+        let adj_b = AdjacencyRef::sparse(CsrMatrix::zeros(6, 6).gcn_normalize());
+        let a = gen.generate_plain(&adj_a, &features, &[0]);
+        let b = gen.generate_plain(&adj_b, &features, &[0]);
+        assert!(!a.approx_eq(&b, 1e-6), "GCN encoder must depend on the adjacency");
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn empty_node_list_panics() {
+        let (adj, features) = toy_inputs();
+        let mut rng = rng_from_seed(7);
+        let gen = TriggerGenerator::new(GeneratorKind::Mlp, 10, 8, 2, &mut rng);
+        let mut tape = Tape::new();
+        let _ = gen.generate(&mut tape, &adj, &features, &[]);
+    }
+}

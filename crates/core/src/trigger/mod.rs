@@ -1,0 +1,54 @@
+//! Adaptive trigger generation (Section IV-C, Eq. 10–11).
+
+pub mod generator;
+
+pub use generator::{TriggerBatch, TriggerGenerator};
+
+use bgc_nn::AdjacencyRef;
+use bgc_tensor::Matrix;
+
+/// Anything that can produce the trigger features for a given node at test
+/// time: BGC's adaptive generator, or the universal trigger of the DOORPING
+/// and Naive-Poison baselines.
+pub trait TriggerProvider {
+    /// Number of trigger nodes produced per poisoned/target node.
+    fn trigger_size(&self) -> usize;
+
+    /// Trigger node features (`trigger_size x d`) for `node`.
+    fn trigger_for(&self, adj: &AdjacencyRef, features: &Matrix, node: usize) -> Matrix;
+}
+
+impl TriggerProvider for TriggerGenerator {
+    fn trigger_size(&self) -> usize {
+        TriggerGenerator::trigger_size(self)
+    }
+
+    fn trigger_for(&self, adj: &AdjacencyRef, features: &Matrix, node: usize) -> Matrix {
+        self.generate_plain(adj, features, &[node])
+    }
+}
+
+/// A single trigger pattern shared by every node (sample-agnostic), as used by
+/// the DOORPING and Naive-Poison baselines.
+#[derive(Clone, Debug)]
+pub struct UniversalTrigger {
+    /// The shared trigger feature block (`trigger_size x d`).
+    pub features: Matrix,
+}
+
+impl UniversalTrigger {
+    /// Wraps a fixed trigger feature block.
+    pub fn new(features: Matrix) -> Self {
+        Self { features }
+    }
+}
+
+impl TriggerProvider for UniversalTrigger {
+    fn trigger_size(&self) -> usize {
+        self.features.rows()
+    }
+
+    fn trigger_for(&self, _adj: &AdjacencyRef, _features: &Matrix, _node: usize) -> Matrix {
+        self.features.clone()
+    }
+}

@@ -1,0 +1,50 @@
+//! Convenience constructors for the BGC variants studied in the ablations:
+//! `BGC_Rand` (random poisoned-node selection, Figure 5) and the directed
+//! attack (single source class, Table VI).
+
+use crate::config::{BgcConfig, SelectionStrategy};
+
+/// Returns a copy of `config` using random poisoned-node selection
+/// (the `BGC_Rand` ablation of Figure 5).
+pub fn randomized_selection(config: &BgcConfig) -> BgcConfig {
+    BgcConfig {
+        selection: SelectionStrategy::Random,
+        ..config.clone()
+    }
+}
+
+/// Returns a copy of `config` running the directed attack: only nodes of
+/// `source_class` are poisoned and the ASR is evaluated on that class
+/// (Table VI).
+pub fn directed_attack(config: &BgcConfig, source_class: usize) -> BgcConfig {
+    assert_ne!(
+        source_class, config.target_class,
+        "the directed source class must differ from the target class"
+    );
+    BgcConfig {
+        selection: SelectionStrategy::DirectedFrom(source_class),
+        ..config.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_only_change_the_selection_strategy() {
+        let base = BgcConfig::quick();
+        let rand = randomized_selection(&base);
+        assert_eq!(rand.selection, SelectionStrategy::Random);
+        assert_eq!(rand.trigger_size, base.trigger_size);
+        let directed = directed_attack(&base, 3);
+        assert_eq!(directed.selection, SelectionStrategy::DirectedFrom(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn directed_attack_rejects_target_as_source() {
+        let base = BgcConfig::quick();
+        let _ = directed_attack(&base, base.target_class);
+    }
+}

@@ -1,0 +1,106 @@
+//! Prune defense (Dai et al., WWW 2023): a dataset-level defense that removes
+//! edges whose endpoints have low feature cosine similarity, on the assumption
+//! that backdoor edges connect dissimilar nodes.
+//!
+//! Applied to a condensed graph (Table IV), pruning removes a fixed fraction
+//! of the lowest-similarity synthetic edges before the victim GNN is trained.
+
+use bgc_graph::CondensedGraph;
+
+/// Configuration of the Prune defense.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PruneConfig {
+    /// Fraction of (existing) edges with the lowest cosine similarity to
+    /// remove; the paper removes the lowest 20%.
+    pub fraction: f32,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        Self { fraction: 0.2 }
+    }
+}
+
+/// Outcome of applying the Prune defense.
+#[derive(Clone, Debug)]
+pub struct PruneOutcome {
+    /// The pruned condensed graph handed to the victim.
+    pub condensed: CondensedGraph,
+    /// Number of (undirected) edges before pruning.
+    pub edges_before: usize,
+    /// Number of (undirected) edges after pruning.
+    pub edges_after: usize,
+}
+
+/// Applies the Prune defense to a condensed graph.
+pub fn prune_defense(condensed: &CondensedGraph, config: &PruneConfig) -> PruneOutcome {
+    assert!(
+        (0.0..=1.0).contains(&config.fraction),
+        "prune fraction must lie in [0, 1]"
+    );
+    let count_edges = |g: &CondensedGraph| {
+        let n = g.num_nodes();
+        let mut edges = 0usize;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                if g.adjacency.get(r, c).abs() > 1e-6 {
+                    edges += 1;
+                }
+            }
+        }
+        edges
+    };
+    let edges_before = count_edges(condensed);
+    let pruned = condensed.prune_low_similarity_edges(config.fraction);
+    let edges_after = count_edges(&pruned);
+    PruneOutcome {
+        condensed: pruned,
+        edges_before,
+        edges_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgc_tensor::Matrix;
+
+    fn toy_condensed() -> CondensedGraph {
+        // Nodes 0/1 similar, node 2 dissimilar; edges (0,1), (0,2), (1,2).
+        let features = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.1],
+            vec![0.9, 0.1, 0.1],
+            vec![-1.0, 1.0, -0.5],
+        ]);
+        let adjacency = Matrix::from_rows(&[
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ]);
+        CondensedGraph::new(features, adjacency, vec![0, 0, 1], 2)
+    }
+
+    #[test]
+    fn pruning_removes_the_requested_fraction_of_edges() {
+        let g = toy_condensed();
+        let outcome = prune_defense(&g, &PruneConfig { fraction: 0.34 });
+        assert_eq!(outcome.edges_before, 3);
+        assert_eq!(outcome.edges_after, 2);
+        // The similar pair keeps its edge.
+        assert!(outcome.condensed.adjacency.get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn zero_fraction_is_a_no_op() {
+        let g = toy_condensed();
+        let outcome = prune_defense(&g, &PruneConfig { fraction: 0.0 });
+        assert_eq!(outcome.edges_before, outcome.edges_after);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_panics() {
+        let g = toy_condensed();
+        let _ = prune_defense(&g, &PruneConfig { fraction: 1.5 });
+    }
+}

@@ -1,0 +1,19 @@
+//! # bgc-eval
+//!
+//! Experiment harness for the Rust reproduction of *"Backdoor Graph
+//! Condensation"* (ICDE 2025): the CTA/ASR evaluation protocol of Section V,
+//! quick/paper experiment scales, and one regenerator function per table and
+//! figure of the evaluation section (consumed by the `bgc-bench` binaries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod protocol;
+pub mod scale;
+pub mod tables;
+
+pub use protocol::{run_spec, run_spec_with, AttackKind, RunMetrics, RunSpec};
+pub use scale::ExperimentScale;
+pub use tables::ExperimentReport;

@@ -1,0 +1,325 @@
+//! The evaluation protocol shared by every table and figure: run an attack,
+//! condense a clean reference, train victims, and report C-CTA / CTA /
+//! C-ASR / ASR aggregated over repetitions (mean and standard deviation), as
+//! in Table II of the paper.
+
+use serde::Serialize;
+
+use bgc_condense::{CondensationKind, CondenseError};
+use bgc_core::{
+    evaluate_backdoor, evaluate_clean_reference, BgcAttack, BgcConfig, EvaluationOptions,
+    TriggerProvider, VictimSpec,
+};
+use bgc_graph::{DatasetKind, Graph};
+use bgc_nn::mean_std;
+
+use crate::scale::ExperimentScale;
+
+/// Which attack is being evaluated.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AttackKind {
+    /// The paper's attack.
+    Bgc,
+    /// BGC with random poisoned-node selection (Figure 5).
+    BgcRand,
+    /// Naive direct injection into the condensed graph (Figure 1).
+    NaivePoison,
+    /// GTA adapted to condensation (Figure 4).
+    Gta,
+    /// DOORPING adapted to condensation (Figure 4).
+    Doorping,
+}
+
+impl AttackKind {
+    /// Display name used in tables and figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::Bgc => "BGC",
+            AttackKind::BgcRand => "BGC_Rand",
+            AttackKind::NaivePoison => "NaivePoison",
+            AttackKind::Gta => "GTA",
+            AttackKind::Doorping => "DOORPING",
+        }
+    }
+}
+
+/// One experiment configuration (a cell of Table II, or one point of a
+/// figure).
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Dataset under attack.
+    pub dataset: DatasetKind,
+    /// Condensation method under attack.
+    pub method: CondensationKind,
+    /// Condensation ratio `r` (paper-scale value; the quick scale rescales
+    /// it internally).
+    pub ratio: f32,
+    /// Attack to run.
+    pub attack: AttackKind,
+    /// Experiment scale.
+    pub scale: ExperimentScale,
+    /// Base seed; repetition `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A BGC run spec with the defaults of the paper.
+    pub fn bgc(dataset: DatasetKind, method: CondensationKind, ratio: f32, scale: ExperimentScale) -> Self {
+        Self {
+            dataset,
+            method,
+            ratio,
+            attack: AttackKind::Bgc,
+            scale,
+            seed: 17,
+        }
+    }
+}
+
+/// Aggregated metrics of one experiment configuration (means and standard
+/// deviations over the repetitions), mirroring a Table II cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunMetrics {
+    /// Dataset name.
+    pub dataset: String,
+    /// Condensation method name.
+    pub method: String,
+    /// Attack name.
+    pub attack: String,
+    /// Condensation ratio.
+    pub ratio: f32,
+    /// Clean-model clean test accuracy (mean).
+    pub c_cta: f32,
+    /// Clean-model CTA standard deviation.
+    pub c_cta_std: f32,
+    /// Backdoored-model clean test accuracy (mean).
+    pub cta: f32,
+    /// Backdoored-model CTA standard deviation.
+    pub cta_std: f32,
+    /// Clean-model attack success rate (mean).
+    pub c_asr: f32,
+    /// Clean-model ASR standard deviation.
+    pub c_asr_std: f32,
+    /// Backdoored-model attack success rate (mean).
+    pub asr: f32,
+    /// Backdoored-model ASR standard deviation.
+    pub asr_std: f32,
+    /// Whether the condensation method reported out-of-memory (GC-SNTK on
+    /// Reddit).
+    pub oom: bool,
+}
+
+impl RunMetrics {
+    /// An OOM placeholder row.
+    pub fn oom(spec: &RunSpec) -> Self {
+        Self {
+            dataset: spec.dataset.name().to_string(),
+            method: spec.method.name().to_string(),
+            attack: spec.attack.name().to_string(),
+            ratio: spec.ratio,
+            c_cta: 0.0,
+            c_cta_std: 0.0,
+            cta: 0.0,
+            cta_std: 0.0,
+            c_asr: 0.0,
+            c_asr_std: 0.0,
+            asr: 0.0,
+            asr_std: 0.0,
+            oom: true,
+        }
+    }
+
+    /// Renders the row in the paper's `value (std)` percent format.
+    pub fn table_row(&self) -> String {
+        if self.oom {
+            return format!(
+                "{:<10} {:<9} {:<11} {:>6.2}%   OOM",
+                self.dataset,
+                self.method,
+                self.attack,
+                self.ratio * 100.0
+            );
+        }
+        format!(
+            "{:<10} {:<9} {:<11} {:>6.2}%   C-CTA {:>6.2} ({:>4.2})  CTA {:>6.2} ({:>4.2})  C-ASR {:>6.2} ({:>4.2})  ASR {:>6.2} ({:>4.2})",
+            self.dataset,
+            self.method,
+            self.attack,
+            self.ratio * 100.0,
+            self.c_cta * 100.0,
+            self.c_cta_std * 100.0,
+            self.cta * 100.0,
+            self.cta_std * 100.0,
+            self.c_asr * 100.0,
+            self.c_asr_std * 100.0,
+            self.asr * 100.0,
+            self.asr_std * 100.0
+        )
+    }
+}
+
+/// Per-repetition raw measurements.
+struct RepetitionOutcome {
+    c_cta: f32,
+    cta: f32,
+    c_asr: f32,
+    asr: f32,
+}
+
+fn run_once(
+    spec: &RunSpec,
+    graph: &Graph,
+    config: &BgcConfig,
+    victim: &VictimSpec,
+    options: &EvaluationOptions,
+) -> Result<RepetitionOutcome, CondenseError> {
+    // Clean reference condensation (shared by every attack).
+    let clean = spec.method.build().condense(graph, &config.condensation)?;
+    let (poisoned, provider): (_, Box<dyn TriggerProvider>) = match spec.attack {
+        AttackKind::Bgc => {
+            let outcome = BgcAttack::new(config.clone()).run(graph, spec.method)?;
+            (outcome.condensed, Box::new(outcome.generator))
+        }
+        AttackKind::BgcRand => {
+            let rand_config = bgc_core::randomized_selection(config);
+            let outcome = BgcAttack::new(rand_config).run(graph, spec.method)?;
+            (outcome.condensed, Box::new(outcome.generator))
+        }
+        AttackKind::NaivePoison => {
+            let naive = bgc_core::baselines::NaivePoisonAttack::new(
+                bgc_core::baselines::naive_poison::NaivePoisonConfig {
+                    target_class: config.target_class,
+                    trigger_size: config.trigger_size,
+                    poison_fraction: 0.3,
+                    seed: config.seed,
+                },
+            );
+            let outcome = naive.poison_condensed(&clean, graph.num_features());
+            (outcome.condensed, Box::new(outcome.trigger))
+        }
+        AttackKind::Gta => {
+            let outcome =
+                bgc_core::baselines::GtaAttack::new(config.clone()).run(graph, spec.method)?;
+            (outcome.condensed, Box::new(outcome.generator))
+        }
+        AttackKind::Doorping => {
+            let outcome =
+                bgc_core::baselines::DoorpingAttack::new(config.clone()).run(graph, spec.method)?;
+            (outcome.condensed, Box::new(outcome.trigger))
+        }
+    };
+    let backdoored = evaluate_backdoor(graph, &poisoned, provider.as_ref(), config, victim, options);
+    let reference =
+        evaluate_clean_reference(graph, &clean, provider.as_ref(), config, victim, options);
+    Ok(RepetitionOutcome {
+        c_cta: reference.cta,
+        cta: backdoored.cta,
+        c_asr: reference.asr,
+        asr: backdoored.asr,
+    })
+}
+
+/// Runs one experiment configuration for the scale's number of repetitions
+/// and aggregates the metrics.  GC-SNTK OOM conditions are reported as an
+/// `oom` row rather than an error, matching Table II.
+pub fn run_spec(spec: &RunSpec) -> RunMetrics {
+    run_spec_with(spec, |_, _| {})
+}
+
+/// Same as [`run_spec`] but lets the caller tweak the attack configuration
+/// (used by the ablation experiments: trigger size, generator kind, layer
+/// count, poisoning ratio, epoch sweeps...).
+pub fn run_spec_with(
+    spec: &RunSpec,
+    customize: impl Fn(&mut BgcConfig, &mut VictimSpec),
+) -> RunMetrics {
+    let mut c_ctas = Vec::new();
+    let mut ctas = Vec::new();
+    let mut c_asrs = Vec::new();
+    let mut asrs = Vec::new();
+    for rep in 0..spec.scale.repetitions() {
+        let seed = spec.seed + rep as u64;
+        let graph = spec.scale.load(spec.dataset, seed);
+        let mut config = spec.scale.bgc_config(spec.dataset, spec.ratio, seed);
+        let mut victim = spec.scale.victim_spec();
+        customize(&mut config, &mut victim);
+        let options = spec.scale.evaluation_options(seed);
+        match run_once(spec, &graph, &config, &victim, &options) {
+            Ok(outcome) => {
+                c_ctas.push(outcome.c_cta);
+                ctas.push(outcome.cta);
+                c_asrs.push(outcome.c_asr);
+                asrs.push(outcome.asr);
+            }
+            Err(CondenseError::OutOfMemory { .. }) => return RunMetrics::oom(spec),
+            Err(err) => panic!("experiment {:?} failed: {}", spec, err),
+        }
+    }
+    let (c_cta, c_cta_std) = mean_std(&c_ctas);
+    let (cta, cta_std) = mean_std(&ctas);
+    let (c_asr, c_asr_std) = mean_std(&c_asrs);
+    let (asr, asr_std) = mean_std(&asrs);
+    RunMetrics {
+        dataset: spec.dataset.name().to_string(),
+        method: spec.method.name().to_string(),
+        attack: spec.attack.name().to_string(),
+        ratio: spec.ratio,
+        c_cta,
+        c_cta_std,
+        cta,
+        cta_std,
+        c_asr,
+        c_asr_std,
+        asr,
+        asr_std,
+        oom: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bgc_run_reproduces_the_headline_shape() {
+        // One quick-scale Table II cell: BGC on Cora with GCond-X.
+        let spec = RunSpec::bgc(
+            DatasetKind::Cora,
+            CondensationKind::GCondX,
+            0.026,
+            ExperimentScale::Quick,
+        );
+        let metrics = run_spec(&spec);
+        assert!(!metrics.oom);
+        assert!(
+            metrics.asr > 0.7,
+            "BGC should reach a high ASR, got {}",
+            metrics.asr
+        );
+        assert!(
+            metrics.asr > metrics.c_asr + 0.3,
+            "backdoored ASR ({}) must clearly exceed the clean model's ASR ({})",
+            metrics.asr,
+            metrics.c_asr
+        );
+        assert!(
+            metrics.cta > metrics.c_cta - 0.25,
+            "the CTA drop must stay bounded ({} vs {})",
+            metrics.cta,
+            metrics.c_cta
+        );
+        assert!(metrics.table_row().contains("cora"));
+    }
+
+    #[test]
+    fn oom_rows_render_as_oom() {
+        let spec = RunSpec::bgc(
+            DatasetKind::Reddit,
+            CondensationKind::GcSntk,
+            0.001,
+            ExperimentScale::Quick,
+        );
+        let row = RunMetrics::oom(&spec).table_row();
+        assert!(row.contains("OOM"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Experiment scales.
+//!
+//! Every regenerator binary accepts `--scale quick|paper`:
+//!
+//! * **Quick** (default) — reduced dataset sizes (the `small_spec` presets),
+//!   reduced epoch counts and a single repetition, so the entire suite runs on
+//!   a laptop in minutes.  The *shape* of the paper's results (who wins, by
+//!   roughly what factor) is preserved.
+//! * **Paper** — Table I-sized datasets, the paper's epoch counts and three
+//!   repetitions.  Substantially slower; intended for overnight runs.
+
+use bgc_condense::CondensationConfig;
+use bgc_core::{BgcConfig, EvaluationOptions, VictimSpec};
+use bgc_graph::{DatasetKind, Graph};
+use bgc_nn::TrainConfig;
+
+/// Quick (laptop) or paper-faithful experiment scale.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Reduced datasets / epochs / repetitions.
+    Quick,
+    /// Paper-sized datasets and epoch counts.
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Parses `"quick"` / `"paper"` (case-insensitive).
+    pub fn parse(value: &str) -> Option<Self> {
+        match value.to_ascii_lowercase().as_str() {
+            "quick" => Some(ExperimentScale::Quick),
+            "paper" => Some(ExperimentScale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Reads the scale from command-line arguments (`--scale quick|paper`),
+    /// defaulting to quick.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        for window in args.windows(2) {
+            if window[0] == "--scale" {
+                if let Some(scale) = Self::parse(&window[1]) {
+                    return scale;
+                }
+            }
+        }
+        ExperimentScale::Quick
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentScale::Quick => "quick",
+            ExperimentScale::Paper => "paper",
+        }
+    }
+
+    /// Loads a dataset at this scale.
+    pub fn load(&self, dataset: DatasetKind, seed: u64) -> Graph {
+        match self {
+            ExperimentScale::Quick => dataset.load_small(seed),
+            ExperimentScale::Paper => dataset.load(seed),
+        }
+    }
+
+    /// Number of repetitions per configuration (the paper repeats 3 times).
+    pub fn repetitions(&self) -> usize {
+        match self {
+            ExperimentScale::Quick => 1,
+            ExperimentScale::Paper => 3,
+        }
+    }
+
+    /// Condensation configuration for a given ratio.
+    ///
+    /// At quick scale the paper's condensation ratios would collapse the small
+    /// datasets to fewer nodes than classes, so the ratio is widened by 10x
+    /// (the datasets are ~10x smaller) — the relative ordering between ratios
+    /// is preserved.
+    pub fn condensation_config(&self, ratio: f32) -> CondensationConfig {
+        match self {
+            ExperimentScale::Quick => CondensationConfig::quick((ratio * 10.0).min(0.5)),
+            ExperimentScale::Paper => CondensationConfig::paper(ratio),
+        }
+    }
+
+    /// BGC attack configuration for a dataset at a given condensation ratio.
+    pub fn bgc_config(&self, dataset: DatasetKind, ratio: f32, seed: u64) -> BgcConfig {
+        let mut config = match self {
+            ExperimentScale::Quick => BgcConfig::quick(),
+            ExperimentScale::Paper => BgcConfig::default(),
+        };
+        config.condensation = self.condensation_config(ratio);
+        config.poison_budget = dataset.paper_poison_budget();
+        if *self == ExperimentScale::Quick {
+            // The absolute poison counts of the inductive datasets are scaled
+            // with the datasets themselves.
+            config.poison_budget = match dataset.paper_poison_budget() {
+                bgc_graph::PoisonBudget::Count(c) => bgc_graph::PoisonBudget::Count((c / 10).max(4)),
+                ratio_budget => ratio_budget,
+            };
+            config.max_neighbors_per_hop = 8;
+            config.condensation.outer_epochs = 40;
+        }
+        config.seed = seed;
+        config
+    }
+
+    /// Victim model specification.
+    pub fn victim_spec(&self) -> VictimSpec {
+        match self {
+            ExperimentScale::Quick => VictimSpec::quick(),
+            ExperimentScale::Paper => VictimSpec {
+                train: TrainConfig {
+                    epochs: 400,
+                    patience: None,
+                    ..TrainConfig::default()
+                },
+                ..VictimSpec::default()
+            },
+        }
+    }
+
+    /// ASR evaluation options.
+    pub fn evaluation_options(&self, seed: u64) -> EvaluationOptions {
+        EvaluationOptions {
+            max_asr_nodes: match self {
+                ExperimentScale::Quick => 60,
+                ExperimentScale::Paper => 500,
+            },
+            asr_source_class: None,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsing_accepts_both_scales() {
+        assert_eq!(ExperimentScale::parse("quick"), Some(ExperimentScale::Quick));
+        assert_eq!(ExperimentScale::parse("PAPER"), Some(ExperimentScale::Paper));
+        assert_eq!(ExperimentScale::parse("huge"), None);
+    }
+
+    #[test]
+    fn quick_scale_is_cheaper_than_paper_scale() {
+        let quick = ExperimentScale::Quick.bgc_config(DatasetKind::Cora, 0.026, 0);
+        let paper = ExperimentScale::Paper.bgc_config(DatasetKind::Cora, 0.026, 0);
+        assert!(quick.condensation.outer_epochs < paper.condensation.outer_epochs);
+        assert!(ExperimentScale::Quick.repetitions() < ExperimentScale::Paper.repetitions());
+    }
+
+    #[test]
+    fn quick_datasets_are_small() {
+        let g = ExperimentScale::Quick.load(DatasetKind::Reddit, 0);
+        assert!(g.num_nodes() < 2000);
+    }
+
+    #[test]
+    fn inductive_poison_budget_is_scaled_down_at_quick_scale() {
+        let cfg = ExperimentScale::Quick.bgc_config(DatasetKind::Flickr, 0.005, 0);
+        match cfg.poison_budget {
+            bgc_graph::PoisonBudget::Count(c) => assert!(c <= 8),
+            other => panic!("expected a count budget, got {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Benchmark datasets.
+//!
+//! The paper evaluates on Cora, Citeseer (transductive) and Flickr, Reddit
+//! (inductive), downloaded through PyTorch-Geometric.  Those downloads are
+//! not available here, so each dataset is replaced by a *class-conditioned
+//! stochastic block model* whose statistics (node count, edge count, class
+//! count, feature dimensionality, public split sizes) follow Table I of the
+//! paper — Flickr and Reddit are scaled down by ~10x/20x to stay within the
+//! session budget.  See DESIGN.md, "Substitutions".
+
+pub mod synthetic;
+
+use crate::graph::{Graph, TaskSetting};
+pub use synthetic::{generate_sbm_graph, SbmSpec};
+
+/// The four benchmark datasets of the paper (Table I).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Cora citation network (transductive).
+    Cora,
+    /// Citeseer citation network (transductive).
+    Citeseer,
+    /// Flickr image-relationship graph (inductive, scaled down).
+    Flickr,
+    /// Reddit post-comment graph (inductive, scaled down).
+    Reddit,
+}
+
+impl DatasetKind {
+    /// All four datasets in the paper's order.
+    pub fn all() -> [DatasetKind; 4] {
+        [
+            DatasetKind::Cora,
+            DatasetKind::Citeseer,
+            DatasetKind::Flickr,
+            DatasetKind::Reddit,
+        ]
+    }
+
+    /// Lower-case dataset name as used in result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Cora => "cora",
+            DatasetKind::Citeseer => "citeseer",
+            DatasetKind::Flickr => "flickr",
+            DatasetKind::Reddit => "reddit",
+        }
+    }
+
+    /// Transductive or inductive protocol (Table I).
+    pub fn setting(&self) -> TaskSetting {
+        match self {
+            DatasetKind::Cora | DatasetKind::Citeseer => TaskSetting::Transductive,
+            DatasetKind::Flickr | DatasetKind::Reddit => TaskSetting::Inductive,
+        }
+    }
+
+    /// The condensation ratios the paper evaluates for this dataset
+    /// (Section V, "Runtime Configuration").
+    pub fn paper_condensation_ratios(&self) -> [f32; 3] {
+        match self {
+            DatasetKind::Cora => [0.013, 0.026, 0.052],
+            DatasetKind::Citeseer => [0.009, 0.018, 0.036],
+            DatasetKind::Flickr => [0.001, 0.005, 0.01],
+            DatasetKind::Reddit => [0.0005, 0.001, 0.002],
+        }
+    }
+
+    /// Default poisoning budget: a ratio of the training set for the
+    /// transductive datasets, an absolute node count for the inductive ones
+    /// (Section V: 0.1 / 0.1 / 80 / 180).
+    pub fn paper_poison_budget(&self) -> PoisonBudget {
+        match self {
+            DatasetKind::Cora | DatasetKind::Citeseer => PoisonBudget::Ratio(0.1),
+            DatasetKind::Flickr => PoisonBudget::Count(80),
+            DatasetKind::Reddit => PoisonBudget::Count(180),
+        }
+    }
+
+    /// The full-scale generator specification mimicking Table I.
+    ///
+    /// Flickr and Reddit are scaled down (the originals have 89k / 233k nodes
+    /// and up to 57M edges); the scaling factor is recorded in
+    /// [`SbmSpec::scale_note`].
+    pub fn spec(&self) -> SbmSpec {
+        match self {
+            DatasetKind::Cora => SbmSpec {
+                name: "cora",
+                num_nodes: 2708,
+                num_classes: 7,
+                num_features: 1433,
+                avg_degree: 4.0,
+                homophily: 0.81,
+                feature_noise: 1.0,
+                train_size: 140,
+                val_size: 500,
+                test_size: 1000,
+                setting: TaskSetting::Transductive,
+                scale_note: None,
+            },
+            DatasetKind::Citeseer => SbmSpec {
+                name: "citeseer",
+                num_nodes: 3327,
+                num_classes: 6,
+                num_features: 3703,
+                avg_degree: 2.8,
+                homophily: 0.74,
+                feature_noise: 1.1,
+                train_size: 120,
+                val_size: 500,
+                test_size: 1000,
+                setting: TaskSetting::Transductive,
+                scale_note: None,
+            },
+            DatasetKind::Flickr => SbmSpec {
+                name: "flickr",
+                num_nodes: 8925,
+                num_classes: 7,
+                num_features: 500,
+                avg_degree: 10.0,
+                homophily: 0.32,
+                feature_noise: 2.2,
+                train_size: 4462,
+                val_size: 2231,
+                test_size: 2231,
+                setting: TaskSetting::Inductive,
+                scale_note: Some("scaled 10x from 89,250 nodes; 40 classes collapsed to 7"),
+            },
+            DatasetKind::Reddit => SbmSpec {
+                name: "reddit",
+                num_nodes: 11648,
+                num_classes: 10,
+                num_features: 602,
+                avg_degree: 25.0,
+                homophily: 0.78,
+                feature_noise: 1.2,
+                train_size: 7696,
+                val_size: 1184,
+                test_size: 2766,
+                setting: TaskSetting::Inductive,
+                scale_note: Some("scaled 20x from 232,965 nodes; 210 classes collapsed to 10"),
+            },
+        }
+    }
+
+    /// A reduced specification used by fast tests and the `quick` experiment
+    /// scale: same class structure and split proportions, ~10x fewer nodes
+    /// and a much smaller feature dimensionality.
+    pub fn small_spec(&self) -> SbmSpec {
+        let full = self.spec();
+        let num_nodes = (full.num_nodes / 10).max(120);
+        let train_size = (full.train_size * num_nodes / full.num_nodes).max(4 * full.num_classes);
+        let val_size = (full.val_size * num_nodes / full.num_nodes).max(2 * full.num_classes);
+        let test_size = (full.test_size * num_nodes / full.num_nodes).max(4 * full.num_classes);
+        SbmSpec {
+            num_nodes,
+            num_features: full.num_features.min(64),
+            train_size,
+            val_size,
+            test_size,
+            scale_note: Some("reduced preset for fast tests / quick experiments"),
+            ..full
+        }
+    }
+
+    /// Generates the full-scale graph for this dataset.
+    pub fn load(&self, seed: u64) -> Graph {
+        generate_sbm_graph(&self.spec(), seed)
+    }
+
+    /// Generates the reduced graph for this dataset.
+    pub fn load_small(&self, seed: u64) -> Graph {
+        generate_sbm_graph(&self.small_spec(), seed)
+    }
+}
+
+/// Poisoning budget `Delta_P`: either a fraction of the training set or an
+/// absolute node count.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum PoisonBudget {
+    /// Fraction of the training nodes.
+    Ratio(f32),
+    /// Absolute number of nodes.
+    Count(usize),
+}
+
+impl PoisonBudget {
+    /// Resolves the budget to an absolute node count given the training-set
+    /// size (at least 1).
+    pub fn resolve(&self, train_size: usize) -> usize {
+        match *self {
+            PoisonBudget::Ratio(r) => ((train_size as f32 * r).round() as usize).max(1),
+            PoisonBudget::Count(c) => c.min(train_size).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table_one_statistics() {
+        let cora = DatasetKind::Cora.spec();
+        assert_eq!(cora.num_nodes, 2708);
+        assert_eq!(cora.num_classes, 7);
+        assert_eq!(cora.num_features, 1433);
+        assert_eq!((cora.train_size, cora.val_size, cora.test_size), (140, 500, 1000));
+
+        let citeseer = DatasetKind::Citeseer.spec();
+        assert_eq!(citeseer.num_nodes, 3327);
+        assert_eq!(citeseer.num_classes, 6);
+
+        assert!(DatasetKind::Flickr.spec().scale_note.is_some());
+        assert!(DatasetKind::Reddit.spec().scale_note.is_some());
+    }
+
+    #[test]
+    fn settings_follow_the_paper() {
+        assert_eq!(DatasetKind::Cora.setting(), TaskSetting::Transductive);
+        assert_eq!(DatasetKind::Reddit.setting(), TaskSetting::Inductive);
+    }
+
+    #[test]
+    fn poison_budget_resolution() {
+        assert_eq!(PoisonBudget::Ratio(0.1).resolve(140), 14);
+        assert_eq!(PoisonBudget::Count(80).resolve(1000), 80);
+        assert_eq!(PoisonBudget::Count(80).resolve(10), 10);
+        assert_eq!(PoisonBudget::Ratio(0.0).resolve(100), 1);
+    }
+
+    #[test]
+    fn small_specs_are_small_but_consistent() {
+        for kind in DatasetKind::all() {
+            let small = kind.small_spec();
+            let full = kind.spec();
+            assert!(small.num_nodes < full.num_nodes);
+            assert_eq!(small.num_classes, full.num_classes);
+            assert!(small.train_size + small.val_size + small.test_size <= small.num_nodes);
+        }
+    }
+
+    #[test]
+    fn small_graphs_generate_quickly_and_validate() {
+        let g = DatasetKind::Cora.load_small(7);
+        assert_eq!(g.num_classes, 7);
+        assert!(g.num_nodes() >= 120);
+        assert!(g.edge_homophily() > 0.5, "Cora-like graph should be homophilous");
+    }
+}

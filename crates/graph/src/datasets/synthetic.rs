@@ -1,0 +1,309 @@
+//! Class-conditioned stochastic block model (SBM) graph generator.
+//!
+//! This is the stand-in for the real Planetoid / GraphSAINT downloads (see
+//! DESIGN.md).  The generator produces graphs with:
+//!
+//! * a configurable number of nodes, classes and features,
+//! * class-homophilous structure (a target fraction of intra-class edges),
+//! * class-separable Gaussian features (a per-class centre plus noise),
+//! * a random train/val/test split of the requested sizes.
+//!
+//! All randomness flows from a single `u64` seed.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use bgc_tensor::init::{randn, rng_from_seed, shuffle};
+use bgc_tensor::{CsrMatrix, Matrix};
+
+use crate::graph::{Graph, TaskSetting};
+use crate::splits::DataSplit;
+
+/// Specification of a synthetic benchmark graph.
+#[derive(Clone, Debug)]
+pub struct SbmSpec {
+    /// Dataset name carried into the generated [`Graph`].
+    pub name: &'static str,
+    /// Number of nodes `N`.
+    pub num_nodes: usize,
+    /// Number of classes `C`.
+    pub num_classes: usize,
+    /// Feature dimensionality `d`.
+    pub num_features: usize,
+    /// Target average (undirected) degree.
+    pub avg_degree: f32,
+    /// Target fraction of intra-class edges (edge homophily).
+    pub homophily: f32,
+    /// Standard deviation of the per-node feature noise relative to the
+    /// class-centre magnitude; larger values make classification harder.
+    pub feature_noise: f32,
+    /// Training split size.
+    pub train_size: usize,
+    /// Validation split size.
+    pub val_size: usize,
+    /// Test split size.
+    pub test_size: usize,
+    /// Transductive or inductive protocol.
+    pub setting: TaskSetting,
+    /// Note recording any down-scaling relative to the paper's dataset.
+    pub scale_note: Option<&'static str>,
+}
+
+impl SbmSpec {
+    /// Expected number of undirected edges implied by the average degree.
+    pub fn expected_edges(&self) -> usize {
+        ((self.num_nodes as f32) * self.avg_degree / 2.0).round() as usize
+    }
+}
+
+/// Generates a graph from the specification, deterministically from `seed`.
+pub fn generate_sbm_graph(spec: &SbmSpec, seed: u64) -> Graph {
+    assert!(spec.num_classes >= 2, "need at least two classes");
+    assert!(
+        spec.num_nodes >= spec.num_classes * 4,
+        "need at least 4 nodes per class"
+    );
+    assert!(
+        (0.0..=1.0).contains(&spec.homophily),
+        "homophily must lie in [0, 1]"
+    );
+    let mut rng = rng_from_seed(seed);
+
+    // ---- labels: balanced assignment, then shuffled ---------------------
+    let mut labels: Vec<usize> = (0..spec.num_nodes).map(|i| i % spec.num_classes).collect();
+    shuffle(&mut labels, &mut rng);
+    let mut nodes_per_class: Vec<Vec<usize>> = vec![Vec::new(); spec.num_classes];
+    for (node, &label) in labels.iter().enumerate() {
+        nodes_per_class[label].push(node);
+    }
+
+    // ---- edges: sample intra / inter class pairs to target counts -------
+    let total_edges = spec.expected_edges();
+    let intra_target = ((total_edges as f32) * spec.homophily).round() as usize;
+    let inter_target = total_edges.saturating_sub(intra_target);
+    let mut edge_set: HashSet<(usize, usize)> = HashSet::with_capacity(total_edges * 2);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(total_edges);
+
+    let push_edge =
+        |u: usize, v: usize, edge_set: &mut HashSet<(usize, usize)>, edges: &mut Vec<(usize, usize)>| {
+            if u == v {
+                return false;
+            }
+            let key = (u.min(v), u.max(v));
+            if edge_set.insert(key) {
+                edges.push(key);
+                true
+            } else {
+                false
+            }
+        };
+
+    // Intra-class edges.
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < intra_target && attempts < intra_target * 8 + 64 {
+        attempts += 1;
+        let c = rng.gen_range(0..spec.num_classes);
+        let members = &nodes_per_class[c];
+        if members.len() < 2 {
+            continue;
+        }
+        let u = members[rng.gen_range(0..members.len())];
+        let v = members[rng.gen_range(0..members.len())];
+        if push_edge(u, v, &mut edge_set, &mut edges) {
+            added += 1;
+        }
+    }
+    // Inter-class edges.
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < inter_target && attempts < inter_target * 8 + 64 {
+        attempts += 1;
+        let u = rng.gen_range(0..spec.num_nodes);
+        let v = rng.gen_range(0..spec.num_nodes);
+        if labels[u] == labels[v] {
+            continue;
+        }
+        if push_edge(u, v, &mut edge_set, &mut edges) {
+            added += 1;
+        }
+    }
+    // Guarantee a minimum of connectivity: attach isolated nodes to a random
+    // same-class partner so every node participates in message passing.
+    let mut degree = vec![0usize; spec.num_nodes];
+    for &(u, v) in &edges {
+        degree[u] += 1;
+        degree[v] += 1;
+    }
+    for node in 0..spec.num_nodes {
+        if degree[node] == 0 {
+            let members = &nodes_per_class[labels[node]];
+            let mut partner = members[rng.gen_range(0..members.len())];
+            if partner == node {
+                partner = (node + 1) % spec.num_nodes;
+            }
+            if push_edge(node, partner, &mut edge_set, &mut edges) {
+                degree[node] += 1;
+                degree[partner] += 1;
+            }
+        }
+    }
+    let adjacency = CsrMatrix::from_edges(spec.num_nodes, &edges).symmetrize();
+
+    // ---- features: per-class Gaussian centre + noise, L2-normalized ------
+    let centres = randn(spec.num_classes, spec.num_features, 0.0, 1.0, &mut rng);
+    let noise = randn(
+        spec.num_nodes,
+        spec.num_features,
+        0.0,
+        spec.feature_noise,
+        &mut rng,
+    );
+    let mut features = Matrix::zeros(spec.num_nodes, spec.num_features);
+    for node in 0..spec.num_nodes {
+        let centre = centres.row(labels[node]);
+        let noise_row = noise.row(node);
+        let out = features.row_mut(node);
+        for ((o, &c), &n) in out.iter_mut().zip(centre.iter()).zip(noise_row.iter()) {
+            *o = c + n;
+        }
+    }
+    let features = features.l2_normalize_rows();
+
+    // ---- split ------------------------------------------------------------
+    let split = DataSplit::random(
+        spec.num_nodes,
+        spec.train_size,
+        spec.val_size,
+        spec.test_size,
+        &mut rng,
+    );
+
+    Graph::new(
+        spec.name,
+        adjacency,
+        features,
+        labels,
+        spec.num_classes,
+        split,
+        spec.setting,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SbmSpec {
+        SbmSpec {
+            name: "test-sbm",
+            num_nodes: 300,
+            num_classes: 5,
+            num_features: 32,
+            avg_degree: 6.0,
+            homophily: 0.8,
+            feature_noise: 0.8,
+            train_size: 60,
+            val_size: 60,
+            test_size: 120,
+            setting: TaskSetting::Transductive,
+            scale_note: None,
+        }
+    }
+
+    #[test]
+    fn generator_matches_requested_sizes() {
+        let g = generate_sbm_graph(&small_spec(), 1);
+        assert_eq!(g.num_nodes(), 300);
+        assert_eq!(g.num_classes, 5);
+        assert_eq!(g.num_features(), 32);
+        assert_eq!(g.split.train.len(), 60);
+        assert_eq!(g.split.test.len(), 120);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generate_sbm_graph(&small_spec(), 99);
+        let b = generate_sbm_graph(&small_spec(), 99);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.adjacency.nnz(), b.adjacency.nnz());
+        assert!(a.features.approx_eq(&b.features, 0.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_sbm_graph(&small_spec(), 1);
+        let b = generate_sbm_graph(&small_spec(), 2);
+        assert_ne!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn homophily_close_to_target() {
+        let g = generate_sbm_graph(&small_spec(), 3);
+        let h = g.edge_homophily();
+        assert!(
+            (h - 0.8).abs() < 0.1,
+            "homophily {} too far from target 0.8",
+            h
+        );
+    }
+
+    #[test]
+    fn average_degree_close_to_target() {
+        let g = generate_sbm_graph(&small_spec(), 4);
+        let avg = 2.0 * g.num_edges() as f32 / g.num_nodes() as f32;
+        assert!((avg - 6.0).abs() < 1.5, "average degree {} too far from 6", avg);
+    }
+
+    #[test]
+    fn no_isolated_nodes() {
+        let g = generate_sbm_graph(&small_spec(), 5);
+        assert!(g.degrees().iter().all(|&d| d > 0));
+    }
+
+    #[test]
+    fn features_are_class_separable() {
+        // Nearest-class-centroid classification on raw features should beat
+        // random guessing by a wide margin; the datasets must carry signal.
+        let g = generate_sbm_graph(&small_spec(), 6);
+        let mut centroids = vec![vec![0.0f32; g.num_features()]; g.num_classes];
+        let mut counts = vec![0usize; g.num_classes];
+        for i in 0..g.num_nodes() {
+            counts[g.labels[i]] += 1;
+            for (c, &v) in centroids[g.labels[i]].iter_mut().zip(g.features.row(i)) {
+                *c += v;
+            }
+        }
+        for (c, n) in centroids.iter_mut().zip(counts.iter()) {
+            for v in c.iter_mut() {
+                *v /= *n as f32;
+            }
+        }
+        let mut correct = 0usize;
+        for i in 0..g.num_nodes() {
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for (k, c) in centroids.iter().enumerate() {
+                let d = Matrix::euclidean_distance(g.features.row(i), c);
+                if d < best_d {
+                    best_d = d;
+                    best = k;
+                }
+            }
+            if best == g.labels[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / g.num_nodes() as f32;
+        assert!(acc > 0.5, "nearest-centroid accuracy {} too low", acc);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn rejects_single_class() {
+        let mut spec = small_spec();
+        spec.num_classes = 1;
+        let _ = generate_sbm_graph(&spec, 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Train/validation/test node splits (the "public splits" of Table I).
+
+use rand::rngs::StdRng;
+
+use bgc_tensor::init::shuffle;
+
+/// Indices of the training, validation and test nodes of a graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DataSplit {
+    /// Training node indices.
+    pub train: Vec<usize>,
+    /// Validation node indices.
+    pub val: Vec<usize>,
+    /// Test node indices.
+    pub test: Vec<usize>,
+}
+
+impl DataSplit {
+    /// Creates a split and validates it against the node count.
+    pub fn new(train: Vec<usize>, val: Vec<usize>, test: Vec<usize>, num_nodes: usize) -> Self {
+        let split = Self { train, val, test };
+        split.validate(num_nodes);
+        split
+    }
+
+    /// Draws a random split with the given sizes from `0..num_nodes`.
+    ///
+    /// # Panics
+    /// Panics when the sizes add up to more than `num_nodes`.
+    pub fn random(
+        num_nodes: usize,
+        train_size: usize,
+        val_size: usize,
+        test_size: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(
+            train_size + val_size + test_size <= num_nodes,
+            "split sizes ({} + {} + {}) exceed node count {}",
+            train_size,
+            val_size,
+            test_size,
+            num_nodes
+        );
+        let mut order: Vec<usize> = (0..num_nodes).collect();
+        shuffle(&mut order, rng);
+        let train = order[..train_size].to_vec();
+        let val = order[train_size..train_size + val_size].to_vec();
+        let test = order[train_size + val_size..train_size + val_size + test_size].to_vec();
+        Self { train, val, test }
+    }
+
+    /// Total number of nodes covered by the split.
+    pub fn total(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Panics when indices are out of range or the three parts overlap.
+    pub fn validate(&self, num_nodes: usize) {
+        let mut seen = vec![false; num_nodes];
+        for (part, indices) in [
+            ("train", &self.train),
+            ("val", &self.val),
+            ("test", &self.test),
+        ] {
+            for &i in indices.iter() {
+                assert!(
+                    i < num_nodes,
+                    "{} split index {} out of range for {} nodes",
+                    part,
+                    i,
+                    num_nodes
+                );
+                assert!(!seen[i], "node {} appears in more than one split part", i);
+                seen[i] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgc_tensor::init::rng_from_seed;
+
+    #[test]
+    fn random_split_has_requested_sizes_and_is_disjoint() {
+        let mut rng = rng_from_seed(0);
+        let split = DataSplit::random(100, 20, 30, 40, &mut rng);
+        assert_eq!(split.train.len(), 20);
+        assert_eq!(split.val.len(), 30);
+        assert_eq!(split.test.len(), 40);
+        split.validate(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed node count")]
+    fn oversized_split_panics() {
+        let mut rng = rng_from_seed(0);
+        let _ = DataSplit::random(10, 6, 6, 6, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one split part")]
+    fn overlapping_split_panics() {
+        let split = DataSplit {
+            train: vec![0, 1],
+            val: vec![1],
+            test: vec![2],
+        };
+        split.validate(3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = DataSplit::random(50, 10, 10, 10, &mut rng_from_seed(5));
+        let b = DataSplit::random(50, 10, 10, 10, &mut rng_from_seed(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Descriptive graph statistics used by Table I and by sanity checks in the
+//! experiment harness.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph (the columns of Table I plus homophily).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Feature dimensionality.
+    pub features: usize,
+    /// Training split size.
+    pub train: usize,
+    /// Validation split size.
+    pub val: usize,
+    /// Test split size.
+    pub test: usize,
+    /// Average degree.
+    pub avg_degree: f32,
+    /// Edge homophily.
+    pub homophily: f32,
+}
+
+impl GraphStats {
+    /// Computes the statistics of a graph.
+    pub fn of(graph: &Graph) -> Self {
+        Self {
+            name: graph.name.clone(),
+            nodes: graph.num_nodes(),
+            edges: graph.num_edges(),
+            classes: graph.num_classes,
+            features: graph.num_features(),
+            train: graph.split.train.len(),
+            val: graph.split.val.len(),
+            test: graph.split.test.len(),
+            avg_degree: if graph.num_nodes() == 0 {
+                0.0
+            } else {
+                2.0 * graph.num_edges() as f32 / graph.num_nodes() as f32
+            },
+            homophily: graph.edge_homophily(),
+        }
+    }
+
+    /// Renders a single row in the style of Table I.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<10} {:>8} {:>10} {:>8} {:>9} {:>7} {:>6} {:>7} {:>8.2} {:>9.3}",
+            self.name,
+            self.nodes,
+            self.edges,
+            self.classes,
+            self.features,
+            self.train,
+            self.val,
+            self.test,
+            self.avg_degree,
+            self.homophily
+        )
+    }
+
+    /// Header matching [`GraphStats::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<10} {:>8} {:>10} {:>8} {:>9} {:>7} {:>6} {:>7} {:>8} {:>9}",
+            "dataset", "nodes", "edges", "classes", "features", "train", "val", "test", "deg", "homophily"
+        )
+    }
+}
+
+/// Per-class node counts of a label vector.
+pub fn class_histogram(labels: &[usize], num_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; num_classes];
+    for &l in labels {
+        assert!(l < num_classes, "label {} out of range", l);
+        counts[l] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetKind;
+
+    #[test]
+    fn stats_of_small_cora_are_consistent() {
+        let g = DatasetKind::Cora.load_small(0);
+        let stats = GraphStats::of(&g);
+        assert_eq!(stats.nodes, g.num_nodes());
+        assert_eq!(stats.classes, 7);
+        assert!(stats.avg_degree > 1.0);
+        assert!(stats.table_row().contains("cora"));
+        assert!(GraphStats::table_header().contains("homophily"));
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        assert_eq!(class_histogram(&[0, 1, 1, 2, 2, 2], 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn class_histogram_rejects_bad_labels() {
+        let _ = class_histogram(&[0, 3], 3);
+    }
+}

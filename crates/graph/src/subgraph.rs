@@ -1,0 +1,152 @@
+//! Computation-graph extraction.
+//!
+//! A GNN prediction for node `v_i` only depends on its k-hop neighbourhood
+//! (its *computation graph* `G_C^i` in the paper's notation).  The trigger
+//! generator update (Eq. 13/17) evaluates the surrogate model on the
+//! computation graph of each sampled node with a trigger attached, so this
+//! module extracts induced k-hop subgraphs with a known position for the
+//! centre node.
+
+use bgc_tensor::{CsrMatrix, Matrix};
+
+use crate::graph::Graph;
+
+/// The k-hop computation graph of a centre node.
+#[derive(Clone, Debug)]
+pub struct ComputationGraph {
+    /// Original node indices; `nodes[0]` is the centre node.
+    pub nodes: Vec<usize>,
+    /// Induced adjacency (same order as `nodes`), *not* normalized.
+    pub adjacency: CsrMatrix,
+    /// Features of the included nodes (same order as `nodes`).
+    pub features: Matrix,
+    /// Labels of the included nodes.
+    pub labels: Vec<usize>,
+    /// Index of the centre node inside this subgraph (always 0).
+    pub center: usize,
+}
+
+impl ComputationGraph {
+    /// Number of nodes in the computation graph.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Extracts the k-hop computation graph of `center`, optionally capping the
+/// number of neighbours expanded per node (`max_per_hop`) to keep the
+/// extraction tractable on dense hubs (Reddit-style graphs).
+pub fn k_hop_subgraph(
+    graph: &Graph,
+    center: usize,
+    k: usize,
+    max_per_hop: Option<usize>,
+) -> ComputationGraph {
+    assert!(center < graph.num_nodes(), "center node out of range");
+    let mut included: Vec<usize> = vec![center];
+    let mut seen = vec![false; graph.num_nodes()];
+    seen[center] = true;
+    let mut frontier = vec![center];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            let mut added = 0usize;
+            for &v in graph.adjacency.row_indices(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    included.push(v);
+                    next.push(v);
+                    added += 1;
+                    if let Some(cap) = max_per_hop {
+                        if added >= cap {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    let adjacency = graph.adjacency.induced_submatrix(&included);
+    let features = graph.features.select_rows(&included);
+    let labels = graph.labels_of(&included);
+    ComputationGraph {
+        nodes: included,
+        adjacency,
+        features,
+        labels,
+        center: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskSetting;
+    use crate::splits::DataSplit;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let adj = CsrMatrix::from_edges(n, &edges).symmetrize();
+        let features = Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f32);
+        let labels = vec![0; n];
+        let split = DataSplit {
+            train: (0..n).collect(),
+            val: vec![],
+            test: vec![],
+        };
+        Graph::new("path", adj, features, labels, 1, split, TaskSetting::Transductive)
+    }
+
+    #[test]
+    fn one_hop_contains_neighbours_only() {
+        let g = path_graph(6);
+        let sub = k_hop_subgraph(&g, 2, 1, None);
+        let mut nodes = sub.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 2, 3]);
+        assert_eq!(sub.nodes[0], 2, "centre node listed first");
+        assert_eq!(sub.center, 0);
+    }
+
+    #[test]
+    fn two_hops_expand_further() {
+        let g = path_graph(7);
+        let sub = k_hop_subgraph(&g, 3, 2, None);
+        let mut nodes = sub.nodes.clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 2, 3, 4, 5]);
+        // Induced adjacency preserves path structure: node 3 (centre) has 2 neighbours.
+        let centre_degree = sub.adjacency.row_nnz(0);
+        assert_eq!(centre_degree, 2);
+    }
+
+    #[test]
+    fn per_hop_cap_limits_growth() {
+        // Star graph: node 0 connected to all others.
+        let edges: Vec<(usize, usize)> = (1..20).map(|i| (0, i)).collect();
+        let adj = CsrMatrix::from_edges(20, &edges).symmetrize();
+        let features = Matrix::zeros(20, 1);
+        let split = DataSplit {
+            train: (0..20).collect(),
+            val: vec![],
+            test: vec![],
+        };
+        let g = Graph::new("star", adj, features, vec![0; 20], 1, split, TaskSetting::Transductive);
+        let sub = k_hop_subgraph(&g, 0, 1, Some(5));
+        assert_eq!(sub.num_nodes(), 6); // centre + 5 capped neighbours
+    }
+
+    #[test]
+    fn features_and_labels_follow_node_order() {
+        let g = path_graph(5);
+        let sub = k_hop_subgraph(&g, 4, 1, None);
+        for (i, &orig) in sub.nodes.iter().enumerate() {
+            assert_eq!(sub.features.row(i), g.features.row(orig));
+            assert_eq!(sub.labels[i], g.labels[orig]);
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Placeholder library target; all content lives in `tests/`.

@@ -1,0 +1,58 @@
+//! Integration tests of the experiment harness: the regenerator functions
+//! produce well-formed reports whose contents reflect the paper's qualitative
+//! claims at quick scale.
+
+use bgc_eval::experiments;
+use bgc_eval::{run_spec, ExperimentScale, RunSpec};
+use bgc_condense::CondensationKind;
+use bgc_graph::DatasetKind;
+
+#[test]
+fn table1_report_lists_every_dataset_with_table_i_statistics() {
+    let report = experiments::table1(ExperimentScale::Quick);
+    assert_eq!(report.id, "table1");
+    let text = report.render();
+    for dataset in DatasetKind::all() {
+        assert!(text.contains(dataset.name()));
+    }
+    // Paper-scale statistics match Table I exactly for the citation graphs.
+    let paper = experiments::table1(ExperimentScale::Paper);
+    let text = paper.render();
+    assert!(text.contains("2708"), "Cora node count from Table I");
+    assert!(text.contains("3327"), "Citeseer node count from Table I");
+}
+
+#[test]
+fn paper_reference_values_encode_the_headline_claims() {
+    for dataset in DatasetKind::all() {
+        for cell in bgc_eval::paper::table2_gcond_reference(dataset) {
+            assert!(cell.asr > 99.0);
+            assert!(cell.c_asr < 20.0);
+        }
+    }
+}
+
+#[test]
+fn one_table2_cell_reproduces_the_shape_of_the_paper() {
+    let spec = RunSpec::bgc(
+        DatasetKind::Cora,
+        CondensationKind::DcGraph,
+        0.026,
+        ExperimentScale::Quick,
+    );
+    let metrics = run_spec(&spec);
+    // Shape checks (not absolute values): high ASR, near-chance C-ASR,
+    // bounded utility loss.
+    assert!(metrics.asr > 0.6, "ASR {}", metrics.asr);
+    assert!(metrics.c_asr < 0.5, "C-ASR {}", metrics.c_asr);
+    assert!(metrics.cta > 0.3, "CTA {}", metrics.cta);
+    assert!(!metrics.oom);
+}
+
+#[test]
+fn reports_can_be_rendered_and_serialized() {
+    let report = experiments::table1(ExperimentScale::Quick);
+    let json = serde_json::to_string(&report).expect("report serializes");
+    assert!(json.contains("table1"));
+    assert!(report.render().lines().count() >= 5);
+}

@@ -1,0 +1,81 @@
+//! Evaluation metrics: clean test accuracy (CTA) and attack success rate
+//! (ASR), the two metrics of the paper's evaluation protocol (Section V).
+
+/// Fraction of predictions equal to the ground-truth labels.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "accuracy: prediction/label length mismatch"
+    );
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / predictions.len() as f32
+}
+
+/// Attack success rate: the fraction of (triggered) predictions equal to the
+/// attacker's target class `y_t`.
+pub fn attack_success_rate(predictions: &[usize], target_class: usize) -> f32 {
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions.iter().filter(|&&p| p == target_class).count();
+    hits as f32 / predictions.len() as f32
+}
+
+/// Mean and (population) standard deviation of a set of repeated measurements,
+/// matching the "mean (std)" cells of the paper's tables.
+pub fn mean_std(values: &[f32]) -> (f32, f32) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f32>() / values.len() as f32;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
+    (mean, var.sqrt())
+}
+
+/// Formats a metric in percent with its standard deviation, e.g. `81.23 (0.24)`.
+pub fn format_percent(mean: f32, std: f32) -> String {
+    format!("{:.2} ({:.2})", mean * 100.0, std * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatched_lengths() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn asr_counts_target_hits() {
+        assert_eq!(attack_success_rate(&[2, 2, 1, 2], 2), 0.75);
+        assert_eq!(attack_success_rate(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn mean_std_is_correct() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-6);
+        assert!((s - (2.0f32 / 3.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn formatting_matches_paper_style() {
+        assert_eq!(format_percent(0.8123, 0.0024), "81.23 (0.24)");
+    }
+}

@@ -1,0 +1,134 @@
+//! APPNP: predict-then-propagate with personalised PageRank
+//! (Gasteiger et al., ICLR 2019).
+//!
+//! An MLP first produces per-node predictions `Z`; the final output is the
+//! fixed-point iteration `H^{(t+1)} = (1 - alpha) Â H^{(t)} + alpha Z`.
+
+use rand::rngs::StdRng;
+
+use bgc_tensor::init::xavier_uniform;
+use bgc_tensor::{Matrix, Tape, Var};
+
+use crate::adjacency::AdjacencyRef;
+use crate::model::{ForwardPass, GnnModel};
+
+/// An APPNP model: a 2-layer MLP followed by `k` propagation steps.
+#[derive(Clone, Debug)]
+pub struct Appnp {
+    weights: Vec<Matrix>,
+    biases: Vec<Matrix>,
+    k: usize,
+    alpha: f32,
+    out_dim: usize,
+}
+
+impl Appnp {
+    /// Builds an APPNP model with `k` personalised-PageRank iterations and
+    /// teleport probability `alpha`.
+    pub fn new(
+        in_dim: usize,
+        hidden_dim: usize,
+        out_dim: usize,
+        k: usize,
+        alpha: f32,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0, 1]");
+        Self {
+            weights: vec![
+                xavier_uniform(in_dim, hidden_dim, rng),
+                xavier_uniform(hidden_dim, out_dim, rng),
+            ],
+            biases: vec![Matrix::zeros(1, hidden_dim), Matrix::zeros(1, out_dim)],
+            k: k.max(1),
+            alpha,
+            out_dim,
+        }
+    }
+}
+
+impl GnnModel for Appnp {
+    fn name(&self) -> &'static str {
+        "APPNP"
+    }
+
+    fn forward(&self, tape: &mut Tape, adj: &AdjacencyRef, x: Var) -> ForwardPass {
+        let w0 = tape.leaf(self.weights[0].clone());
+        let b0 = tape.leaf(self.biases[0].clone());
+        let w1 = tape.leaf(self.weights[1].clone());
+        let b1 = tape.leaf(self.biases[1].clone());
+        // Prediction step (MLP).
+        let l0 = tape.matmul(x, w0);
+        let l0 = tape.add_bias(l0, b0);
+        let h0 = tape.relu(l0);
+        let l1 = tape.matmul(h0, w1);
+        let z = tape.add_bias(l1, b1);
+        // Propagation step.
+        let teleport = tape.scale(z, self.alpha);
+        let mut h = z;
+        for _ in 0..self.k {
+            let propagated = adj.propagate(tape, h);
+            let damped = tape.scale(propagated, 1.0 - self.alpha);
+            h = tape.add(damped, teleport);
+        }
+        ForwardPass {
+            logits: h,
+            param_vars: vec![w0, b0, w1, b1],
+        }
+    }
+
+    fn parameters(&self) -> Vec<&Matrix> {
+        crate::models::gcn::interleave(&self.weights, &self.biases)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Matrix> {
+        crate::models::gcn::interleave_mut(&mut self.weights, &mut self.biases)
+    }
+
+    fn output_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgc_tensor::init::rng_from_seed;
+    use bgc_tensor::CsrMatrix;
+
+    #[test]
+    fn forward_shape_is_correct() {
+        let mut rng = rng_from_seed(0);
+        let model = Appnp::new(6, 8, 3, 4, 0.1, &mut rng);
+        let adj = AdjacencyRef::sparse(
+            CsrMatrix::from_edges(5, &[(0, 1), (1, 2), (3, 4)])
+                .symmetrize()
+                .gcn_normalize(),
+        );
+        assert_eq!(model.logits(&adj, &Matrix::ones(5, 6)).shape(), (5, 3));
+    }
+
+    #[test]
+    fn alpha_one_reduces_to_mlp_prediction() {
+        // With alpha = 1 the propagation is a no-op: H = Z at every step.
+        let mut rng = rng_from_seed(1);
+        let model = Appnp::new(4, 6, 2, 3, 1.0, &mut rng);
+        let edges = AdjacencyRef::sparse(
+            CsrMatrix::from_edges(4, &[(0, 1), (2, 3)])
+                .symmetrize()
+                .gcn_normalize(),
+        );
+        let no_edges = AdjacencyRef::sparse(CsrMatrix::zeros(4, 4).gcn_normalize());
+        let x = Matrix::from_fn(4, 4, |r, c| (r + 2 * c) as f32 * 0.2);
+        let a = model.logits(&edges, &x);
+        let b = model.logits(&no_edges, &x);
+        assert!(a.approx_eq(&b, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie")]
+    fn rejects_bad_alpha() {
+        let mut rng = rng_from_seed(2);
+        let _ = Appnp::new(4, 4, 2, 2, 1.5, &mut rng);
+    }
+}

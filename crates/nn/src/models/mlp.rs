@@ -1,0 +1,125 @@
+//! A structure-agnostic multi-layer perceptron baseline (Table III).
+//!
+//! The MLP ignores the adjacency entirely; the paper uses it to show that
+//! BGC's triggers survive even when the victim never looks at the graph
+//! structure.
+
+use rand::rngs::StdRng;
+
+use bgc_tensor::init::xavier_uniform;
+use bgc_tensor::{Matrix, Tape, Var};
+
+use crate::adjacency::AdjacencyRef;
+use crate::model::{ForwardPass, GnnModel};
+
+/// A plain feed-forward network over node features.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    weights: Vec<Matrix>,
+    biases: Vec<Matrix>,
+    out_dim: usize,
+}
+
+impl Mlp {
+    /// Builds an MLP with `num_layers >= 1` linear layers.
+    pub fn new(
+        in_dim: usize,
+        hidden_dim: usize,
+        out_dim: usize,
+        num_layers: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let num_layers = num_layers.max(1);
+        let mut dims = vec![in_dim];
+        for _ in 1..num_layers {
+            dims.push(hidden_dim);
+        }
+        dims.push(out_dim);
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for l in 0..num_layers {
+            weights.push(xavier_uniform(dims[l], dims[l + 1], rng));
+            biases.push(Matrix::zeros(1, dims[l + 1]));
+        }
+        Self {
+            weights,
+            biases,
+            out_dim,
+        }
+    }
+
+    /// Differentiable forward pass without an adjacency (for callers that do
+    /// not have one, e.g. the MLP trigger generator).
+    pub fn forward_features(&self, tape: &mut Tape, x: Var) -> ForwardPass {
+        let mut param_vars = Vec::new();
+        let mut h = x;
+        let last = self.weights.len() - 1;
+        for (l, (w, b)) in self.weights.iter().zip(self.biases.iter()).enumerate() {
+            let wv = tape.leaf(w.clone());
+            let bv = tape.leaf(b.clone());
+            param_vars.push(wv);
+            param_vars.push(bv);
+            let lin = tape.matmul(h, wv);
+            let pre = tape.add_bias(lin, bv);
+            h = if l < last { tape.relu(pre) } else { pre };
+        }
+        ForwardPass {
+            logits: h,
+            param_vars,
+        }
+    }
+}
+
+impl GnnModel for Mlp {
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+
+    fn forward(&self, tape: &mut Tape, _adj: &AdjacencyRef, x: Var) -> ForwardPass {
+        self.forward_features(tape, x)
+    }
+
+    fn parameters(&self) -> Vec<&Matrix> {
+        crate::models::gcn::interleave(&self.weights, &self.biases)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Matrix> {
+        crate::models::gcn::interleave_mut(&mut self.weights, &mut self.biases)
+    }
+
+    fn output_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgc_tensor::init::rng_from_seed;
+    use bgc_tensor::CsrMatrix;
+
+    #[test]
+    fn ignores_the_adjacency() {
+        let mut rng = rng_from_seed(0);
+        let mlp = Mlp::new(4, 8, 3, 2, &mut rng);
+        let x = Matrix::from_fn(5, 4, |r, c| (r * c) as f32 * 0.1);
+        let adj_a = AdjacencyRef::sparse(CsrMatrix::zeros(5, 5).gcn_normalize());
+        let adj_b = AdjacencyRef::sparse(
+            CsrMatrix::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+                .symmetrize()
+                .gcn_normalize(),
+        );
+        let a = mlp.logits(&adj_a, &x);
+        let b = mlp.logits(&adj_b, &x);
+        assert!(a.approx_eq(&b, 0.0), "MLP output must not depend on edges");
+    }
+
+    #[test]
+    fn output_shape_is_correct() {
+        let mut rng = rng_from_seed(1);
+        let mlp = Mlp::new(4, 8, 3, 3, &mut rng);
+        let adj = AdjacencyRef::sparse(CsrMatrix::zeros(2, 2).gcn_normalize());
+        assert_eq!(mlp.logits(&adj, &Matrix::ones(2, 4)).shape(), (2, 3));
+        assert_eq!(mlp.parameters().len(), 6);
+    }
+}

@@ -1,0 +1,16 @@
+//! GNN architecture implementations: GCN, SGC, GraphSAGE, MLP, APPNP and
+//! ChebyNet — the six victim architectures of the transfer study (Table III).
+
+pub mod appnp;
+pub mod cheby;
+pub mod gcn;
+pub mod mlp;
+pub mod sage;
+pub mod sgc;
+
+pub use appnp::Appnp;
+pub use cheby::ChebyNet;
+pub use gcn::Gcn;
+pub use mlp::Mlp;
+pub use sage::GraphSage;
+pub use sgc::Sgc;

@@ -1,0 +1,204 @@
+//! First-order optimizers (SGD and Adam) operating on lists of parameter
+//! matrices, matching the optimizers used by the paper (Adam for the trigger
+//! generator and condensed graph, SGD for surrogate refresh steps).
+
+use bgc_tensor::Matrix;
+
+/// A first-order optimizer over a fixed list of parameters.
+pub trait Optimizer {
+    /// Applies one update step.  `params` and `grads` must be aligned and have
+    /// the same length on every call.
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]);
+
+    /// Learning rate currently in use.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate.
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional weight decay.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr, weight_decay }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        for (p, g) in params.iter_mut().zip(grads.iter()) {
+            assert_eq!(p.shape(), g.shape(), "parameter/gradient shape mismatch");
+            if self.weight_decay > 0.0 {
+                let decay = p.scale(self.weight_decay);
+                p.add_scaled_assign(&decay, -self.lr);
+            }
+            p.add_scaled_assign(g, -self.lr);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: usize,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas (0.9, 0.999).
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, grads: &[Matrix]) {
+        if self.m.len() != grads.len() {
+            self.m = grads
+                .iter()
+                .map(|g| Matrix::zeros(g.rows(), g.cols()))
+                .collect();
+            self.v = self.m.clone();
+            self.t = 0;
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        self.ensure_state(grads);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = &grads[i];
+            assert_eq!(
+                params[i].shape(),
+                g.shape(),
+                "parameter/gradient shape mismatch at index {}",
+                i
+            );
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mij, vij), &gij) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(g.data().iter())
+            {
+                *mij = self.beta1 * *mij + (1.0 - self.beta1) * gij;
+                *vij = self.beta2 * *vij + (1.0 - self.beta2) * gij * gij;
+            }
+            let lr = self.lr;
+            let eps = self.eps;
+            let wd = self.weight_decay;
+            let p = params[i].data_mut();
+            for ((pij, &mij), &vij) in p.iter_mut().zip(m.data().iter()).zip(v.data().iter()) {
+                let m_hat = mij / bc1;
+                let v_hat = vij / bc2;
+                let mut update = m_hat / (v_hat.sqrt() + eps);
+                if wd > 0.0 {
+                    update += wd * *pij;
+                }
+                *pij -= lr * update;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &Matrix) -> Matrix {
+        // f(p) = 0.5 * ||p - 3||^2  =>  grad = p - 3
+        p.add_scalar(-3.0)
+    }
+
+    #[test]
+    fn sgd_converges_on_a_quadratic() {
+        let mut p = Matrix::filled(2, 2, 10.0);
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..200 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut [&mut p], &[g]);
+        }
+        assert!(p.approx_eq(&Matrix::filled(2, 2, 3.0), 1e-3));
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        let mut p = Matrix::filled(3, 1, -5.0);
+        let mut opt = Adam::new(0.2, 0.0);
+        for _ in 0..500 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut [&mut p], &[g]);
+        }
+        assert!(p.approx_eq(&Matrix::filled(3, 1, 3.0), 1e-2));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut p = Matrix::filled(2, 2, 1.0);
+        let mut opt = Sgd::new(0.1, 0.5);
+        let zero_grad = Matrix::zeros(2, 2);
+        opt.step(&mut [&mut p], &[zero_grad]);
+        assert!(p.max() < 1.0);
+    }
+
+    #[test]
+    fn learning_rate_can_be_changed() {
+        let mut opt = Adam::new(0.1, 0.0);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut p = Matrix::zeros(1, 1);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut [&mut p], &[]);
+    }
+}

@@ -1,0 +1,130 @@
+//! # bgc-tensor
+//!
+//! Numerical substrate for the Rust reproduction of *"Backdoor Graph
+//! Condensation"* (ICDE 2025).  The crate provides:
+//!
+//! * [`Matrix`] — a dense row-major `f32` matrix with the kernels graph
+//!   neural networks need (mat-mul, transposes, reductions, softmax, ...).
+//! * [`CsrMatrix`] — compressed sparse row adjacency matrices with GCN
+//!   normalization and sparse-dense products.
+//! * [`Tape`] / [`Var`] — a reverse-mode automatic differentiation tape whose
+//!   operation set covers GNN training, gradient matching and the BGC trigger
+//!   generator (including straight-through binarization and a differentiable
+//!   SPD solve for kernel ridge regression).
+//! * [`init`] — seeded random initializers (Gaussian, Xavier, Kaiming).
+//! * [`linalg`] — Cholesky factorization and SPD solves.
+//!
+//! The paper's original implementation relied on PyTorch; this crate is the
+//! from-scratch substitute (see `DESIGN.md` at the workspace root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod linalg;
+pub mod matrix;
+pub mod sparse;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use sparse::CsrMatrix;
+pub use tape::{Gradients, Tape, Var};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-10.0f32..10.0, rows * cols)
+            .prop_map(move |data| Matrix::new(rows, cols, data))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn matmul_is_associative_with_identity(m in matrix_strategy(4, 5)) {
+            let left = Matrix::identity(4).matmul(&m);
+            let right = m.matmul(&Matrix::identity(5));
+            prop_assert!(left.approx_eq(&m, 1e-4));
+            prop_assert!(right.approx_eq(&m, 1e-4));
+        }
+
+        #[test]
+        fn transpose_is_involution(m in matrix_strategy(3, 6)) {
+            prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+        }
+
+        #[test]
+        fn add_is_commutative(a in matrix_strategy(4, 4), b in matrix_strategy(4, 4)) {
+            prop_assert!(a.add(&b).approx_eq(&b.add(&a), 1e-5));
+        }
+
+        #[test]
+        fn softmax_rows_are_probability_distributions(m in matrix_strategy(5, 4)) {
+            let s = m.softmax_rows();
+            for r in 0..5 {
+                let sum: f32 = s.row(r).iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+                prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+
+        #[test]
+        fn csr_roundtrip_preserves_values(
+            entries in proptest::collection::vec((0usize..6, 0usize..6, 0.5f32..5.0), 0..20)
+        ) {
+            // Deduplicate coordinates so the sum-on-duplicate rule does not
+            // interfere with the round-trip comparison.
+            let mut seen = std::collections::HashSet::new();
+            let entries: Vec<_> = entries
+                .into_iter()
+                .filter(|&(r, c, _)| seen.insert((r, c)))
+                .collect();
+            let csr = CsrMatrix::from_triplets(6, 6, &entries);
+            for &(r, c, v) in &entries {
+                prop_assert!((csr.get(r, c) - v).abs() < 1e-6);
+            }
+            prop_assert_eq!(csr.nnz(), entries.len());
+        }
+
+        #[test]
+        fn spmm_matches_dense_reference(
+            edges in proptest::collection::vec((0usize..8, 0usize..8), 1..24),
+            x in matrix_strategy(8, 3),
+        ) {
+            let csr = CsrMatrix::from_edges(8, &edges);
+            let sparse = csr.spmm(&x);
+            let dense = csr.to_dense().matmul(&x);
+            prop_assert!(sparse.approx_eq(&dense, 1e-4));
+        }
+
+        #[test]
+        fn gcn_normalization_is_symmetric(
+            edges in proptest::collection::vec((0usize..7, 0usize..7), 1..20)
+        ) {
+            let adj = CsrMatrix::from_edges(7, &edges).symmetrize();
+            let norm = adj.gcn_normalize();
+            for (r, c, v) in norm.triplets() {
+                prop_assert!((norm.get(c, r) - v).abs() < 1e-5);
+            }
+        }
+
+        #[test]
+        fn backward_of_linear_map_matches_closed_form(
+            x in matrix_strategy(3, 4),
+            w in matrix_strategy(4, 2),
+        ) {
+            // loss = mean(X W)  =>  dX = (1/(3*2)) * ones(3,2) W^T
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let wv = tape.leaf(w.clone());
+            let y = tape.matmul(xv, wv);
+            let loss = tape.mean_all(y);
+            let grads = tape.backward(loss);
+            let expected = Matrix::filled(3, 2, 1.0 / 6.0).matmul(&w.transpose());
+            prop_assert!(grads.get(xv).unwrap().approx_eq(&expected, 1e-4));
+        }
+    }
+}

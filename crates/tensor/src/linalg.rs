@@ -1,0 +1,187 @@
+//! Small dense linear-algebra kernels: Cholesky factorization and SPD solves.
+//!
+//! GC-SNTK reformulates graph condensation as kernel ridge regression, which
+//! requires solving `(K_SS + lambda I) alpha = Y'` for a small SPD system.
+//! These routines provide the forward solve; the differentiable wrapper lives
+//! in [`crate::tape::Tape::solve_spd`].
+
+use crate::matrix::Matrix;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The input matrix is not square.
+    NotSquare,
+    /// Cholesky failed: the matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// Dimension mismatch between the system matrix and the right-hand side.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotSquare => write!(f, "matrix is not square"),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {})", pivot)
+            }
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Lower-triangular Cholesky factor `L` such that `A = L L^T`.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare);
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L y = b` for a lower-triangular `L` (forward substitution), with a
+/// matrix right-hand side.
+pub fn forward_substitution(l: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    if l.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let n = l.rows();
+    let m = b.cols();
+    let mut y = Matrix::zeros(n, m);
+    for c in 0..m {
+        for i in 0..n {
+            let mut sum = b.get(i, c);
+            for k in 0..i {
+                sum -= l.get(i, k) * y.get(k, c);
+            }
+            y.set(i, c, sum / l.get(i, i));
+        }
+    }
+    Ok(y)
+}
+
+/// Solves `L^T x = y` for a lower-triangular `L` (backward substitution), with
+/// a matrix right-hand side.
+pub fn backward_substitution(l: &Matrix, y: &Matrix) -> Result<Matrix, LinalgError> {
+    if l.rows() != y.rows() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let n = l.rows();
+    let m = y.cols();
+    let mut x = Matrix::zeros(n, m);
+    for c in 0..m {
+        for i in (0..n).rev() {
+            let mut sum = y.get(i, c);
+            for k in (i + 1)..n {
+                sum -= l.get(k, i) * x.get(k, c);
+            }
+            x.set(i, c, sum / l.get(i, i));
+        }
+    }
+    Ok(x)
+}
+
+/// Solves the SPD system `A X = B` via Cholesky factorization.
+pub fn solve_spd(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let l = cholesky(a)?;
+    let y = forward_substitution(&l, b)?;
+    backward_substitution(&l, &y)
+}
+
+/// Inverse of an SPD matrix (solves against the identity).
+pub fn inverse_spd(a: &Matrix) -> Result<Matrix, LinalgError> {
+    solve_spd(a, &Matrix::identity(a.rows()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, rng_from_seed};
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = rng_from_seed(seed);
+        let m = randn(n, n, 0.0, 1.0, &mut rng);
+        m.matmul(&m.transpose())
+            .add(&Matrix::identity(n).scale(n as f32))
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let a = random_spd(6, 11);
+        let l = cholesky(&a).unwrap();
+        let reconstructed = l.matmul(&l.transpose());
+        assert!(reconstructed.approx_eq(&a, 1e-3));
+    }
+
+    #[test]
+    fn solve_spd_produces_solution() {
+        let a = random_spd(5, 3);
+        let mut rng = rng_from_seed(4);
+        let b = randn(5, 2, 0.0, 1.0, &mut rng);
+        let x = solve_spd(&a, &b).unwrap();
+        let residual = a.matmul(&x).sub(&b);
+        assert!(residual.frobenius_norm() < 1e-3);
+    }
+
+    #[test]
+    fn inverse_spd_is_inverse() {
+        let a = random_spd(4, 8);
+        let inv = inverse_spd(&a).unwrap();
+        let eye = a.matmul(&inv);
+        assert!(eye.approx_eq(&Matrix::identity(4), 1e-3));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(cholesky(&a), Err(LinalgError::NotSquare));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::new(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        match cholesky(&a) {
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            other => panic!("expected NotPositiveDefinite, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn solve_rejects_dimension_mismatch() {
+        let a = random_spd(3, 1);
+        let b = Matrix::zeros(4, 1);
+        assert_eq!(solve_spd(&a, &b), Err(LinalgError::DimensionMismatch));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msg = format!("{}", LinalgError::NotPositiveDefinite { pivot: 2 });
+        assert!(msg.contains("positive definite"));
+        assert!(format!("{}", LinalgError::NotSquare).contains("square"));
+    }
+}

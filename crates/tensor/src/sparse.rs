@@ -1,0 +1,473 @@
+//! Compressed sparse row (CSR) matrices for graph adjacency storage.
+//!
+//! The original graphs in the paper (up to Reddit with 57M edges) are far too
+//! large for dense storage, so the adjacency matrix, its GCN normalization
+//! and the sparse-dense product `Â · X` all operate on this CSR type.
+
+use crate::matrix::Matrix;
+
+/// A sparse matrix in compressed sparse row format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array of length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, grouped per row.
+    indices: Vec<usize>,
+    /// Non-zero values, aligned with `indices`.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from (row, col, value) triplets.
+    ///
+    /// Duplicate entries are summed.  Entries with value `0.0` are dropped.
+    ///
+    /// # Panics
+    /// Panics when a triplet is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, f32)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            assert!(
+                r < rows && c < cols,
+                "CsrMatrix::from_triplets: entry ({}, {}) out of bounds for {}x{}",
+                r,
+                c,
+                rows,
+                cols
+            );
+            per_row[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = 0.0;
+                while i < row.len() && row[i].0 == c {
+                    v += row[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Builds an unweighted adjacency matrix (every edge has weight 1) from an
+    /// edge list.  The edges are inserted as given; call
+    /// [`CsrMatrix::symmetrize`] for an undirected graph.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let triplets: Vec<(usize, usize, f32)> =
+            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        Self::from_triplets(n, n, &triplets)
+    }
+
+    /// The identity matrix as CSR.
+    pub fn identity(n: usize) -> Self {
+        let triplets: Vec<(usize, usize, f32)> = (0..n).map(|i| (i, i, 1.0)).collect();
+        Self::from_triplets(n, n, &triplets)
+    }
+
+    /// An empty (all-zero) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over `(col, value)` pairs of row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let start = self.indptr[r];
+        let end = self.indptr[r + 1];
+        self.indices[start..end]
+            .iter()
+            .copied()
+            .zip(self.values[start..end].iter().copied())
+    }
+
+    /// Neighbour column indices of row `r`.
+    pub fn row_indices(&self, r: usize) -> &[usize] {
+        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Out-degree (number of stored entries) of row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Weighted degree (sum of values) of every row.
+    pub fn weighted_degrees(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|r| self.row_iter(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Unweighted degree (entry count) of every row.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.rows).map(|r| self.row_nnz(r)).collect()
+    }
+
+    /// Reads a single entry (O(row nnz)).
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.row_iter(r)
+            .find(|&(col, _)| col == c)
+            .map(|(_, v)| v)
+            .unwrap_or(0.0)
+    }
+
+    /// Returns all `(row, col, value)` triplets.
+    pub fn triplets(&self) -> Vec<(usize, usize, f32)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.push((r, c, v));
+            }
+        }
+        out
+    }
+
+    /// Transpose (also CSR).
+    pub fn transpose(&self) -> CsrMatrix {
+        let triplets: Vec<(usize, usize, f32)> = self
+            .triplets()
+            .into_iter()
+            .map(|(r, c, v)| (c, r, v))
+            .collect();
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Returns `max(self, self^T)` entry-wise, making an adjacency symmetric.
+    pub fn symmetrize(&self) -> CsrMatrix {
+        assert_eq!(self.rows, self.cols, "symmetrize requires a square matrix");
+        let mut triplets = Vec::with_capacity(self.nnz() * 2);
+        for (r, c, v) in self.triplets() {
+            triplets.push((r, c, v));
+            if r != c {
+                triplets.push((c, r, v));
+            }
+        }
+        // Duplicate (r,c) pairs sum in from_triplets; clamp weights back to the
+        // max to keep an unweighted adjacency unweighted.
+        let summed = CsrMatrix::from_triplets(self.rows, self.cols, &triplets);
+        let capped: Vec<(usize, usize, f32)> = summed
+            .triplets()
+            .into_iter()
+            .map(|(r, c, v)| (r, c, v.min(self.get(r, c).max(self.get(c, r)))))
+            .collect();
+        CsrMatrix::from_triplets(self.rows, self.cols, &capped)
+    }
+
+    /// Adds the identity to a square matrix (self-loops).
+    pub fn add_self_loops(&self) -> CsrMatrix {
+        assert_eq!(self.rows, self.cols, "add_self_loops requires square");
+        let mut triplets = self.triplets();
+        for i in 0..self.rows {
+            if self.get(i, i) == 0.0 {
+                triplets.push((i, i, 1.0));
+            }
+        }
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+
+    /// Symmetric GCN normalization `D^{-1/2} (A + I) D^{-1/2}`.
+    pub fn gcn_normalize(&self) -> CsrMatrix {
+        let with_loops = self.add_self_loops();
+        let deg = with_loops.weighted_degrees();
+        let inv_sqrt: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let triplets: Vec<(usize, usize, f32)> = with_loops
+            .triplets()
+            .into_iter()
+            .map(|(r, c, v)| (r, c, v * inv_sqrt[r] * inv_sqrt[c]))
+            .collect();
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+
+    /// Row-stochastic normalization `D^{-1} A` (no self-loops added).
+    pub fn row_normalize(&self) -> CsrMatrix {
+        let deg = self.weighted_degrees();
+        let triplets: Vec<(usize, usize, f32)> = self
+            .triplets()
+            .into_iter()
+            .map(|(r, c, v)| {
+                let d = deg[r];
+                (r, c, if d > 0.0 { v / d } else { 0.0 })
+            })
+            .collect();
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+
+    /// Sparse-dense product `self * dense`.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm: inner dimensions differ ({}x{} * {}x{})",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let cols = dense.cols();
+        let mut out = Matrix::zeros(self.rows, cols);
+        if self.rows * cols > 1 << 16 {
+            use rayon::prelude::*;
+            out.data_mut()
+                .par_chunks_mut(cols)
+                .enumerate()
+                .for_each(|(r, out_row)| {
+                    for (c, v) in self.row_iter(r) {
+                        let src = dense.row(c);
+                        for (o, &s) in out_row.iter_mut().zip(src.iter()) {
+                            *o += v * s;
+                        }
+                    }
+                });
+        } else {
+            for r in 0..self.rows {
+                for (c, v) in self.row_iter(r) {
+                    let src_ptr = dense.row(c).to_vec();
+                    let out_row = out.row_mut(r);
+                    for (o, &s) in out_row.iter_mut().zip(src_ptr.iter()) {
+                        *o += v * s;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse-transpose times dense: `self^T * dense`.
+    pub fn spmm_transpose(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            dense.rows(),
+            "spmm_transpose: row mismatch {} vs {}",
+            self.rows,
+            dense.rows()
+        );
+        let cols = dense.cols();
+        let mut out = Matrix::zeros(self.cols, cols);
+        for r in 0..self.rows {
+            let src = dense.row(r).to_vec();
+            for (c, v) in self.row_iter(r) {
+                let out_row = out.row_mut(c);
+                for (o, &s) in out_row.iter_mut().zip(src.iter()) {
+                    *o += v * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Densifies the matrix (only sensible for small matrices such as
+    /// condensed graphs).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Builds a CSR matrix from a dense matrix, dropping entries below `tol`.
+    pub fn from_dense(dense: &Matrix, tol: f32) -> CsrMatrix {
+        let mut triplets = Vec::new();
+        for r in 0..dense.rows() {
+            for c in 0..dense.cols() {
+                let v = dense.get(r, c);
+                if v.abs() > tol {
+                    triplets.push((r, c, v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(dense.rows(), dense.cols(), &triplets)
+    }
+
+    /// Extracts the induced submatrix on the given (row = col) index set.
+    /// Index `i` of the result corresponds to `nodes[i]` of the original.
+    pub fn induced_submatrix(&self, nodes: &[usize]) -> CsrMatrix {
+        assert_eq!(self.rows, self.cols, "induced_submatrix requires square");
+        let mut position = vec![usize::MAX; self.rows];
+        for (new, &old) in nodes.iter().enumerate() {
+            position[old] = new;
+        }
+        let mut triplets = Vec::new();
+        for (new_r, &old_r) in nodes.iter().enumerate() {
+            for (c, v) in self.row_iter(old_r) {
+                let new_c = position[c];
+                if new_c != usize::MAX {
+                    triplets.push((new_r, new_c, v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(nodes.len(), nodes.len(), &triplets)
+    }
+
+    /// Returns a copy with the listed (undirected) edges removed.
+    pub fn remove_edges(&self, edges: &[(usize, usize)]) -> CsrMatrix {
+        use std::collections::HashSet;
+        let forbidden: HashSet<(usize, usize)> = edges
+            .iter()
+            .flat_map(|&(u, v)| [(u, v), (v, u)])
+            .collect();
+        let triplets: Vec<(usize, usize, f32)> = self
+            .triplets()
+            .into_iter()
+            .filter(|&(r, c, _)| !forbidden.contains(&(r, c)))
+            .collect();
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // 0 - 1, 1 - 2 (undirected)
+        CsrMatrix::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)])
+    }
+
+    #[test]
+    fn builds_from_triplets_and_dedups() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.0), (1, 0, 0.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn degrees_and_row_iter() {
+        let m = small();
+        assert_eq!(m.degrees(), vec![1, 2, 1]);
+        let row1: Vec<(usize, f32)> = m.row_iter(1).collect();
+        assert_eq!(row1, vec![(0, 1.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let m = small();
+        let x = Matrix::new(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let sparse_result = m.spmm(&x);
+        let dense_result = m.to_dense().matmul(&x);
+        assert!(sparse_result.approx_eq(&dense_result, 1e-6));
+    }
+
+    #[test]
+    fn spmm_transpose_matches_dense() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 1, 2.0), (1, 2, 3.0)]);
+        let x = Matrix::new(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let a = m.spmm_transpose(&x);
+        let b = m.to_dense().transpose().matmul(&x);
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn gcn_normalization_rows_bounded() {
+        let m = small();
+        let norm = m.gcn_normalize();
+        // Every entry of the normalized adjacency is in (0, 1].
+        for (_, _, v) in norm.triplets() {
+            assert!(v > 0.0 && v <= 1.0);
+        }
+        // Self-loops present.
+        for i in 0..3 {
+            assert!(norm.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn row_normalize_rows_sum_to_one() {
+        let m = small();
+        let norm = m.row_normalize();
+        for r in 0..3 {
+            let s: f32 = norm.row_iter(r).map(|(_, v)| v).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 5.0), (1, 0, 1.0)]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 0), 5.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let m = CsrMatrix::from_edges(3, &[(0, 1), (2, 1)]);
+        let s = m.symmetrize();
+        assert_eq!(s.get(1, 0), 1.0);
+        assert_eq!(s.get(0, 1), 1.0);
+        assert_eq!(s.get(1, 2), 1.0);
+    }
+
+    #[test]
+    fn induced_submatrix_relabels() {
+        let m = small();
+        let sub = m.induced_submatrix(&[1, 2]);
+        assert_eq!(sub.rows(), 2);
+        assert_eq!(sub.get(0, 1), 1.0); // old (1,2)
+        assert_eq!(sub.get(1, 0), 1.0);
+        assert_eq!(sub.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn remove_edges_removes_both_directions() {
+        let m = small();
+        let pruned = m.remove_edges(&[(0, 1)]);
+        assert_eq!(pruned.get(0, 1), 0.0);
+        assert_eq!(pruned.get(1, 0), 0.0);
+        assert_eq!(pruned.get(1, 2), 1.0);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = small();
+        let d = m.to_dense();
+        let back = CsrMatrix::from_dense(&d, 1e-9);
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,955 @@
+//! Reverse-mode automatic differentiation on dense matrices.
+//!
+//! Every gradient-based component of the paper — GNN training (Eq. 12, 16),
+//! trigger-generator updates (Eq. 13, 17), and the gradient-matching update of
+//! the condensed graph (Eq. 14, 18) — is expressed as a computation recorded
+//! on a [`Tape`].  The tape stores the forward values of every intermediate
+//! node; [`Tape::backward`] then walks the nodes in reverse and accumulates
+//! exact analytical gradients.
+//!
+//! The design favours clarity over generality: the operation set is exactly
+//! what graph condensation and graph backdoor attacks need (sparse-dense
+//! products, ReLU/softmax non-linearities, cross-entropy, row normalization,
+//! straight-through binarization for discrete trigger structure, per-column
+//! cosine matching for gradient matching, and a differentiable SPD solve for
+//! kernel ridge regression).
+
+use std::sync::Arc;
+
+use crate::matrix::Matrix;
+use crate::sparse::CsrMatrix;
+
+/// A handle to a node recorded on a [`Tape`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+impl Var {
+    /// The tape-internal index of this variable.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// The operation that produced a node (used by the backward pass).
+enum Op {
+    /// Input or parameter; gradient is accumulated but not propagated further.
+    Leaf,
+    MatMul(usize, usize),
+    /// Sparse constant (left) times variable (right).
+    SpMM(Arc<CsrMatrix>, usize),
+    /// Dense constant (left) times variable (right).
+    ConstMul(Arc<Matrix>, usize),
+    Add(usize, usize),
+    Sub(usize, usize),
+    /// `x + bias` where `bias` is a `1 x d` row broadcast over the rows of `x`.
+    AddBias(usize, usize),
+    Scale(usize, f32),
+    AddScalar(usize),
+    Hadamard(usize, usize),
+    HadamardConst(usize, Arc<Matrix>),
+    Relu(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    Transpose(usize),
+    RowSelect(usize, Vec<usize>),
+    ConcatRows(usize, usize),
+    ConcatCols(usize, usize),
+    SoftmaxRows(usize),
+    RowNormalize(usize),
+    Reshape(usize),
+    L2NormalizeRows(usize),
+    SoftmaxCrossEntropy {
+        logits: usize,
+        labels: Vec<usize>,
+    },
+    MeanAll(usize),
+    SumAll(usize),
+    FrobeniusMse(usize, Arc<Matrix>),
+    BinarizeSte(usize),
+    CosineMatchToConst(usize, Arc<Matrix>),
+    SolveSpd {
+        a: usize,
+        b: usize,
+    },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to `v`, if `v` participated in the
+    /// computation of the loss.
+    pub fn get(&self, v: Var) -> Option<&Matrix> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient of `v`, or a zero matrix with the given shape when `v` did not
+    /// influence the loss.
+    pub fn get_or_zeros(&self, v: Var, rows: usize, cols: usize) -> Matrix {
+        self.get(v)
+            .cloned()
+            .unwrap_or_else(|| Matrix::zeros(rows, cols))
+    }
+}
+
+/// The autodiff tape.  See the module documentation.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no node has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        debug_assert!(
+            !value.has_non_finite(),
+            "tape produced a non-finite value (op index {})",
+            self.nodes.len()
+        );
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn val(&self, v: usize) -> &Matrix {
+        &self.nodes[v].value
+    }
+
+    /// Registers an input/parameter matrix on the tape.
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Alias of [`Tape::leaf`] for values that are semantically constants.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.leaf(value)
+    }
+
+    /// Returns a clone of the forward value of `v`.
+    pub fn value(&self, v: Var) -> Matrix {
+        self.nodes[v.0].value.clone()
+    }
+
+    /// Returns a reference to the forward value of `v`.
+    pub fn value_ref(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Shape of the forward value of `v`.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    /// Scalar value of a `1x1` node.
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = &self.nodes[v.0].value;
+        assert_eq!(m.shape(), (1, 1), "scalar() called on a non-scalar node");
+        m.get(0, 0)
+    }
+
+    // ------------------------------------------------------------------
+    // Differentiable operations
+    // ------------------------------------------------------------------
+
+    /// Dense matrix product of two variables.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.val(a.0).matmul(self.val(b.0));
+        self.push(value, Op::MatMul(a.0, b.0))
+    }
+
+    /// Sparse constant times variable (`S * x`).  Used for `Â · X` message
+    /// passing on the large original graph.
+    pub fn spmm(&mut self, sparse: Arc<CsrMatrix>, x: Var) -> Var {
+        let value = sparse.spmm(self.val(x.0));
+        self.push(value, Op::SpMM(sparse, x.0))
+    }
+
+    /// Dense constant times variable (`C * x`).  Used for message passing on
+    /// small dense adjacencies (condensed graphs, attached trigger blocks).
+    pub fn const_matmul(&mut self, constant: Arc<Matrix>, x: Var) -> Var {
+        let value = constant.matmul(self.val(x.0));
+        self.push(value, Op::ConstMul(constant, x.0))
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.val(a.0).add(self.val(b.0));
+        self.push(value, Op::Add(a.0, b.0))
+    }
+
+    /// Element-wise difference `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.val(a.0).sub(self.val(b.0));
+        self.push(value, Op::Sub(a.0, b.0))
+    }
+
+    /// Adds a `1 x d` bias row to every row of `x`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let xv = self.val(x.0);
+        let bv = self.val(bias.0);
+        assert_eq!(bv.rows(), 1, "add_bias: bias must have exactly one row");
+        assert_eq!(
+            xv.cols(),
+            bv.cols(),
+            "add_bias: column mismatch {} vs {}",
+            xv.cols(),
+            bv.cols()
+        );
+        let mut value = xv.clone();
+        for r in 0..value.rows() {
+            for c in 0..value.cols() {
+                value.add_at(r, c, bv.get(0, c));
+            }
+        }
+        self.push(value, Op::AddBias(x.0, bias.0))
+    }
+
+    /// Multiplies every entry by a constant scalar.
+    pub fn scale(&mut self, x: Var, s: f32) -> Var {
+        let value = self.val(x.0).scale(s);
+        self.push(value, Op::Scale(x.0, s))
+    }
+
+    /// Adds a constant scalar to every entry.
+    pub fn add_scalar(&mut self, x: Var, s: f32) -> Var {
+        let value = self.val(x.0).add_scalar(s);
+        self.push(value, Op::AddScalar(x.0))
+    }
+
+    /// Element-wise product of two variables.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let value = self.val(a.0).hadamard(self.val(b.0));
+        self.push(value, Op::Hadamard(a.0, b.0))
+    }
+
+    /// Element-wise product with a constant mask (e.g. dropout mask).
+    pub fn hadamard_const(&mut self, x: Var, mask: Arc<Matrix>) -> Var {
+        let value = self.val(x.0).hadamard(&mask);
+        self.push(value, Op::HadamardConst(x.0, mask))
+    }
+
+    /// ReLU non-linearity.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = self.val(x.0).relu();
+        self.push(value, Op::Relu(x.0))
+    }
+
+    /// Logistic sigmoid non-linearity.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let value = self.val(x.0).map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(value, Op::Sigmoid(x.0))
+    }
+
+    /// Hyperbolic tangent non-linearity.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let value = self.val(x.0).map(f32::tanh);
+        self.push(value, Op::Tanh(x.0))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, x: Var) -> Var {
+        let value = self.val(x.0).transpose();
+        self.push(value, Op::Transpose(x.0))
+    }
+
+    /// Selects (and possibly repeats) rows of `x`.
+    pub fn row_select(&mut self, x: Var, indices: &[usize]) -> Var {
+        let value = self.val(x.0).select_rows(indices);
+        self.push(value, Op::RowSelect(x.0, indices.to_vec()))
+    }
+
+    /// Vertically stacks `a` over `b`.
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let value = self.val(a.0).vstack(self.val(b.0));
+        self.push(value, Op::ConcatRows(a.0, b.0))
+    }
+
+    /// Horizontally concatenates `a` and `b`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.val(a.0).hstack(self.val(b.0));
+        self.push(value, Op::ConcatCols(a.0, b.0))
+    }
+
+    /// Reshapes a node to `(rows, cols)` preserving row-major element order
+    /// (e.g. turning one `1 x (t*d)` trigger row into a `t x d` block).
+    pub fn reshape(&mut self, x: Var, rows: usize, cols: usize) -> Var {
+        let xv = self.val(x.0);
+        assert_eq!(
+            xv.len(),
+            rows * cols,
+            "reshape: cannot view {} elements as {}x{}",
+            xv.len(),
+            rows,
+            cols
+        );
+        let value = Matrix::new(rows, cols, xv.data().to_vec());
+        self.push(value, Op::Reshape(x.0))
+    }
+
+    /// L2-normalizes every row (rows with tiny norm are passed through
+    /// unchanged).  Used to keep generated trigger features on the data's
+    /// scale.
+    pub fn l2_normalize_rows(&mut self, x: Var) -> Var {
+        let value = self.val(x.0).l2_normalize_rows();
+        self.push(value, Op::L2NormalizeRows(x.0))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, x: Var) -> Var {
+        let value = self.val(x.0).softmax_rows();
+        self.push(value, Op::SoftmaxRows(x.0))
+    }
+
+    /// Divides every row by its sum (plus a small epsilon).  Used to
+    /// normalize generated trigger adjacency blocks differentiably.
+    pub fn row_normalize(&mut self, x: Var) -> Var {
+        let xv = self.val(x.0);
+        let mut value = xv.clone();
+        for r in 0..value.rows() {
+            let sum: f32 = value.row(r).iter().sum::<f32>() + 1e-8;
+            for v in value.row_mut(r) {
+                *v /= sum;
+            }
+        }
+        self.push(value, Op::RowNormalize(x.0))
+    }
+
+    /// Mean softmax cross-entropy between the rows of `logits` and integer
+    /// `labels`.  Produces a `1x1` scalar node.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let lv = self.val(logits.0);
+        assert_eq!(
+            lv.rows(),
+            labels.len(),
+            "softmax_cross_entropy: {} logit rows but {} labels",
+            lv.rows(),
+            labels.len()
+        );
+        let probs = lv.softmax_rows();
+        let mut loss = 0.0;
+        for (r, &label) in labels.iter().enumerate() {
+            assert!(
+                label < lv.cols(),
+                "softmax_cross_entropy: label {} out of range ({} classes)",
+                label,
+                lv.cols()
+            );
+            loss -= (probs.get(r, label) + 1e-12).ln();
+        }
+        let n = labels.len().max(1) as f32;
+        let value = Matrix::new(1, 1, vec![loss / n]);
+        self.push(
+            value,
+            Op::SoftmaxCrossEntropy {
+                logits: logits.0,
+                labels: labels.to_vec(),
+            },
+        )
+    }
+
+    /// Mean of all entries (scalar node).
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let value = Matrix::new(1, 1, vec![self.val(x.0).mean()]);
+        self.push(value, Op::MeanAll(x.0))
+    }
+
+    /// Sum of all entries (scalar node).
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let value = Matrix::new(1, 1, vec![self.val(x.0).sum()]);
+        self.push(value, Op::SumAll(x.0))
+    }
+
+    /// Mean squared error against a constant target (scalar node).
+    pub fn mse_to_const(&mut self, x: Var, target: Arc<Matrix>) -> Var {
+        let xv = self.val(x.0);
+        assert_eq!(
+            xv.shape(),
+            target.shape(),
+            "mse_to_const: shape mismatch {:?} vs {:?}",
+            xv.shape(),
+            target.shape()
+        );
+        let diff = xv.sub(&target);
+        let value = Matrix::new(1, 1, vec![diff.map(|v| v * v).mean()]);
+        self.push(value, Op::FrobeniusMse(x.0, target))
+    }
+
+    /// Straight-through binarization: forward thresholds at 0.5, backward
+    /// passes the gradient unchanged (Hubara et al., used by the trigger
+    /// structure head, Eq. 11).
+    pub fn binarize_ste(&mut self, x: Var) -> Var {
+        let value = self.val(x.0).map(|v| if v >= 0.5 { 1.0 } else { 0.0 });
+        self.push(value, Op::BinarizeSte(x.0))
+    }
+
+    /// Per-column cosine matching loss `sum_j (1 - cos(x[:,j], target[:,j]))`
+    /// against a constant target.  This is the distance `D` used by gradient
+    /// matching (Eq. 6), where the target is the (detached) gradient on the
+    /// original/poisoned graph.
+    pub fn cosine_match_to_const(&mut self, x: Var, target: Arc<Matrix>) -> Var {
+        let xv = self.val(x.0);
+        assert_eq!(
+            xv.shape(),
+            target.shape(),
+            "cosine_match_to_const: shape mismatch {:?} vs {:?}",
+            xv.shape(),
+            target.shape()
+        );
+        let mut loss = 0.0;
+        for j in 0..xv.cols() {
+            let a = xv.col(j);
+            let b = target.col(j);
+            loss += 1.0 - Matrix::cosine_similarity(&a, &b);
+        }
+        let value = Matrix::new(1, 1, vec![loss]);
+        self.push(value, Op::CosineMatchToConst(x.0, target))
+    }
+
+    /// Differentiable solve of the SPD system `A X = B` (via Cholesky).
+    /// Both `A` and `B` may carry gradients; used by the kernel ridge
+    /// regression objective of GC-SNTK.
+    pub fn solve_spd(&mut self, a: Var, b: Var) -> Var {
+        let value = crate::linalg::solve_spd(self.val(a.0), self.val(b.0))
+            .expect("solve_spd: matrix is not positive definite");
+        self.push(value, Op::SolveSpd { a: a.0, b: b.0 })
+    }
+
+    // ------------------------------------------------------------------
+    // Backward pass
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from the scalar node `loss`.
+    ///
+    /// # Panics
+    /// Panics when `loss` is not a `1x1` node.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward must start from a scalar (1x1) node"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::ones(1, 1));
+
+        for idx in (0..=loss.0).rev() {
+            let grad = match grads[idx].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            // Re-insert so callers can still read it afterwards.
+            grads[idx] = Some(grad.clone());
+            match &self.nodes[idx].op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let da = grad.matmul_transpose(self.val(*b));
+                    let db = self.val(*a).transpose_matmul(&grad);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::SpMM(sparse, x) => {
+                    let dx = sparse.spmm_transpose(&grad);
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::ConstMul(c, x) => {
+                    let dx = c.transpose_matmul(&grad);
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, grad.clone());
+                    accumulate(&mut grads, *b, grad);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, grad.clone());
+                    accumulate(&mut grads, *b, grad.scale(-1.0));
+                }
+                Op::AddBias(x, bias) => {
+                    accumulate(&mut grads, *x, grad.clone());
+                    let col_sums = grad.col_sums();
+                    accumulate(&mut grads, *bias, Matrix::row_vector(&col_sums));
+                }
+                Op::Scale(x, s) => {
+                    accumulate(&mut grads, *x, grad.scale(*s));
+                }
+                Op::AddScalar(x) => {
+                    accumulate(&mut grads, *x, grad);
+                }
+                Op::Hadamard(a, b) => {
+                    let da = grad.hadamard(self.val(*b));
+                    let db = grad.hadamard(self.val(*a));
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::HadamardConst(x, mask) => {
+                    accumulate(&mut grads, *x, grad.hadamard(mask));
+                }
+                Op::Relu(x) => {
+                    let mask = self.val(*x).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    accumulate(&mut grads, *x, grad.hadamard(&mask));
+                }
+                Op::Sigmoid(x) => {
+                    let y = &self.nodes[idx].value;
+                    let dsig = y.map(|v| v * (1.0 - v));
+                    accumulate(&mut grads, *x, grad.hadamard(&dsig));
+                }
+                Op::Tanh(x) => {
+                    let y = &self.nodes[idx].value;
+                    let dtanh = y.map(|v| 1.0 - v * v);
+                    accumulate(&mut grads, *x, grad.hadamard(&dtanh));
+                }
+                Op::Transpose(x) => {
+                    accumulate(&mut grads, *x, grad.transpose());
+                }
+                Op::RowSelect(x, indices) => {
+                    let (rows, cols) = self.val(*x).shape();
+                    let mut dx = Matrix::zeros(rows, cols);
+                    for (i, &src) in indices.iter().enumerate() {
+                        for c in 0..cols {
+                            dx.add_at(src, c, grad.get(i, c));
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::ConcatRows(a, b) => {
+                    let a_rows = self.val(*a).rows();
+                    let cols = grad.cols();
+                    let mut da = Matrix::zeros(a_rows, cols);
+                    let mut db = Matrix::zeros(grad.rows() - a_rows, cols);
+                    for r in 0..grad.rows() {
+                        if r < a_rows {
+                            da.row_mut(r).copy_from_slice(grad.row(r));
+                        } else {
+                            db.row_mut(r - a_rows).copy_from_slice(grad.row(r));
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::ConcatCols(a, b) => {
+                    let a_cols = self.val(*a).cols();
+                    let rows = grad.rows();
+                    let mut da = Matrix::zeros(rows, a_cols);
+                    let mut db = Matrix::zeros(rows, grad.cols() - a_cols);
+                    for r in 0..rows {
+                        da.row_mut(r).copy_from_slice(&grad.row(r)[..a_cols]);
+                        db.row_mut(r).copy_from_slice(&grad.row(r)[a_cols..]);
+                    }
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::SoftmaxRows(x) => {
+                    let y = &self.nodes[idx].value;
+                    let mut dx = Matrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let yr = y.row(r);
+                        let gr = grad.row(r);
+                        let dot: f32 = yr.iter().zip(gr.iter()).map(|(&a, &b)| a * b).sum();
+                        for c in 0..y.cols() {
+                            dx.set(r, c, yr[c] * (gr[c] - dot));
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::RowNormalize(x) => {
+                    let xv = self.val(*x);
+                    let y = &self.nodes[idx].value;
+                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    for r in 0..xv.rows() {
+                        let sum: f32 = xv.row(r).iter().sum::<f32>() + 1e-8;
+                        let gr = grad.row(r);
+                        let yr = y.row(r);
+                        let dot: f32 = gr.iter().zip(yr.iter()).map(|(&a, &b)| a * b).sum();
+                        for c in 0..xv.cols() {
+                            dx.set(r, c, (gr[c] - dot) / sum);
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::Reshape(x) => {
+                    let (rows, cols) = self.val(*x).shape();
+                    let dx = Matrix::new(rows, cols, grad.data().to_vec());
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::L2NormalizeRows(x) => {
+                    let xv = self.val(*x);
+                    let y = &self.nodes[idx].value;
+                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    for r in 0..xv.rows() {
+                        let norm = xv.row(r).iter().map(|&v| v * v).sum::<f32>().sqrt();
+                        let gr = grad.row(r);
+                        if norm <= 1e-12 {
+                            // Pass-through for (near-)zero rows.
+                            dx.row_mut(r).copy_from_slice(gr);
+                            continue;
+                        }
+                        let yr = y.row(r);
+                        let dot: f32 = gr.iter().zip(yr.iter()).map(|(&a, &b)| a * b).sum();
+                        for c in 0..xv.cols() {
+                            dx.set(r, c, (gr[c] - dot * yr[c]) / norm);
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::SoftmaxCrossEntropy { logits, labels } => {
+                    let lv = self.val(*logits);
+                    let probs = lv.softmax_rows();
+                    let n = labels.len().max(1) as f32;
+                    let scale = grad.get(0, 0) / n;
+                    let mut dx = probs;
+                    for (r, &label) in labels.iter().enumerate() {
+                        dx.add_at(r, label, -1.0);
+                    }
+                    dx.scale_assign(scale);
+                    accumulate(&mut grads, *logits, dx);
+                }
+                Op::MeanAll(x) => {
+                    let (rows, cols) = self.val(*x).shape();
+                    let scale = grad.get(0, 0) / (rows * cols).max(1) as f32;
+                    accumulate(&mut grads, *x, Matrix::filled(rows, cols, scale));
+                }
+                Op::SumAll(x) => {
+                    let (rows, cols) = self.val(*x).shape();
+                    let scale = grad.get(0, 0);
+                    accumulate(&mut grads, *x, Matrix::filled(rows, cols, scale));
+                }
+                Op::FrobeniusMse(x, target) => {
+                    let xv = self.val(*x);
+                    let scale = 2.0 * grad.get(0, 0) / xv.len().max(1) as f32;
+                    let dx = xv.sub(target).scale(scale);
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::BinarizeSte(x) => {
+                    accumulate(&mut grads, *x, grad);
+                }
+                Op::CosineMatchToConst(x, target) => {
+                    let xv = self.val(*x);
+                    let scale = grad.get(0, 0);
+                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    for j in 0..xv.cols() {
+                        let a = xv.col(j);
+                        let b = target.col(j);
+                        let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
+                        let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+                        if na < 1e-12 || nb < 1e-12 {
+                            continue;
+                        }
+                        let dot: f32 = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+                        for (i, (&ai, &bi)) in a.iter().zip(b.iter()).enumerate() {
+                            // d(1 - cos)/da_i = -(b_i/(na*nb) - dot*a_i/(na^3*nb))
+                            let g = -(bi / (na * nb) - dot * ai / (na * na * na * nb));
+                            dx.add_at(i, j, scale * g);
+                        }
+                    }
+                    accumulate(&mut grads, *x, dx);
+                }
+                Op::SolveSpd { a, b } => {
+                    // C = A^{-1} B.  dB = A^{-1} dC, dA = -dB C^T.
+                    let av = self.val(*a);
+                    let c = &self.nodes[idx].value;
+                    let db = crate::linalg::solve_spd(av, &grad)
+                        .expect("solve_spd backward: matrix is not positive definite");
+                    let da = db.matmul_transpose(c).scale(-1.0);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], idx: usize, delta: Matrix) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_assign(&delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, rng_from_seed};
+
+    /// Numerically checks the gradient of `f` w.r.t. a leaf built from `x0`.
+    fn finite_difference_check(
+        x0: &Matrix,
+        build: impl Fn(&mut Tape, Var) -> Var,
+        tol: f32,
+    ) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let loss = build(&mut tape, x);
+        let grads = tape.backward(loss);
+        let analytic = grads
+            .get(x)
+            .expect("leaf should receive a gradient")
+            .clone();
+
+        let eps = 1e-2_f32;
+        for r in 0..x0.rows() {
+            for c in 0..x0.cols() {
+                let mut plus = x0.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let mut minus = x0.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+
+                let mut tp = Tape::new();
+                let vp = tp.leaf(plus);
+                let lp = build(&mut tp, vp);
+                let mut tm = Tape::new();
+                let vm = tm.leaf(minus);
+                let lm = build(&mut tm, vm);
+
+                let numeric = (tp.scalar(lp) - tm.scalar(lm)) / (2.0 * eps);
+                let a = analytic.get(r, c);
+                assert!(
+                    (numeric - a).abs() <= tol * (1.0 + numeric.abs().max(a.abs())),
+                    "gradient mismatch at ({}, {}): numeric {} vs analytic {}",
+                    r,
+                    c,
+                    numeric,
+                    a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_gradcheck() {
+        let mut rng = rng_from_seed(1);
+        let x0 = randn(3, 4, 0.0, 1.0, &mut rng);
+        let w = randn(4, 2, 0.0, 1.0, &mut rng);
+        finite_difference_check(
+            &x0,
+            move |tape, x| {
+                let wv = tape.leaf(w.clone());
+                let y = tape.matmul(x, wv);
+                tape.mean_all(y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn relu_sigmoid_tanh_gradcheck() {
+        let mut rng = rng_from_seed(2);
+        let x0 = randn(3, 3, 0.3, 1.0, &mut rng);
+        finite_difference_check(
+            &x0,
+            |tape, x| {
+                let r = tape.relu(x);
+                let s = tape.sigmoid(r);
+                let t = tape.tanh(s);
+                tape.sum_all(t)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradcheck() {
+        let mut rng = rng_from_seed(3);
+        let x0 = randn(4, 3, 0.0, 1.0, &mut rng);
+        let labels = vec![0usize, 2, 1, 1];
+        finite_difference_check(
+            &x0,
+            move |tape, x| tape.softmax_cross_entropy(x, &labels),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn spmm_gradcheck() {
+        let mut rng = rng_from_seed(4);
+        let x0 = randn(3, 2, 0.0, 1.0, &mut rng);
+        let adj = Arc::new(CsrMatrix::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).gcn_normalize());
+        finite_difference_check(
+            &x0,
+            move |tape, x| {
+                let y = tape.spmm(adj.clone(), x);
+                tape.mean_all(y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn cosine_match_gradcheck() {
+        let mut rng = rng_from_seed(5);
+        let x0 = randn(4, 3, 0.0, 1.0, &mut rng);
+        let target = Arc::new(randn(4, 3, 0.0, 1.0, &mut rng));
+        finite_difference_check(
+            &x0,
+            move |tape, x| tape.cosine_match_to_const(x, target.clone()),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn row_normalize_and_softmax_gradcheck() {
+        let mut rng = rng_from_seed(6);
+        let x0 = randn(3, 4, 1.5, 0.3, &mut rng);
+        finite_difference_check(
+            &x0,
+            |tape, x| {
+                let s = tape.softmax_rows(x);
+                let n = tape.row_normalize(s);
+                tape.sum_all(n)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn mse_and_bias_gradcheck() {
+        let mut rng = rng_from_seed(7);
+        let x0 = randn(3, 3, 0.0, 1.0, &mut rng);
+        let target = Arc::new(randn(3, 3, 0.0, 1.0, &mut rng));
+        let bias = randn(1, 3, 0.0, 1.0, &mut rng);
+        finite_difference_check(
+            &x0,
+            move |tape, x| {
+                let b = tape.leaf(bias.clone());
+                let y = tape.add_bias(x, b);
+                tape.mse_to_const(y, target.clone())
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn solve_spd_gradcheck_rhs() {
+        let mut rng = rng_from_seed(8);
+        // SPD matrix A = M M^T + n I
+        let m = randn(3, 3, 0.0, 1.0, &mut rng);
+        let a = m.matmul(&m.transpose()).add(&Matrix::identity(3).scale(3.0));
+        let b0 = randn(3, 2, 0.0, 1.0, &mut rng);
+        finite_difference_check(
+            &b0,
+            move |tape, b| {
+                let av = tape.leaf(a.clone());
+                let c = tape.solve_spd(av, b);
+                tape.sum_all(c)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn concat_and_select_gradcheck() {
+        let mut rng = rng_from_seed(9);
+        let x0 = randn(3, 2, 0.0, 1.0, &mut rng);
+        let other = randn(2, 2, 0.0, 1.0, &mut rng);
+        finite_difference_check(
+            &x0,
+            move |tape, x| {
+                let o = tape.leaf(other.clone());
+                let cat = tape.concat_rows(x, o);
+                let sel = tape.row_select(cat, &[0, 4, 2, 0]);
+                tape.mean_all(sel)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn reshape_gradcheck() {
+        let mut rng = rng_from_seed(10);
+        let x0 = randn(2, 6, 0.0, 1.0, &mut rng);
+        let w = randn(3, 2, 0.0, 1.0, &mut rng);
+        finite_difference_check(
+            &x0,
+            move |tape, x| {
+                let r = tape.reshape(x, 4, 3);
+                let wv = tape.leaf(w.clone());
+                let y = tape.matmul(r, wv);
+                tape.mean_all(y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn l2_normalize_rows_gradcheck() {
+        let mut rng = rng_from_seed(11);
+        let x0 = randn(3, 4, 0.5, 1.0, &mut rng);
+        let target = Arc::new(randn(3, 4, 0.0, 1.0, &mut rng));
+        finite_difference_check(
+            &x0,
+            move |tape, x| {
+                let n = tape.l2_normalize_rows(x);
+                tape.mse_to_const(n, target.clone())
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape")]
+    fn reshape_rejects_bad_sizes() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(2, 3));
+        let _ = tape.reshape(x, 4, 2);
+    }
+
+    #[test]
+    fn binarize_ste_passes_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::new(1, 3, vec![0.2, 0.7, 0.9]));
+        let b = tape.binarize_ste(x);
+        assert_eq!(tape.value(b).data(), &[0.0, 1.0, 1.0]);
+        let loss = tape.sum_all(b);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gradient_accumulates_over_reused_nodes() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::new(1, 1, vec![3.0]));
+        // y = x * x  (via hadamard of the same node)
+        let y = tape.hadamard(x, x);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        // d(x^2)/dx = 2x = 6
+        assert!((grads.get(x).unwrap().get(0, 0) - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unrelated_leaf_has_no_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(2, 2));
+        let y = tape.leaf(Matrix::ones(2, 2));
+        let loss = tape.mean_all(x);
+        let grads = tape.backward(loss);
+        assert!(grads.get(y).is_none());
+        assert!(grads.get(x).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_from_non_scalar_panics() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(2, 2));
+        let _ = tape.backward(x);
+    }
+}

@@ -1,0 +1,41 @@
+//! Evaluates the two defenses of Table IV (Prune and Randsmooth) against a
+//! BGC-poisoned condensed graph, showing the utility/defense trade-off the
+//! paper reports.
+//!
+//! Run with: `cargo run --release --example defense_evaluation`
+
+use bgc_condense::CondensationKind;
+use bgc_eval::experiments::run_defense_cell;
+use bgc_eval::ExperimentScale;
+use bgc_graph::DatasetKind;
+
+fn main() {
+    let scale = ExperimentScale::Quick;
+    println!("defense evaluation at {} scale (Table IV protocol)\n", scale.name());
+    for dataset in [DatasetKind::Cora, DatasetKind::Citeseer] {
+        let ratio = dataset.paper_condensation_ratios()[1];
+        let record = run_defense_cell(scale, dataset, CondensationKind::GCondX, ratio);
+        println!("dataset {:10}  (GCond-X, r = {:.2}%)", record.dataset, record.ratio * 100.0);
+        println!("  no defense : CTA {:>6.1}%  ASR {:>6.1}%", record.cta * 100.0, record.asr * 100.0);
+        println!(
+            "  Prune      : CTA {:>6.1}%  ASR {:>6.1}%   (ΔCTA {:+.1}, ΔASR {:+.1})",
+            record.prune_cta * 100.0,
+            record.prune_asr * 100.0,
+            (record.prune_cta - record.cta) * 100.0,
+            (record.prune_asr - record.asr) * 100.0
+        );
+        println!(
+            "  Randsmooth : CTA {:>6.1}%  ASR {:>6.1}%   (ΔCTA {:+.1}, ΔASR {:+.1})",
+            record.randsmooth_cta * 100.0,
+            record.randsmooth_asr * 100.0,
+            (record.randsmooth_cta - record.cta) * 100.0,
+            (record.randsmooth_asr - record.asr) * 100.0
+        );
+        println!();
+    }
+    println!(
+        "As in the paper, neither defense removes the backdoor without paying a \
+         comparable clean-accuracy cost: the trigger lives inside the synthetic \
+         nodes, not in any single removable edge."
+    );
+}

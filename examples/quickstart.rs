@@ -1,0 +1,54 @@
+//! Quickstart: condense a graph, train a GNN on the condensed graph, and
+//! compare it with a GNN trained on the full graph.
+//!
+//! This is the benign workflow (Figure 2, top) on which the attack of the
+//! other examples builds.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bgc_condense::{CondensationConfig, CondensationKind};
+use bgc_core::{full_graph_reference_accuracy, VictimSpec};
+use bgc_graph::{DatasetKind, GraphStats};
+use bgc_nn::{evaluate, train_on_condensed, AdjacencyRef, GnnArchitecture, TrainConfig};
+use bgc_tensor::init::rng_from_seed;
+
+fn main() {
+    // 1. Load a (synthetic stand-in for) Cora and print its statistics.
+    let graph = DatasetKind::Cora.load_small(7);
+    println!("{}", GraphStats::table_header());
+    println!("{}", GraphStats::of(&graph).table_row());
+
+    // 2. Condense the graph with GCond at a 10x reduced ratio.
+    let config = CondensationConfig::quick(0.3);
+    let condensed = CondensationKind::GCond
+        .build()
+        .condense(&graph, &config)
+        .expect("condensation should succeed");
+    println!(
+        "condensed {} training nodes into {} synthetic nodes (classes per node: {:?})",
+        graph.split.train.len(),
+        condensed.num_nodes(),
+        condensed.class_counts()
+    );
+
+    // 3. Train a GCN on the condensed graph and evaluate on the original test set.
+    let mut rng = rng_from_seed(0);
+    let mut model =
+        GnnArchitecture::Gcn.build(graph.num_features(), 32, graph.num_classes, 2, &mut rng);
+    train_on_condensed(model.as_mut(), &condensed, &TrainConfig::quick());
+    let adj = AdjacencyRef::from_graph(&graph);
+    let condensed_acc = evaluate(model.as_ref(), &adj, &graph.features, &graph.labels, &graph.split.test);
+
+    // 4. Compare with a GCN trained on the full original graph.
+    let full_acc = full_graph_reference_accuracy(&graph, &VictimSpec::quick(), 0);
+    println!(
+        "test accuracy — trained on condensed graph: {:.1}% | trained on full graph: {:.1}%",
+        condensed_acc * 100.0,
+        full_acc * 100.0
+    );
+    println!(
+        "the condensed graph retains {:.0}% of the full-graph accuracy with {:.1}% of the training nodes",
+        condensed_acc / full_acc.max(1e-6) * 100.0,
+        condensed.num_nodes() as f32 / graph.split.train.len() as f32 * 100.0
+    );
+}
