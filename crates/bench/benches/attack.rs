@@ -42,5 +42,10 @@ fn bench_attachment(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_selection, bench_trigger_generation, bench_attachment);
+criterion_group!(
+    benches,
+    bench_selection,
+    bench_trigger_generation,
+    bench_attachment
+);
 criterion_main!(benches);

@@ -104,6 +104,9 @@ mod tests {
 
     #[test]
     fn quick_config_is_smaller() {
-        assert!(CondensationConfig::quick(0.01).outer_epochs < CondensationConfig::paper(0.01).outer_epochs);
+        assert!(
+            CondensationConfig::quick(0.01).outer_epochs
+                < CondensationConfig::paper(0.01).outer_epochs
+        );
     }
 }

@@ -44,8 +44,13 @@ mod tests {
 
     #[test]
     fn display_mentions_oom() {
-        let err = CondenseError::OutOfMemory { nodes: 100, limit: 10 };
+        let err = CondenseError::OutOfMemory {
+            nodes: 100,
+            limit: 10,
+        };
         assert!(err.to_string().contains("out of memory"));
-        assert!(CondenseError::NoTrainingNodes.to_string().contains("training"));
+        assert!(CondenseError::NoTrainingNodes
+            .to_string()
+            .contains("training"));
     }
 }

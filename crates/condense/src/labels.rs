@@ -52,7 +52,7 @@ pub fn allocate_from_counts(counts: &[usize], total: usize) -> Vec<usize> {
     // Expand to an explicit label vector, grouped by class.
     let mut labels = Vec::with_capacity(total);
     for (c, &n) in alloc.iter().enumerate() {
-        labels.extend(std::iter::repeat(c).take(n));
+        labels.extend(std::iter::repeat_n(c, n));
     }
     labels
 }

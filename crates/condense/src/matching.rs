@@ -292,7 +292,10 @@ impl GradientMatchingState {
             let zc = tape.row_select(z_syn, &syn_idx);
             let logits = tape.matmul(zc, w_const);
             let probs = tape.softmax_rows(logits);
-            let onehot = tape.leaf(Matrix::one_hot(&vec![class; syn_idx.len()], self.num_classes));
+            let onehot = tape.leaf(Matrix::one_hot(
+                &vec![class; syn_idx.len()],
+                self.num_classes,
+            ));
             let diff = tape.sub(probs, onehot);
             let zc_t = tape.transpose(zc);
             let grad_syn = tape.matmul(zc_t, diff);
@@ -397,7 +400,12 @@ mod tests {
         for _ in 0..30 {
             last = state.step(&graph);
         }
-        assert!(last < first, "matching loss should decrease: {} -> {}", first, last);
+        assert!(
+            last < first,
+            "matching loss should decrease: {} -> {}",
+            first,
+            last
+        );
         assert_eq!(state.epochs_done(), 31);
     }
 
@@ -425,7 +433,11 @@ mod tests {
         for variant in [MatchingVariant::DcGraph, MatchingVariant::GCondX] {
             let (_, state) = quick_state(variant);
             let condensed = state.to_condensed();
-            assert!(!condensed.has_structure(1e-6), "{} must be structure-free", variant.name());
+            assert!(
+                !condensed.has_structure(1e-6),
+                "{} must be structure-free",
+                variant.name()
+            );
         }
     }
 
@@ -435,7 +447,12 @@ mod tests {
         let before = state.surrogate_loss();
         state.train_surrogate(30);
         let after = state.surrogate_loss();
-        assert!(after < before, "surrogate loss should decrease: {} -> {}", before, after);
+        assert!(
+            after < before,
+            "surrogate loss should decrease: {} -> {}",
+            before,
+            after
+        );
     }
 
     #[test]

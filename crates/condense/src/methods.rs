@@ -168,9 +168,20 @@ mod tests {
             GnnArchitecture::Gcn.build(graph.num_features(), 32, graph.num_classes, 2, &mut rng);
         train_on_condensed(model.as_mut(), &condensed, &TrainConfig::quick());
         let adj = AdjacencyRef::from_graph(&graph);
-        let acc = evaluate(model.as_ref(), &adj, &graph.features, &graph.labels, &graph.split.test);
+        let acc = evaluate(
+            model.as_ref(),
+            &adj,
+            &graph.features,
+            &graph.labels,
+            &graph.split.test,
+        );
         let chance = 1.0 / graph.num_classes as f32;
-        assert!(acc > 2.0 * chance, "test accuracy {} too close to chance {}", acc, chance);
+        assert!(
+            acc > 2.0 * chance,
+            "test accuracy {} too close to chance {}",
+            acc,
+            chance
+        );
     }
 
     #[test]
@@ -179,7 +190,10 @@ mod tests {
         let work = working_graph(&graph);
         assert_eq!(work.num_nodes(), graph.split.train.len());
         let transductive = DatasetKind::Cora.load_small(1);
-        assert_eq!(working_graph(&transductive).num_nodes(), transductive.num_nodes());
+        assert_eq!(
+            working_graph(&transductive).num_nodes(),
+            transductive.num_nodes()
+        );
     }
 
     #[test]

@@ -41,11 +41,9 @@ pub fn sntk_kernel(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// Differentiable kernel where `a` is a tape variable and `b` a constant.
 fn kernel_var_const(tape: &mut Tape, a: Var, b: Arc<Matrix>) -> Var {
-    // a (n x d) * b^T (d x m): express as (b * a^T)^T so the constant sits on
-    // the left of the const_matmul.
-    let a_t = tape.transpose(a);
-    let lin_t = tape.const_matmul(b, a_t);
-    let lin = tape.transpose(lin_t);
+    // a (n x d) * b^T (m x d)^T runs directly on the blocked
+    // `matmul_transpose` substrate (no transposes materialized on the tape).
+    let lin = tape.matmul_transpose_const(a, b);
     let quad = tape.hadamard(lin, lin);
     let quad = tape.scale(quad, POLY_WEIGHT);
     tape.add(lin, quad)
@@ -131,10 +129,7 @@ pub fn condense_sntk(
     // Structure-based representations of the real training nodes (constant).
     let z_real_full = graph.propagated_features(config.propagation_steps);
     let z_train = Arc::new(z_real_full.select_rows(train));
-    let y_train = Arc::new(Matrix::one_hot(
-        &graph.labels_of(train),
-        graph.num_classes,
-    ));
+    let y_train = Arc::new(Matrix::one_hot(&graph.labels_of(train), graph.num_classes));
     let y_syn = Matrix::one_hot(&syn_labels, graph.num_classes);
 
     // Initialize X' from real training nodes of the matching class (in the
@@ -153,7 +148,8 @@ pub fn condense_sntk(
         let mut tape = Tape::new();
         let x = tape.leaf(syn_features.clone());
         let k_ss = kernel_var_var(&mut tape, x);
-        let ridge = tape.leaf(Matrix::identity(syn_labels.len()).scale(config.krr_lambda.max(1e-4)));
+        let ridge =
+            tape.leaf(Matrix::identity(syn_labels.len()).scale(config.krr_lambda.max(1e-4)));
         let k_reg = tape.add(k_ss, ridge);
         let y_syn_var = tape.leaf(y_syn.clone());
         let alpha = tape.solve_spd(k_reg, y_syn_var);
@@ -244,6 +240,10 @@ mod tests {
         let preds = predictor.predict(&train_z);
         let labels = graph.labels_of(&graph.split.train);
         let acc = bgc_nn::accuracy(&preds, &labels);
-        assert!(acc > 1.5 / graph.num_classes as f32, "KRR accuracy {} too low", acc);
+        assert!(
+            acc > 1.5 / graph.num_classes as f32,
+            "KRR accuracy {} too low",
+            acc
+        );
     }
 }

@@ -121,7 +121,10 @@ mod tests {
         let loss = tape.sum_all(adj);
         let grads = tape.backward(loss);
         assert!(grads.get(x).is_some(), "features must receive a gradient");
-        assert!(grads.get(params[0]).is_some(), "generator weight must receive a gradient");
+        assert!(
+            grads.get(params[0]).is_some(),
+            "generator weight must receive a gradient"
+        );
     }
 
     #[test]

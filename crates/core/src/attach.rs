@@ -168,10 +168,7 @@ pub fn build_poisoned_graph(
             }
         }
     }
-    let relabel: Vec<(usize, usize)> = poisoned_nodes
-        .iter()
-        .map(|&n| (n, target_class))
-        .collect();
+    let relabel: Vec<(usize, usize)> = poisoned_nodes.iter().map(|&n| (n, target_class)).collect();
     graph.with_appended_nodes(
         trigger_features,
         &new_labels,

@@ -18,7 +18,7 @@ use bgc_condense::{
     MatchingVariant,
 };
 use bgc_graph::{CondensedGraph, Graph};
-use bgc_nn::{AdjacencyRef, Adam, Optimizer};
+use bgc_nn::{Adam, AdjacencyRef, Optimizer};
 use bgc_tensor::init::{rng_from_seed, sample_without_replacement};
 use bgc_tensor::{Matrix, Tape};
 
@@ -94,9 +94,7 @@ impl BgcAttack {
             &mut rng,
         );
         let adj = AdjacencyRef::from_graph(&work);
-        let matching_variant = kind
-            .matching_variant()
-            .unwrap_or(MatchingVariant::GCondX);
+        let matching_variant = kind.matching_variant().unwrap_or(MatchingVariant::GCondX);
         let mut state =
             GradientMatchingState::new(&work, matching_variant, self.config.condensation.clone());
         let mut generator_opt = Adam::new(self.config.generator_lr, 0.0);
@@ -222,8 +220,7 @@ pub(crate) fn generator_update_step(
     let mut total: Option<bgc_tensor::Var> = None;
     for (i, &node) in sample.iter().enumerate() {
         let attached = cache.get(&node).expect("cache populated above").clone();
-        let rows: Vec<usize> =
-            (i * config.trigger_size..(i + 1) * config.trigger_size).collect();
+        let rows: Vec<usize> = (i * config.trigger_size..(i + 1) * config.trigger_size).collect();
         let trigger_block = tape.row_select(batch.features, &rows);
         let x = attached.combined_features(&mut tape, trigger_block);
         let mut z = x;

@@ -10,12 +10,12 @@ use std::collections::HashMap;
 
 use bgc_condense::{working_graph, CondensationKind, CondenseError};
 use bgc_graph::{CondensedGraph, Graph};
-use bgc_nn::{AdjacencyRef, Adam};
+use bgc_nn::{Adam, AdjacencyRef};
 use bgc_tensor::init::{rng_from_seed, xavier_uniform};
 use bgc_tensor::Matrix;
 
-use crate::attack::generator_update_step;
 use crate::attach::build_poisoned_graph;
+use crate::attack::generator_update_step;
 use crate::config::BgcConfig;
 use crate::selector::{select_poisoned_nodes, SelectionResult};
 use crate::trigger::TriggerGenerator;
@@ -113,7 +113,9 @@ impl GtaAttack {
             self.config.trigger_size,
             self.config.target_class,
         );
-        let condensed = kind.build().condense(&poisoned, &self.config.condensation)?;
+        let condensed = kind
+            .build()
+            .condense(&poisoned, &self.config.condensation)?;
         Ok(GtaOutcome {
             condensed,
             generator,

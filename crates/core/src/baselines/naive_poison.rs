@@ -83,8 +83,7 @@ impl NaivePoisonAttack {
             .l2_normalize_rows()
             .scale(2.0);
         let n = clean.num_nodes();
-        let num_poison = ((n as f32 * self.config.poison_fraction).round() as usize)
-            .clamp(1, n);
+        let num_poison = ((n as f32 * self.config.poison_fraction).round() as usize).clamp(1, n);
         let poisoned = sample_without_replacement(n, num_poison, &mut rng);
 
         // Append one shared trigger block per poisoned synthetic node and

@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn defaults_follow_the_paper() {
         let cfg = BgcConfig::default();
-        assert_eq!(cfg.trigger_size, 4, "trigger size defaults to 4 (Section V)");
+        assert_eq!(
+            cfg.trigger_size, 4,
+            "trigger size defaults to 4 (Section V)"
+        );
         assert_eq!(cfg.generator, GeneratorKind::Mlp);
         assert!(matches!(cfg.selection, SelectionStrategy::Representative));
         assert_eq!(cfg.poison_budget, PoisonBudget::Ratio(0.1));
@@ -164,6 +167,9 @@ mod tests {
 
     #[test]
     fn quick_config_is_cheaper() {
-        assert!(BgcConfig::quick().condensation.outer_epochs < BgcConfig::default().condensation.outer_epochs);
+        assert!(
+            BgcConfig::quick().condensation.outer_epochs
+                < BgcConfig::default().condensation.outer_epochs
+        );
     }
 }

@@ -240,8 +240,14 @@ mod tests {
             max_asr_nodes: 60,
             ..Default::default()
         };
-        let backdoored =
-            evaluate_backdoor(&graph, &outcome.condensed, &outcome.generator, &config, &victim, &options);
+        let backdoored = evaluate_backdoor(
+            &graph,
+            &outcome.condensed,
+            &outcome.generator,
+            &config,
+            &victim,
+            &options,
+        );
         assert!(
             backdoored.asr > 0.7,
             "backdoored ASR should be high, got {}",
@@ -260,8 +266,14 @@ mod tests {
             .build()
             .condense(&graph, &config.condensation)
             .expect("clean condensation");
-        let reference =
-            evaluate_clean_reference(&graph, &clean, &outcome.generator, &config, &victim, &options);
+        let reference = evaluate_clean_reference(
+            &graph,
+            &clean,
+            &outcome.generator,
+            &config,
+            &victim,
+            &options,
+        );
         assert!(
             backdoored.asr > reference.asr + 0.2,
             "backdoored ASR ({}) should clearly exceed the clean model's ASR ({})",
@@ -284,7 +296,14 @@ mod tests {
             asr_source_class: Some(1),
             ..Default::default()
         };
-        let eval = evaluate_backdoor(&graph, &outcome.condensed, &outcome.generator, &config, &victim, &options);
+        let eval = evaluate_backdoor(
+            &graph,
+            &outcome.condensed,
+            &outcome.generator,
+            &config,
+            &victim,
+            &options,
+        );
         let class_1_test = graph
             .split
             .test

@@ -52,7 +52,7 @@ pub fn kmeans(points: &Matrix, k: usize, max_iter: usize, rng: &mut StdRng) -> K
         iterations += 1;
         // Assignment step.
         let mut changed = false;
-        for i in 0..n {
+        for (i, assignment) in assignments.iter_mut().enumerate() {
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
             for c in 0..k {
@@ -62,8 +62,8 @@ pub fn kmeans(points: &Matrix, k: usize, max_iter: usize, rng: &mut StdRng) -> K
                     best = c;
                 }
             }
-            if assignments[i] != best {
-                assignments[i] = best;
+            if *assignment != best {
+                *assignment = best;
                 changed = true;
             }
         }
@@ -76,20 +76,26 @@ pub fn kmeans(points: &Matrix, k: usize, max_iter: usize, rng: &mut StdRng) -> K
                 *s += v;
             }
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Re-seed the empty cluster with the worst-fitting point.
                 let worst = (0..n)
                     .max_by(|&a, &b| {
-                        let da = Matrix::euclidean_distance(points.row(a), centroids.row(assignments[a]));
-                        let db = Matrix::euclidean_distance(points.row(b), centroids.row(assignments[b]));
+                        let da = Matrix::euclidean_distance(
+                            points.row(a),
+                            centroids.row(assignments[a]),
+                        );
+                        let db = Matrix::euclidean_distance(
+                            points.row(b),
+                            centroids.row(assignments[b]),
+                        );
                         da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .unwrap_or(0);
                 centroids.row_mut(c).copy_from_slice(points.row(worst));
             } else {
                 for (cv, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
-                    *cv = s / counts[c] as f32;
+                    *cv = s / count as f32;
                 }
             }
         }

@@ -78,9 +78,7 @@ pub fn select_poisoned_nodes(graph: &Graph, config: &BgcConfig) -> SelectionResu
         .min(graph.split.train.len());
     match config.selection {
         SelectionStrategy::Random => random_selection(graph, config, budget),
-        SelectionStrategy::Representative => {
-            representative_selection(graph, config, budget, None)
-        }
+        SelectionStrategy::Representative => representative_selection(graph, config, budget, None),
         SelectionStrategy::DirectedFrom(source) => {
             representative_selection(graph, config, budget, Some(source))
         }
@@ -165,7 +163,8 @@ fn representative_selection(
                 })
                 .collect();
             // Eq. 9 + "top-n highest scores in each cluster".
-            cluster_scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            cluster_scores
+                .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
             scored.extend(cluster_scores.into_iter().take(per_cluster));
         }
     }
@@ -206,7 +205,10 @@ mod tests {
                 graph.labels[node], config.target_class,
                 "target-class nodes must not be poisoned"
             );
-            assert!(graph.split.train.contains(&node), "poisoned nodes come from the training split");
+            assert!(
+                graph.split.train.contains(&node),
+                "poisoned nodes come from the training split"
+            );
         }
         // No duplicates.
         let unique: std::collections::HashSet<_> = result.poisoned_nodes.iter().collect();

@@ -237,8 +237,7 @@ impl TriggerGenerator {
                 let wv = tape.leaf(self.w_value.clone().expect("transformer weights"));
                 let wo = tape.leaf(self.w_out.clone().expect("transformer weights"));
                 param_vars.extend([wq, wk, wv, wo]);
-                let slots_all =
-                    tape.reshape(decoded, nodes.len() * self.trigger_size, self.hidden);
+                let slots_all = tape.reshape(decoded, nodes.len() * self.trigger_size, self.hidden);
                 let scale = 1.0 / (self.hidden as f32).sqrt();
                 let mut per_node = Vec::with_capacity(nodes.len());
                 for i in 0..nodes.len() {
@@ -273,12 +272,7 @@ impl TriggerGenerator {
 
     /// Non-differentiable trigger-feature generation (used at attack inference
     /// time and when materializing the poisoned graph).
-    pub fn generate_plain(
-        &self,
-        adj: &AdjacencyRef,
-        features: &Matrix,
-        nodes: &[usize],
-    ) -> Matrix {
+    pub fn generate_plain(&self, adj: &AdjacencyRef, features: &Matrix, nodes: &[usize]) -> Matrix {
         let mut tape = Tape::new();
         let batch = self.generate(&mut tape, adj, features, nodes);
         tape.value(batch.features)
@@ -408,12 +402,17 @@ mod tests {
         let mut rng = rng_from_seed(6);
         let gen = TriggerGenerator::new(GeneratorKind::Gcn, 10, 8, 2, &mut rng);
         let adj_a = AdjacencyRef::sparse(
-            CsrMatrix::from_edges(6, &[(0, 1), (1, 2)]).symmetrize().gcn_normalize(),
+            CsrMatrix::from_edges(6, &[(0, 1), (1, 2)])
+                .symmetrize()
+                .gcn_normalize(),
         );
         let adj_b = AdjacencyRef::sparse(CsrMatrix::zeros(6, 6).gcn_normalize());
         let a = gen.generate_plain(&adj_a, &features, &[0]);
         let b = gen.generate_plain(&adj_b, &features, &[0]);
-        assert!(!a.approx_eq(&b, 1e-6), "GCN encoder must depend on the adjacency");
+        assert!(
+            !a.approx_eq(&b, 1e-6),
+            "GCN encoder must depend on the adjacency"
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod proptests {
             let mut adjacency = Matrix::zeros(n, n);
             for r in 0..n {
                 for c in (r + 1)..n {
-                    if (r + c + seed as usize) % 3 == 0 {
+                    if (r + c + seed as usize).is_multiple_of(3) {
                         adjacency.set(r, c, 1.0);
                         adjacency.set(c, r, 1.0);
                     }

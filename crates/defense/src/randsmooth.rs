@@ -72,7 +72,10 @@ pub fn randsmooth_predict(
     num_classes: usize,
     config: &RandsmoothConfig,
 ) -> Vec<usize> {
-    assert!(config.num_samples >= 1, "need at least one smoothing sample");
+    assert!(
+        config.num_samples >= 1,
+        "need at least one smoothing sample"
+    );
     assert!(
         (0.0..=1.0).contains(&config.keep_probability),
         "keep probability must lie in [0, 1]"
@@ -127,7 +130,13 @@ mod tests {
     #[test]
     fn smoothing_returns_valid_classes() {
         let (model, adj, features) = toy_model_and_graph();
-        let preds = randsmooth_predict(model.as_ref(), &adj, &features, 3, &RandsmoothConfig::default());
+        let preds = randsmooth_predict(
+            model.as_ref(),
+            &adj,
+            &features,
+            3,
+            &RandsmoothConfig::default(),
+        );
         assert_eq!(preds.len(), 8);
         assert!(preds.iter().all(|&p| p < 3));
     }

@@ -428,7 +428,13 @@ pub fn fig6(scale: ExperimentScale, full: bool) -> ExperimentReport {
                 config.condensation.outer_epochs = epochs;
             });
             report.push(
-                format!("{:<10} epochs {:>5}  ASR {:>6.2}  CTA {:>6.2}", dataset.name(), epochs, metrics.asr * 100.0, metrics.cta * 100.0),
+                format!(
+                    "{:<10} epochs {:>5}  ASR {:>6.2}  CTA {:>6.2}",
+                    dataset.name(),
+                    epochs,
+                    metrics.asr * 100.0,
+                    metrics.cta * 100.0
+                ),
                 &metrics,
             );
         }
@@ -438,11 +444,8 @@ pub fn fig6(scale: ExperimentScale, full: bool) -> ExperimentReport {
 
 /// Table VII: effect of the poisoning ratio / poisoning number.
 pub fn table7(scale: ExperimentScale, full: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "table7",
-        "Table VII: poisoning budget study",
-        scale.name(),
-    );
+    let mut report =
+        ExperimentReport::new("table7", "Table VII: poisoning budget study", scale.name());
     let methods = [
         CondensationKind::DcGraph,
         CondensationKind::GCond,

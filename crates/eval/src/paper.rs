@@ -27,24 +27,96 @@ pub struct PaperTable2Cell {
 pub fn table2_gcond_reference(dataset: DatasetKind) -> Vec<PaperTable2Cell> {
     match dataset {
         DatasetKind::Cora => vec![
-            PaperTable2Cell { ratio: 0.013, c_cta: 81.33, cta: 81.23, c_asr: 11.23, asr: 100.0 },
-            PaperTable2Cell { ratio: 0.026, c_cta: 81.27, cta: 80.67, c_asr: 13.42, asr: 100.0 },
-            PaperTable2Cell { ratio: 0.052, c_cta: 80.53, cta: 80.70, c_asr: 11.78, asr: 100.0 },
+            PaperTable2Cell {
+                ratio: 0.013,
+                c_cta: 81.33,
+                cta: 81.23,
+                c_asr: 11.23,
+                asr: 100.0,
+            },
+            PaperTable2Cell {
+                ratio: 0.026,
+                c_cta: 81.27,
+                cta: 80.67,
+                c_asr: 13.42,
+                asr: 100.0,
+            },
+            PaperTable2Cell {
+                ratio: 0.052,
+                c_cta: 80.53,
+                cta: 80.70,
+                c_asr: 11.78,
+                asr: 100.0,
+            },
         ],
         DatasetKind::Citeseer => vec![
-            PaperTable2Cell { ratio: 0.009, c_cta: 71.43, cta: 71.57, c_asr: 16.65, asr: 100.0 },
-            PaperTable2Cell { ratio: 0.018, c_cta: 72.03, cta: 71.03, c_asr: 14.64, asr: 100.0 },
-            PaperTable2Cell { ratio: 0.036, c_cta: 71.20, cta: 70.60, c_asr: 16.18, asr: 100.0 },
+            PaperTable2Cell {
+                ratio: 0.009,
+                c_cta: 71.43,
+                cta: 71.57,
+                c_asr: 16.65,
+                asr: 100.0,
+            },
+            PaperTable2Cell {
+                ratio: 0.018,
+                c_cta: 72.03,
+                cta: 71.03,
+                c_asr: 14.64,
+                asr: 100.0,
+            },
+            PaperTable2Cell {
+                ratio: 0.036,
+                c_cta: 71.20,
+                cta: 70.60,
+                c_asr: 16.18,
+                asr: 100.0,
+            },
         ],
         DatasetKind::Flickr => vec![
-            PaperTable2Cell { ratio: 0.001, c_cta: 46.85, cta: 46.54, c_asr: 2.18, asr: 99.83 },
-            PaperTable2Cell { ratio: 0.005, c_cta: 46.62, cta: 47.15, c_asr: 2.25, asr: 99.97 },
-            PaperTable2Cell { ratio: 0.01, c_cta: 46.91, cta: 46.84, c_asr: 2.21, asr: 99.77 },
+            PaperTable2Cell {
+                ratio: 0.001,
+                c_cta: 46.85,
+                cta: 46.54,
+                c_asr: 2.18,
+                asr: 99.83,
+            },
+            PaperTable2Cell {
+                ratio: 0.005,
+                c_cta: 46.62,
+                cta: 47.15,
+                c_asr: 2.25,
+                asr: 99.97,
+            },
+            PaperTable2Cell {
+                ratio: 0.01,
+                c_cta: 46.91,
+                cta: 46.84,
+                c_asr: 2.21,
+                asr: 99.77,
+            },
         ],
         DatasetKind::Reddit => vec![
-            PaperTable2Cell { ratio: 0.0005, c_cta: 88.86, cta: 88.50, c_asr: 0.45, asr: 99.84 },
-            PaperTable2Cell { ratio: 0.001, c_cta: 89.20, cta: 90.37, c_asr: 0.47, asr: 99.99 },
-            PaperTable2Cell { ratio: 0.002, c_cta: 90.10, cta: 90.40, c_asr: 0.45, asr: 99.06 },
+            PaperTable2Cell {
+                ratio: 0.0005,
+                c_cta: 88.86,
+                cta: 88.50,
+                c_asr: 0.45,
+                asr: 99.84,
+            },
+            PaperTable2Cell {
+                ratio: 0.001,
+                c_cta: 89.20,
+                cta: 90.37,
+                c_asr: 0.47,
+                asr: 99.99,
+            },
+            PaperTable2Cell {
+                ratio: 0.002,
+                c_cta: 90.10,
+                cta: 90.40,
+                c_asr: 0.45,
+                asr: 99.06,
+            },
         ],
     }
 }

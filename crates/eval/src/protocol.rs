@@ -64,7 +64,12 @@ pub struct RunSpec {
 
 impl RunSpec {
     /// A BGC run spec with the defaults of the paper.
-    pub fn bgc(dataset: DatasetKind, method: CondensationKind, ratio: f32, scale: ExperimentScale) -> Self {
+    pub fn bgc(
+        dataset: DatasetKind,
+        method: CondensationKind,
+        ratio: f32,
+        scale: ExperimentScale,
+    ) -> Self {
         Self {
             dataset,
             method,
@@ -208,7 +213,8 @@ fn run_once(
             (outcome.condensed, Box::new(outcome.trigger))
         }
     };
-    let backdoored = evaluate_backdoor(graph, &poisoned, provider.as_ref(), config, victim, options);
+    let backdoored =
+        evaluate_backdoor(graph, &poisoned, provider.as_ref(), config, victim, options);
     let reference =
         evaluate_clean_reference(graph, &clean, provider.as_ref(), config, victim, options);
     Ok(RepetitionOutcome {

@@ -96,7 +96,9 @@ impl ExperimentScale {
             // The absolute poison counts of the inductive datasets are scaled
             // with the datasets themselves.
             config.poison_budget = match dataset.paper_poison_budget() {
-                bgc_graph::PoisonBudget::Count(c) => bgc_graph::PoisonBudget::Count((c / 10).max(4)),
+                bgc_graph::PoisonBudget::Count(c) => {
+                    bgc_graph::PoisonBudget::Count((c / 10).max(4))
+                }
                 ratio_budget => ratio_budget,
             };
             config.max_neighbors_per_hop = 8;
@@ -140,8 +142,14 @@ mod tests {
 
     #[test]
     fn parsing_accepts_both_scales() {
-        assert_eq!(ExperimentScale::parse("quick"), Some(ExperimentScale::Quick));
-        assert_eq!(ExperimentScale::parse("PAPER"), Some(ExperimentScale::Paper));
+        assert_eq!(
+            ExperimentScale::parse("quick"),
+            Some(ExperimentScale::Quick)
+        );
+        assert_eq!(
+            ExperimentScale::parse("PAPER"),
+            Some(ExperimentScale::Paper)
+        );
         assert_eq!(ExperimentScale::parse("huge"), None);
     }
 

@@ -22,7 +22,12 @@ pub struct CondensedGraph {
 
 impl CondensedGraph {
     /// Creates a condensed graph, validating shapes.
-    pub fn new(features: Matrix, adjacency: Matrix, labels: Vec<usize>, num_classes: usize) -> Self {
+    pub fn new(
+        features: Matrix,
+        adjacency: Matrix,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Self {
         let n = features.rows();
         assert_eq!(adjacency.shape(), (n, n), "adjacency must be N' x N'");
         assert_eq!(labels.len(), n, "label count must equal node count");
@@ -79,8 +84,8 @@ impl CondensedGraph {
             a.set(i, i, v + 1.0);
         }
         let mut deg = vec![0.0f32; n];
-        for r in 0..n {
-            deg[r] = a.row(r).iter().sum::<f32>();
+        for (r, d) in deg.iter_mut().enumerate() {
+            *d = a.row(r).iter().sum::<f32>();
         }
         let inv_sqrt: Vec<f32> = deg
             .iter()

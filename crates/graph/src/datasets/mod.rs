@@ -205,7 +205,10 @@ mod tests {
         assert_eq!(cora.num_nodes, 2708);
         assert_eq!(cora.num_classes, 7);
         assert_eq!(cora.num_features, 1433);
-        assert_eq!((cora.train_size, cora.val_size, cora.test_size), (140, 500, 1000));
+        assert_eq!(
+            (cora.train_size, cora.val_size, cora.test_size),
+            (140, 500, 1000)
+        );
 
         let citeseer = DatasetKind::Citeseer.spec();
         assert_eq!(citeseer.num_nodes, 3327);
@@ -245,6 +248,9 @@ mod tests {
         let g = DatasetKind::Cora.load_small(7);
         assert_eq!(g.num_classes, 7);
         assert!(g.num_nodes() >= 120);
-        assert!(g.edge_homophily() > 0.5, "Cora-like graph should be homophilous");
+        assert!(
+            g.edge_homophily() > 0.5,
+            "Cora-like graph should be homophilous"
+        );
     }
 }

@@ -85,19 +85,21 @@ pub fn generate_sbm_graph(spec: &SbmSpec, seed: u64) -> Graph {
     let mut edge_set: HashSet<(usize, usize)> = HashSet::with_capacity(total_edges * 2);
     let mut edges: Vec<(usize, usize)> = Vec::with_capacity(total_edges);
 
-    let push_edge =
-        |u: usize, v: usize, edge_set: &mut HashSet<(usize, usize)>, edges: &mut Vec<(usize, usize)>| {
-            if u == v {
-                return false;
-            }
-            let key = (u.min(v), u.max(v));
-            if edge_set.insert(key) {
-                edges.push(key);
-                true
-            } else {
-                false
-            }
-        };
+    let push_edge = |u: usize,
+                     v: usize,
+                     edge_set: &mut HashSet<(usize, usize)>,
+                     edges: &mut Vec<(usize, usize)>| {
+        if u == v {
+            return false;
+        }
+        let key = (u.min(v), u.max(v));
+        if edge_set.insert(key) {
+            edges.push(key);
+            true
+        } else {
+            false
+        }
+    };
 
     // Intra-class edges.
     let mut added = 0usize;
@@ -161,8 +163,8 @@ pub fn generate_sbm_graph(spec: &SbmSpec, seed: u64) -> Graph {
         &mut rng,
     );
     let mut features = Matrix::zeros(spec.num_nodes, spec.num_features);
-    for node in 0..spec.num_nodes {
-        let centre = centres.row(labels[node]);
+    for (node, &label) in labels.iter().enumerate() {
+        let centre = centres.row(label);
         let noise_row = noise.row(node);
         let out = features.row_mut(node);
         for ((o, &c), &n) in out.iter_mut().zip(centre.iter()).zip(noise_row.iter()) {
@@ -253,7 +255,11 @@ mod tests {
     fn average_degree_close_to_target() {
         let g = generate_sbm_graph(&small_spec(), 4);
         let avg = 2.0 * g.num_edges() as f32 / g.num_nodes() as f32;
-        assert!((avg - 6.0).abs() < 1.5, "average degree {} too far from 6", avg);
+        assert!(
+            (avg - 6.0).abs() < 1.5,
+            "average degree {} too far from 6",
+            avg
+        );
     }
 
     #[test]

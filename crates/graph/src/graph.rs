@@ -248,7 +248,15 @@ mod tests {
             val: vec![1, 4],
             test: vec![2, 5],
         };
-        Graph::new("toy", adj, features, labels, 2, split, TaskSetting::Transductive)
+        Graph::new(
+            "toy",
+            adj,
+            features,
+            labels,
+            2,
+            split,
+            TaskSetting::Transductive,
+        )
     }
 
     #[test]
@@ -314,6 +322,14 @@ mod tests {
             val: vec![],
             test: vec![1],
         };
-        let _ = Graph::new("bad", adj, features, vec![0, 5], 2, split, TaskSetting::Transductive);
+        let _ = Graph::new(
+            "bad",
+            adj,
+            features,
+            vec![0, 5],
+            2,
+            split,
+            TaskSetting::Transductive,
+        );
     }
 }

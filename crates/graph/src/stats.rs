@@ -70,7 +70,16 @@ impl GraphStats {
     pub fn table_header() -> String {
         format!(
             "{:<10} {:>8} {:>10} {:>8} {:>9} {:>7} {:>6} {:>7} {:>8} {:>9}",
-            "dataset", "nodes", "edges", "classes", "features", "train", "val", "test", "deg", "homophily"
+            "dataset",
+            "nodes",
+            "edges",
+            "classes",
+            "features",
+            "train",
+            "val",
+            "test",
+            "deg",
+            "homophily"
         )
     }
 }

@@ -98,7 +98,15 @@ mod tests {
             val: vec![],
             test: vec![],
         };
-        Graph::new("path", adj, features, labels, 1, split, TaskSetting::Transductive)
+        Graph::new(
+            "path",
+            adj,
+            features,
+            labels,
+            1,
+            split,
+            TaskSetting::Transductive,
+        )
     }
 
     #[test]
@@ -135,7 +143,15 @@ mod tests {
             val: vec![],
             test: vec![],
         };
-        let g = Graph::new("star", adj, features, vec![0; 20], 1, split, TaskSetting::Transductive);
+        let g = Graph::new(
+            "star",
+            adj,
+            features,
+            vec![0; 20],
+            1,
+            split,
+            TaskSetting::Transductive,
+        );
         let sub = k_hop_subgraph(&g, 0, 1, Some(5));
         assert_eq!(sub.num_nodes(), 6); // centre + 5 capped neighbours
     }

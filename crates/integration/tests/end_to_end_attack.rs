@@ -7,7 +7,7 @@ use bgc_core::{
     VictimSpec,
 };
 use bgc_defense::{prune_defense, PruneConfig};
-use bgc_eval::{run_spec, AttackKind, ExperimentScale, RunSpec};
+use bgc_eval::{AttackKind, ExperimentScale, RunSpec};
 use bgc_graph::{DatasetKind, PoisonBudget};
 use bgc_nn::GnnArchitecture;
 

@@ -2,9 +2,9 @@
 //! produce well-formed reports whose contents reflect the paper's qualitative
 //! claims at quick scale.
 
+use bgc_condense::CondensationKind;
 use bgc_eval::experiments;
 use bgc_eval::{run_spec, ExperimentScale, RunSpec};
-use bgc_condense::CondensationKind;
 use bgc_graph::DatasetKind;
 
 #[test]

@@ -113,15 +113,24 @@ impl GnnArchitecture {
         rng: &mut StdRng,
     ) -> Box<dyn GnnModel> {
         match self {
-            GnnArchitecture::Gcn => Box::new(Gcn::new(in_dim, hidden_dim, out_dim, num_layers, rng)),
+            GnnArchitecture::Gcn => {
+                Box::new(Gcn::new(in_dim, hidden_dim, out_dim, num_layers, rng))
+            }
             GnnArchitecture::Sage => {
                 Box::new(GraphSage::new(in_dim, hidden_dim, out_dim, num_layers, rng))
             }
             GnnArchitecture::Sgc => Box::new(Sgc::new(in_dim, out_dim, num_layers.max(1), rng)),
-            GnnArchitecture::Mlp => Box::new(Mlp::new(in_dim, hidden_dim, out_dim, num_layers, rng)),
-            GnnArchitecture::Appnp => {
-                Box::new(Appnp::new(in_dim, hidden_dim, out_dim, num_layers.max(2), 0.1, rng))
+            GnnArchitecture::Mlp => {
+                Box::new(Mlp::new(in_dim, hidden_dim, out_dim, num_layers, rng))
             }
+            GnnArchitecture::Appnp => Box::new(Appnp::new(
+                in_dim,
+                hidden_dim,
+                out_dim,
+                num_layers.max(2),
+                0.1,
+                rng,
+            )),
             GnnArchitecture::Cheby => {
                 Box::new(ChebyNet::new(in_dim, hidden_dim, out_dim, num_layers, rng))
             }
@@ -140,7 +149,11 @@ mod tests {
         for arch in GnnArchitecture::all() {
             let model = arch.build(8, 16, 3, 2, &mut rng);
             assert_eq!(model.output_dim(), 3);
-            assert!(model.num_parameters() > 0, "{} has no parameters", arch.name());
+            assert!(
+                model.num_parameters() > 0,
+                "{} has no parameters",
+                arch.name()
+            );
         }
     }
 

@@ -92,7 +92,10 @@ impl GnnModel for GraphSage {
     fn parameters_mut(&mut self) -> Vec<&mut Matrix> {
         let mut out: Vec<&mut Matrix> = Vec::new();
         let layers = self.self_weights.len();
-        let (sw, rest) = (&mut self.self_weights, (&mut self.neigh_weights, &mut self.biases));
+        let (sw, rest) = (
+            &mut self.self_weights,
+            (&mut self.neigh_weights, &mut self.biases),
+        );
         let mut sw_iter = sw.iter_mut();
         let mut nw_iter = rest.0.iter_mut();
         let mut b_iter = rest.1.iter_mut();

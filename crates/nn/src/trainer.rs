@@ -93,8 +93,7 @@ pub fn train_node_classifier(
     let train_labels: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
     let val_labels: Vec<usize> = val_idx.iter().map(|&i| labels[i]).collect();
 
-    let param_shapes: Vec<(usize, usize)> =
-        model.parameters().iter().map(|p| p.shape()).collect();
+    let param_shapes: Vec<(usize, usize)> = model.parameters().iter().map(|p| p.shape()).collect();
     let mut optimizer = Adam::new(config.lr, config.weight_decay);
     let mut losses = Vec::with_capacity(config.epochs);
     let mut best_val = 0.0f32;
@@ -142,7 +141,7 @@ pub fn train_node_classifier(
     }
 
     if let Some(best) = best_params {
-        for (param, saved) in model.parameters_mut().into_iter().zip(best.into_iter()) {
+        for (param, saved) in model.parameters_mut().into_iter().zip(best) {
             *param = saved;
         }
     }
@@ -200,7 +199,8 @@ mod tests {
         let g = DatasetKind::Cora.load_small(11);
         let adj = AdjacencyRef::from_graph(&g);
         let mut rng = rng_from_seed(0);
-        let mut model = GnnArchitecture::Gcn.build(g.num_features(), 32, g.num_classes, 2, &mut rng);
+        let mut model =
+            GnnArchitecture::Gcn.build(g.num_features(), 32, g.num_classes, 2, &mut rng);
         let report = train_node_classifier(
             model.as_mut(),
             &adj,
@@ -216,7 +216,10 @@ mod tests {
             "GCN should beat random guessing by a wide margin, got {}",
             test_acc
         );
-        assert!(report.final_loss() < report.train_losses[0], "loss must decrease");
+        assert!(
+            report.final_loss() < report.train_losses[0],
+            "loss must decrease"
+        );
     }
 
     #[test]
@@ -224,17 +227,20 @@ mod tests {
         use bgc_tensor::init::randn;
         let mut rng = rng_from_seed(5);
         let features = randn(10, 8, 0.0, 1.0, &mut rng);
-        let condensed = CondensedGraph::structure_free(
-            features,
-            vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1],
-            2,
-        );
+        let condensed =
+            CondensedGraph::structure_free(features, vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1], 2);
         let mut model = GnnArchitecture::Sgc.build(8, 16, 2, 2, &mut rng);
         let report = train_on_condensed(model.as_mut(), &condensed, &TrainConfig::quick());
         assert!(report.final_loss() < report.train_losses[0]);
         // The model should fit 10 separable synthetic nodes almost perfectly.
         let adj = AdjacencyRef::from_condensed(&condensed);
-        let train_acc = evaluate(model.as_ref(), &adj, &condensed.features, &condensed.labels, &(0..10).collect::<Vec<_>>());
+        let train_acc = evaluate(
+            model.as_ref(),
+            &adj,
+            &condensed.features,
+            &condensed.labels,
+            &(0..10).collect::<Vec<_>>(),
+        );
         assert!(train_acc >= 0.8, "train accuracy {} too low", train_acc);
     }
 
@@ -243,7 +249,8 @@ mod tests {
         let g = DatasetKind::Citeseer.load_small(3);
         let adj = AdjacencyRef::from_graph(&g);
         let mut rng = rng_from_seed(1);
-        let mut model = GnnArchitecture::Mlp.build(g.num_features(), 16, g.num_classes, 2, &mut rng);
+        let mut model =
+            GnnArchitecture::Mlp.build(g.num_features(), 16, g.num_classes, 2, &mut rng);
         let config = TrainConfig {
             epochs: 400,
             eval_every: 2,

@@ -1,0 +1,531 @@
+//! The blocked, parallel kernel substrate behind every dense hot path.
+//!
+//! All three mat-mul variants of [`crate::matrix::Matrix`] (`matmul`,
+//! `transpose_matmul`, `matmul_transpose`), the CSR SpMM of
+//! [`crate::sparse::CsrMatrix`] and the element-wise / row-wise helpers the
+//! autodiff tape leans on are routed through this module. The design:
+//!
+//! * **One inner kernel.** [`gemm`] computes `C = A · B` over an
+//!   `MC x KC x NC` cache tiling with the depth loop unrolled by [`KU`] and
+//!   the column loop written with `chunks_exact` so LLVM autovectorizes it
+//!   (each output lane is an independent accumulation — no floating-point
+//!   reassociation is required, unlike a dot-product formulation).
+//!   `transpose_matmul` and `matmul_transpose` are expressed as a blocked
+//!   transpose *pack* ([`transpose_into`]) followed by the same kernel, so
+//!   every variant shares one tuned code path.
+//! * **Parallelism over output row-blocks.** Each rayon task owns `MC`
+//!   consecutive output rows (a disjoint `&mut` chunk of `C`), so no
+//!   synchronization is needed and the floating-point evaluation order —
+//!   hence the bit pattern of the result — is identical for the serial and
+//!   parallel paths and for every thread count.
+//! * **Serial fallbacks.** Problems below [`PAR_GEMM_WORK`] multiply-adds
+//!   (or [`PAR_ELEM_WORK`] elements for the element-wise helpers) skip the
+//!   pool entirely.
+//!
+//! The pre-substrate reference implementations are retained as
+//! [`naive_matmul`], [`naive_transpose_matmul`] and
+//! [`naive_matmul_transpose`]; property tests assert agreement and the
+//! `substrate` criterion bench measures the speedup against them.
+
+use rayon::prelude::*;
+
+/// Rows of `C` (and `A`) each parallel task owns.
+pub const MC: usize = 64;
+/// Depth (`k`) blocking factor: one `KC x NC` tile of `B` stays hot in L2.
+pub const KC: usize = 128;
+/// Column (`n`) blocking factor.
+pub const NC: usize = 512;
+/// Unroll factor of the depth loop inside the micro-kernel.
+pub const KU: usize = 4;
+/// Vector width the micro-kernel is written for (f32 lanes of one AVX2
+/// register; wider ISAs fuse adjacent iterations).
+pub const LANES: usize = 8;
+
+/// Minimum multiply-add count before a mat-mul goes parallel.
+pub const PAR_GEMM_WORK: usize = 1 << 18;
+/// Minimum element count before element-wise/row-wise ops go parallel.
+pub const PAR_ELEM_WORK: usize = 1 << 16;
+/// Minimum `nnz * dense_cols` before SpMM goes parallel.
+pub const PAR_SPMM_WORK: usize = 1 << 16;
+/// Element-wise parallel chunk size (elements per task).
+const ELEM_CHUNK: usize = 1 << 15;
+
+// ---------------------------------------------------------------------------
+// Micro-kernels
+// ---------------------------------------------------------------------------
+
+/// `c[j] += a0 * b0[j]` over equal-length slices.
+#[inline]
+pub fn axpy(c: &mut [f32], a0: f32, b0: &[f32]) {
+    let n = c.len();
+    let b0 = &b0[..n];
+    let split = n - n % LANES;
+    let (c_main, c_tail) = c.split_at_mut(split);
+    for (cc, bb) in c_main
+        .chunks_exact_mut(LANES)
+        .zip(b0[..split].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            cc[l] += a0 * bb[l];
+        }
+    }
+    for (cc, &bb) in c_tail.iter_mut().zip(&b0[split..]) {
+        *cc += a0 * bb;
+    }
+}
+
+/// Four fused axpy rows: `c[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]`.
+///
+/// This is the register-blocked heart of [`gemm`]: four rows of `B` are
+/// consumed per pass over the output row, quartering the `C` read/write
+/// traffic, and every lane is an independent sum so the loop vectorizes
+/// without `-ffast-math`-style reassociation.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn axpy4(
+    c: &mut [f32],
+    a0: f32,
+    b0: &[f32],
+    a1: f32,
+    b1: &[f32],
+    a2: f32,
+    b2: &[f32],
+    a3: f32,
+    b3: &[f32],
+) {
+    let n = c.len();
+    let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+    let split = n - n % LANES;
+    let (c_main, c_tail) = c.split_at_mut(split);
+    let iter = c_main
+        .chunks_exact_mut(LANES)
+        .zip(b0[..split].chunks_exact(LANES))
+        .zip(b1[..split].chunks_exact(LANES))
+        .zip(b2[..split].chunks_exact(LANES))
+        .zip(b3[..split].chunks_exact(LANES));
+    for ((((cc, v0), v1), v2), v3) in iter {
+        for l in 0..LANES {
+            cc[l] += a0 * v0[l] + a1 * v1[l] + a2 * v2[l] + a3 * v3[l];
+        }
+    }
+    for (j, cc) in c_tail.iter_mut().enumerate() {
+        let j = split + j;
+        *cc += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+    }
+}
+
+/// Computes one `MC`-row block of `C += A_rows · B` through the cache tiling.
+///
+/// `a_rows` holds the block's rows of `A` (`mb x k`), `c_block` the matching
+/// rows of `C` (`mb x n`); `b` is the full `k x n` right operand.
+fn gemm_block(a_rows: &[f32], k: usize, n: usize, b: &[f32], c_block: &mut [f32]) {
+    debug_assert_eq!(c_block.len() % n, 0);
+    let mb = c_block.len() / n;
+    debug_assert_eq!(a_rows.len(), mb * k);
+    for k0 in (0..k).step_by(KC) {
+        let kb = KC.min(k - k0);
+        for j0 in (0..n).step_by(NC) {
+            let nb = NC.min(n - j0);
+            for i in 0..mb {
+                let a_row = &a_rows[i * k + k0..][..kb];
+                let c_row = &mut c_block[i * n + j0..][..nb];
+                let mut kk = 0;
+                while kk + KU <= kb {
+                    axpy4(
+                        c_row,
+                        a_row[kk],
+                        &b[(k0 + kk) * n + j0..][..nb],
+                        a_row[kk + 1],
+                        &b[(k0 + kk + 1) * n + j0..][..nb],
+                        a_row[kk + 2],
+                        &b[(k0 + kk + 2) * n + j0..][..nb],
+                        a_row[kk + 3],
+                        &b[(k0 + kk + 3) * n + j0..][..nb],
+                    );
+                    kk += KU;
+                }
+                while kk < kb {
+                    axpy(c_row, a_row[kk], &b[(k0 + kk) * n + j0..][..nb]);
+                    kk += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Dense `C = A · B` into a zeroed output buffer.
+///
+/// `a` is `m x k`, `b` is `k x n`, `out` is `m x n` and must be zeroed (or
+/// hold a partial sum to accumulate onto). Parallel over `MC`-row blocks of
+/// the output above [`PAR_GEMM_WORK`] multiply-adds; the serial and parallel
+/// paths produce bit-identical results.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let work = m * k * n;
+    if work < PAR_GEMM_WORK || rayon::current_num_threads() == 1 {
+        for (blk, c_block) in out.chunks_mut(MC * n).enumerate() {
+            let i0 = blk * MC;
+            let mb = c_block.len() / n;
+            gemm_block(&a[i0 * k..(i0 + mb) * k], k, n, b, c_block);
+        }
+    } else {
+        out.par_chunks_mut(MC * n)
+            .enumerate()
+            .for_each(|(blk, c_block)| {
+                let i0 = blk * MC;
+                let mb = c_block.len() / n;
+                gemm_block(&a[i0 * k..(i0 + mb) * k], k, n, b, c_block);
+            });
+    }
+}
+
+/// Serial-only variant of [`gemm`] (used by the determinism property test to
+/// check that the parallel path is bit-identical).
+#[doc(hidden)]
+pub fn gemm_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for (blk, c_block) in out.chunks_mut(MC * n).enumerate() {
+        let i0 = blk * MC;
+        let mb = c_block.len() / n;
+        gemm_block(&a[i0 * k..(i0 + mb) * k], k, n, b, c_block);
+    }
+}
+
+/// Cache-blocked transpose: writes the `cols x rows` transpose of the
+/// row-major `rows x cols` matrix `src` into `dst`.
+///
+/// Used both as the public transpose and as the pack step that lets
+/// `transpose_matmul` / `matmul_transpose` share the [`gemm`] kernel.
+pub fn transpose_into(rows: usize, cols: usize, src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    const TB: usize = 32;
+    for r0 in (0..rows).step_by(TB) {
+        let rb = TB.min(rows - r0);
+        for c0 in (0..cols).step_by(TB) {
+            let cb = TB.min(cols - c0);
+            for r in r0..r0 + rb {
+                for c in c0..c0 + cb {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise / row-wise substrate
+// ---------------------------------------------------------------------------
+
+/// `dst[i] = f(src[i])`, parallel above [`PAR_ELEM_WORK`] elements.
+pub fn unary_map_into(src: &[f32], dst: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    debug_assert_eq!(src.len(), dst.len());
+    if dst.len() < PAR_ELEM_WORK || rayon::current_num_threads() == 1 {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = f(s);
+        }
+    } else {
+        dst.par_chunks_mut(ELEM_CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let off = ci * ELEM_CHUNK;
+                let src = &src[off..off + chunk.len()];
+                for (d, &s) in chunk.iter_mut().zip(src) {
+                    *d = f(s);
+                }
+            });
+    }
+}
+
+/// `dst[i] = f(a[i], b[i])`, parallel above [`PAR_ELEM_WORK`] elements.
+pub fn binary_map_into(a: &[f32], b: &[f32], dst: &mut [f32], f: impl Fn(f32, f32) -> f32 + Sync) {
+    debug_assert_eq!(a.len(), dst.len());
+    debug_assert_eq!(b.len(), dst.len());
+    if dst.len() < PAR_ELEM_WORK || rayon::current_num_threads() == 1 {
+        for (d, (&x, &y)) in dst.iter_mut().zip(a.iter().zip(b)) {
+            *d = f(x, y);
+        }
+    } else {
+        dst.par_chunks_mut(ELEM_CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let off = ci * ELEM_CHUNK;
+                let (a, b) = (&a[off..off + chunk.len()], &b[off..off + chunk.len()]);
+                for (d, (&x, &y)) in chunk.iter_mut().zip(a.iter().zip(b)) {
+                    *d = f(x, y);
+                }
+            });
+    }
+}
+
+/// `a[i] = f(a[i])` in place, parallel above [`PAR_ELEM_WORK`] elements.
+pub fn unary_map_inplace(a: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    if a.len() < PAR_ELEM_WORK || rayon::current_num_threads() == 1 {
+        for v in a.iter_mut() {
+            *v = f(*v);
+        }
+    } else {
+        a.par_chunks_mut(ELEM_CHUNK).for_each(|chunk| {
+            for v in chunk.iter_mut() {
+                *v = f(*v);
+            }
+        });
+    }
+}
+
+/// `a[i] = f(a[i], b[i])` in place, parallel above [`PAR_ELEM_WORK`] elements.
+pub fn binary_map_inplace(a: &mut [f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < PAR_ELEM_WORK || rayon::current_num_threads() == 1 {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = f(*x, y);
+        }
+    } else {
+        a.par_chunks_mut(ELEM_CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let off = ci * ELEM_CHUNK;
+                let b = &b[off..off + chunk.len()];
+                for (x, &y) in chunk.iter_mut().zip(b) {
+                    *x = f(*x, y);
+                }
+            });
+    }
+}
+
+/// Applies `f(row_index, row)` to every `cols`-wide row of `data` in place,
+/// parallel above [`PAR_ELEM_WORK`] total elements. Each row is owned by
+/// exactly one task, so per-row reductions stay deterministic.
+pub fn for_each_row(data: &mut [f32], cols: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    if cols == 0 {
+        return;
+    }
+    debug_assert_eq!(data.len() % cols, 0);
+    if data.len() < PAR_ELEM_WORK || rayon::current_num_threads() == 1 {
+        for (r, row) in data.chunks_mut(cols).enumerate() {
+            f(r, row);
+        }
+    } else {
+        let rows_per_task = (ELEM_CHUNK / cols).max(1);
+        data.par_chunks_mut(rows_per_task * cols)
+            .enumerate()
+            .for_each(|(blk, block)| {
+                let r0 = blk * rows_per_task;
+                for (i, row) in block.chunks_mut(cols).enumerate() {
+                    f(r0 + i, row);
+                }
+            });
+    }
+}
+
+/// Writes `f(row_index, row)` of a `cols`-wide row-major matrix into `out`
+/// (one value per row), parallel above [`PAR_ELEM_WORK`] source elements.
+pub fn map_rows_into(
+    data: &[f32],
+    cols: usize,
+    out: &mut [f32],
+    f: impl Fn(usize, &[f32]) -> f32 + Sync,
+) {
+    if cols == 0 {
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = f(r, &[]);
+        }
+        return;
+    }
+    debug_assert_eq!(data.len() % cols, 0);
+    debug_assert_eq!(out.len(), data.len() / cols);
+    if data.len() < PAR_ELEM_WORK || rayon::current_num_threads() == 1 {
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = f(r, &data[r * cols..(r + 1) * cols]);
+        }
+    } else {
+        let rows_per_task = (ELEM_CHUNK / cols).max(1);
+        out.par_chunks_mut(rows_per_task)
+            .enumerate()
+            .for_each(|(blk, chunk)| {
+                let r0 = blk * rows_per_task;
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    let r = r0 + i;
+                    *o = f(r, &data[r * cols..(r + 1) * cols]);
+                }
+            });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retained naive reference implementations
+// ---------------------------------------------------------------------------
+
+/// The pre-substrate serial `ikj` mat-mul (branch-free): reference for
+/// property tests and the `substrate` benchmark baseline.
+pub fn naive_matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// The pre-substrate serial `A^T · B` (outer-product accumulation over rows).
+pub fn naive_transpose_matmul(r: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for row in 0..r {
+        let a_row = &a[row * m..(row + 1) * m];
+        let b_row = &b[row * n..(row + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// The pre-substrate serial `A · B^T` (per-entry dot products — the scalar
+/// reduction LLVM cannot vectorize, which is what the substrate replaces).
+pub fn naive_matmul_transpose(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(n: usize, seed: u32) -> Vec<f32> {
+        // Small deterministic pseudo-random values in [-1, 1].
+        (0..n)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                (x >> 8) as f32 / (1u32 << 23) as f32 - 1.0
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "mismatch at {}: {} vs {}",
+                i,
+                x,
+                y
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive_across_awkward_shapes() {
+        // Shapes straddling every blocking boundary: empty, single row/col,
+        // exact multiples of MC/KC/NC, and off-by-one around them.
+        for &(m, k, n) in &[
+            (0, 3, 4),
+            (3, 0, 4),
+            (3, 4, 0),
+            (1, 1, 1),
+            (1, 130, 1),
+            (2, 3, 5),
+            (7, 129, 17),
+            (64, 128, 512),
+            (65, 127, 513),
+            (33, 260, 9),
+        ] {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let mut got = vec![0.0; m * n];
+            let mut want = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut got);
+            naive_matmul(m, k, n, &a, &b, &mut want);
+            assert_close(&got, &want, 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_parallel_is_bit_identical_to_serial() {
+        let (m, k, n) = (150, 96, 75);
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        let mut serial = vec![0.0; m * n];
+        let mut parallel = vec![0.0; m * n];
+        gemm_serial(m, k, n, &a, &b, &mut serial);
+        gemm(m, k, n, &a, &b, &mut parallel);
+        assert_eq!(serial, parallel, "parallel gemm must be bit-identical");
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        for &(r, c) in &[(0, 5), (1, 1), (7, 33), (64, 64), (65, 31)] {
+            let src = fill(r * c, 5);
+            let mut t = vec![0.0; r * c];
+            let mut back = vec![0.0; r * c];
+            transpose_into(r, c, &src, &mut t);
+            transpose_into(c, r, &t, &mut back);
+            assert_eq!(src, back);
+        }
+    }
+
+    #[test]
+    fn elementwise_helpers_match_serial_semantics() {
+        let n = PAR_ELEM_WORK + 37; // force the parallel path on multi-core
+        let a = fill(n, 6);
+        let b = fill(n, 7);
+        let mut out = vec![0.0; n];
+        binary_map_into(&a, &b, &mut out, |x, y| x * y + 1.0);
+        for i in (0..n).step_by(997) {
+            assert_eq!(out[i], a[i] * b[i] + 1.0);
+        }
+        let mut inplace = a.clone();
+        binary_map_inplace(&mut inplace, &b, |x, y| x - y);
+        for i in (0..n).step_by(997) {
+            assert_eq!(inplace[i], a[i] - b[i]);
+        }
+        let mut mapped = vec![0.0; n];
+        unary_map_into(&a, &mut mapped, |x| x.max(0.0));
+        let mut mapped_inplace = a.clone();
+        unary_map_inplace(&mut mapped_inplace, |x| x.max(0.0));
+        assert_eq!(mapped, mapped_inplace);
+    }
+
+    #[test]
+    fn row_helpers_cover_every_row_once() {
+        let (rows, cols) = (513, 129); // > PAR_ELEM_WORK elements
+        let mut data = vec![0.0f32; rows * cols];
+        for_each_row(&mut data, cols, |r, row| {
+            for v in row.iter_mut() {
+                *v += (r + 1) as f32;
+            }
+        });
+        for r in 0..rows {
+            assert_eq!(data[r * cols], (r + 1) as f32);
+        }
+        let mut sums = vec![0.0f32; rows];
+        map_rows_into(&data, cols, &mut sums, |_, row| row.iter().sum());
+        for (r, &s) in sums.iter().enumerate() {
+            assert_eq!(s, (r + 1) as f32 * cols as f32);
+        }
+    }
+}

@@ -13,6 +13,9 @@
 //!   SPD solve for kernel ridge regression).
 //! * [`init`] — seeded random initializers (Gaussian, Xavier, Kaiming).
 //! * [`linalg`] — Cholesky factorization and SPD solves.
+//! * [`kernel`] — the blocked, rayon-parallel kernel substrate every dense
+//!   and sparse hot path above is routed through (see
+//!   `crates/tensor/README.md` for the tiling scheme and thresholds).
 //!
 //! The paper's original implementation relied on PyTorch; this crate is the
 //! from-scratch substitute (see `DESIGN.md` at the workspace root).
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod init;
+pub mod kernel;
 pub mod linalg;
 pub mod matrix;
 pub mod sparse;
@@ -33,11 +37,29 @@ pub use tape::{Gradients, Tape, Var};
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use init::{randn, rng_from_seed};
     use proptest::prelude::*;
 
     fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         proptest::collection::vec(-10.0f32..10.0, rows * cols)
             .prop_map(move |data| Matrix::new(rows, cols, data))
+    }
+
+    /// Dimensions that exercise the substrate's edge cases: empty, 1xN,
+    /// exact multiples of the MC/KC/NC tiles, and off-by-one around them.
+    const AWKWARD_DIMS: [usize; 10] = [0, 1, 2, 7, 31, 63, 64, 65, 129, 160];
+
+    fn awkward_dim() -> impl Strategy<Value = usize> {
+        (0usize..AWKWARD_DIMS.len()).prop_map(|i| AWKWARD_DIMS[i])
+    }
+
+    /// Relative agreement within `tol`, scaled by magnitude.
+    fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.data()
+                .iter()
+                .zip(b.data())
+                .all(|(&x, &y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
     }
 
     proptest! {
@@ -109,6 +131,98 @@ mod proptests {
             for (r, c, v) in norm.triplets() {
                 prop_assert!((norm.get(c, r) - v).abs() < 1e-5);
             }
+        }
+
+        /// The blocked `matmul` agrees with the retained naive reference
+        /// across randomized awkward shapes (satellite of the kernel
+        /// substrate rewrite).
+        #[test]
+        fn blocked_matmul_agrees_with_naive(
+            m in awkward_dim(),
+            k in awkward_dim(),
+            n in awkward_dim(),
+            seed in 0u64..1000,
+        ) {
+            let mut rng = rng_from_seed(seed);
+            let a = randn(m, k, 0.0, 1.0, &mut rng);
+            let b = randn(k, n, 0.0, 1.0, &mut rng);
+            let blocked = a.matmul(&b);
+            let mut reference = Matrix::zeros(m, n);
+            kernel::naive_matmul(m, k, n, a.data(), b.data(), reference.data_mut());
+            prop_assert!(close(&blocked, &reference, 1e-4), "matmul {}x{}x{} diverged", m, k, n);
+        }
+
+        /// Both transpose variants share the blocked kernel and agree with
+        /// their naive references.
+        #[test]
+        fn blocked_transpose_variants_agree_with_naive(
+            m in awkward_dim(),
+            k in awkward_dim(),
+            n in awkward_dim(),
+            seed in 0u64..1000,
+        ) {
+            let mut rng = rng_from_seed(seed ^ 0xBEEF);
+            // A (m x k), B (n x k): A * B^T is m x n.
+            let a = randn(m, k, 0.0, 1.0, &mut rng);
+            let b = randn(n, k, 0.0, 1.0, &mut rng);
+            let blocked = a.matmul_transpose(&b);
+            let mut reference = Matrix::zeros(m, n);
+            kernel::naive_matmul_transpose(m, k, n, a.data(), b.data(), reference.data_mut());
+            prop_assert!(close(&blocked, &reference, 1e-4), "matmul_transpose {}x{}x{} diverged", m, k, n);
+
+            // C (m x k), D (m x n): C^T * D is k x n.
+            let c = randn(m, k, 0.0, 1.0, &mut rng);
+            let d = randn(m, n, 0.0, 1.0, &mut rng);
+            let blocked = c.transpose_matmul(&d);
+            let mut reference = Matrix::zeros(k, n);
+            kernel::naive_transpose_matmul(m, k, n, c.data(), d.data(), reference.data_mut());
+            prop_assert!(close(&blocked, &reference, 1e-4), "transpose_matmul {}x{}x{} diverged", m, k, n);
+        }
+
+        /// Same seed => bit-identical output: the parallel kernel must match
+        /// the forced-serial path exactly, for every thread count.
+        #[test]
+        fn blocked_kernels_are_deterministic(seed in 0u64..200) {
+            let mut rng = rng_from_seed(seed);
+            // Big enough to clear PAR_GEMM_WORK so the parallel path engages
+            // on multi-core machines.
+            let (m, k, n) = (130, 70, 90);
+            let a = randn(m, k, 0.0, 1.0, &mut rng);
+            let b = randn(k, n, 0.0, 1.0, &mut rng);
+            let first = a.matmul(&b);
+            let second = a.matmul(&b);
+            prop_assert_eq!(first.data(), second.data());
+            let mut serial = Matrix::zeros(m, n);
+            kernel::gemm_serial(m, k, n, a.data(), b.data(), serial.data_mut());
+            prop_assert_eq!(first.data(), serial.data());
+        }
+
+        /// Parallel SpMM (balanced-nnz partitioning) is bit-deterministic
+        /// and agrees with the dense product.
+        #[test]
+        fn parallel_spmm_is_deterministic(seed in 0u64..50) {
+            let nodes = 400usize;
+            let edges: Vec<(usize, usize)> = (0..nodes * 8)
+                .map(|i| {
+                    let s = i as u64 ^ seed;
+                    ((s.wrapping_mul(31) % nodes as u64) as usize,
+                     (s.wrapping_mul(17) .wrapping_add(5) % nodes as u64) as usize)
+                })
+                .collect();
+            let adj = CsrMatrix::from_edges(nodes, &edges).symmetrize().gcn_normalize();
+            let mut rng = rng_from_seed(seed);
+            // nnz * cols clears PAR_SPMM_WORK => parallel path on multi-core.
+            let x = randn(nodes, 32, 0.0, 1.0, &mut rng);
+            let first = adj.spmm(&x);
+            let second = adj.spmm(&x);
+            prop_assert_eq!(first.data(), second.data());
+            let dense = adj.to_dense().matmul(&x);
+            prop_assert!(close(&first, &dense, 1e-4));
+            // spmm_transpose routes through the CSR transpose on this size;
+            // it must agree with the dense computation too.
+            let t = adj.spmm_transpose(&x);
+            let dense_t = adj.to_dense().transpose().matmul(&x);
+            prop_assert!(close(&t, &dense_t, 1e-4));
         }
 
         #[test]

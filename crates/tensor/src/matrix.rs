@@ -2,9 +2,12 @@
 //!
 //! The matrix is deliberately simple: a contiguous `Vec<f32>` plus a shape.
 //! All the heavy numerical kernels the paper needs (mat-mul, transpose,
-//! element-wise maps, reductions, row operations) live here; differentiable
-//! versions are layered on top by [`crate::tape`].
+//! element-wise maps, reductions, row operations) live here; the actual
+//! compute is routed through the blocked, parallel substrate in
+//! [`crate::kernel`], and differentiable versions are layered on top by
+//! [`crate::tape`].
 
+use crate::kernel;
 use std::fmt;
 
 /// A dense, row-major matrix of `f32` values.
@@ -282,21 +285,20 @@ impl Matrix {
         out
     }
 
-    /// Matrix transpose.
+    /// Matrix transpose (cache-blocked).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
-            }
-        }
+        kernel::transpose_into(self.rows, self.cols, &self.data, &mut out.data);
         out
     }
 
     /// Dense matrix multiplication `self * other`.
     ///
-    /// Uses an `ikj` loop ordering which is cache friendly for row-major
-    /// storage, and parallelizes over output rows for larger problems.
+    /// Routed through the blocked kernel substrate ([`crate::kernel::gemm`]):
+    /// cache-tiled, depth-unrolled, autovectorized, and parallel over output
+    /// row blocks for larger problems. Note the inner loops are branch-free;
+    /// sparse operands should use [`crate::sparse::CsrMatrix::spmm`] instead
+    /// of relying on zero-skipping here.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
@@ -304,87 +306,62 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        let n = other.cols;
-        let k_dim = self.cols;
-        let work = self.rows * self.cols * other.cols;
-        if work > 1 << 18 {
-            use rayon::prelude::*;
-            out.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, out_row)| {
-                    let a_row = self.row(i);
-                    for (k, &a) in a_row.iter().enumerate().take(k_dim) {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = other.row(k);
-                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                            *o += a * b;
-                        }
-                    }
-                });
-        } else {
-            for i in 0..self.rows {
-                let a_row = self.row(i);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = other.row(k);
-                    let out_row = out.row_mut(i);
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
-                }
-            }
-        }
+        kernel::gemm(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 
-    /// Computes `self^T * other` without materializing the transpose.
+    /// Computes `self^T * other` through the shared blocked kernel: the
+    /// left operand is transpose-packed (cache-blocked copy), then the
+    /// product runs as a plain [`crate::kernel::gemm`]. The pack is `O(r*m)`
+    /// against `O(r*m*n)` compute, and buys the vectorized/parallel kernel.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "transpose_matmul: row mismatch {} vs {}",
             self.rows, other.rows
         );
+        let mut packed = vec![0.0; self.data.len()];
+        kernel::transpose_into(self.rows, self.cols, &self.data, &mut packed);
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernel::gemm(
+            self.cols,
+            self.rows,
+            other.cols,
+            &packed,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 
-    /// Computes `self * other^T` without materializing the transpose.
+    /// Computes `self * other^T` through the shared blocked kernel: the
+    /// right operand is transpose-packed, then the product runs as a plain
+    /// [`crate::kernel::gemm`]. This replaces the per-entry dot-product
+    /// formulation, whose serial reduction LLVM cannot vectorize.
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose: column mismatch {} vs {}",
             self.cols, other.cols
         );
+        let mut packed = vec![0.0; other.data.len()];
+        kernel::transpose_into(other.rows, other.cols, &other.data, &mut packed);
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.set(i, j, acc);
-            }
-        }
+        kernel::gemm(
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &packed,
+            &mut out.data,
+        );
         out
     }
 
@@ -413,24 +390,22 @@ impl Matrix {
         self.map(|v| v + s)
     }
 
-    /// Applies `f` to every entry, producing a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+    /// Applies `f` to every entry, producing a new matrix. Parallel for
+    /// large matrices (see [`crate::kernel::PAR_ELEM_WORK`]).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        kernel::unary_map_into(&self.data, &mut out.data, f);
+        out
     }
 
     /// Applies `f` to every entry in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        kernel::unary_map_inplace(&mut self.data, f);
     }
 
-    /// Combines two equally-shaped matrices entry-wise.
-    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    /// Combines two equally-shaped matrices entry-wise. Parallel for large
+    /// matrices.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         assert_eq!(
             self.shape(),
             other.shape(),
@@ -438,24 +413,15 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        }
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        kernel::binary_map_into(&self.data, &other.data, &mut out.data, f);
+        out
     }
 
     /// In-place `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        kernel::binary_map_inplace(&mut self.data, &other.data, |a, b| a + b);
     }
 
     /// In-place `self += s * other` (axpy).
@@ -465,16 +431,12 @@ impl Matrix {
             other.shape(),
             "add_scaled_assign: shape mismatch"
         );
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += s * b;
-        }
+        kernel::binary_map_inplace(&mut self.data, &other.data, move |a, b| a + s * b);
     }
 
     /// In-place scaling.
     pub fn scale_assign(&mut self, s: f32) {
-        for v in &mut self.data {
-            *v *= s;
-        }
+        kernel::unary_map_inplace(&mut self.data, move |v| v * s);
     }
 
     /// Sum of all entries.
@@ -506,9 +468,11 @@ impl Matrix {
         self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
     }
 
-    /// Sums of every row as a vector.
+    /// Sums of every row as a vector. Parallel for large matrices.
     pub fn row_sums(&self) -> Vec<f32> {
-        (0..self.rows).map(|r| self.row(r).iter().sum()).collect()
+        let mut sums = vec![0.0; self.rows];
+        kernel::map_rows_into(&self.data, self.cols, &mut sums, |_, row| row.iter().sum());
+        sums
     }
 
     /// Sums of every column as a vector.
@@ -526,7 +490,13 @@ impl Matrix {
     pub fn row_means(&self) -> Vec<f32> {
         self.row_sums()
             .into_iter()
-            .map(|s| if self.cols == 0 { 0.0 } else { s / self.cols as f32 })
+            .map(|s| {
+                if self.cols == 0 {
+                    0.0
+                } else {
+                    s / self.cols as f32
+                }
+            })
             .collect()
     }
 
@@ -559,11 +529,10 @@ impl Matrix {
     }
 
     /// Row-wise softmax (non-differentiable helper; the differentiable version
-    /// lives on the tape).
+    /// lives on the tape). Parallel over rows for large matrices.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
+        kernel::for_each_row(&mut out.data, self.cols, |_, row| {
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for v in row.iter_mut() {
@@ -575,7 +544,7 @@ impl Matrix {
                     *v /= sum;
                 }
             }
-        }
+        });
         out
     }
 
@@ -585,17 +554,17 @@ impl Matrix {
     }
 
     /// L2-normalizes every row (rows with tiny norm are left unchanged).
+    /// Parallel over rows for large matrices.
     pub fn l2_normalize_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
+        kernel::for_each_row(&mut out.data, self.cols, |_, row| {
             let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt();
             if norm > 1e-12 {
                 for v in row.iter_mut() {
                     *v /= norm;
                 }
             }
-        }
+        });
         out
     }
 

@@ -4,6 +4,7 @@
 //! large for dense storage, so the adjacency matrix, its GCN normalization
 //! and the sparse-dense product `Â · X` all operate on this CSR type.
 
+use crate::kernel;
 use crate::matrix::Matrix;
 
 /// A sparse matrix in compressed sparse row format.
@@ -27,8 +28,11 @@ impl CsrMatrix {
     /// # Panics
     /// Panics when a triplet is out of bounds.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
-        let mut per_row: Vec<Vec<(usize, f32)>> = vec![Vec::new(); rows];
-        for &(r, c, v) in triplets {
+        // Counting sort over row indices into one flat buffer: O(nnz + rows)
+        // and two allocations total, instead of the per-row `Vec<Vec<_>>`
+        // construction this replaced (O(rows) allocations).
+        let mut offsets = vec![0usize; rows + 2];
+        for &(r, c, _) in triplets {
             assert!(
                 r < rows && c < cols,
                 "CsrMatrix::from_triplets: entry ({}, {}) out of bounds for {}x{}",
@@ -37,13 +41,28 @@ impl CsrMatrix {
                 rows,
                 cols
             );
-            per_row[r].push((c, v));
+            offsets[r + 2] += 1;
         }
+        for r in 2..offsets.len() {
+            offsets[r] += offsets[r - 1];
+        }
+        // `offsets[r + 1]` is now the insertion cursor of row `r`; after the
+        // scatter it has advanced to the row's end, making `offsets[..=rows]`
+        // the row-boundary array.
+        let mut entries: Vec<(usize, f32)> = vec![(0, 0.0); triplets.len()];
+        for &(r, c, v) in triplets {
+            entries[offsets[r + 1]] = (c, v);
+            offsets[r + 1] += 1;
+        }
+
         let mut indptr = Vec::with_capacity(rows + 1);
-        let mut indices = Vec::new();
-        let mut values = Vec::new();
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
         indptr.push(0);
-        for row in &mut per_row {
+        for r in 0..rows {
+            let row = &mut entries[offsets[r]..offsets[r + 1]];
+            // Stable sort keeps duplicate entries in insertion order, so
+            // their (floating-point) summation order is deterministic.
             row.sort_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < row.len() {
@@ -73,8 +92,7 @@ impl CsrMatrix {
     /// edge list.  The edges are inserted as given; call
     /// [`CsrMatrix::symmetrize`] for an undirected graph.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
-        let triplets: Vec<(usize, usize, f32)> =
-            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        let triplets: Vec<(usize, usize, f32)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
         Self::from_triplets(n, n, &triplets)
     }
 
@@ -161,14 +179,37 @@ impl CsrMatrix {
         out
     }
 
-    /// Transpose (also CSR).
+    /// Transpose (also CSR), via a direct counting sort over column indices:
+    /// `O(nnz + cols)`, no intermediate triplet materialization. Within each
+    /// output row the entries stay ordered by their source row, which keeps
+    /// downstream floating-point accumulation order identical to a serial
+    /// scatter — [`CsrMatrix::spmm_transpose`] relies on this.
     pub fn transpose(&self) -> CsrMatrix {
-        let triplets: Vec<(usize, usize, f32)> = self
-            .triplets()
-            .into_iter()
-            .map(|(r, c, v)| (c, r, v))
-            .collect();
-        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+        let mut indptr = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            indptr[c + 1] += 1;
+        }
+        for c in 1..indptr.len() {
+            indptr[c] += indptr[c - 1];
+        }
+        let mut cursor = indptr.clone();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                let slot = cursor[c];
+                indices[slot] = r;
+                values[slot] = v;
+                cursor[c] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Returns `max(self, self^T)` entry-wise, making an adjacency symmetric.
@@ -234,7 +275,33 @@ impl CsrMatrix {
         CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
     }
 
+    /// Splits `0..rows` into at most `parts` contiguous ranges of roughly
+    /// equal non-zero count (row boundaries only). Returns the boundary
+    /// array `b` with `b[0] = 0` and `b.last() = rows`.
+    fn balanced_row_partition(&self, parts: usize) -> Vec<usize> {
+        let total = self.nnz();
+        let parts = parts.max(1);
+        let target = total.div_ceil(parts).max(1);
+        let mut bounds = Vec::with_capacity(parts + 1);
+        bounds.push(0);
+        let mut threshold = target;
+        for r in 1..self.rows {
+            if self.indptr[r] >= threshold {
+                bounds.push(r);
+                threshold = self.indptr[r] + target;
+            }
+        }
+        bounds.push(self.rows);
+        bounds
+    }
+
     /// Sparse-dense product `self * dense`.
+    ///
+    /// Parallel over contiguous row ranges with balanced non-zero counts
+    /// (so power-law degree distributions don't serialize on the hub rows);
+    /// each range owns a disjoint slice of the output, and per-row
+    /// accumulation order is fixed, so results are bit-identical across
+    /// thread counts. Small products run serially.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
@@ -247,27 +314,33 @@ impl CsrMatrix {
         );
         let cols = dense.cols();
         let mut out = Matrix::zeros(self.rows, cols);
-        if self.rows * cols > 1 << 16 {
+        if cols == 0 || self.nnz() == 0 {
+            return out;
+        }
+        let work = self.nnz() * cols;
+        if work >= kernel::PAR_SPMM_WORK && rayon::current_num_threads() > 1 {
             use rayon::prelude::*;
-            out.data_mut()
-                .par_chunks_mut(cols)
-                .enumerate()
-                .for_each(|(r, out_row)| {
-                    for (c, v) in self.row_iter(r) {
-                        let src = dense.row(c);
-                        for (o, &s) in out_row.iter_mut().zip(src.iter()) {
-                            *o += v * s;
-                        }
+            let bounds = self.balanced_row_partition(rayon::current_num_threads() * 4);
+            // Slice the output into one disjoint block per row range.
+            let mut blocks: Vec<(usize, &mut [f32])> = Vec::with_capacity(bounds.len() - 1);
+            let mut rest = out.data_mut();
+            for w in bounds.windows(2) {
+                let (head, tail) = rest.split_at_mut((w[1] - w[0]) * cols);
+                blocks.push((w[0], head));
+                rest = tail;
+            }
+            blocks.into_par_iter().for_each(|(row0, block)| {
+                for (i, out_row) in block.chunks_mut(cols).enumerate() {
+                    for (c, v) in self.row_iter(row0 + i) {
+                        kernel::axpy(out_row, v, dense.row(c));
                     }
-                });
+                }
+            });
         } else {
             for r in 0..self.rows {
+                let out_row = out.row_mut(r);
                 for (c, v) in self.row_iter(r) {
-                    let src_ptr = dense.row(c).to_vec();
-                    let out_row = out.row_mut(r);
-                    for (o, &s) in out_row.iter_mut().zip(src_ptr.iter()) {
-                        *o += v * s;
-                    }
+                    kernel::axpy(out_row, v, dense.row(c));
                 }
             }
         }
@@ -275,6 +348,11 @@ impl CsrMatrix {
     }
 
     /// Sparse-transpose times dense: `self^T * dense`.
+    ///
+    /// Large products transpose the CSR (`O(nnz)`, see
+    /// [`CsrMatrix::transpose`]) and run the parallel gather-form
+    /// [`CsrMatrix::spmm`]; because the transpose keeps source rows ordered,
+    /// this produces bit-identical results to the serial scatter fallback.
     pub fn spmm_transpose(&self, dense: &Matrix) -> Matrix {
         assert_eq!(
             self.rows,
@@ -284,14 +362,15 @@ impl CsrMatrix {
             dense.rows()
         );
         let cols = dense.cols();
+        let work = self.nnz() * cols;
+        if work >= kernel::PAR_SPMM_WORK && rayon::current_num_threads() > 1 {
+            return self.transpose().spmm(dense);
+        }
         let mut out = Matrix::zeros(self.cols, cols);
         for r in 0..self.rows {
-            let src = dense.row(r).to_vec();
+            let src = dense.row(r);
             for (c, v) in self.row_iter(r) {
-                let out_row = out.row_mut(c);
-                for (o, &s) in out_row.iter_mut().zip(src.iter()) {
-                    *o += v * s;
-                }
+                kernel::axpy(out.row_mut(c), v, src);
             }
         }
         out
@@ -346,10 +425,8 @@ impl CsrMatrix {
     /// Returns a copy with the listed (undirected) edges removed.
     pub fn remove_edges(&self, edges: &[(usize, usize)]) -> CsrMatrix {
         use std::collections::HashSet;
-        let forbidden: HashSet<(usize, usize)> = edges
-            .iter()
-            .flat_map(|&(u, v)| [(u, v), (v, u)])
-            .collect();
+        let forbidden: HashSet<(usize, usize)> =
+            edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect();
         let triplets: Vec<(usize, usize, f32)> = self
             .triplets()
             .into_iter()

@@ -39,6 +39,8 @@ enum Op {
     SpMM(Arc<CsrMatrix>, usize),
     /// Dense constant (left) times variable (right).
     ConstMul(Arc<Matrix>, usize),
+    /// Variable times transposed dense constant (`x * c^T`).
+    MatMulTransposeConst(usize, Arc<Matrix>),
     Add(usize, usize),
     Sub(usize, usize),
     /// `x + bias` where `bias` is a `1 x d` row broadcast over the rows of `x`.
@@ -189,6 +191,15 @@ impl Tape {
     pub fn const_matmul(&mut self, constant: Arc<Matrix>, x: Var) -> Var {
         let value = constant.matmul(self.val(x.0));
         self.push(value, Op::ConstMul(constant, x.0))
+    }
+
+    /// Variable times a transposed dense constant (`x * c^T`), computed
+    /// without materializing the transpose on the tape. This is the shape
+    /// of the SNTK cross-kernel `K(X', Z)` and runs on the blocked
+    /// `matmul_transpose` substrate directly.
+    pub fn matmul_transpose_const(&mut self, x: Var, constant: Arc<Matrix>) -> Var {
+        let value = self.val(x.0).matmul_transpose(&constant);
+        self.push(value, Op::MatMulTransposeConst(x.0, constant))
     }
 
     /// Element-wise sum.
@@ -474,6 +485,11 @@ impl Tape {
                     let dx = c.transpose_matmul(&grad);
                     accumulate(&mut grads, *x, dx);
                 }
+                Op::MatMulTransposeConst(x, c) => {
+                    // y = x c^T  =>  dx = dy * c
+                    let dx = grad.matmul(c);
+                    accumulate(&mut grads, *x, dx);
+                }
                 Op::Add(a, b) => {
                     accumulate(&mut grads, *a, grad.clone());
                     accumulate(&mut grads, *b, grad);
@@ -578,8 +594,8 @@ impl Tape {
                         let gr = grad.row(r);
                         let yr = y.row(r);
                         let dot: f32 = gr.iter().zip(yr.iter()).map(|(&a, &b)| a * b).sum();
-                        for c in 0..xv.cols() {
-                            dx.set(r, c, (gr[c] - dot) / sum);
+                        for (c, &g) in gr.iter().enumerate() {
+                            dx.set(r, c, (g - dot) / sum);
                         }
                     }
                     accumulate(&mut grads, *x, dx);
@@ -690,11 +706,7 @@ mod tests {
     use crate::init::{randn, rng_from_seed};
 
     /// Numerically checks the gradient of `f` w.r.t. a leaf built from `x0`.
-    fn finite_difference_check(
-        x0: &Matrix,
-        build: impl Fn(&mut Tape, Var) -> Var,
-        tol: f32,
-    ) {
+    fn finite_difference_check(x0: &Matrix, build: impl Fn(&mut Tape, Var) -> Var, tol: f32) {
         let mut tape = Tape::new();
         let x = tape.leaf(x0.clone());
         let loss = build(&mut tape, x);
@@ -781,7 +793,8 @@ mod tests {
     fn spmm_gradcheck() {
         let mut rng = rng_from_seed(4);
         let x0 = randn(3, 2, 0.0, 1.0, &mut rng);
-        let adj = Arc::new(CsrMatrix::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).gcn_normalize());
+        let adj =
+            Arc::new(CsrMatrix::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).gcn_normalize());
         finite_difference_check(
             &x0,
             move |tape, x| {
@@ -841,7 +854,9 @@ mod tests {
         let mut rng = rng_from_seed(8);
         // SPD matrix A = M M^T + n I
         let m = randn(3, 3, 0.0, 1.0, &mut rng);
-        let a = m.matmul(&m.transpose()).add(&Matrix::identity(3).scale(3.0));
+        let a = m
+            .matmul(&m.transpose())
+            .add(&Matrix::identity(3).scale(3.0));
         let b0 = randn(3, 2, 0.0, 1.0, &mut rng);
         finite_difference_check(
             &b0,

@@ -11,12 +11,23 @@ use bgc_graph::DatasetKind;
 
 fn main() {
     let scale = ExperimentScale::Quick;
-    println!("defense evaluation at {} scale (Table IV protocol)\n", scale.name());
+    println!(
+        "defense evaluation at {} scale (Table IV protocol)\n",
+        scale.name()
+    );
     for dataset in [DatasetKind::Cora, DatasetKind::Citeseer] {
         let ratio = dataset.paper_condensation_ratios()[1];
         let record = run_defense_cell(scale, dataset, CondensationKind::GCondX, ratio);
-        println!("dataset {:10}  (GCond-X, r = {:.2}%)", record.dataset, record.ratio * 100.0);
-        println!("  no defense : CTA {:>6.1}%  ASR {:>6.1}%", record.cta * 100.0, record.asr * 100.0);
+        println!(
+            "dataset {:10}  (GCond-X, r = {:.2}%)",
+            record.dataset,
+            record.ratio * 100.0
+        );
+        println!(
+            "  no defense : CTA {:>6.1}%  ASR {:>6.1}%",
+            record.cta * 100.0,
+            record.asr * 100.0
+        );
         println!(
             "  Prune      : CTA {:>6.1}%  ASR {:>6.1}%   (ΔCTA {:+.1}, ΔASR {:+.1})",
             record.prune_cta * 100.0,

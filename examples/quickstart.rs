@@ -37,7 +37,13 @@ fn main() {
         GnnArchitecture::Gcn.build(graph.num_features(), 32, graph.num_classes, 2, &mut rng);
     train_on_condensed(model.as_mut(), &condensed, &TrainConfig::quick());
     let adj = AdjacencyRef::from_graph(&graph);
-    let condensed_acc = evaluate(model.as_ref(), &adj, &graph.features, &graph.labels, &graph.split.test);
+    let condensed_acc = evaluate(
+        model.as_ref(),
+        &adj,
+        &graph.features,
+        &graph.labels,
+        &graph.split.test,
+    );
 
     // 4. Compare with a GCN trained on the full original graph.
     let full_acc = full_graph_reference_accuracy(&graph, &VictimSpec::quick(), 0);

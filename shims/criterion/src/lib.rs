@@ -1,0 +1,271 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal benchmarking harness exposing the criterion API surface the
+//! `bgc-bench` crate uses: [`Criterion`], [`BenchmarkId`], benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurements do a short
+//! warmup, then report the mean and best wall-clock time per iteration.
+//!
+//! Set `BENCH_QUICK=1` to cut sample time by ~10x (useful in CI smoke runs).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub best: Duration,
+    /// Number of timed iterations.
+    pub iters: u64,
+}
+
+fn budget() -> (Duration, Duration) {
+    if std::env::var("BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        (Duration::from_millis(5), Duration::from_millis(30))
+    } else {
+        (Duration::from_millis(50), Duration::from_millis(300))
+    }
+}
+
+/// Collects timing for one benchmark target.
+pub struct Bencher {
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `f`, running a warmup first, then enough iterations to fill the
+    /// sampling budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let (warmup_budget, sample_budget) = budget();
+
+        // Warmup: at least one call, until the warmup budget is spent.
+        let warmup_start = Instant::now();
+        loop {
+            black_box(f());
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+
+        let mut iters: u64 = 0;
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let sample_start = Instant::now();
+        while iters < 5 || (sample_start.elapsed() < sample_budget && iters < 1_000_000) {
+            let t = Instant::now();
+            black_box(f());
+            let dt = t.elapsed();
+            total += dt;
+            if dt < best {
+                best = dt;
+            }
+            iters += 1;
+        }
+        self.result = Some(Measurement {
+            mean: total / iters.max(1) as u32,
+            best,
+            iters,
+        });
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{} ns", ns)
+    }
+}
+
+fn run_target(name: &str, f: impl FnOnce(&mut Bencher)) -> Option<Measurement> {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    match b.result {
+        Some(m) => {
+            println!(
+                "{:<56} time: [mean {:>12}, best {:>12}] ({} iters)",
+                name,
+                human(m.mean),
+                human(m.best),
+                m.iters
+            );
+            Some(m)
+        }
+        None => {
+            println!(
+                "{:<56} (no measurement: Bencher::iter was never called)",
+                name
+            );
+            None
+        }
+    }
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A plain `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Measurement)>,
+}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(m) = run_target(name, |b| f(b)) {
+            self.results.push((name.to_string(), m));
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// All measurements recorded so far, as `(name, measurement)` pairs.
+    pub fn measurements(&self) -> &[(String, Measurement)] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group against an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(m) = run_target(&full, |b| f(b, input)) {
+            self.criterion.results.push((full, m));
+        }
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(m) = run_target(&full, |b| f(b)) {
+            self.criterion.results.push((full, m));
+        }
+        self
+    }
+
+    /// Finishes the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].1.iters >= 5);
+    }
+
+    #[test]
+    fn group_names_are_prefixed() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_with_input(BenchmarkId::from_parameter(42), &42, |b, &n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.measurements()[0].0, "grp/42");
+    }
+}

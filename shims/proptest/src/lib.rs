@@ -1,0 +1,403 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal property-testing harness with the surface the test suites use:
+//! range/tuple/`collection::vec` strategies, `prop_map`, the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), and `prop_assert!` /
+//! `prop_assert_eq!`. Cases are generated from a deterministic per-test seed
+//! so failures reproduce; there is no shrinking — the failing inputs are
+//! printed instead.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed-assertion error.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic case generator handed to strategies.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Seeds the generator from the test name (stable across runs).
+    pub fn for_test(name: &str) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, i64, i32, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// "Just this value" strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: a fixed length or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection::vec: empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy generating vectors of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with its inputs printed) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Declares property tests. Mirrors proptest's macro for the forms used in
+/// this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0usize..10, v in proptest::collection::vec(0f32..1.0, 1..20)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` item of a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($sig:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    $crate::__proptest_bindings!(rng; { $body }; $($sig)*);
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Internal token muncher: turns `arg in strategy, ...` into `let` bindings
+/// around the test body, then invokes the body inside a `Result` closure.
+/// Strategy expressions are accumulated token-by-token until a top-level
+/// comma (tuples and calls keep their commas inside their delimiters).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    // No (more) arguments: run the body.
+    ($rng:ident; { $body:block };) => {
+        (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+            $body
+            ::core::result::Result::Ok(())
+        })()
+    };
+    // Start parsing `name in <strategy tokens...>`.
+    ($rng:ident; { $body:block }; $arg:ident in $($rest:tt)*) => {
+        $crate::__proptest_strategy!($rng; { $body }; $arg; (); $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_strategy {
+    // End of signature: bind and run.
+    ($rng:ident; { $body:block }; $arg:ident; ($($strategy:tt)*);) => {{
+        let $arg = $crate::Strategy::generate(&($($strategy)*), &mut $rng);
+        $crate::__proptest_bindings!($rng; { $body };)
+    }};
+    // Top-level comma: bind this argument, recurse on the rest.
+    ($rng:ident; { $body:block }; $arg:ident; ($($strategy:tt)*); , $($rest:tt)*) => {{
+        let $arg = $crate::Strategy::generate(&($($strategy)*), &mut $rng);
+        $crate::__proptest_bindings!($rng; { $body }; $($rest)*)
+    }};
+    // Otherwise: accumulate one token into the strategy expression.
+    ($rng:ident; { $body:block }; $arg:ident; ($($strategy:tt)*); $tok:tt $($rest:tt)*) => {
+        $crate::__proptest_strategy!($rng; { $body }; $arg; ($($strategy)* $tok); $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    fn even(limit: usize) -> impl Strategy<Value = usize> {
+        (0usize..limit).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, f in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs(pair in (0usize..5, 0.0f32..1.0), v in crate::collection::vec((0usize..4, 0usize..4), 1..9)) {
+            prop_assert!(pair.0 < 5);
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert_eq!(v.len(), v.len());
+        }
+
+        #[test]
+        fn mapped_strategies_apply(e in even(10), trailing in 0u64..3,) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(trailing < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let s = 0usize..1000;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,173 @@
+//! A persistent work-sharing thread pool.
+//!
+//! One global pool is spawned lazily with `threads - 1` workers (the caller
+//! of [`run_batch`] is the remaining worker: it executes jobs from its own
+//! batch while waiting, so a single-core machine degenerates to plain serial
+//! execution with no synchronization beyond one mutex lock).
+//!
+//! Safety model: [`run_batch`] erases the lifetime of the submitted closures
+//! to `'static` so they can sit in the shared queue, and blocks until every
+//! job of the batch has finished (including on panic, which is caught on the
+//! worker and re-raised on the caller). No job can outlive the borrows it
+//! captures.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One submitted batch of jobs; the caller blocks until `remaining == 0`.
+struct Batch {
+    queue: Mutex<VecDeque<Job>>,
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    done_lock: Mutex<bool>,
+    done: Condvar,
+}
+
+impl Batch {
+    fn pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    fn run_one(&self, job: Job) {
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let mut finished = self.done_lock.lock().unwrap();
+            *finished = true;
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut finished = self.done_lock.lock().unwrap();
+        while !*finished {
+            finished = self.done.wait(finished).unwrap();
+        }
+    }
+}
+
+struct Pool {
+    inbox: Mutex<VecDeque<Arc<Batch>>>,
+    inbox_signal: Condvar,
+    threads: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn configured_threads() -> usize {
+    for var in ["BGC_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        for i in 0..threads.saturating_sub(1) {
+            std::thread::Builder::new()
+                .name(format!("bgc-rayon-{}", i))
+                .spawn(worker_loop)
+                .expect("failed to spawn pool worker");
+        }
+        Pool {
+            inbox: Mutex::new(VecDeque::new()),
+            inbox_signal: Condvar::new(),
+            threads,
+        }
+    })
+}
+
+fn worker_loop() {
+    let pool = pool();
+    loop {
+        let batch = {
+            let mut inbox = pool.inbox.lock().unwrap();
+            loop {
+                // Drop batches that have been drained; park when idle.
+                match inbox.front() {
+                    Some(front) => {
+                        if front.queue.lock().unwrap().is_empty() {
+                            inbox.pop_front();
+                            continue;
+                        }
+                        break front.clone();
+                    }
+                    None => inbox = pool.inbox_signal.wait(inbox).unwrap(),
+                }
+            }
+        };
+        while let Some(job) = batch.pop() {
+            batch.run_one(job);
+        }
+    }
+}
+
+/// Number of threads the pool runs on (including the calling thread).
+pub fn current_num_threads() -> usize {
+    pool().threads
+}
+
+/// Runs every job of the batch to completion, distributing them across the
+/// pool. Blocks until all jobs have finished; panics if any job panicked.
+///
+/// Jobs may borrow from the caller's stack: the lifetime is erased here and
+/// re-established by blocking until the batch is fully drained.
+pub fn run_batch<'scope>(jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    if jobs.is_empty() {
+        return;
+    }
+    let pool = pool();
+    if jobs.len() == 1 || pool.threads == 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+
+    // SAFETY: `run_batch` does not return before `remaining` reaches zero
+    // (`Batch::wait` below), so every erased closure — and everything it
+    // borrows — outlives its execution. Panics inside jobs are caught by
+    // `Batch::run_one`, so a job cannot unwind past the borrowed frame.
+    let jobs: Vec<Job> = jobs
+        .into_iter()
+        .map(|job| unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) })
+        .collect();
+
+    let batch = Arc::new(Batch {
+        remaining: AtomicUsize::new(jobs.len()),
+        queue: Mutex::new(jobs.into_iter().collect()),
+        panicked: AtomicBool::new(false),
+        done_lock: Mutex::new(false),
+        done: Condvar::new(),
+    });
+
+    {
+        let mut inbox = pool.inbox.lock().unwrap();
+        inbox.push_back(batch.clone());
+        pool.inbox_signal.notify_all();
+    }
+
+    // The caller is a worker for its own batch.
+    while let Some(job) = batch.pop() {
+        batch.run_one(job);
+    }
+    batch.wait();
+
+    if batch.panicked.load(Ordering::SeqCst) {
+        panic!("a job in a parallel batch panicked");
+    }
+}

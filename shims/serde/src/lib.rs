@@ -1,0 +1,244 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal serialization surface: a [`Serialize`] trait that renders
+//! directly into a JSON [`Value`], the `#[derive(Serialize)]` macro
+//! (re-exported from the local `serde_derive` shim) and nothing else — the
+//! only consumer is `bgc-eval`'s experiment-report JSON dumps.
+
+#![forbid(unsafe_code)]
+
+// Let the generated `::serde::...` paths resolve inside this crate's own
+// tests as well.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A JSON value. Object fields keep insertion order (like `serde_json` with
+/// the `preserve_order` feature).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object with ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if !n.is_finite() {
+                    // JSON has no NaN/Infinity; serde_json also refuses them.
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{}", n));
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, level, '[', ']', items.len(), |out, i, lvl| {
+                    items[i].write(out, indent, lvl)
+                })
+            }
+            Value::Object(fields) => {
+                write_seq(out, indent, level, '{', '}', fields.len(), |out, i, lvl| {
+                    write_escaped(out, &fields[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    fields[i].1.write(out, indent, lvl);
+                })
+            }
+        }
+    }
+
+    /// Compact JSON encoding.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty-printed JSON encoding (two-space indent).
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(out, i, level + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialization into a JSON [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! serialize_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+serialize_number!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Demo {
+        name: String,
+        score: f32,
+        count: usize,
+        flag: bool,
+        tags: Vec<String>,
+    }
+
+    #[test]
+    fn derived_struct_round_trips_to_json() {
+        let d = Demo {
+            name: "cora \"quoted\"".to_string(),
+            score: 0.5,
+            count: 3,
+            flag: true,
+            tags: vec!["a".into(), "b".into()],
+        };
+        let json = d.to_json_value().to_json_string();
+        assert_eq!(
+            json,
+            r#"{"name":"cora \"quoted\"","score":0.5,"count":3,"flag":true,"tags":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = Value::Object(vec![(
+            "k".to_string(),
+            Value::Array(vec![Value::Number(1.0)]),
+        )]);
+        let pretty = v.to_json_string_pretty();
+        assert!(pretty.contains("\n  \"k\": [\n    1\n  ]\n"));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(f32::NAN.to_json_value().to_json_string(), "null");
+        assert_eq!(f64::INFINITY.to_json_value().to_json_string(), "null");
+    }
+}

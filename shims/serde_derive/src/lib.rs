@@ -1,0 +1,166 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Provides `#[derive(Serialize)]` for the shapes this workspace uses:
+//! plain (non-generic) structs with named fields. The generated impl calls
+//! `serde::Serialize::to_json_value` on every field and assembles a
+//! `serde::Value::Object`, preserving field order.
+//!
+//! Written directly against `proc_macro` (no `syn`/`quote`, which are not
+//! available offline); the parser deliberately rejects anything fancier than
+//! what it understands rather than miscompiling it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match derive_impl(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({:?});", msg).parse().unwrap(),
+    }
+}
+
+fn derive_impl(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        other => {
+            return Err(format!(
+                "#[derive(Serialize)] shim supports only structs, found {:?}",
+                other.map(|t| t.to_string())
+            ))
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => {
+            return Err(format!(
+                "expected struct name, found {:?}",
+                other.map(|t| t.to_string())
+            ))
+        }
+    };
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "#[derive(Serialize)] shim does not support generics on `{}`",
+                    name
+                ))
+            }
+            Some(_) => i += 1,
+            None => {
+                return Err(format!(
+                "#[derive(Serialize)] shim supports only named-field structs, `{}` has no braces",
+                name
+            ))
+            }
+        }
+    };
+
+    let fields = parse_field_names(body)?;
+
+    let mut pushes = String::new();
+    for field in &fields {
+        pushes.push_str(&format!(
+            "fields.push(({:?}.to_string(), ::serde::Serialize::to_json_value(&self.{})));\n",
+            field, field
+        ));
+    }
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn to_json_value(&self) -> ::serde::Value {{\n\
+         \x20       let mut fields: Vec<(String, ::serde::Value)> = Vec::with_capacity({n});\n\
+         {pushes}\
+         \x20       ::serde::Value::Object(fields)\n\
+         \x20   }}\n\
+         }}\n",
+        name = name,
+        n = fields.len(),
+        pushes = pushes,
+    );
+    out.parse()
+        .map_err(|e| format!("serde_derive shim generated invalid code: {:?}", e))
+}
+
+/// Extracts the field names of a named-field struct body, skipping
+/// attributes, visibility and types (angle-bracket depth aware).
+fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tree else {
+            return Err(format!("expected field name, found `{}`", tree));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{}`, found {:?} (tuple structs are not supported)",
+                    fields.last().unwrap(),
+                    other.map(|t| t.to_string())
+                ))
+            }
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tree) = tokens.get(i) {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
