@@ -1,5 +1,7 @@
 //! Regenerates Figure 1 (Clean vs Naive Poison vs BGC) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_fig1 [--scale quick|paper] [--full]`.
 fn main() {
-    let (scale, _full) = bgc_bench::cli();
-    bgc_eval::experiments::fig1(scale).print_and_save();
+    let (runner, _full) = bgc_bench::cli_runner();
+    let started = std::time::Instant::now();
+    bgc_eval::experiments::fig1(&runner).print_and_save();
+    bgc_bench::report_runner_stats(&runner, started);
 }

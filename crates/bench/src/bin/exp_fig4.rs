@@ -1,5 +1,7 @@
 //! Regenerates Figure 4 (BGC vs GTA vs DOORPING) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_fig4 [--scale quick|paper] [--full]`.
 fn main() {
-    let (scale, full) = bgc_bench::cli();
-    bgc_eval::experiments::fig4(scale, full).print_and_save();
+    let (runner, full) = bgc_bench::cli_runner();
+    let started = std::time::Instant::now();
+    bgc_eval::experiments::fig4(&runner, full).print_and_save();
+    bgc_bench::report_runner_stats(&runner, started);
 }

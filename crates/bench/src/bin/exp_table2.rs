@@ -1,5 +1,7 @@
 //! Regenerates Table II (CTA/ASR across datasets, methods, ratios) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_table2 [--scale quick|paper] [--full]`.
 fn main() {
-    let (scale, full) = bgc_bench::cli();
-    bgc_eval::experiments::table2(scale, full).print_and_save();
+    let (runner, full) = bgc_bench::cli_runner();
+    let started = std::time::Instant::now();
+    bgc_eval::experiments::table2(&runner, full).print_and_save();
+    bgc_bench::report_runner_stats(&runner, started);
 }

@@ -86,12 +86,68 @@ impl Default for EvaluationOptions {
     }
 }
 
+/// Test nodes eligible for the ASR estimate.
+///
+/// Without a source-class restriction the pool excludes test nodes whose true
+/// label already equals the attacker's target class: counting those as
+/// "successes" would inflate both ASR and C-ASR (a clean model classifying a
+/// target-class node correctly is not an attack success).  The explicit
+/// `asr_source_class` override (directed attack, Table VI) restricts the pool
+/// to that class instead.
+pub fn asr_candidate_pool(
+    graph: &Graph,
+    options: &EvaluationOptions,
+    target_class: usize,
+) -> Vec<usize> {
+    match options.asr_source_class {
+        Some(class) => graph
+            .split
+            .test
+            .iter()
+            .copied()
+            .filter(|&i| graph.labels[i] == class)
+            .collect(),
+        None => graph
+            .split
+            .test
+            .iter()
+            .copied()
+            .filter(|&i| graph.labels[i] != target_class)
+            .collect(),
+    }
+}
+
+/// The subsample of test nodes the ASR is measured on (global node indices).
+///
+/// Drawn from a dedicated RNG stream keyed off `options.seed` only, so the
+/// sampled node set is identical across victim architectures, layer counts
+/// and condensed graphs — the ASR columns of Tables III/VIII stay comparable.
+pub fn asr_sample_nodes(
+    graph: &Graph,
+    options: &EvaluationOptions,
+    target_class: usize,
+) -> Vec<usize> {
+    let candidates = asr_candidate_pool(graph, options, target_class);
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let count = candidates.len().min(options.max_asr_nodes.max(1));
+    let mut rng = rng_from_seed(options.seed ^ 0x51a9);
+    let picked = sample_without_replacement(candidates.len(), count, &mut rng);
+    picked.into_iter().map(|local| candidates[local]).collect()
+}
+
 /// Trains a victim model on `condensed` and evaluates CTA on the clean graph
 /// and ASR on triggered test nodes.
 ///
 /// The generator is always the attacker's trained generator; when the victim
 /// was trained on a *clean* condensed graph this yields the paper's C-CTA /
 /// C-ASR reference columns.
+///
+/// Victim weight initialization and the ASR node subsample are drawn from two
+/// *independent* RNG streams keyed off `options.seed`: a victim that draws
+/// more or fewer initialization samples (different architecture or layer
+/// count) must not silently change which test nodes the ASR is measured on.
 pub fn evaluate_backdoor(
     graph: &Graph,
     condensed: &CondensedGraph,
@@ -100,13 +156,13 @@ pub fn evaluate_backdoor(
     victim: &VictimSpec,
     options: &EvaluationOptions,
 ) -> AttackEvaluation {
-    let mut rng = rng_from_seed(options.seed ^ 0xe7a1);
+    let mut init_rng = rng_from_seed(options.seed ^ 0xe7a1);
     let mut model = victim.architecture.build(
         graph.num_features(),
         victim.hidden_dim,
         graph.num_classes,
         victim.num_layers,
-        &mut rng,
+        &mut init_rng,
     );
     train_on_condensed(model.as_mut(), condensed, &victim.train);
 
@@ -121,28 +177,16 @@ pub fn evaluate_backdoor(
     );
 
     // Attack success rate on triggered test nodes.
-    let candidates: Vec<usize> = match options.asr_source_class {
-        Some(class) => graph
-            .split
-            .test
-            .iter()
-            .copied()
-            .filter(|&i| graph.labels[i] == class)
-            .collect(),
-        None => graph.split.test.clone(),
-    };
-    if candidates.is_empty() {
+    let sample = asr_sample_nodes(graph, options, attack_config.target_class);
+    if sample.is_empty() {
         return AttackEvaluation {
             cta,
             asr: 0.0,
             asr_nodes: 0,
         };
     }
-    let count = candidates.len().min(options.max_asr_nodes.max(1));
-    let picked = sample_without_replacement(candidates.len(), count, &mut rng);
-    let mut triggered_predictions = Vec::with_capacity(count);
-    for &local in &picked {
-        let node = candidates[local];
+    let mut triggered_predictions = Vec::with_capacity(sample.len());
+    for &node in &sample {
         let attached = attach_to_computation_graph(
             graph,
             node,
@@ -311,6 +355,92 @@ mod tests {
             .filter(|&&i| graph.labels[i] == 1)
             .count();
         assert!(eval.asr_nodes <= class_1_test.min(30));
+    }
+
+    #[test]
+    fn asr_pool_excludes_target_class_test_nodes() {
+        let graph = DatasetKind::Cora.load_small(35);
+        let target_class = 0;
+        let options = EvaluationOptions::default();
+        let pool = asr_candidate_pool(&graph, &options, target_class);
+        assert!(!pool.is_empty());
+        assert!(
+            pool.iter().all(|&i| graph.labels[i] != target_class),
+            "target-class test nodes must not count as ASR candidates"
+        );
+        let non_target = graph
+            .split
+            .test
+            .iter()
+            .filter(|&&i| graph.labels[i] != target_class)
+            .count();
+        assert_eq!(pool.len(), non_target);
+
+        // The directed override still restricts to the requested class.
+        let directed = EvaluationOptions {
+            asr_source_class: Some(2),
+            ..EvaluationOptions::default()
+        };
+        let pool = asr_candidate_pool(&graph, &directed, target_class);
+        assert!(pool.iter().all(|&i| graph.labels[i] == 2));
+    }
+
+    #[test]
+    fn asr_sample_is_independent_of_the_victim() {
+        // The sample depends only on (graph, options, target class); victim
+        // weight init draws from a separate stream, so evaluating different
+        // architectures measures the ASR on the same node set.
+        let graph = DatasetKind::Cora.load_small(36);
+        let options = EvaluationOptions {
+            max_asr_nodes: 20,
+            ..EvaluationOptions::default()
+        };
+        let a = asr_sample_nodes(&graph, &options, 0);
+        let b = asr_sample_nodes(&graph, &options, 0);
+        assert_eq!(a, b, "the sample is a pure function of its inputs");
+        assert_eq!(a.len(), 20);
+        assert!(a.iter().all(|&i| graph.labels[i] != 0));
+        // Different seeds draw different samples (the stream is live).
+        let other = EvaluationOptions { seed: 1, ..options };
+        assert_ne!(a, asr_sample_nodes(&graph, &other, 0));
+    }
+
+    #[test]
+    fn evaluation_measures_asr_on_the_same_nodes_across_victims() {
+        // Regression test for the shared-RNG-stream bug: changing the victim
+        // architecture or depth must not change the ASR node subsample, so
+        // the number of evaluated nodes matches the victim-independent
+        // sample exactly for every victim.
+        let graph = DatasetKind::Cora.load_small(37);
+        let config = BgcConfig::quick();
+        let trigger = crate::trigger::UniversalTrigger::new(bgc_tensor::Matrix::from_fn(
+            config.trigger_size,
+            graph.num_features(),
+            |_, _| 0.5,
+        ));
+        let options = EvaluationOptions {
+            max_asr_nodes: 15,
+            ..EvaluationOptions::default()
+        };
+        let clean = CondensationKind::GCondX
+            .build()
+            .condense(&graph, &config.condensation)
+            .expect("clean condensation");
+        let expected = asr_sample_nodes(&graph, &options, config.target_class).len();
+        for victim in [
+            VictimSpec::quick(),
+            VictimSpec {
+                num_layers: 3,
+                ..VictimSpec::quick()
+            },
+            VictimSpec {
+                architecture: GnnArchitecture::Sgc,
+                ..VictimSpec::quick()
+            },
+        ] {
+            let eval = evaluate_backdoor(&graph, &clean, &trigger, &config, &victim, &options);
+            assert_eq!(eval.asr_nodes, expected);
+        }
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub use attach::{attach_to_computation_graph, build_poisoned_graph, AttachedGrap
 pub use attack::{BgcAttack, BgcOutcome};
 pub use config::{BgcConfig, GeneratorKind, SelectionStrategy};
 pub use evaluation::{
-    evaluate_backdoor, evaluate_clean_reference, full_graph_reference_accuracy, AttackEvaluation,
-    EvaluationOptions, VictimSpec,
+    asr_candidate_pool, asr_sample_nodes, evaluate_backdoor, evaluate_clean_reference,
+    full_graph_reference_accuracy, AttackEvaluation, EvaluationOptions, VictimSpec,
 };
 pub use kmeans::{kmeans, KMeansResult};
 pub use selector::{select_poisoned_nodes, SelectionResult};

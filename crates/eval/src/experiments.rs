@@ -1,20 +1,22 @@
 //! One regenerator function per table and figure of the paper's evaluation
 //! section.  Each returns an [`ExperimentReport`] that the `bgc-bench`
 //! binaries print and dump as JSON.
+//!
+//! Regenerators are *declarative*: they build the list of experiment cells
+//! they need ([`CellGroup`]s), hand the whole list to the [`Runner`] — which
+//! executes independent cells in parallel, shares the attack/condensation
+//! stages between overlapping cells, and resumes from the on-disk cache —
+//! and then render rows from the aggregated results.
 
 use serde::Serialize;
 
 use bgc_condense::CondensationKind;
-use bgc_core::{
-    attach_to_computation_graph, directed_attack, evaluate_backdoor, BgcAttack, GeneratorKind,
-    TriggerProvider, VictimSpec,
-};
-use bgc_defense::{prune_defense, randsmooth_predict, PruneConfig, RandsmoothConfig};
-use bgc_graph::{DatasetKind, Graph, GraphStats};
-use bgc_nn::{accuracy, attack_success_rate, train_on_condensed, AdjacencyRef, GnnArchitecture};
-use bgc_tensor::init::{rng_from_seed, sample_without_replacement};
+use bgc_core::GeneratorKind;
+use bgc_graph::{DatasetKind, GraphStats};
+use bgc_nn::GnnArchitecture;
 
-use crate::protocol::{run_spec, run_spec_with, AttackKind, RunSpec};
+use crate::protocol::AttackKind;
+use crate::runner::{CellGroup, CellOverrides, EvalKind, Runner};
 use crate::scale::ExperimentScale;
 use crate::tables::ExperimentReport;
 
@@ -26,6 +28,22 @@ pub fn sweep_datasets(scale: ExperimentScale, full: bool) -> Vec<DatasetKind> {
         DatasetKind::all().to_vec()
     } else {
         vec![DatasetKind::Cora, DatasetKind::Citeseer]
+    }
+}
+
+/// Runs every group of `rows` through the runner in one parallel wave and
+/// renders one row per group via `render`.
+fn render_rows(
+    report: &mut ExperimentReport,
+    runner: &Runner,
+    rows: Vec<(String, CellGroup)>,
+    render: impl Fn(&str, &crate::protocol::RunMetrics) -> String,
+) {
+    let groups: Vec<&CellGroup> = rows.iter().map(|(_, g)| g).collect();
+    runner.run_groups(&groups);
+    for (prefix, group) in &rows {
+        let metrics = runner.metrics(group);
+        report.push(render(prefix, &metrics), &metrics);
     }
 }
 
@@ -70,95 +88,116 @@ impl From<&GraphStats> for StatsRecord {
 
 /// Figure 1: Clean model vs Naive Poison vs BGC clean test accuracy on Cora
 /// and Citeseer (GCond).
-pub fn fig1(scale: ExperimentScale) -> ExperimentReport {
+pub fn fig1(runner: &Runner) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig1",
         "Figure 1: CTA of Clean / Naive Poison / BGC (GCond)",
-        scale.name(),
+        runner.scale().name(),
     );
+    let mut rows = Vec::new();
     for dataset in [DatasetKind::Cora, DatasetKind::Citeseer] {
         let ratio = dataset.paper_condensation_ratios()[1];
         for attack in [AttackKind::NaivePoison, AttackKind::Bgc] {
-            let mut spec = RunSpec::bgc(dataset, CondensationKind::GCond, ratio, scale);
-            spec.attack = attack;
-            let metrics = run_spec(&spec);
-            report.push(
-                format!(
-                    "{:<10} {:<12} clean-CTA {:>6.2}  attacked-CTA {:>6.2}  ASR {:>6.2}",
-                    metrics.dataset,
-                    metrics.attack,
-                    metrics.c_cta * 100.0,
-                    metrics.cta * 100.0,
-                    metrics.asr * 100.0
-                ),
-                &metrics,
+            let group = runner.group(
+                dataset,
+                CondensationKind::GCond,
+                attack,
+                ratio,
+                EvalKind::Standard,
+                CellOverrides::default(),
             );
+            rows.push((String::new(), group));
         }
     }
+    render_rows(&mut report, runner, rows, |_, metrics| {
+        format!(
+            "{:<10} {:<12} clean-CTA {:>6.2}  attacked-CTA {:>6.2}  ASR {:>6.2}",
+            metrics.dataset,
+            metrics.attack,
+            metrics.c_cta * 100.0,
+            metrics.cta * 100.0,
+            metrics.asr * 100.0
+        )
+    });
     report
 }
 
 /// Table II: C-CTA / CTA / C-ASR / ASR across datasets, condensation methods
 /// and condensation ratios.
-pub fn table2(scale: ExperimentScale, full: bool) -> ExperimentReport {
+pub fn table2(runner: &Runner, full: bool) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "table2",
         "Table II: model utility (CTA) and attack performance (ASR)",
-        scale.name(),
+        runner.scale().name(),
     );
-    for dataset in sweep_datasets(scale, full) {
+    let mut rows = Vec::new();
+    for dataset in sweep_datasets(runner.scale(), full) {
         for method in CondensationKind::all() {
             for ratio in dataset.paper_condensation_ratios() {
-                let spec = RunSpec::bgc(dataset, method, ratio, scale);
-                let metrics = run_spec(&spec);
-                report.push(metrics.table_row(), &metrics);
+                rows.push((String::new(), runner.bgc_group(dataset, method, ratio)));
             }
         }
     }
+    render_rows(&mut report, runner, rows, |_, m| m.table_row());
     report
 }
 
 /// Figure 4: BGC vs GTA vs DOORPING across condensation ratios (GCond).
-pub fn fig4(scale: ExperimentScale, full: bool) -> ExperimentReport {
+pub fn fig4(runner: &Runner, full: bool) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig4",
         "Figure 4: BGC vs adapted graph backdoor baselines (GCond)",
-        scale.name(),
+        runner.scale().name(),
     );
-    for dataset in sweep_datasets(scale, full) {
+    let mut rows = Vec::new();
+    for dataset in sweep_datasets(runner.scale(), full) {
         for ratio in dataset.paper_condensation_ratios() {
             for attack in [AttackKind::Gta, AttackKind::Doorping, AttackKind::Bgc] {
-                let mut spec = RunSpec::bgc(dataset, CondensationKind::GCond, ratio, scale);
-                spec.attack = attack;
-                let metrics = run_spec(&spec);
-                report.push(metrics.table_row(), &metrics);
+                let group = runner.group(
+                    dataset,
+                    CondensationKind::GCond,
+                    attack,
+                    ratio,
+                    EvalKind::Standard,
+                    CellOverrides::default(),
+                );
+                rows.push((String::new(), group));
             }
         }
     }
+    render_rows(&mut report, runner, rows, |_, m| m.table_row());
     report
 }
 
 /// Table III: transfer of the poisoned condensed graph to different victim
 /// GNN architectures (GCond).
-pub fn table3(scale: ExperimentScale, full: bool) -> ExperimentReport {
+pub fn table3(runner: &Runner, full: bool) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "table3",
         "Table III: attack transfer across GNN architectures (GCond)",
-        scale.name(),
+        runner.scale().name(),
     );
-    for dataset in sweep_datasets(scale, full) {
+    let mut rows = Vec::new();
+    for dataset in sweep_datasets(runner.scale(), full) {
         let ratio = dataset.paper_condensation_ratios()[1];
         for architecture in GnnArchitecture::all() {
-            let spec = RunSpec::bgc(dataset, CondensationKind::GCond, ratio, scale);
-            let metrics = run_spec_with(&spec, |_, victim| {
-                victim.architecture = architecture;
-            });
-            report.push(
-                format!("{:<8} {}", architecture.name(), metrics.table_row()),
-                &metrics,
+            let group = runner.group(
+                dataset,
+                CondensationKind::GCond,
+                AttackKind::Bgc,
+                ratio,
+                EvalKind::Standard,
+                CellOverrides {
+                    architecture: Some(architecture),
+                    ..CellOverrides::default()
+                },
             );
+            rows.push((format!("{:<8}", architecture.name()), group));
         }
     }
+    render_rows(&mut report, runner, rows, |prefix, m| {
+        format!("{} {}", prefix, m.table_row())
+    });
     report
 }
 
@@ -186,272 +225,253 @@ pub struct DefenseRecord {
 }
 
 /// Table IV: Prune and Randsmooth defenses against BGC (GCond and GCond-X).
-pub fn table4(scale: ExperimentScale, full: bool) -> ExperimentReport {
+pub fn table4(runner: &Runner, full: bool) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "table4",
         "Table IV: attack performance against defenses",
-        scale.name(),
+        runner.scale().name(),
     );
-    let datasets = sweep_datasets(scale, full);
+    let datasets = sweep_datasets(runner.scale(), full);
+    // Declare the full (method, dataset, eval-mode) grid first so the runner
+    // sees every cell at once; the three eval modes of one coordinate share
+    // a single BGC attack via the stage cache.
+    let mut cells = Vec::new();
     for method in [CondensationKind::GCond, CondensationKind::GCondX] {
         for &dataset in &datasets {
             let ratio = dataset.paper_condensation_ratios()[1];
-            let record = run_defense_cell(scale, dataset, method, ratio);
-            report.push(
-                format!(
-                    "{:<9} {:<10} r={:>5.2}%  undefended CTA {:>6.2} ASR {:>6.2} | Prune CTA {:>6.2} ASR {:>6.2} | Randsmooth CTA {:>6.2} ASR {:>6.2}",
-                    record.method,
-                    record.dataset,
-                    record.ratio * 100.0,
-                    record.cta * 100.0,
-                    record.asr * 100.0,
-                    record.prune_cta * 100.0,
-                    record.prune_asr * 100.0,
-                    record.randsmooth_cta * 100.0,
-                    record.randsmooth_asr * 100.0
-                ),
-                &record,
-            );
+            for eval in [EvalKind::Standard, EvalKind::Prune, EvalKind::Randsmooth] {
+                let group = runner.group(
+                    dataset,
+                    method,
+                    AttackKind::Bgc,
+                    ratio,
+                    eval,
+                    CellOverrides::default(),
+                );
+                cells.push(group);
+            }
         }
+    }
+    runner.run_groups(&cells.iter().collect::<Vec<_>>());
+    for chunk in cells.chunks(3) {
+        let record = defense_record(runner, &chunk[0], &chunk[1], &chunk[2]);
+        report.push(
+            format!(
+                "{:<9} {:<10} r={:>5.2}%  undefended CTA {:>6.2} ASR {:>6.2} | Prune CTA {:>6.2} ASR {:>6.2} | Randsmooth CTA {:>6.2} ASR {:>6.2}",
+                record.method,
+                record.dataset,
+                record.ratio * 100.0,
+                record.cta * 100.0,
+                record.asr * 100.0,
+                record.prune_cta * 100.0,
+                record.prune_asr * 100.0,
+                record.randsmooth_cta * 100.0,
+                record.randsmooth_asr * 100.0
+            ),
+            &record,
+        );
     }
     report
 }
 
+fn defense_record(
+    runner: &Runner,
+    undefended: &CellGroup,
+    prune: &CellGroup,
+    randsmooth: &CellGroup,
+) -> DefenseRecord {
+    let base = runner.metrics(undefended);
+    let prune = runner.metrics(prune);
+    let randsmooth = runner.metrics(randsmooth);
+    DefenseRecord {
+        dataset: base.dataset.clone(),
+        method: base.method.clone(),
+        ratio: base.ratio,
+        cta: base.cta,
+        asr: base.asr,
+        prune_cta: prune.cta,
+        prune_asr: prune.asr,
+        randsmooth_cta: randsmooth.cta,
+        randsmooth_asr: randsmooth.asr,
+    }
+}
+
 /// Runs one defense cell: BGC attack, then evaluation without defense, with
-/// Prune, and with Randsmooth.
+/// Prune, and with Randsmooth.  The attack itself is computed once and
+/// shared by the three evaluations through the runner's stage cache.
 pub fn run_defense_cell(
-    scale: ExperimentScale,
+    runner: &Runner,
     dataset: DatasetKind,
     method: CondensationKind,
     ratio: f32,
 ) -> DefenseRecord {
-    let seed = 29;
-    let graph = scale.load(dataset, seed);
-    let config = scale.bgc_config(dataset, ratio, seed);
-    let victim = scale.victim_spec();
-    let options = scale.evaluation_options(seed);
-    let outcome = BgcAttack::new(config.clone())
-        .run(&graph, method)
-        .expect("BGC attack should run for the defense study");
-
-    // Undefended.
-    let undefended = evaluate_backdoor(
-        &graph,
-        &outcome.condensed,
-        &outcome.generator,
-        &config,
-        &victim,
-        &options,
-    );
-    // Prune: defend the condensed graph, retrain the victim.
-    let pruned = prune_defense(&outcome.condensed, &PruneConfig::default());
-    let prune_eval = evaluate_backdoor(
-        &graph,
-        &pruned.condensed,
-        &outcome.generator,
-        &config,
-        &victim,
-        &options,
-    );
-    // Randsmooth: same condensed graph, smoothed inference.
-    let (randsmooth_cta, randsmooth_asr) = randsmooth_evaluation(
-        &graph,
-        &outcome.condensed,
-        &outcome.generator,
-        &config,
-        &victim,
-        &options,
-        &RandsmoothConfig::default(),
-    );
-    DefenseRecord {
-        dataset: dataset.name().to_string(),
-        method: method.name().to_string(),
-        ratio,
-        cta: undefended.cta,
-        asr: undefended.asr,
-        prune_cta: prune_eval.cta,
-        prune_asr: prune_eval.asr,
-        randsmooth_cta,
-        randsmooth_asr,
-    }
-}
-
-/// CTA/ASR of a victim trained on `condensed` but evaluated through
-/// randomized smoothing.
-fn randsmooth_evaluation(
-    graph: &Graph,
-    condensed: &bgc_graph::CondensedGraph,
-    provider: &dyn TriggerProvider,
-    config: &bgc_core::BgcConfig,
-    victim: &VictimSpec,
-    options: &bgc_core::EvaluationOptions,
-    smooth: &RandsmoothConfig,
-) -> (f32, f32) {
-    let mut rng = rng_from_seed(options.seed ^ 0x5107);
-    let mut model = victim.architecture.build(
-        graph.num_features(),
-        victim.hidden_dim,
-        graph.num_classes,
-        victim.num_layers,
-        &mut rng,
-    );
-    train_on_condensed(model.as_mut(), condensed, &victim.train);
-    let full_adj = AdjacencyRef::from_graph(graph);
-    let preds = randsmooth_predict(
-        model.as_ref(),
-        &full_adj,
-        &graph.features,
-        graph.num_classes,
-        smooth,
-    );
-    let test_preds: Vec<usize> = graph.split.test.iter().map(|&i| preds[i]).collect();
-    let test_labels = graph.labels_of(&graph.split.test);
-    let cta = accuracy(&test_preds, &test_labels);
-
-    let count = graph.split.test.len().min(options.max_asr_nodes.max(1));
-    let picked = sample_without_replacement(graph.split.test.len(), count, &mut rng);
-    let mut triggered = Vec::with_capacity(count);
-    for &local in &picked {
-        let node = graph.split.test[local];
-        let attached = attach_to_computation_graph(
-            graph,
-            node,
-            provider.trigger_size(),
-            config.khop,
-            config.max_neighbors_per_hop,
-        );
-        let trigger = provider.trigger_for(&full_adj, &graph.features, node);
-        let features = attached.combined_features_plain(&trigger);
-        let preds = randsmooth_predict(
-            model.as_ref(),
-            &attached.adjacency_ref(),
-            &features,
-            graph.num_classes,
-            smooth,
-        );
-        triggered.push(preds[attached.center]);
-    }
-    let asr = attack_success_rate(&triggered, config.target_class);
-    (cta, asr)
+    let groups: Vec<CellGroup> = [EvalKind::Standard, EvalKind::Prune, EvalKind::Randsmooth]
+        .into_iter()
+        .map(|eval| {
+            runner.group(
+                dataset,
+                method,
+                AttackKind::Bgc,
+                ratio,
+                eval,
+                CellOverrides::default(),
+            )
+        })
+        .collect();
+    runner.run_groups(&groups.iter().collect::<Vec<_>>());
+    defense_record(runner, &groups[0], &groups[1], &groups[2])
 }
 
 /// Figure 5: ablation of the poisoned-node selection module (BGC vs BGC_Rand)
 /// on the inductive datasets (DC-Graph).
-pub fn fig5(scale: ExperimentScale) -> ExperimentReport {
+pub fn fig5(runner: &Runner) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig5",
         "Figure 5: ablation on poisoned-node selection (DC-Graph)",
-        scale.name(),
+        runner.scale().name(),
     );
+    let mut rows = Vec::new();
     for dataset in [DatasetKind::Flickr, DatasetKind::Reddit] {
         let ratio = dataset.paper_condensation_ratios()[1];
         for attack in [AttackKind::BgcRand, AttackKind::Bgc] {
-            let mut spec = RunSpec::bgc(dataset, CondensationKind::DcGraph, ratio, scale);
-            spec.attack = attack;
-            let metrics = run_spec(&spec);
-            report.push(metrics.table_row(), &metrics);
+            let group = runner.group(
+                dataset,
+                CondensationKind::DcGraph,
+                attack,
+                ratio,
+                EvalKind::Standard,
+                CellOverrides::default(),
+            );
+            rows.push((String::new(), group));
         }
     }
+    render_rows(&mut report, runner, rows, |_, m| m.table_row());
     report
 }
 
 /// Table V: ablation on the trigger-generator encoder (MLP / GCN /
 /// Transformer, GCond).
-pub fn table5(scale: ExperimentScale) -> ExperimentReport {
+pub fn table5(runner: &Runner) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "table5",
         "Table V: ablation on the trigger generator (GCond)",
-        scale.name(),
+        runner.scale().name(),
     );
+    let mut rows = Vec::new();
     for dataset in [DatasetKind::Cora, DatasetKind::Citeseer] {
         for generator in GeneratorKind::all() {
             let ratio = dataset.paper_condensation_ratios()[0];
-            let spec = RunSpec::bgc(dataset, CondensationKind::GCond, ratio, scale);
-            let metrics = run_spec_with(&spec, |config, _| {
-                config.generator = generator;
-            });
-            report.push(
-                format!("{:<12} {}", generator.name(), metrics.table_row()),
-                &metrics,
+            let group = runner.group(
+                dataset,
+                CondensationKind::GCond,
+                AttackKind::Bgc,
+                ratio,
+                EvalKind::Standard,
+                CellOverrides {
+                    generator: Some(generator),
+                    ..CellOverrides::default()
+                },
             );
+            rows.push((format!("{:<12}", generator.name()), group));
         }
     }
+    render_rows(&mut report, runner, rows, |prefix, m| {
+        format!("{} {}", prefix, m.table_row())
+    });
     report
 }
 
 /// Table VI: directed attack (a single source class is poisoned and
 /// evaluated).
-pub fn table6(scale: ExperimentScale) -> ExperimentReport {
+pub fn table6(runner: &Runner) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "table6",
         "Table VI: directed attack ablation (GCond)",
-        scale.name(),
+        runner.scale().name(),
     );
+    let mut rows = Vec::new();
     for dataset in [DatasetKind::Cora, DatasetKind::Citeseer] {
         let ratio = dataset.paper_condensation_ratios()[1];
         // Undirected BGC reference.
-        let spec = RunSpec::bgc(dataset, CondensationKind::GCond, ratio, scale);
-        let undirected = run_spec(&spec);
-        report.push(
-            format!("{:<9} {}", "BGC", undirected.table_row()),
-            &undirected,
-        );
+        rows.push((
+            format!("{:<9}", "BGC"),
+            runner.bgc_group(dataset, CondensationKind::GCond, ratio),
+        ));
         // Directed variant: poison class 1, evaluate ASR on class 1 only.
-        let source_class = 1;
-        let directed = run_spec_with(&spec, |config, _| {
-            *config = directed_attack(config, source_class);
-        });
-        report.push(
-            format!("{:<9} {}", "Directed", directed.table_row()),
-            &directed,
+        let directed = runner.group(
+            dataset,
+            CondensationKind::GCond,
+            AttackKind::Bgc,
+            ratio,
+            EvalKind::Standard,
+            CellOverrides {
+                source_class: Some(1),
+                ..CellOverrides::default()
+            },
         );
+        rows.push((format!("{:<9}", "Directed"), directed));
     }
+    render_rows(&mut report, runner, rows, |prefix, m| {
+        format!("{} {}", prefix, m.table_row())
+    });
     report
 }
 
 /// Figure 6: ASR as a function of the number of condensation epochs (GCond).
-pub fn fig6(scale: ExperimentScale, full: bool) -> ExperimentReport {
+pub fn fig6(runner: &Runner, full: bool) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig6",
         "Figure 6: ASR vs condensation epochs (GCond)",
-        scale.name(),
+        runner.scale().name(),
     );
-    let epoch_grid: Vec<usize> = match scale {
+    let epoch_grid: Vec<usize> = match runner.scale() {
         ExperimentScale::Quick => vec![5, 10, 20, 40, 80],
         ExperimentScale::Paper => vec![50, 100, 300, 500, 700, 900, 1000],
     };
-    for dataset in sweep_datasets(scale, full) {
+    let mut rows = Vec::new();
+    for dataset in sweep_datasets(runner.scale(), full) {
         let ratio = dataset.paper_condensation_ratios()[1];
         for &epochs in &epoch_grid {
-            let spec = RunSpec::bgc(dataset, CondensationKind::GCond, ratio, scale);
-            let metrics = run_spec_with(&spec, |config, _| {
-                config.condensation.outer_epochs = epochs;
-            });
-            report.push(
-                format!(
-                    "{:<10} epochs {:>5}  ASR {:>6.2}  CTA {:>6.2}",
-                    dataset.name(),
-                    epochs,
-                    metrics.asr * 100.0,
-                    metrics.cta * 100.0
-                ),
-                &metrics,
+            let group = runner.group(
+                dataset,
+                CondensationKind::GCond,
+                AttackKind::Bgc,
+                ratio,
+                EvalKind::Standard,
+                CellOverrides {
+                    outer_epochs: Some(epochs),
+                    ..CellOverrides::default()
+                },
             );
+            rows.push((format!("{:>5}", epochs), group));
         }
     }
+    render_rows(&mut report, runner, rows, |prefix, m| {
+        format!(
+            "{:<10} epochs {}  ASR {:>6.2}  CTA {:>6.2}",
+            m.dataset,
+            prefix,
+            m.asr * 100.0,
+            m.cta * 100.0
+        )
+    });
     report
 }
 
 /// Table VII: effect of the poisoning ratio / poisoning number.
-pub fn table7(scale: ExperimentScale, full: bool) -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("table7", "Table VII: poisoning budget study", scale.name());
+pub fn table7(runner: &Runner, full: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table7",
+        "Table VII: poisoning budget study",
+        runner.scale().name(),
+    );
     let methods = [
         CondensationKind::DcGraph,
         CondensationKind::GCond,
         CondensationKind::GCondX,
     ];
-    for dataset in sweep_datasets(scale, full) {
+    let mut rows = Vec::new();
+    for dataset in sweep_datasets(runner.scale(), full) {
         let ratio = dataset.paper_condensation_ratios()[0];
         let budgets: Vec<bgc_graph::PoisonBudget> = match dataset {
             DatasetKind::Cora | DatasetKind::Citeseer => vec![
@@ -472,73 +492,93 @@ pub fn table7(scale: ExperimentScale, full: bool) -> ExperimentReport {
         };
         for budget in budgets {
             for method in methods {
-                let spec = RunSpec::bgc(dataset, method, ratio, scale);
-                let metrics = run_spec_with(&spec, |config, _| {
-                    config.poison_budget = match (scale, budget) {
-                        (ExperimentScale::Quick, bgc_graph::PoisonBudget::Count(c)) => {
-                            bgc_graph::PoisonBudget::Count((c / 10).max(4))
-                        }
-                        (_, b) => b,
-                    };
-                });
-                report.push(
-                    format!("budget {:?} {}", budget, metrics.table_row()),
-                    &metrics,
+                // Quick scale shrinks absolute budgets with the datasets.
+                let scaled = runner.scale().scale_budget(budget);
+                let group = runner.group(
+                    dataset,
+                    method,
+                    AttackKind::Bgc,
+                    ratio,
+                    EvalKind::Standard,
+                    CellOverrides {
+                        poison_budget: Some(scaled.into()),
+                        ..CellOverrides::default()
+                    },
                 );
+                rows.push((format!("budget {:?}", budget), group));
             }
         }
     }
+    render_rows(&mut report, runner, rows, |prefix, m| {
+        format!("{} {}", prefix, m.table_row())
+    });
     report
 }
 
 /// Table VIII: effect of the number of victim GNN layers (GCond).
-pub fn table8(scale: ExperimentScale, full: bool) -> ExperimentReport {
+pub fn table8(runner: &Runner, full: bool) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "table8",
         "Table VIII: number of GNN layers (GCond)",
-        scale.name(),
+        runner.scale().name(),
     );
-    let mut datasets = sweep_datasets(scale, full);
+    let mut datasets = sweep_datasets(runner.scale(), full);
     datasets.retain(|d| *d != DatasetKind::Reddit); // the paper studies Cora/Citeseer/Flickr
+    let mut rows = Vec::new();
     for dataset in datasets {
         for ratio in dataset.paper_condensation_ratios() {
             for layers in [1usize, 2, 3] {
-                let spec = RunSpec::bgc(dataset, CondensationKind::GCond, ratio, scale);
-                let metrics = run_spec_with(&spec, |_, victim| {
-                    victim.num_layers = layers;
-                });
-                report.push(
-                    format!("layers {} {}", layers, metrics.table_row()),
-                    &metrics,
+                let group = runner.group(
+                    dataset,
+                    CondensationKind::GCond,
+                    AttackKind::Bgc,
+                    ratio,
+                    EvalKind::Standard,
+                    CellOverrides {
+                        num_layers: Some(layers),
+                        ..CellOverrides::default()
+                    },
                 );
+                rows.push((format!("layers {}", layers), group));
             }
         }
     }
+    render_rows(&mut report, runner, rows, |prefix, m| {
+        format!("{} {}", prefix, m.table_row())
+    });
     report
 }
 
 /// Figure 8: effect of the trigger size (DC-Graph and GCond on Flickr).
-pub fn fig8(scale: ExperimentScale) -> ExperimentReport {
+pub fn fig8(runner: &Runner) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig8",
         "Figure 8: trigger size study (Flickr)",
-        scale.name(),
+        runner.scale().name(),
     );
     let dataset = DatasetKind::Flickr;
+    let mut rows = Vec::new();
     for method in [CondensationKind::DcGraph, CondensationKind::GCond] {
         for ratio in dataset.paper_condensation_ratios() {
             for trigger_size in 1..=4usize {
-                let spec = RunSpec::bgc(dataset, method, ratio, scale);
-                let metrics = run_spec_with(&spec, |config, _| {
-                    config.trigger_size = trigger_size;
-                });
-                report.push(
-                    format!("|g|={} {}", trigger_size, metrics.table_row()),
-                    &metrics,
+                let group = runner.group(
+                    dataset,
+                    method,
+                    AttackKind::Bgc,
+                    ratio,
+                    EvalKind::Standard,
+                    CellOverrides {
+                        trigger_size: Some(trigger_size),
+                        ..CellOverrides::default()
+                    },
                 );
+                rows.push((format!("|g|={}", trigger_size), group));
             }
         }
     }
+    render_rows(&mut report, runner, rows, |prefix, m| {
+        format!("{} {}", prefix, m.table_row())
+    });
     report
 }
 
@@ -560,5 +600,24 @@ mod tests {
         assert_eq!(sweep_datasets(ExperimentScale::Quick, false).len(), 2);
         assert_eq!(sweep_datasets(ExperimentScale::Quick, true).len(), 4);
         assert_eq!(sweep_datasets(ExperimentScale::Paper, false).len(), 4);
+    }
+
+    #[test]
+    fn regenerators_declare_overlapping_cells() {
+        // Table II and Figure 1 both contain the (cora, GCond, r[1], BGC)
+        // cell — the declarative grid makes the overlap structural, which is
+        // what the runner's cache exploits.
+        let runner = Runner::in_memory(ExperimentScale::Quick);
+        let ratio = DatasetKind::Cora.paper_condensation_ratios()[1];
+        let table2_group = runner.bgc_group(DatasetKind::Cora, CondensationKind::GCond, ratio);
+        let fig1_group = runner.group(
+            DatasetKind::Cora,
+            CondensationKind::GCond,
+            AttackKind::Bgc,
+            ratio,
+            EvalKind::Standard,
+            CellOverrides::default(),
+        );
+        assert_eq!(table2_group.keys, fig1_group.keys);
     }
 }

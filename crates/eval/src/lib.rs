@@ -11,9 +11,17 @@
 pub mod experiments;
 pub mod paper;
 pub mod protocol;
+pub mod runner;
 pub mod scale;
 pub mod tables;
 
-pub use protocol::{run_spec, run_spec_with, AttackKind, RunMetrics, RunSpec};
+pub use protocol::{
+    attack_stage, clean_stage, run_spec, run_spec_with, AttackArtifacts, AttackKind, RunMetrics,
+    RunSpec,
+};
+pub use runner::{
+    BudgetOverride, CellGroup, CellKey, CellOverrides, CellResult, EvalKind, Runner, RunnerStats,
+    DEFAULT_BASE_SEED,
+};
 pub use scale::ExperimentScale;
 pub use tables::ExperimentReport;

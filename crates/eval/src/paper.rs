@@ -5,6 +5,15 @@
 //! the comparison of interest is the *shape* (ASR close to 1.0, CTA close to
 //! C-CTA), not the absolute numbers, because the datasets are synthetic
 //! stand-ins (see DESIGN.md).
+//!
+//! **ASR protocol note.** This reproduction estimates ASR/C-ASR on a candidate
+//! pool that *excludes* test nodes whose true label already equals the target
+//! class (a model predicting the target class for a genuine target-class node
+//! is not an attack success).  The paper samples the whole test split, so its
+//! ASR and especially C-ASR columns include a `1/C`-sized fraction of such
+//! free "successes"; measured C-ASR here therefore sits slightly *below* the
+//! quoted reference values, and ASR differences of up to roughly one
+//! target-class fraction are protocol, not reproduction, error.
 
 use bgc_graph::DatasetKind;
 

@@ -3,6 +3,8 @@
 //! C-ASR / ASR aggregated over repetitions (mean and standard deviation), as
 //! in Table II of the paper.
 
+use std::sync::Arc;
+
 use serde::Serialize;
 
 use bgc_condense::{CondensationKind, CondenseError};
@@ -10,13 +12,13 @@ use bgc_core::{
     evaluate_backdoor, evaluate_clean_reference, BgcAttack, BgcConfig, EvaluationOptions,
     TriggerProvider, VictimSpec,
 };
-use bgc_graph::{DatasetKind, Graph};
+use bgc_graph::{CondensedGraph, DatasetKind, Graph};
 use bgc_nn::mean_std;
 
 use crate::scale::ExperimentScale;
 
 /// Which attack is being evaluated.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum AttackKind {
     /// The paper's attack.
     Bgc,
@@ -134,6 +136,40 @@ impl RunMetrics {
         }
     }
 
+    /// Aggregates per-repetition measurements into the paper's
+    /// `mean (std)` cell (sample standard deviation over the repetitions).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_repetitions(
+        dataset: &str,
+        method: &str,
+        attack: &str,
+        ratio: f32,
+        c_ctas: &[f32],
+        ctas: &[f32],
+        c_asrs: &[f32],
+        asrs: &[f32],
+    ) -> Self {
+        let (c_cta, c_cta_std) = mean_std(c_ctas);
+        let (cta, cta_std) = mean_std(ctas);
+        let (c_asr, c_asr_std) = mean_std(c_asrs);
+        let (asr, asr_std) = mean_std(asrs);
+        Self {
+            dataset: dataset.to_string(),
+            method: method.to_string(),
+            attack: attack.to_string(),
+            ratio,
+            c_cta,
+            c_cta_std,
+            cta,
+            cta_std,
+            c_asr,
+            c_asr_std,
+            asr,
+            asr_std,
+            oom: false,
+        }
+    }
+
     /// Renders the row in the paper's `value (std)` percent format.
     pub fn table_row(&self) -> String {
         if self.oom {
@@ -171,24 +207,50 @@ struct RepetitionOutcome {
     asr: f32,
 }
 
-fn run_once(
-    spec: &RunSpec,
+/// Output of the attack stage of one experiment cell: the poisoned condensed
+/// graph plus the trigger provider used against victims at test time.  The
+/// grid runner ([`crate::runner`]) caches and shares these across cells, so
+/// everything inside is immutable and behind `Arc`.
+#[derive(Clone)]
+pub struct AttackArtifacts {
+    /// The poisoned condensed graph handed to the victim.
+    pub condensed: Arc<CondensedGraph>,
+    /// The trigger provider evaluated against the victim.
+    pub provider: Arc<dyn TriggerProvider + Send + Sync>,
+}
+
+/// Clean-reference condensation stage: condenses the unpoisoned graph with
+/// the method under attack (shared by every attack on the same cell
+/// coordinates).
+pub fn clean_stage(
+    graph: &Graph,
+    method: CondensationKind,
+    config: &BgcConfig,
+) -> Result<CondensedGraph, CondenseError> {
+    method.build().condense(graph, &config.condensation)
+}
+
+/// Attack stage: runs `attack` against `method` on `graph` and returns the
+/// poisoned condensed graph plus the test-time trigger provider.  The Naive
+/// Poison baseline injects directly into the clean condensed graph, hence the
+/// `clean` argument — it must be `Some` for [`AttackKind::NaivePoison`] and
+/// is ignored by every other attack.
+pub fn attack_stage(
+    attack: AttackKind,
+    method: CondensationKind,
     graph: &Graph,
     config: &BgcConfig,
-    victim: &VictimSpec,
-    options: &EvaluationOptions,
-) -> Result<RepetitionOutcome, CondenseError> {
-    // Clean reference condensation (shared by every attack).
-    let clean = spec.method.build().condense(graph, &config.condensation)?;
-    let (poisoned, provider): (_, Box<dyn TriggerProvider>) = match spec.attack {
+    clean: Option<&CondensedGraph>,
+) -> Result<AttackArtifacts, CondenseError> {
+    let (condensed, provider): (_, Arc<dyn TriggerProvider + Send + Sync>) = match attack {
         AttackKind::Bgc => {
-            let outcome = BgcAttack::new(config.clone()).run(graph, spec.method)?;
-            (outcome.condensed, Box::new(outcome.generator))
+            let outcome = BgcAttack::new(config.clone()).run(graph, method)?;
+            (outcome.condensed, Arc::new(outcome.generator))
         }
         AttackKind::BgcRand => {
             let rand_config = bgc_core::randomized_selection(config);
-            let outcome = BgcAttack::new(rand_config).run(graph, spec.method)?;
-            (outcome.condensed, Box::new(outcome.generator))
+            let outcome = BgcAttack::new(rand_config).run(graph, method)?;
+            (outcome.condensed, Arc::new(outcome.generator))
         }
         AttackKind::NaivePoison => {
             let naive = bgc_core::baselines::NaivePoisonAttack::new(
@@ -199,24 +261,52 @@ fn run_once(
                     seed: config.seed,
                 },
             );
-            let outcome = naive.poison_condensed(&clean, graph.num_features());
-            (outcome.condensed, Box::new(outcome.trigger))
+            let clean = clean.expect("the Naive Poison attack needs the clean condensed graph");
+            let outcome = naive.poison_condensed(clean, graph.num_features());
+            (outcome.condensed, Arc::new(outcome.trigger))
         }
         AttackKind::Gta => {
-            let outcome =
-                bgc_core::baselines::GtaAttack::new(config.clone()).run(graph, spec.method)?;
-            (outcome.condensed, Box::new(outcome.generator))
+            let outcome = bgc_core::baselines::GtaAttack::new(config.clone()).run(graph, method)?;
+            (outcome.condensed, Arc::new(outcome.generator))
         }
         AttackKind::Doorping => {
             let outcome =
-                bgc_core::baselines::DoorpingAttack::new(config.clone()).run(graph, spec.method)?;
-            (outcome.condensed, Box::new(outcome.trigger))
+                bgc_core::baselines::DoorpingAttack::new(config.clone()).run(graph, method)?;
+            (outcome.condensed, Arc::new(outcome.trigger))
         }
     };
-    let backdoored =
-        evaluate_backdoor(graph, &poisoned, provider.as_ref(), config, victim, options);
-    let reference =
-        evaluate_clean_reference(graph, &clean, provider.as_ref(), config, victim, options);
+    Ok(AttackArtifacts {
+        condensed: Arc::new(condensed),
+        provider,
+    })
+}
+
+fn run_once(
+    spec: &RunSpec,
+    graph: &Graph,
+    config: &BgcConfig,
+    victim: &VictimSpec,
+    options: &EvaluationOptions,
+) -> Result<RepetitionOutcome, CondenseError> {
+    // Clean reference condensation (shared by every attack).
+    let clean = clean_stage(graph, spec.method, config)?;
+    let artifacts = attack_stage(spec.attack, spec.method, graph, config, Some(&clean))?;
+    let backdoored = evaluate_backdoor(
+        graph,
+        &artifacts.condensed,
+        artifacts.provider.as_ref(),
+        config,
+        victim,
+        options,
+    );
+    let reference = evaluate_clean_reference(
+        graph,
+        &clean,
+        artifacts.provider.as_ref(),
+        config,
+        victim,
+        options,
+    );
     Ok(RepetitionOutcome {
         c_cta: reference.cta,
         cta: backdoored.cta,
@@ -261,25 +351,16 @@ pub fn run_spec_with(
             Err(err) => panic!("experiment {:?} failed: {}", spec, err),
         }
     }
-    let (c_cta, c_cta_std) = mean_std(&c_ctas);
-    let (cta, cta_std) = mean_std(&ctas);
-    let (c_asr, c_asr_std) = mean_std(&c_asrs);
-    let (asr, asr_std) = mean_std(&asrs);
-    RunMetrics {
-        dataset: spec.dataset.name().to_string(),
-        method: spec.method.name().to_string(),
-        attack: spec.attack.name().to_string(),
-        ratio: spec.ratio,
-        c_cta,
-        c_cta_std,
-        cta,
-        cta_std,
-        c_asr,
-        c_asr_std,
-        asr,
-        asr_std,
-        oom: false,
-    }
+    RunMetrics::from_repetitions(
+        spec.dataset.name(),
+        spec.method.name(),
+        spec.attack.name(),
+        spec.ratio,
+        &c_ctas,
+        &ctas,
+        &c_asrs,
+        &asrs,
+    )
 }
 
 #[cfg(test)]

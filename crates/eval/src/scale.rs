@@ -15,7 +15,7 @@ use bgc_graph::{DatasetKind, Graph};
 use bgc_nn::TrainConfig;
 
 /// Quick (laptop) or paper-faithful experiment scale.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ExperimentScale {
     /// Reduced datasets / epochs / repetitions.
     Quick,
@@ -91,21 +91,26 @@ impl ExperimentScale {
             ExperimentScale::Paper => BgcConfig::default(),
         };
         config.condensation = self.condensation_config(ratio);
-        config.poison_budget = dataset.paper_poison_budget();
+        config.poison_budget = self.scale_budget(dataset.paper_poison_budget());
         if *self == ExperimentScale::Quick {
-            // The absolute poison counts of the inductive datasets are scaled
-            // with the datasets themselves.
-            config.poison_budget = match dataset.paper_poison_budget() {
-                bgc_graph::PoisonBudget::Count(c) => {
-                    bgc_graph::PoisonBudget::Count((c / 10).max(4))
-                }
-                ratio_budget => ratio_budget,
-            };
             config.max_neighbors_per_hop = 8;
             config.condensation.outer_epochs = 40;
         }
         config.seed = seed;
         config
+    }
+
+    /// Rescales a paper-scale poisoning budget to this scale: the absolute
+    /// poison counts of the inductive datasets shrink with the 10x-smaller
+    /// quick datasets, ratio budgets are scale-free.  Shared by
+    /// [`Self::bgc_config`] and the Table VII budget sweep.
+    pub fn scale_budget(&self, budget: bgc_graph::PoisonBudget) -> bgc_graph::PoisonBudget {
+        match (self, budget) {
+            (ExperimentScale::Quick, bgc_graph::PoisonBudget::Count(c)) => {
+                bgc_graph::PoisonBudget::Count((c / 10).max(4))
+            }
+            (_, budget) => budget,
+        }
     }
 
     /// Victim model specification.

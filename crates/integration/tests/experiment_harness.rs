@@ -4,7 +4,7 @@
 
 use bgc_condense::CondensationKind;
 use bgc_eval::experiments;
-use bgc_eval::{run_spec, ExperimentScale, RunSpec};
+use bgc_eval::{run_spec, ExperimentScale, RunSpec, Runner};
 use bgc_graph::DatasetKind;
 
 #[test]
@@ -47,6 +47,29 @@ fn one_table2_cell_reproduces_the_shape_of_the_paper() {
     assert!(metrics.c_asr < 0.5, "C-ASR {}", metrics.c_asr);
     assert!(metrics.cta > 0.3, "CTA {}", metrics.cta);
     assert!(!metrics.oom);
+}
+
+#[test]
+fn grid_runner_reproduces_the_serial_protocol_bit_exactly() {
+    // The grid runner executes the same stages (clean condensation, attack,
+    // victim evaluations) with the same key-derived seeds as the serial
+    // `run_spec` protocol, so a runner cell and a `run_spec` call must agree
+    // to the bit — this is what makes the cached/parallel grid trustworthy.
+    let spec = RunSpec::bgc(
+        DatasetKind::Cora,
+        CondensationKind::GCondX,
+        0.026,
+        ExperimentScale::Quick,
+    );
+    let serial = run_spec(&spec);
+    let runner = Runner::in_memory(ExperimentScale::Quick);
+    let group = runner.bgc_group(spec.dataset, spec.method, spec.ratio);
+    let cell = runner.metrics(&group);
+    assert_eq!(serial.c_cta.to_bits(), cell.c_cta.to_bits());
+    assert_eq!(serial.cta.to_bits(), cell.cta.to_bits());
+    assert_eq!(serial.c_asr.to_bits(), cell.c_asr.to_bits());
+    assert_eq!(serial.asr.to_bits(), cell.asr.to_bits());
+    assert_eq!(serial.table_row(), cell.table_row());
 }
 
 #[test]

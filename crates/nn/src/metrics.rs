@@ -29,14 +29,20 @@ pub fn attack_success_rate(predictions: &[usize], target_class: usize) -> f32 {
     hits as f32 / predictions.len() as f32
 }
 
-/// Mean and (population) standard deviation of a set of repeated measurements,
-/// matching the "mean (std)" cells of the paper's tables.
+/// Mean and *sample* standard deviation (Bessel's `n - 1` correction) of a
+/// set of repeated measurements, matching the "mean (std)" cells of the
+/// paper's tables, which aggregate 3 repetitions.  A single measurement has
+/// no spread estimate and reports a standard deviation of `0.0`.
 pub fn mean_std(values: &[f32]) -> (f32, f32) {
     if values.is_empty() {
         return (0.0, 0.0);
     }
     let mean = values.iter().sum::<f32>() / values.len() as f32;
-    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (values.len() - 1) as f32;
     (mean, var.sqrt())
 }
 
@@ -68,10 +74,20 @@ mod tests {
     }
 
     #[test]
-    fn mean_std_is_correct() {
+    fn mean_std_uses_the_sample_estimator() {
+        // Sample variance of [1, 2, 3] is ((1)^2 + 0 + (1)^2) / (3 - 1) = 1.
         let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
         assert!((m - 2.0).abs() < 1e-6);
-        assert!((s - (2.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_std_of_a_single_repetition_is_zero_not_nan() {
+        let (m, s) = mean_std(&[0.75]);
+        assert_eq!(m, 0.75);
+        assert_eq!(s, 0.0);
+        assert!(!s.is_nan());
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
     }
 
     #[test]

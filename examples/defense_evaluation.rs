@@ -6,18 +6,20 @@
 
 use bgc_condense::CondensationKind;
 use bgc_eval::experiments::run_defense_cell;
-use bgc_eval::ExperimentScale;
+use bgc_eval::{ExperimentScale, Runner};
 use bgc_graph::DatasetKind;
 
 fn main() {
-    let scale = ExperimentScale::Quick;
+    // An in-memory runner: the three evaluations (undefended / Prune /
+    // Randsmooth) of each cell share a single BGC attack via its stage cache.
+    let runner = Runner::in_memory(ExperimentScale::Quick);
     println!(
         "defense evaluation at {} scale (Table IV protocol)\n",
-        scale.name()
+        runner.scale().name()
     );
     for dataset in [DatasetKind::Cora, DatasetKind::Citeseer] {
         let ratio = dataset.paper_condensation_ratios()[1];
-        let record = run_defense_cell(scale, dataset, CondensationKind::GCondX, ratio);
+        let record = run_defense_cell(&runner, dataset, CondensationKind::GCondX, ratio);
         println!(
             "dataset {:10}  (GCond-X, r = {:.2}%)",
             record.dataset,

@@ -41,6 +41,8 @@ impl Value {
                 if !n.is_finite() {
                     // JSON has no NaN/Infinity; serde_json also refuses them.
                     out.push_str("null");
+                } else if *n == 0.0 && n.is_sign_negative() {
+                    out.push_str("-0.0");
                 } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
                     out.push_str(&format!("{}", *n as i64));
                 } else {
@@ -78,6 +80,55 @@ impl Value {
         let mut out = String::new();
         self.write(&mut out, Some(2), 0);
         out
+    }
+
+    /// Looks up a field of an object (`None` for other variants or missing
+    /// keys), mirroring `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
     }
 }
 

@@ -36,6 +36,220 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     Ok(value.to_json_value().to_json_string_pretty())
 }
 
+/// Parses a JSON document into a [`Value`] (recursive descent; numbers are
+/// parsed with `str::parse::<f64>`, which is correctly rounded, so values
+/// written by the shim's encoder round-trip exactly).
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> Error {
+        Error(format!("{} at byte {}", message, self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(escape) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid \\u escape")),
+                            }
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 code point (input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b & 0xc0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -48,5 +262,61 @@ mod tests {
     #[test]
     fn to_string_encodes_vectors() {
         assert_eq!(crate::to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn parser_round_trips_encoder_output() {
+        let value = crate::Value::Object(vec![
+            ("name".into(), crate::Value::String("cora \"x\"\n".into())),
+            ("asr".into(), crate::Value::Number(0.862_304_6)),
+            ("nodes".into(), crate::Value::Number(60.0)),
+            ("oom".into(), crate::Value::Bool(false)),
+            (
+                "rows".into(),
+                crate::Value::Array(vec![crate::Value::Null, crate::Value::Number(-1.5e-7)]),
+            ),
+        ]);
+        for encoded in [value.to_json_string(), value.to_json_string_pretty()] {
+            assert_eq!(crate::from_str(&encoded).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn parsed_f32_metrics_round_trip_bit_exactly() {
+        // Cell results are f32 metrics; f32 -> f64 -> shortest decimal ->
+        // f64 -> f32 must reproduce the original bits (resumability relies
+        // on it).
+        for &bits in &[
+            0x3f2aaaabu32,
+            0x00000001,
+            0x7f7fffff,
+            0x3e99999a,
+            0x80000000,
+        ] {
+            let x = f32::from_bits(bits);
+            let encoded = crate::to_string(&x).unwrap();
+            let parsed = crate::from_str(&encoded).unwrap().as_f64().unwrap() as f32;
+            assert_eq!(parsed.to_bits(), x.to_bits(), "{}", encoded);
+        }
+    }
+
+    #[test]
+    fn parser_accepts_escapes_and_rejects_garbage() {
+        let v = crate::from_str(r#"{"k": "aA\né 😀"}"#).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str().unwrap(), "aA\né 😀");
+        assert!(crate::from_str("{\"k\": }").is_err());
+        assert!(crate::from_str("[1, 2").is_err());
+        assert!(crate::from_str("true false").is_err());
+        assert!(crate::from_str("").is_err());
+    }
+
+    #[test]
+    fn value_accessors_navigate_objects() {
+        let v = crate::from_str(r#"{"a": {"b": [1, true, "s"]}}"#).unwrap();
+        let inner = v.get("a").unwrap().get("b").unwrap().as_array().unwrap();
+        assert_eq!(inner[0].as_u64(), Some(1));
+        assert_eq!(inner[1].as_bool(), Some(true));
+        assert_eq!(inner[2].as_str(), Some("s"));
+        assert_eq!(v.get("missing"), None);
     }
 }
