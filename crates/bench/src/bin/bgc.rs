@@ -1,0 +1,5 @@
+//! The single CLI entry point of the reproduction.  Usage: `cargo run
+//! --release -p bgc-bench --bin bgc -- help` (or see `docs/cli-help.txt`).
+fn main() -> ! {
+    bgc_bench::cli::main()
+}

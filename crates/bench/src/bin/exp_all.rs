@@ -1,30 +1,8 @@
-//! Regenerates every table and figure of the paper's evaluation section
-//! through one shared experiment-grid runner, so overlapping cells (the same
-//! dataset/method/ratio/attack appearing in several tables) are executed
-//! once, independent cells run in parallel on the thread pool, and completed
-//! cells are resumed from `target/experiments/<scale>/cells/` on re-runs.
-//! Prints per-report tables plus cache-hit and wall-clock statistics.
-//! Usage: `cargo run --release -p bgc-bench --bin exp_all [--scale quick|paper] [--full]`.
-
-use bgc_eval::experiments;
-
-fn main() {
-    let (runner, full) = bgc_bench::cli_runner();
-    let started = std::time::Instant::now();
-
-    experiments::table1(runner.scale()).print_and_save();
-    experiments::fig1(&runner).print_and_save();
-    experiments::table2(&runner, full).print_and_save();
-    experiments::fig4(&runner, full).print_and_save();
-    experiments::table3(&runner, full).print_and_save();
-    experiments::table4(&runner, full).print_and_save();
-    experiments::fig5(&runner).print_and_save();
-    experiments::table5(&runner).print_and_save();
-    experiments::table6(&runner).print_and_save();
-    experiments::fig6(&runner, full).print_and_save();
-    experiments::table7(&runner, full).print_and_save();
-    experiments::table8(&runner, full).print_and_save();
-    experiments::fig8(&runner).print_and_save();
-
-    bgc_bench::report_runner_stats(&runner, started);
+//! Thin forwarding wrapper: `exp_all` == `bgc all` — regenerates every table
+//! and figure through one shared experiment-grid runner, so overlapping
+//! cells are executed once and completed cells resume from
+//! `target/experiments/<scale>/cells/`.  Usage: `cargo run --release -p
+//! bgc-bench --bin exp_all [--scale quick|paper] [--full]`.
+fn main() -> ! {
+    bgc_bench::cli::forward(&["all"])
 }

@@ -1,7 +1,6 @@
-//! Regenerates Figure 4 (BGC vs GTA vs DOORPING) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_fig4 [--scale quick|paper] [--full]`.
-fn main() {
-    let (runner, full) = bgc_bench::cli_runner();
-    let started = std::time::Instant::now();
-    bgc_eval::experiments::fig4(&runner, full).print_and_save();
-    bgc_bench::report_runner_stats(&runner, started);
+//! Thin forwarding wrapper: `exp_fig4` == `bgc fig 4` (identical code
+//! path, byte-identical reports).  Usage: `cargo run --release -p bgc-bench
+//! --bin exp_fig4 [--scale quick|paper] [--full]`.
+fn main() -> ! {
+    bgc_bench::cli::forward(&["fig", "4"])
 }

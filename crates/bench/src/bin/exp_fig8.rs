@@ -1,7 +1,6 @@
-//! Regenerates Figure 8 (trigger size) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_fig8 [--scale quick|paper] [--full]`.
-fn main() {
-    let (runner, _full) = bgc_bench::cli_runner();
-    let started = std::time::Instant::now();
-    bgc_eval::experiments::fig8(&runner).print_and_save();
-    bgc_bench::report_runner_stats(&runner, started);
+//! Thin forwarding wrapper: `exp_fig8` == `bgc fig 8` (identical code
+//! path, byte-identical reports).  Usage: `cargo run --release -p bgc-bench
+//! --bin exp_fig8 [--scale quick|paper] [--full]`.
+fn main() -> ! {
+    bgc_bench::cli::forward(&["fig", "8"])
 }

@@ -1,5 +1,6 @@
-//! Regenerates Table I (dataset statistics) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_table1 [--scale quick|paper] [--full]`.
-fn main() {
-    let (scale, _full) = bgc_bench::cli();
-    bgc_eval::experiments::table1(scale).print_and_save();
+//! Thin forwarding wrapper: `exp_table1` == `bgc table 1` (identical code
+//! path, byte-identical reports).  Usage: `cargo run --release -p bgc-bench
+//! --bin exp_table1 [--scale quick|paper] [--full]`.
+fn main() -> ! {
+    bgc_bench::cli::forward(&["table", "1"])
 }

@@ -1,7 +1,6 @@
-//! Regenerates Table V (trigger generator ablation) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_table5 [--scale quick|paper] [--full]`.
-fn main() {
-    let (runner, _full) = bgc_bench::cli_runner();
-    let started = std::time::Instant::now();
-    bgc_eval::experiments::table5(&runner).print_and_save();
-    bgc_bench::report_runner_stats(&runner, started);
+//! Thin forwarding wrapper: `exp_table5` == `bgc table 5` (identical code
+//! path, byte-identical reports).  Usage: `cargo run --release -p bgc-bench
+//! --bin exp_table5 [--scale quick|paper] [--full]`.
+fn main() -> ! {
+    bgc_bench::cli::forward(&["table", "5"])
 }

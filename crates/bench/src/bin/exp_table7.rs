@@ -1,7 +1,6 @@
-//! Regenerates Table VII (poisoning budget) of the paper.  Usage: `cargo run --release -p bgc-bench --bin exp_table7 [--scale quick|paper] [--full]`.
-fn main() {
-    let (runner, full) = bgc_bench::cli_runner();
-    let started = std::time::Instant::now();
-    bgc_eval::experiments::table7(&runner, full).print_and_save();
-    bgc_bench::report_runner_stats(&runner, started);
+//! Thin forwarding wrapper: `exp_table7` == `bgc table 7` (identical code
+//! path, byte-identical reports).  Usage: `cargo run --release -p bgc-bench
+//! --bin exp_table7 [--scale quick|paper] [--full]`.
+fn main() -> ! {
+    bgc_bench::cli::forward(&["table", "7"])
 }

@@ -1,0 +1,619 @@
+//! The `bgc` command-line interface — the single entry point of the
+//! reproduction.
+//!
+//! Subcommands drive the typed [`Experiment`] builder and the experiment-grid
+//! [`Runner`]; the 13 historical `exp_*` binaries are thin wrappers that
+//! forward to [`forward`] (e.g. `exp_table2` == `bgc table 2`), so both
+//! spellings execute the identical code path and produce byte-identical
+//! reports and cell caches.
+
+use std::time::Instant;
+
+use bgc_condense::condenser_names;
+use bgc_core::{attack_names, BgcError, GeneratorKind};
+use bgc_defense::defense_names;
+use bgc_eval::{experiments, Experiment, ExperimentScale, RunMetrics, Runner};
+use bgc_graph::{DatasetKind, PoisonBudget};
+use bgc_nn::GnnArchitecture;
+
+/// The `bgc --help` text.  Snapshotted in `docs/cli-help.txt` (checked by a
+/// unit test and by CI), so help drift is caught at review time.
+pub const HELP: &str = "\
+bgc - Backdoor Graph Condensation reproduction (ICDE 2025)
+
+USAGE:
+    bgc <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run             Run one experiment cell through the typed builder
+    grid            Run a cross-product grid of experiments
+    table <1-8>     Regenerate a paper table (II, III, ... as numbered)
+    fig <1|4|5|6|8> Regenerate a paper figure
+    all             Regenerate every table and figure through one shared grid
+    list <WHAT>     List registered attacks|methods|defenses|datasets|
+                    architectures|generators|scales
+    help            Show this message
+
+GLOBAL OPTIONS:
+    --scale quick|paper   Experiment scale (default: quick)
+    --full                Include all four datasets in sweeps at quick scale
+    --serial              Disable the cell thread pool (bit-identical output)
+    --no-cache            Disable the on-disk cell cache
+
+EXPERIMENT OPTIONS (run; repeatable in grid):
+    --dataset <name>      cora|citeseer|flickr|reddit (required for run)
+    --method <name>       Condensation method (default: GCond)
+    --attack <name>       Attack (default: BGC)
+    --ratio <r>           Condensation ratio (default: the dataset's middle
+                          paper ratio)
+    --defense <name>      Evaluate the victim through a registered defense
+    --victim <arch>       Victim GNN architecture (Table III)
+    --layers <n>          Victim layer count (Table VIII)
+    --generator <name>    Trigger-generator encoder MLP|GCN|Transformer
+    --trigger-size <n>    Trigger size (Figure 8)
+    --epochs <n>          Condensation outer epochs (Figure 6)
+    --budget-ratio <r>    Poisoning budget as a training-set fraction
+    --budget-count <n>    Poisoning budget as an absolute node count
+    --source-class <c>    Directed attack from this class (Table VI)
+    --seed <n>            Base seed (default: 17)
+
+EXAMPLES:
+    bgc run --dataset cora --method GCond --attack BGC --ratio 0.026
+    bgc run --dataset citeseer --defense prune
+    bgc grid --dataset cora --dataset citeseer --attack BGC --attack GTA
+    bgc table 2 --scale quick
+    bgc list attacks
+";
+
+/// A CLI failure: either a usage error (bad flag/operand, reported with a
+/// hint to `bgc help`) or a typed error from the experiment stack.
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed invocation.
+    Usage(String),
+    /// The experiment stack reported a typed error.
+    Bgc(BgcError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{}\n(run `bgc help` for usage)", msg),
+            CliError::Bgc(err) => write!(f, "{}", err),
+        }
+    }
+}
+
+impl From<BgcError> for CliError {
+    fn from(err: BgcError) -> Self {
+        CliError::Bgc(err)
+    }
+}
+
+/// Entry point of the `bgc` binary: parses `std::env::args`, runs, exits
+/// non-zero on failure.
+pub fn main() -> ! {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    exit_with(run(&args))
+}
+
+/// Entry point of the `exp_*` wrapper binaries: prepends the wrapped
+/// subcommand (e.g. `["table", "2"]`) to the invocation's own arguments and
+/// runs the CLI, so wrappers and `bgc` share one code path.
+pub fn forward(prefix: &[&str]) -> ! {
+    let mut args: Vec<String> = prefix.iter().map(|s| s.to_string()).collect();
+    args.extend(std::env::args().skip(1));
+    exit_with(run(&args))
+}
+
+fn exit_with(result: Result<(), CliError>) -> ! {
+    match result {
+        Ok(()) => std::process::exit(0),
+        Err(err) => {
+            eprintln!("error: {}", err);
+            std::process::exit(1)
+        }
+    }
+}
+
+/// Runs one CLI invocation (exposed for tests).
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let mut args = args.iter().map(String::as_str);
+    let command = args.next().unwrap_or("help");
+    let rest: Vec<&str> = args.collect();
+    match command {
+        "run" => cmd_run(&rest),
+        "grid" => cmd_grid(&rest),
+        "table" => cmd_report(&rest, ReportFamily::Table),
+        "fig" => cmd_report(&rest, ReportFamily::Fig),
+        "all" => cmd_all(&rest),
+        "list" => cmd_list(&rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command '{}'", other))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option parsing
+// ---------------------------------------------------------------------------
+
+/// Parsed flags shared by every subcommand.  `run` reads the singular
+/// experiment fields; `grid` reads the repeated ones; reports read only the
+/// globals.
+struct Options {
+    scale: ExperimentScale,
+    full: bool,
+    serial: bool,
+    no_cache: bool,
+    datasets: Vec<DatasetKind>,
+    methods: Vec<String>,
+    attacks: Vec<String>,
+    ratios: Vec<f32>,
+    defense: Option<String>,
+    victim: Option<GnnArchitecture>,
+    layers: Option<usize>,
+    generator: Option<GeneratorKind>,
+    trigger_size: Option<usize>,
+    epochs: Option<usize>,
+    budget: Option<PoisonBudget>,
+    source_class: Option<usize>,
+    seed: Option<u64>,
+    operands: Vec<String>,
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn parse_options(args: &[&str]) -> Result<Options, CliError> {
+    let mut options = Options {
+        scale: ExperimentScale::Quick,
+        full: false,
+        serial: false,
+        no_cache: false,
+        datasets: Vec::new(),
+        methods: Vec::new(),
+        attacks: Vec::new(),
+        ratios: Vec::new(),
+        defense: None,
+        victim: None,
+        layers: None,
+        generator: None,
+        trigger_size: None,
+        epochs: None,
+        budget: None,
+        source_class: None,
+        seed: None,
+        operands: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(&arg) = iter.next() {
+        let mut value = |flag: &str| -> Result<&str, CliError> {
+            iter.next()
+                .copied()
+                .ok_or_else(|| usage(format!("{} expects a value", flag)))
+        };
+        match arg {
+            "--scale" => {
+                options.scale = value("--scale")?.parse().map_err(|e: String| usage(e))?;
+            }
+            "--full" => options.full = true,
+            "--serial" => options.serial = true,
+            "--no-cache" => options.no_cache = true,
+            "--dataset" => options
+                .datasets
+                .push(value("--dataset")?.parse().map_err(|e: String| usage(e))?),
+            "--method" => options.methods.push(value("--method")?.to_string()),
+            "--attack" => options.attacks.push(value("--attack")?.to_string()),
+            "--ratio" => options
+                .ratios
+                .push(parse_num(value("--ratio")?, "--ratio")?),
+            "--defense" => options.defense = Some(value("--defense")?.to_string()),
+            "--victim" => {
+                options.victim = Some(value("--victim")?.parse().map_err(|e: String| usage(e))?)
+            }
+            "--layers" => options.layers = Some(parse_num(value("--layers")?, "--layers")?),
+            "--generator" => {
+                options.generator = Some(
+                    value("--generator")?
+                        .parse()
+                        .map_err(|e: String| usage(e))?,
+                )
+            }
+            "--trigger-size" => {
+                options.trigger_size = Some(parse_num(value("--trigger-size")?, "--trigger-size")?)
+            }
+            "--epochs" => options.epochs = Some(parse_num(value("--epochs")?, "--epochs")?),
+            "--budget-ratio" => {
+                options.budget = Some(PoisonBudget::Ratio(parse_num(
+                    value("--budget-ratio")?,
+                    "--budget-ratio",
+                )?))
+            }
+            "--budget-count" => {
+                options.budget = Some(PoisonBudget::Count(parse_num(
+                    value("--budget-count")?,
+                    "--budget-count",
+                )?))
+            }
+            "--source-class" => {
+                options.source_class = Some(parse_num(value("--source-class")?, "--source-class")?)
+            }
+            "--seed" => options.seed = Some(parse_num(value("--seed")?, "--seed")?),
+            flag if flag.starts_with("--") => {
+                return Err(usage(format!("unknown option '{}'", flag)))
+            }
+            operand => options.operands.push(operand.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, CliError> {
+    text.parse()
+        .map_err(|_| usage(format!("{} got a malformed value '{}'", flag, text)))
+}
+
+fn build_runner(options: &Options) -> Runner {
+    let mut runner = if options.no_cache {
+        Runner::in_memory(options.scale)
+    } else {
+        Runner::new(options.scale)
+    };
+    if options.serial {
+        runner = runner.serial();
+    }
+    runner
+}
+
+// ---------------------------------------------------------------------------
+// run / grid
+// ---------------------------------------------------------------------------
+
+fn experiment_for(
+    options: &Options,
+    dataset: DatasetKind,
+    method: Option<&str>,
+    attack: Option<&str>,
+    ratio: Option<f32>,
+) -> Result<Experiment, BgcError> {
+    let mut builder = Experiment::builder().scale(options.scale).dataset(dataset);
+    if let Some(method) = method {
+        builder = builder.method(method);
+    }
+    if let Some(attack) = attack {
+        builder = builder.attack(attack);
+    }
+    if let Some(ratio) = ratio {
+        builder = builder.ratio(ratio);
+    }
+    if let Some(defense) = &options.defense {
+        builder = builder.defense(defense.as_str());
+    }
+    if let Some(victim) = options.victim {
+        builder = builder.victim(victim);
+    }
+    if let Some(layers) = options.layers {
+        builder = builder.num_layers(layers);
+    }
+    if let Some(generator) = options.generator {
+        builder = builder.generator(generator);
+    }
+    if let Some(size) = options.trigger_size {
+        builder = builder.trigger_size(size);
+    }
+    if let Some(epochs) = options.epochs {
+        builder = builder.outer_epochs(epochs);
+    }
+    if let Some(budget) = options.budget {
+        builder = builder.poison_budget(budget);
+    }
+    if let Some(source) = options.source_class {
+        builder = builder.source_class(source);
+    }
+    if let Some(seed) = options.seed {
+        builder = builder.seed(seed);
+    }
+    builder.build()
+}
+
+fn print_rows(rows: &[RunMetrics]) {
+    for row in rows {
+        println!("{}", row.table_row());
+    }
+}
+
+fn cmd_run(args: &[&str]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if !options.operands.is_empty() {
+        return Err(usage(format!(
+            "unexpected operand '{}'",
+            options.operands[0]
+        )));
+    }
+    if options.datasets.len() != 1 {
+        return Err(usage("run expects exactly one --dataset"));
+    }
+    if options.methods.len() > 1 || options.attacks.len() > 1 || options.ratios.len() > 1 {
+        return Err(usage(
+            "run takes one --method/--attack/--ratio; use `bgc grid` for sweeps",
+        ));
+    }
+    let experiment = experiment_for(
+        &options,
+        options.datasets[0],
+        options.methods.first().map(String::as_str),
+        options.attacks.first().map(String::as_str),
+        options.ratios.first().copied(),
+    )?;
+    let runner = build_runner(&options);
+    let started = Instant::now();
+    let metrics = experiment.run(&runner)?;
+    print_rows(std::slice::from_ref(&metrics));
+    report_runner_stats(&runner, started);
+    Ok(())
+}
+
+fn cmd_grid(args: &[&str]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if !options.operands.is_empty() {
+        return Err(usage(format!(
+            "unexpected operand '{}'",
+            options.operands[0]
+        )));
+    }
+    if options.datasets.is_empty() {
+        return Err(usage("grid expects at least one --dataset"));
+    }
+    let methods: Vec<Option<&str>> = if options.methods.is_empty() {
+        vec![None]
+    } else {
+        options.methods.iter().map(|m| Some(m.as_str())).collect()
+    };
+    let attacks: Vec<Option<&str>> = if options.attacks.is_empty() {
+        vec![None]
+    } else {
+        options.attacks.iter().map(|a| Some(a.as_str())).collect()
+    };
+    let ratios: Vec<Option<f32>> = if options.ratios.is_empty() {
+        vec![None]
+    } else {
+        options.ratios.iter().copied().map(Some).collect()
+    };
+    // Validate the whole grid up front, then submit every cell in one wave
+    // so independent cells run in parallel and overlapping stages are shared.
+    let mut experiments = Vec::new();
+    for &dataset in &options.datasets {
+        for method in &methods {
+            for attack in &attacks {
+                for ratio in &ratios {
+                    experiments.push(experiment_for(&options, dataset, *method, *attack, *ratio)?);
+                }
+            }
+        }
+    }
+    let runner = build_runner(&options);
+    let started = Instant::now();
+    let groups = experiments
+        .iter()
+        .map(|e| e.group(&runner))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(CliError::Bgc)?;
+    runner
+        .run_groups(&groups.iter().collect::<Vec<_>>())
+        .map_err(CliError::Bgc)?;
+    let rows = groups
+        .iter()
+        .map(|g| runner.metrics(g))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(CliError::Bgc)?;
+    print_rows(&rows);
+    report_runner_stats(&runner, started);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// table / fig / all
+// ---------------------------------------------------------------------------
+
+enum ReportFamily {
+    Table,
+    Fig,
+}
+
+fn cmd_report(args: &[&str], family: ReportFamily) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let (label, numbers) = match family {
+        ReportFamily::Table => ("table", "1-8"),
+        ReportFamily::Fig => ("fig", "1, 4, 5, 6 or 8"),
+    };
+    if options.operands.len() != 1 {
+        return Err(usage(format!("{} expects one number ({})", label, numbers)));
+    }
+    let number: u32 = parse_num(&options.operands[0], label)?;
+    let runner = build_runner(&options);
+    let started = Instant::now();
+    let full = options.full;
+    let report = match (family, number) {
+        (ReportFamily::Table, 1) => experiments::table1(runner.scale()),
+        (ReportFamily::Table, 2) => experiments::table2(&runner, full),
+        (ReportFamily::Table, 3) => experiments::table3(&runner, full),
+        (ReportFamily::Table, 4) => experiments::table4(&runner, full),
+        (ReportFamily::Table, 5) => experiments::table5(&runner),
+        (ReportFamily::Table, 6) => experiments::table6(&runner),
+        (ReportFamily::Table, 7) => experiments::table7(&runner, full),
+        (ReportFamily::Table, 8) => experiments::table8(&runner, full),
+        (ReportFamily::Fig, 1) => experiments::fig1(&runner),
+        (ReportFamily::Fig, 4) => experiments::fig4(&runner, full),
+        (ReportFamily::Fig, 5) => experiments::fig5(&runner),
+        (ReportFamily::Fig, 6) => experiments::fig6(&runner, full),
+        (ReportFamily::Fig, 8) => experiments::fig8(&runner),
+        _ => {
+            return Err(usage(format!(
+                "no such {}: {} (expected {})",
+                label, number, numbers
+            )))
+        }
+    }?;
+    report.print_and_save();
+    report_runner_stats(&runner, started);
+    Ok(())
+}
+
+fn cmd_all(args: &[&str]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if !options.operands.is_empty() {
+        return Err(usage(format!(
+            "unexpected operand '{}'",
+            options.operands[0]
+        )));
+    }
+    let runner = build_runner(&options);
+    let full = options.full;
+    let started = Instant::now();
+
+    experiments::table1(runner.scale())?.print_and_save();
+    experiments::fig1(&runner)?.print_and_save();
+    experiments::table2(&runner, full)?.print_and_save();
+    experiments::fig4(&runner, full)?.print_and_save();
+    experiments::table3(&runner, full)?.print_and_save();
+    experiments::table4(&runner, full)?.print_and_save();
+    experiments::fig5(&runner)?.print_and_save();
+    experiments::table5(&runner)?.print_and_save();
+    experiments::table6(&runner)?.print_and_save();
+    experiments::fig6(&runner, full)?.print_and_save();
+    experiments::table7(&runner, full)?.print_and_save();
+    experiments::table8(&runner, full)?.print_and_save();
+    experiments::fig8(&runner)?.print_and_save();
+
+    report_runner_stats(&runner, started);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// list
+// ---------------------------------------------------------------------------
+
+fn cmd_list(args: &[&str]) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    if options.operands.len() != 1 {
+        return Err(usage(
+            "list expects one of: attacks, methods, defenses, datasets, architectures, generators, scales",
+        ));
+    }
+    for line in list_lines(&options.operands[0])? {
+        println!("{}", line);
+    }
+    Ok(())
+}
+
+/// The lines `bgc list <what>` prints (exposed for tests).
+pub fn list_lines(what: &str) -> Result<Vec<String>, CliError> {
+    let lines = match what {
+        "attacks" => attack_names(),
+        "methods" => condenser_names(),
+        "defenses" => defense_names(),
+        "datasets" => DatasetKind::all().iter().map(|d| d.to_string()).collect(),
+        "architectures" => GnnArchitecture::all()
+            .iter()
+            .map(|a| a.to_string())
+            .collect(),
+        "generators" => GeneratorKind::all().iter().map(|g| g.to_string()).collect(),
+        "scales" => vec!["quick".to_string(), "paper".to_string()],
+        other => {
+            return Err(usage(format!(
+                "cannot list '{}' (expected attacks, methods, defenses, datasets, architectures, generators or scales)",
+                other
+            )))
+        }
+    };
+    Ok(lines)
+}
+
+/// Prints the runner's cache-hit counters and the wall-clock time of the
+/// invocation (stdout only — the per-report JSON dumps stay byte-identical
+/// across cached re-runs).
+pub fn report_runner_stats(runner: &Runner, started: Instant) {
+    let stats = runner.stats();
+    println!("-- grid: {}", stats.summary());
+    println!(
+        "-- wall clock: {:.2}s ({} total cache hits)",
+        started.elapsed().as_secs_f64(),
+        stats.total_hits()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgc_condense::CondensationKind;
+    use bgc_core::AttackKind;
+
+    #[test]
+    fn every_builtin_is_listed() {
+        for kind in AttackKind::all() {
+            assert!(list_lines("attacks")
+                .unwrap()
+                .contains(&kind.name().to_string()));
+        }
+        for kind in CondensationKind::all() {
+            assert!(list_lines("methods")
+                .unwrap()
+                .contains(&kind.name().to_string()));
+        }
+        for name in ["prune", "randsmooth"] {
+            assert!(list_lines("defenses").unwrap().contains(&name.to_string()));
+        }
+        for dataset in DatasetKind::all() {
+            assert!(list_lines("datasets")
+                .unwrap()
+                .contains(&dataset.to_string()));
+        }
+        assert!(list_lines("nonsense").is_err());
+    }
+
+    #[test]
+    fn usage_errors_are_reported_not_panicked() {
+        assert!(matches!(
+            run(&["frobnicate".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run(&["run".to_string()]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["table".to_string(), "9".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "run".to_string(),
+                "--dataset".to_string(),
+                "mnist".to_string()
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // Unknown registry names surface as typed experiment errors.
+        let err = run(&[
+            "run".to_string(),
+            "--dataset".to_string(),
+            "cora".to_string(),
+            "--attack".to_string(),
+            "Ghost".to_string(),
+        ]);
+        assert!(matches!(
+            err,
+            Err(CliError::Bgc(BgcError::UnknownAttack(_)))
+        ));
+    }
+
+    #[test]
+    fn help_text_matches_the_snapshot() {
+        let snapshot = include_str!("../../../docs/cli-help.txt");
+        assert_eq!(
+            HELP, snapshot,
+            "docs/cli-help.txt is stale; regenerate it from cli::HELP"
+        );
+    }
+}

@@ -1,39 +1,14 @@
-//! Shared helpers for the experiment regenerator binaries (`exp_*`).
+//! Shared code of the experiment binaries: the `bgc` CLI implementation
+//! ([`cli`]) that the single `bgc` binary and all 13 `exp_*` forwarding
+//! wrappers execute.
 //!
-//! Every binary accepts `--scale quick|paper` (default `quick`) and `--full`
-//! (include all four datasets in sweeps at quick scale).  The regenerators
-//! execute their experiment cells through a shared [`Runner`], which
-//! parallelizes independent cells, shares attack/condensation stages between
-//! overlapping cells and resumes completed cells from
-//! `target/experiments/<scale>/cells/`.
+//! Every invocation accepts `--scale quick|paper` (default `quick`) and
+//! `--full` (include all four datasets in sweeps at quick scale).  Reports
+//! execute their experiment cells through a shared grid
+//! [`Runner`](bgc_eval::Runner), which parallelizes independent cells,
+//! shares attack/condensation stages between overlapping cells and resumes
+//! completed cells from `target/experiments/<scale>/cells/`.
 
-use std::time::Instant;
+pub mod cli;
 
-use bgc_eval::{ExperimentScale, Runner};
-
-/// Parses the common command-line flags of the regenerator binaries.
-pub fn cli() -> (ExperimentScale, bool) {
-    let scale = ExperimentScale::from_args();
-    let full = std::env::args().any(|a| a == "--full");
-    (scale, full)
-}
-
-/// Parses the common flags and builds the grid runner (with the default
-/// on-disk cell cache) every regenerator executes through.
-pub fn cli_runner() -> (Runner, bool) {
-    let (scale, full) = cli();
-    (Runner::new(scale), full)
-}
-
-/// Prints the runner's cache-hit counters and the wall-clock time of the
-/// invocation (stdout only — the per-report JSON dumps stay byte-identical
-/// across cached re-runs).
-pub fn report_runner_stats(runner: &Runner, started: Instant) {
-    let stats = runner.stats();
-    println!("-- grid: {}", stats.summary());
-    println!(
-        "-- wall clock: {:.2}s ({} total cache hits)",
-        started.elapsed().as_secs_f64(),
-        stats.total_hits()
-    );
-}
+pub use cli::{forward, report_runner_stats, CliError, HELP};

@@ -20,6 +20,9 @@ pub mod structure;
 pub use config::CondensationConfig;
 pub use error::CondenseError;
 pub use matching::{GradientMatchingState, MatchingVariant};
-pub use methods::{working_graph, CondensationKind, CondensationMethod};
+pub use methods::{
+    condenser_names, register_condenser, resolve_condenser, working_graph, CondensationKind,
+    CondensationMethod, MethodId,
+};
 pub use sntk::{condense_sntk, sntk_kernel, SntkPredictor};
 pub use structure::StructureGenerator;

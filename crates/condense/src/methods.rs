@@ -1,7 +1,13 @@
-//! The [`CondensationMethod`] trait and the registry of the four methods the
-//! paper attacks: DC-Graph, GCond, GCond-X and GC-SNTK.
+//! The [`CondensationMethod`] trait, the built-in methods the paper attacks
+//! (DC-Graph, GCond, GCond-X, GC-SNTK) and the open, name-keyed condenser
+//! registry the experiment harness dispatches through.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, OnceLock};
 
 use bgc_graph::{CondensedGraph, Graph, TaskSetting};
+use bgc_registry::{Named, Registry};
 
 use crate::config::CondensationConfig;
 use crate::error::CondenseError;
@@ -10,9 +16,13 @@ use crate::sntk::condense_sntk;
 
 /// A graph condensation method: maps a large graph `G` to a small synthetic
 /// graph `S` such that GNNs trained on `S` approximate GNNs trained on `G`.
-pub trait CondensationMethod {
-    /// Display name used in result tables.
-    fn name(&self) -> &'static str;
+///
+/// The trait is object-safe and `Send + Sync`, so methods can be registered
+/// once (see [`register_condenser`]) and shared across the parallel
+/// experiment grid.
+pub trait CondensationMethod: Send + Sync {
+    /// Display name used in result tables, canonical keys and the CLI.
+    fn name(&self) -> &str;
 
     /// Runs condensation on `graph` with the given configuration.
     fn condense(
@@ -20,6 +30,23 @@ pub trait CondensationMethod {
         graph: &Graph,
         config: &CondensationConfig,
     ) -> Result<CondensedGraph, CondenseError>;
+
+    /// The gradient-matching variant attacks can interleave with, if any.
+    /// Methods returning `None` (kernel methods like GC-SNTK) are attacked by
+    /// poisoning the graph first and condensing it afterwards.
+    fn matching_variant(&self) -> Option<MatchingVariant> {
+        None
+    }
+
+    /// Fast-fail capacity check run before expensive attack loops; GC-SNTK
+    /// reports the paper's `OOM` condition here.
+    fn check_capacity(
+        &self,
+        _graph: &Graph,
+        _config: &CondensationConfig,
+    ) -> Result<(), CondenseError> {
+        Ok(())
+    }
 }
 
 /// The four condensation methods of the paper's evaluation (Table II).
@@ -46,7 +73,7 @@ impl CondensationKind {
         ]
     }
 
-    /// Display name used in result tables.
+    /// Display name used in result tables (the canonical registry spelling).
     pub fn name(&self) -> &'static str {
         match self {
             CondensationKind::DcGraph => "DC-Graph",
@@ -76,6 +103,138 @@ impl CondensationKind {
     }
 }
 
+impl fmt::Display for CondensationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for CondensationKind {
+    type Err = String;
+
+    /// Parses the canonical table spelling case-insensitively, plus the
+    /// punctuation-free aliases the CLI accepts (`gcondx`, `dcgraph`, ...).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let folded: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        CondensationKind::all()
+            .into_iter()
+            .find(|kind| {
+                kind.name()
+                    .chars()
+                    .filter(|c| c.is_ascii_alphanumeric())
+                    .collect::<String>()
+                    .to_ascii_lowercase()
+                    == folded
+            })
+            .ok_or_else(|| format!("unknown condensation method '{}'", s))
+    }
+}
+
+/// Name handle of a registered condensation method — what experiment keys
+/// store and the CLI parses.  Comparison and hashing use the exact spelling.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId(String);
+
+impl MethodId {
+    /// Wraps a name verbatim.
+    pub fn new(name: impl Into<String>) -> Self {
+        MethodId(name.into())
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for MethodId {
+    type Err = std::convert::Infallible;
+
+    /// Adopts the canonical registry spelling when the name matches a
+    /// registered condenser case-insensitively, or a built-in through the
+    /// punctuation-free aliases of [`CondensationKind::from_str`] (`gcondx`,
+    /// `dcgraph`, ...); keeps the input verbatim otherwise.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let canonical = canonical_condenser_name(s).or_else(|| {
+            s.parse::<CondensationKind>()
+                .ok()
+                .map(|k| k.name().to_string())
+        });
+        Ok(MethodId(canonical.unwrap_or_else(|| s.to_string())))
+    }
+}
+
+impl From<&str> for MethodId {
+    fn from(s: &str) -> Self {
+        s.parse().expect("infallible")
+    }
+}
+
+impl From<String> for MethodId {
+    fn from(s: String) -> Self {
+        s.as_str().into()
+    }
+}
+
+impl From<CondensationKind> for MethodId {
+    fn from(kind: CondensationKind) -> Self {
+        MethodId(kind.name().to_string())
+    }
+}
+
+impl Named for dyn CondensationMethod {
+    fn name(&self) -> &str {
+        CondensationMethod::name(self)
+    }
+}
+
+fn condenser_registry() -> &'static Registry<dyn CondensationMethod> {
+    static REGISTRY: OnceLock<Registry<dyn CondensationMethod>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Registry::new(
+            CondensationKind::all()
+                .into_iter()
+                .map(|kind| Arc::from(kind.build()))
+                .collect(),
+        )
+    })
+}
+
+/// Registers a condensation method under its [`CondensationMethod::name`].
+/// A method with the same name (case-insensitively) replaces the previous
+/// entry, so tests can shadow built-ins; note that the on-disk experiment
+/// cell cache is keyed by name, so delete `target/experiments/` after
+/// shadowing a built-in (or use an in-memory runner) to avoid being served
+/// the old implementation's cached cells.
+pub fn register_condenser(method: Arc<dyn CondensationMethod>) {
+    condenser_registry().register(method);
+}
+
+/// Looks up a registered condenser by name (exact first, then
+/// case-insensitive).
+pub fn resolve_condenser(name: &str) -> Option<Arc<dyn CondensationMethod>> {
+    condenser_registry().resolve(name)
+}
+
+/// Registered condenser names in registration order (built-ins first).
+pub fn condenser_names() -> Vec<String> {
+    condenser_registry().names()
+}
+
+fn canonical_condenser_name(name: &str) -> Option<String> {
+    resolve_condenser(name).map(|m| m.name().to_string())
+}
+
 /// Selects the graph the condensation actually operates on: the full graph for
 /// transductive datasets, the training subgraph for inductive ones (Table I).
 pub fn working_graph(graph: &Graph) -> Graph {
@@ -98,7 +257,7 @@ impl GradientMatchingMethod {
 }
 
 impl CondensationMethod for GradientMatchingMethod {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         self.variant.name()
     }
 
@@ -115,13 +274,17 @@ impl CondensationMethod for GradientMatchingMethod {
         state.run(&work);
         Ok(state.to_condensed())
     }
+
+    fn matching_variant(&self) -> Option<MatchingVariant> {
+        Some(self.variant)
+    }
 }
 
 /// GC-SNTK kernel ridge regression condensation.
 pub struct SntkMethod;
 
 impl CondensationMethod for SntkMethod {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "GC-SNTK"
     }
 
@@ -132,6 +295,20 @@ impl CondensationMethod for SntkMethod {
     ) -> Result<CondensedGraph, CondenseError> {
         let work = working_graph(graph);
         condense_sntk(&work, config)
+    }
+
+    fn check_capacity(
+        &self,
+        graph: &Graph,
+        config: &CondensationConfig,
+    ) -> Result<(), CondenseError> {
+        if graph.split.train.len() > config.sntk_node_limit {
+            return Err(CondenseError::OutOfMemory {
+                nodes: graph.split.train.len(),
+                limit: config.sntk_node_limit,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -147,7 +324,70 @@ mod tests {
         for kind in CondensationKind::all() {
             let method = kind.build();
             assert_eq!(method.name(), kind.name());
+            assert_eq!(method.matching_variant(), kind.matching_variant());
         }
+    }
+
+    #[test]
+    fn registry_resolves_every_builtin_by_name() {
+        for kind in CondensationKind::all() {
+            let method = resolve_condenser(kind.name()).expect("builtin registered");
+            assert_eq!(method.name(), kind.name());
+            // Case-insensitive resolution adopts the canonical spelling.
+            let lower = resolve_condenser(&kind.name().to_ascii_lowercase()).unwrap();
+            assert_eq!(lower.name(), kind.name());
+        }
+        assert!(resolve_condenser("no-such-method").is_none());
+        let names = condenser_names();
+        for kind in CondensationKind::all() {
+            assert!(names.iter().any(|n| n == kind.name()));
+        }
+    }
+
+    #[test]
+    fn kind_round_trips_through_display_and_from_str() {
+        for kind in CondensationKind::all() {
+            assert_eq!(kind.to_string().parse::<CondensationKind>(), Ok(kind));
+            // CLI-friendly spellings.
+            assert_eq!(
+                kind.name().to_ascii_lowercase().parse::<CondensationKind>(),
+                Ok(kind)
+            );
+        }
+        assert_eq!(
+            "gcondx".parse::<CondensationKind>(),
+            Ok(CondensationKind::GCondX)
+        );
+        assert_eq!(
+            "dc-graph".parse::<CondensationKind>(),
+            Ok(CondensationKind::DcGraph)
+        );
+        assert!("huge".parse::<CondensationKind>().is_err());
+    }
+
+    #[test]
+    fn method_ids_canonicalize_known_spellings() {
+        assert_eq!(MethodId::from("gcond").as_str(), "GCond");
+        assert_eq!(MethodId::from(CondensationKind::GcSntk).as_str(), "GC-SNTK");
+        assert_eq!(MethodId::from("SomethingNew").as_str(), "SomethingNew");
+        // Punctuation-free CLI aliases fold onto the built-in spellings.
+        assert_eq!(MethodId::from("gcondx").as_str(), "GCond-X");
+        assert_eq!(MethodId::from("dcgraph").as_str(), "DC-Graph");
+        assert_eq!(MethodId::from("gcsntk").as_str(), "GC-SNTK");
+    }
+
+    #[test]
+    fn sntk_capacity_check_reports_oom() {
+        let graph = DatasetKind::Cora.load_small(2);
+        let mut config = CondensationConfig::quick(0.1);
+        config.sntk_node_limit = 1;
+        let err = SntkMethod.check_capacity(&graph, &config);
+        assert!(matches!(err, Err(CondenseError::OutOfMemory { .. })));
+        config.sntk_node_limit = 20_000;
+        assert!(SntkMethod.check_capacity(&graph, &config).is_ok());
+        assert!(GradientMatchingMethod::new(MatchingVariant::GCond)
+            .check_capacity(&graph, &config)
+            .is_ok());
     }
 
     #[test]

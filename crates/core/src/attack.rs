@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 
 use bgc_condense::{
-    condense_sntk, working_graph, CondensationKind, CondenseError, GradientMatchingState,
+    working_graph, CondensationKind, CondensationMethod, CondenseError, GradientMatchingState,
     MatchingVariant,
 };
 use bgc_graph::{CondensedGraph, Graph};
@@ -24,6 +24,7 @@ use bgc_tensor::{Matrix, Tape};
 
 use crate::attach::{attach_to_computation_graph, build_poisoned_graph, AttachedGraph};
 use crate::config::BgcConfig;
+use crate::error::BgcError;
 use crate::selector::{select_poisoned_nodes, SelectionResult};
 use crate::trigger::TriggerGenerator;
 
@@ -58,27 +59,31 @@ impl BgcAttack {
         Self { config }
     }
 
-    /// Runs the attack against the given condensation method.
+    /// Runs the attack against one of the built-in condensation methods.
+    pub fn run(&self, graph: &Graph, kind: CondensationKind) -> Result<BgcOutcome, BgcError> {
+        self.run_with(graph, kind.build().as_ref())
+    }
+
+    /// Runs the attack against an arbitrary registered condensation method.
     ///
-    /// For the gradient-matching methods (DC-Graph, GCond, GCond-X) the
-    /// trigger updates are interleaved with the condensation updates exactly
-    /// as in Algorithm 1.  For GC-SNTK the triggers are optimized against a
-    /// gradient-matching surrogate and the final poisoned graph is then
-    /// condensed with the kernel method (the adaptation is documented in
-    /// DESIGN.md); the OOM behaviour of GC-SNTK is preserved.
-    pub fn run(&self, graph: &Graph, kind: CondensationKind) -> Result<BgcOutcome, CondenseError> {
+    /// For gradient-matching methods (those reporting a
+    /// [`CondensationMethod::matching_variant`], e.g. DC-Graph, GCond,
+    /// GCond-X) the trigger updates are interleaved with the condensation
+    /// updates exactly as in Algorithm 1.  For kernel methods like GC-SNTK
+    /// the triggers are optimized against a gradient-matching surrogate and
+    /// the final poisoned graph is then condensed with the method itself (the
+    /// adaptation is documented in DESIGN.md); the method's capacity check
+    /// preserves the OOM behaviour of GC-SNTK.
+    pub fn run_with(
+        &self,
+        graph: &Graph,
+        method: &dyn CondensationMethod,
+    ) -> Result<BgcOutcome, BgcError> {
         let work = working_graph(graph);
         if work.split.train.is_empty() {
-            return Err(CondenseError::NoTrainingNodes);
+            return Err(CondenseError::NoTrainingNodes.into());
         }
-        if kind == CondensationKind::GcSntk
-            && work.split.train.len() > self.config.condensation.sntk_node_limit
-        {
-            return Err(CondenseError::OutOfMemory {
-                nodes: work.split.train.len(),
-                limit: self.config.condensation.sntk_node_limit,
-            });
-        }
+        method.check_capacity(&work, &self.config.condensation)?;
         let selection = select_poisoned_nodes(&work, &self.config);
         assert!(
             !selection.poisoned_nodes.is_empty(),
@@ -94,7 +99,7 @@ impl BgcAttack {
             &mut rng,
         );
         let adj = AdjacencyRef::from_graph(&work);
-        let matching_variant = kind.matching_variant().unwrap_or(MatchingVariant::GCondX);
+        let matching_variant = method.matching_variant().unwrap_or(MatchingVariant::GCondX);
         let mut state =
             GradientMatchingState::new(&work, matching_variant, self.config.condensation.clone());
         let mut generator_opt = Adam::new(self.config.generator_lr, 0.0);
@@ -135,7 +140,9 @@ impl BgcAttack {
             matching_losses.push(state.step(&poisoned));
         }
 
-        let condensed = if kind == CondensationKind::GcSntk {
+        let condensed = if method.matching_variant().is_none() {
+            // Kernel methods (GC-SNTK) cannot interleave: poison the graph
+            // with the final triggers and condense it with the method itself.
             let trigger_features =
                 generator.generate_plain(&adj, &work.features, &selection.poisoned_nodes);
             let poisoned = build_poisoned_graph(
@@ -145,7 +152,7 @@ impl BgcAttack {
                 self.config.trigger_size,
                 self.config.target_class,
             );
-            condense_sntk(&poisoned, &self.config.condensation)?
+            method.condense(&poisoned, &self.config.condensation)?
         } else {
             state.to_condensed()
         };
@@ -299,7 +306,7 @@ mod tests {
         config.condensation.sntk_node_limit = 2;
         let attack = BgcAttack::new(config);
         let result = attack.run(&graph, CondensationKind::GcSntk);
-        assert!(matches!(result, Err(CondenseError::OutOfMemory { .. })));
+        assert!(matches!(result, Err(err) if err.is_oom()));
     }
 
     #[test]

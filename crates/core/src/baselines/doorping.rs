@@ -14,7 +14,8 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 
 use bgc_condense::{
-    working_graph, CondensationKind, CondenseError, GradientMatchingState, MatchingVariant,
+    working_graph, CondensationKind, CondensationMethod, CondenseError, GradientMatchingState,
+    MatchingVariant,
 };
 use bgc_graph::{CondensedGraph, Graph};
 use bgc_nn::{Adam, Optimizer};
@@ -23,6 +24,7 @@ use bgc_tensor::{Matrix, Tape};
 
 use crate::attach::{attach_to_computation_graph, build_poisoned_graph, AttachedGraph};
 use crate::config::BgcConfig;
+use crate::error::BgcError;
 use crate::selector::{select_poisoned_nodes, SelectionResult};
 use crate::trigger::UniversalTrigger;
 
@@ -103,16 +105,24 @@ impl DoorpingAttack {
         loss_value
     }
 
-    /// Runs the attack against a gradient-matching condensation method.
-    pub fn run(
+    /// Runs the attack against one of the built-in condensation methods.
+    pub fn run(&self, graph: &Graph, kind: CondensationKind) -> Result<DoorpingOutcome, BgcError> {
+        self.run_with(graph, kind.build().as_ref())
+    }
+
+    /// Runs the attack against an arbitrary registered condensation method
+    /// (interleaved for gradient-matching methods, poison-then-condense for
+    /// kernel methods).
+    pub fn run_with(
         &self,
         graph: &Graph,
-        kind: CondensationKind,
-    ) -> Result<DoorpingOutcome, CondenseError> {
+        method: &dyn CondensationMethod,
+    ) -> Result<DoorpingOutcome, BgcError> {
         let work = working_graph(graph);
         if work.split.train.is_empty() {
-            return Err(CondenseError::NoTrainingNodes);
+            return Err(CondenseError::NoTrainingNodes.into());
         }
+        method.check_capacity(&work, &self.config.condensation)?;
         let selection = select_poisoned_nodes(&work, &self.config);
         let mut rng = rng_from_seed(self.config.seed ^ 0xd00);
         let mut trigger = randn(
@@ -122,7 +132,7 @@ impl DoorpingAttack {
             0.5,
             &mut rng,
         );
-        let variant = kind.matching_variant().unwrap_or(MatchingVariant::GCondX);
+        let variant = method.matching_variant().unwrap_or(MatchingVariant::GCondX);
         let mut state =
             GradientMatchingState::new(&work, variant, self.config.condensation.clone());
         let mut optimizer = Adam::new(self.config.generator_lr, 0.0);
@@ -160,7 +170,7 @@ impl DoorpingAttack {
             );
             state.step(&poisoned);
         }
-        let condensed = if kind == CondensationKind::GcSntk {
+        let condensed = if method.matching_variant().is_none() {
             let mut rows = Vec::with_capacity(selection.poisoned_nodes.len());
             for _ in 0..selection.poisoned_nodes.len() {
                 rows.push(trigger.clone());
@@ -176,7 +186,7 @@ impl DoorpingAttack {
                 self.config.trigger_size,
                 self.config.target_class,
             );
-            bgc_condense::condense_sntk(&poisoned, &self.config.condensation)?
+            method.condense(&poisoned, &self.config.condensation)?
         } else {
             state.to_condensed()
         };

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use bgc_condense::{working_graph, CondensationKind, CondenseError};
+use bgc_condense::{working_graph, CondensationKind, CondensationMethod, CondenseError};
 use bgc_graph::{CondensedGraph, Graph};
 use bgc_nn::{Adam, AdjacencyRef};
 use bgc_tensor::init::{rng_from_seed, xavier_uniform};
@@ -17,6 +17,7 @@ use bgc_tensor::Matrix;
 use crate::attach::build_poisoned_graph;
 use crate::attack::generator_update_step;
 use crate::config::BgcConfig;
+use crate::error::BgcError;
 use crate::selector::{select_poisoned_nodes, SelectionResult};
 use crate::trigger::TriggerGenerator;
 
@@ -71,13 +72,23 @@ impl GtaAttack {
         w
     }
 
+    /// Runs the attack against one of the built-in condensation methods.
+    pub fn run(&self, graph: &Graph, kind: CondensationKind) -> Result<GtaOutcome, BgcError> {
+        self.run_with(graph, kind.build().as_ref())
+    }
+
     /// Runs the attack: pre-train the generator against the static surrogate,
-    /// poison the graph once, then condense the poisoned graph.
-    pub fn run(&self, graph: &Graph, kind: CondensationKind) -> Result<GtaOutcome, CondenseError> {
+    /// poison the graph once, then condense the poisoned graph with `method`.
+    pub fn run_with(
+        &self,
+        graph: &Graph,
+        method: &dyn CondensationMethod,
+    ) -> Result<GtaOutcome, BgcError> {
         let work = working_graph(graph);
         if work.split.train.is_empty() {
-            return Err(CondenseError::NoTrainingNodes);
+            return Err(CondenseError::NoTrainingNodes.into());
         }
+        method.check_capacity(&work, &self.config.condensation)?;
         let selection = select_poisoned_nodes(&work, &self.config);
         let mut rng = rng_from_seed(self.config.seed ^ 0x67b);
         let mut generator = TriggerGenerator::with_feature_scale(
@@ -113,9 +124,7 @@ impl GtaAttack {
             self.config.trigger_size,
             self.config.target_class,
         );
-        let condensed = kind
-            .build()
-            .condense(&poisoned, &self.config.condensation)?;
+        let condensed = method.condense(&poisoned, &self.config.condensation)?;
         Ok(GtaOutcome {
             condensed,
             generator,

@@ -6,11 +6,12 @@
 
 use rand::Rng;
 
-use bgc_condense::{CondensationConfig, CondensationKind, CondenseError};
+use bgc_condense::{CondensationConfig, CondensationKind};
 use bgc_graph::{CondensedGraph, Graph};
 use bgc_tensor::init::{randn, rng_from_seed, sample_without_replacement};
 use bgc_tensor::Matrix;
 
+use crate::error::BgcError;
 use crate::trigger::UniversalTrigger;
 
 /// Configuration of the naive direct-injection attack.
@@ -67,7 +68,7 @@ impl NaivePoisonAttack {
         graph: &Graph,
         kind: CondensationKind,
         condensation: &CondensationConfig,
-    ) -> Result<NaivePoisonOutcome, CondenseError> {
+    ) -> Result<NaivePoisonOutcome, BgcError> {
         let clean = kind.build().condense(graph, condensation)?;
         Ok(self.poison_condensed(&clean, graph.num_features()))
     }

@@ -1,5 +1,8 @@
 //! Configuration of the BGC attack (Section IV of the paper).
 
+use std::fmt;
+use std::str::FromStr;
+
 use bgc_condense::CondensationConfig;
 use bgc_graph::PoisonBudget;
 
@@ -32,6 +35,23 @@ impl GeneratorKind {
             GeneratorKind::Gcn => "GCN",
             GeneratorKind::Transformer => "Transformer",
         }
+    }
+}
+
+impl fmt::Display for GeneratorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for GeneratorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        GeneratorKind::all()
+            .into_iter()
+            .find(|kind| kind.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown trigger-generator kind '{}'", s))
     }
 }
 

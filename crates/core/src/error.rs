@@ -1,0 +1,129 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible library path of the attack/condensation/evaluation stack
+//! reports a [`BgcError`]; binaries and tests match on variants instead of
+//! panicking inside the libraries.  [`CondenseError`] converts via `From`, so
+//! `?` threads condensation failures (including the paper's GC-SNTK `OOM`
+//! condition) straight through the attack and evaluation layers.
+
+use std::fmt;
+
+use bgc_condense::CondenseError;
+
+/// Unified error of the BGC workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BgcError {
+    /// A condensation method failed (OOM, empty split, singular kernel).
+    Condense(CondenseError),
+    /// No attack with this name is registered.
+    UnknownAttack(String),
+    /// No condensation method with this name is registered.
+    UnknownMethod(String),
+    /// No defense with this name is registered.
+    UnknownDefense(String),
+    /// No dataset with this name exists.
+    UnknownDataset(String),
+    /// An experiment description failed validation (builder / CLI).
+    InvalidExperiment(String),
+    /// An attack that needs the clean condensed reference ran without one.
+    MissingCleanReference {
+        /// Name of the offending attack.
+        attack: String,
+    },
+    /// A result was requested for an experiment cell that never ran.
+    CellNotExecuted {
+        /// Canonical key of the missing cell.
+        canon: String,
+    },
+    /// Filesystem or serialization failure (reports, cell cache).
+    Io(String),
+}
+
+impl BgcError {
+    /// Whether this error is the paper's out-of-memory condition (rendered as
+    /// an `OOM` table row rather than a failure).
+    pub fn is_oom(&self) -> bool {
+        matches!(self, BgcError::Condense(CondenseError::OutOfMemory { .. }))
+    }
+
+    /// Convenience constructor for validation failures.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        BgcError::InvalidExperiment(message.into())
+    }
+}
+
+impl fmt::Display for BgcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgcError::Condense(err) => write!(f, "condensation failed: {}", err),
+            BgcError::UnknownAttack(name) => write!(f, "unknown attack '{}'", name),
+            BgcError::UnknownMethod(name) => write!(f, "unknown condensation method '{}'", name),
+            BgcError::UnknownDefense(name) => write!(f, "unknown defense '{}'", name),
+            BgcError::UnknownDataset(name) => write!(f, "unknown dataset '{}'", name),
+            BgcError::InvalidExperiment(msg) => write!(f, "invalid experiment: {}", msg),
+            BgcError::MissingCleanReference { attack } => write!(
+                f,
+                "attack '{}' needs the clean condensed reference but none was provided",
+                attack
+            ),
+            BgcError::CellNotExecuted { canon } => {
+                write!(f, "cell was not executed: {}", canon)
+            }
+            BgcError::Io(msg) => write!(f, "io error: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for BgcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BgcError::Condense(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CondenseError> for BgcError {
+    fn from(err: CondenseError) -> Self {
+        BgcError::Condense(err)
+    }
+}
+
+impl From<std::io::Error> for BgcError {
+    fn from(err: std::io::Error) -> Self {
+        BgcError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condense_errors_convert_and_classify_oom() {
+        let err: BgcError = CondenseError::OutOfMemory {
+            nodes: 100,
+            limit: 10,
+        }
+        .into();
+        assert!(err.is_oom());
+        assert!(err.to_string().contains("out of memory"));
+        let err: BgcError = CondenseError::NoTrainingNodes.into();
+        assert!(!err.is_oom());
+    }
+
+    #[test]
+    fn display_names_the_offender() {
+        assert!(BgcError::UnknownAttack("Ghost".into())
+            .to_string()
+            .contains("Ghost"));
+        assert!(BgcError::MissingCleanReference {
+            attack: "NaivePoison".into()
+        }
+        .to_string()
+        .contains("NaivePoison"));
+        assert!(BgcError::invalid("ratio out of range")
+            .to_string()
+            .contains("ratio"));
+    }
+}

@@ -16,8 +16,10 @@ pub mod attach;
 pub mod attack;
 pub mod baselines;
 pub mod config;
+pub mod error;
 pub mod evaluation;
 pub mod kmeans;
+pub mod registry;
 pub mod selector;
 pub mod trigger;
 pub mod variants;
@@ -25,11 +27,15 @@ pub mod variants;
 pub use attach::{attach_to_computation_graph, build_poisoned_graph, AttachedGraph};
 pub use attack::{BgcAttack, BgcOutcome};
 pub use config::{BgcConfig, GeneratorKind, SelectionStrategy};
+pub use error::BgcError;
 pub use evaluation::{
     asr_candidate_pool, asr_sample_nodes, evaluate_backdoor, evaluate_clean_reference,
     full_graph_reference_accuracy, AttackEvaluation, EvaluationOptions, VictimSpec,
 };
 pub use kmeans::{kmeans, KMeansResult};
+pub use registry::{
+    attack_names, register_attack, resolve_attack, Attack, AttackArtifacts, AttackId, AttackKind,
+};
 pub use selector::{select_poisoned_nodes, SelectionResult};
 pub use trigger::{TriggerGenerator, TriggerProvider, UniversalTrigger};
 pub use variants::{directed_attack, randomized_selection};

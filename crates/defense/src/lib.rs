@@ -17,9 +17,14 @@
 
 pub mod prune;
 pub mod randsmooth;
+pub mod registry;
 
 pub use prune::{prune_defense, PruneConfig, PruneOutcome};
 pub use randsmooth::{randsmooth_predict, RandsmoothConfig};
+pub use registry::{
+    defense_names, register_defense, resolve_defense, Defense, DefenseId, PruneDefense,
+    RandsmoothDefense,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -11,7 +11,7 @@
 use serde::Serialize;
 
 use bgc_condense::CondensationKind;
-use bgc_core::GeneratorKind;
+use bgc_core::{BgcError, GeneratorKind};
 use bgc_graph::{DatasetKind, GraphStats};
 use bgc_nn::GnnArchitecture;
 
@@ -38,17 +38,18 @@ fn render_rows(
     runner: &Runner,
     rows: Vec<(String, CellGroup)>,
     render: impl Fn(&str, &crate::protocol::RunMetrics) -> String,
-) {
+) -> Result<(), BgcError> {
     let groups: Vec<&CellGroup> = rows.iter().map(|(_, g)| g).collect();
-    runner.run_groups(&groups);
+    runner.run_groups(&groups)?;
     for (prefix, group) in &rows {
-        let metrics = runner.metrics(group);
+        let metrics = runner.metrics(group)?;
         report.push(render(prefix, &metrics), &metrics);
     }
+    Ok(())
 }
 
 /// Table I: dataset statistics.
-pub fn table1(scale: ExperimentScale) -> ExperimentReport {
+pub fn table1(scale: ExperimentScale) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new("table1", "Table I: dataset statistics", scale.name());
     report.push_text(GraphStats::table_header());
     for dataset in DatasetKind::all() {
@@ -56,7 +57,7 @@ pub fn table1(scale: ExperimentScale) -> ExperimentReport {
         let stats = GraphStats::of(&graph);
         report.push(stats.table_row(), &StatsRecord::from(&stats));
     }
-    report
+    Ok(report)
 }
 
 #[derive(Serialize)]
@@ -88,7 +89,7 @@ impl From<&GraphStats> for StatsRecord {
 
 /// Figure 1: Clean model vs Naive Poison vs BGC clean test accuracy on Cora
 /// and Citeseer (GCond).
-pub fn fig1(runner: &Runner) -> ExperimentReport {
+pub fn fig1(runner: &Runner) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "fig1",
         "Figure 1: CTA of Clean / Naive Poison / BGC (GCond)",
@@ -118,13 +119,13 @@ pub fn fig1(runner: &Runner) -> ExperimentReport {
             metrics.cta * 100.0,
             metrics.asr * 100.0
         )
-    });
-    report
+    })?;
+    Ok(report)
 }
 
 /// Table II: C-CTA / CTA / C-ASR / ASR across datasets, condensation methods
 /// and condensation ratios.
-pub fn table2(runner: &Runner, full: bool) -> ExperimentReport {
+pub fn table2(runner: &Runner, full: bool) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "table2",
         "Table II: model utility (CTA) and attack performance (ASR)",
@@ -138,12 +139,12 @@ pub fn table2(runner: &Runner, full: bool) -> ExperimentReport {
             }
         }
     }
-    render_rows(&mut report, runner, rows, |_, m| m.table_row());
-    report
+    render_rows(&mut report, runner, rows, |_, m| m.table_row())?;
+    Ok(report)
 }
 
 /// Figure 4: BGC vs GTA vs DOORPING across condensation ratios (GCond).
-pub fn fig4(runner: &Runner, full: bool) -> ExperimentReport {
+pub fn fig4(runner: &Runner, full: bool) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "fig4",
         "Figure 4: BGC vs adapted graph backdoor baselines (GCond)",
@@ -165,13 +166,13 @@ pub fn fig4(runner: &Runner, full: bool) -> ExperimentReport {
             }
         }
     }
-    render_rows(&mut report, runner, rows, |_, m| m.table_row());
-    report
+    render_rows(&mut report, runner, rows, |_, m| m.table_row())?;
+    Ok(report)
 }
 
 /// Table III: transfer of the poisoned condensed graph to different victim
 /// GNN architectures (GCond).
-pub fn table3(runner: &Runner, full: bool) -> ExperimentReport {
+pub fn table3(runner: &Runner, full: bool) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "table3",
         "Table III: attack transfer across GNN architectures (GCond)",
@@ -197,8 +198,8 @@ pub fn table3(runner: &Runner, full: bool) -> ExperimentReport {
     }
     render_rows(&mut report, runner, rows, |prefix, m| {
         format!("{} {}", prefix, m.table_row())
-    });
-    report
+    })?;
+    Ok(report)
 }
 
 /// A row of the defense study (Table IV).
@@ -225,7 +226,7 @@ pub struct DefenseRecord {
 }
 
 /// Table IV: Prune and Randsmooth defenses against BGC (GCond and GCond-X).
-pub fn table4(runner: &Runner, full: bool) -> ExperimentReport {
+pub fn table4(runner: &Runner, full: bool) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "table4",
         "Table IV: attack performance against defenses",
@@ -239,7 +240,11 @@ pub fn table4(runner: &Runner, full: bool) -> ExperimentReport {
     for method in [CondensationKind::GCond, CondensationKind::GCondX] {
         for &dataset in &datasets {
             let ratio = dataset.paper_condensation_ratios()[1];
-            for eval in [EvalKind::Standard, EvalKind::Prune, EvalKind::Randsmooth] {
+            for eval in [
+                EvalKind::Standard,
+                EvalKind::prune(),
+                EvalKind::randsmooth(),
+            ] {
                 let group = runner.group(
                     dataset,
                     method,
@@ -252,9 +257,9 @@ pub fn table4(runner: &Runner, full: bool) -> ExperimentReport {
             }
         }
     }
-    runner.run_groups(&cells.iter().collect::<Vec<_>>());
+    runner.run_groups(&cells.iter().collect::<Vec<_>>())?;
     for chunk in cells.chunks(3) {
-        let record = defense_record(runner, &chunk[0], &chunk[1], &chunk[2]);
+        let record = defense_record(runner, &chunk[0], &chunk[1], &chunk[2])?;
         report.push(
             format!(
                 "{:<9} {:<10} r={:>5.2}%  undefended CTA {:>6.2} ASR {:>6.2} | Prune CTA {:>6.2} ASR {:>6.2} | Randsmooth CTA {:>6.2} ASR {:>6.2}",
@@ -271,7 +276,7 @@ pub fn table4(runner: &Runner, full: bool) -> ExperimentReport {
             &record,
         );
     }
-    report
+    Ok(report)
 }
 
 fn defense_record(
@@ -279,11 +284,11 @@ fn defense_record(
     undefended: &CellGroup,
     prune: &CellGroup,
     randsmooth: &CellGroup,
-) -> DefenseRecord {
-    let base = runner.metrics(undefended);
-    let prune = runner.metrics(prune);
-    let randsmooth = runner.metrics(randsmooth);
-    DefenseRecord {
+) -> Result<DefenseRecord, BgcError> {
+    let base = runner.metrics(undefended)?;
+    let prune = runner.metrics(prune)?;
+    let randsmooth = runner.metrics(randsmooth)?;
+    Ok(DefenseRecord {
         dataset: base.dataset.clone(),
         method: base.method.clone(),
         ratio: base.ratio,
@@ -293,7 +298,7 @@ fn defense_record(
         prune_asr: prune.asr,
         randsmooth_cta: randsmooth.cta,
         randsmooth_asr: randsmooth.asr,
-    }
+    })
 }
 
 /// Runs one defense cell: BGC attack, then evaluation without defense, with
@@ -304,27 +309,31 @@ pub fn run_defense_cell(
     dataset: DatasetKind,
     method: CondensationKind,
     ratio: f32,
-) -> DefenseRecord {
-    let groups: Vec<CellGroup> = [EvalKind::Standard, EvalKind::Prune, EvalKind::Randsmooth]
-        .into_iter()
-        .map(|eval| {
-            runner.group(
-                dataset,
-                method,
-                AttackKind::Bgc,
-                ratio,
-                eval,
-                CellOverrides::default(),
-            )
-        })
-        .collect();
-    runner.run_groups(&groups.iter().collect::<Vec<_>>());
+) -> Result<DefenseRecord, BgcError> {
+    let groups: Vec<CellGroup> = [
+        EvalKind::Standard,
+        EvalKind::prune(),
+        EvalKind::randsmooth(),
+    ]
+    .into_iter()
+    .map(|eval| {
+        runner.group(
+            dataset,
+            method,
+            AttackKind::Bgc,
+            ratio,
+            eval,
+            CellOverrides::default(),
+        )
+    })
+    .collect();
+    runner.run_groups(&groups.iter().collect::<Vec<_>>())?;
     defense_record(runner, &groups[0], &groups[1], &groups[2])
 }
 
 /// Figure 5: ablation of the poisoned-node selection module (BGC vs BGC_Rand)
 /// on the inductive datasets (DC-Graph).
-pub fn fig5(runner: &Runner) -> ExperimentReport {
+pub fn fig5(runner: &Runner) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "fig5",
         "Figure 5: ablation on poisoned-node selection (DC-Graph)",
@@ -345,13 +354,13 @@ pub fn fig5(runner: &Runner) -> ExperimentReport {
             rows.push((String::new(), group));
         }
     }
-    render_rows(&mut report, runner, rows, |_, m| m.table_row());
-    report
+    render_rows(&mut report, runner, rows, |_, m| m.table_row())?;
+    Ok(report)
 }
 
 /// Table V: ablation on the trigger-generator encoder (MLP / GCN /
 /// Transformer, GCond).
-pub fn table5(runner: &Runner) -> ExperimentReport {
+pub fn table5(runner: &Runner) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "table5",
         "Table V: ablation on the trigger generator (GCond)",
@@ -377,13 +386,13 @@ pub fn table5(runner: &Runner) -> ExperimentReport {
     }
     render_rows(&mut report, runner, rows, |prefix, m| {
         format!("{} {}", prefix, m.table_row())
-    });
-    report
+    })?;
+    Ok(report)
 }
 
 /// Table VI: directed attack (a single source class is poisoned and
 /// evaluated).
-pub fn table6(runner: &Runner) -> ExperimentReport {
+pub fn table6(runner: &Runner) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "table6",
         "Table VI: directed attack ablation (GCond)",
@@ -413,12 +422,12 @@ pub fn table6(runner: &Runner) -> ExperimentReport {
     }
     render_rows(&mut report, runner, rows, |prefix, m| {
         format!("{} {}", prefix, m.table_row())
-    });
-    report
+    })?;
+    Ok(report)
 }
 
 /// Figure 6: ASR as a function of the number of condensation epochs (GCond).
-pub fn fig6(runner: &Runner, full: bool) -> ExperimentReport {
+pub fn fig6(runner: &Runner, full: bool) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "fig6",
         "Figure 6: ASR vs condensation epochs (GCond)",
@@ -454,12 +463,12 @@ pub fn fig6(runner: &Runner, full: bool) -> ExperimentReport {
             m.asr * 100.0,
             m.cta * 100.0
         )
-    });
-    report
+    })?;
+    Ok(report)
 }
 
 /// Table VII: effect of the poisoning ratio / poisoning number.
-pub fn table7(runner: &Runner, full: bool) -> ExperimentReport {
+pub fn table7(runner: &Runner, full: bool) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "table7",
         "Table VII: poisoning budget study",
@@ -511,12 +520,12 @@ pub fn table7(runner: &Runner, full: bool) -> ExperimentReport {
     }
     render_rows(&mut report, runner, rows, |prefix, m| {
         format!("{} {}", prefix, m.table_row())
-    });
-    report
+    })?;
+    Ok(report)
 }
 
 /// Table VIII: effect of the number of victim GNN layers (GCond).
-pub fn table8(runner: &Runner, full: bool) -> ExperimentReport {
+pub fn table8(runner: &Runner, full: bool) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "table8",
         "Table VIII: number of GNN layers (GCond)",
@@ -545,12 +554,12 @@ pub fn table8(runner: &Runner, full: bool) -> ExperimentReport {
     }
     render_rows(&mut report, runner, rows, |prefix, m| {
         format!("{} {}", prefix, m.table_row())
-    });
-    report
+    })?;
+    Ok(report)
 }
 
 /// Figure 8: effect of the trigger size (DC-Graph and GCond on Flickr).
-pub fn fig8(runner: &Runner) -> ExperimentReport {
+pub fn fig8(runner: &Runner) -> Result<ExperimentReport, BgcError> {
     let mut report = ExperimentReport::new(
         "fig8",
         "Figure 8: trigger size study (Flickr)",
@@ -578,8 +587,8 @@ pub fn fig8(runner: &Runner) -> ExperimentReport {
     }
     render_rows(&mut report, runner, rows, |prefix, m| {
         format!("{} {}", prefix, m.table_row())
-    });
-    report
+    })?;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -588,7 +597,7 @@ mod tests {
 
     #[test]
     fn table1_contains_all_datasets() {
-        let report = table1(ExperimentScale::Quick);
+        let report = table1(ExperimentScale::Quick).unwrap();
         let text = report.render();
         for dataset in DatasetKind::all() {
             assert!(text.contains(dataset.name()), "missing {}", dataset.name());

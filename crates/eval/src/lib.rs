@@ -2,12 +2,19 @@
 //!
 //! Experiment harness for the Rust reproduction of *"Backdoor Graph
 //! Condensation"* (ICDE 2025): the CTA/ASR evaluation protocol of Section V,
-//! quick/paper experiment scales, and one regenerator function per table and
-//! figure of the evaluation section (consumed by the `bgc-bench` binaries).
+//! quick/paper experiment scales, the typed [`Experiment`] builder, and one
+//! regenerator function per table and figure of the evaluation section
+//! (consumed by the `bgc` CLI and the `exp_*` wrappers in `bgc-bench`).
+//!
+//! Attacks, condensation methods and defenses are resolved by name from the
+//! open registries in `bgc-core`, `bgc-condense` and `bgc-defense` and driven
+//! through trait objects — registering a new one runs it through the grid
+//! without touching this crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiment;
 pub mod experiments;
 pub mod paper;
 pub mod protocol;
@@ -15,6 +22,8 @@ pub mod runner;
 pub mod scale;
 pub mod tables;
 
+pub use bgc_core::BgcError;
+pub use experiment::{Experiment, ExperimentBuilder};
 pub use protocol::{
     attack_stage, clean_stage, run_spec, run_spec_with, AttackArtifacts, AttackKind, RunMetrics,
     RunSpec,

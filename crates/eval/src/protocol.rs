@@ -2,48 +2,25 @@
 //! condense a clean reference, train victims, and report C-CTA / CTA /
 //! C-ASR / ASR aggregated over repetitions (mean and standard deviation), as
 //! in Table II of the paper.
-
-use std::sync::Arc;
+//!
+//! Attacks and condensation methods are resolved from the open registries
+//! ([`bgc_core::resolve_attack`], [`bgc_condense::resolve_condenser`]) and
+//! dispatched through trait objects, so registering a new attack or method
+//! never touches this crate.
 
 use serde::Serialize;
 
-use bgc_condense::{CondensationKind, CondenseError};
+use bgc_condense::{resolve_condenser, CondensationMethod, MethodId};
 use bgc_core::{
-    evaluate_backdoor, evaluate_clean_reference, BgcAttack, BgcConfig, EvaluationOptions,
-    TriggerProvider, VictimSpec,
+    evaluate_backdoor, evaluate_clean_reference, resolve_attack, Attack, AttackId, BgcConfig,
+    BgcError, EvaluationOptions, VictimSpec,
 };
 use bgc_graph::{CondensedGraph, DatasetKind, Graph};
 use bgc_nn::mean_std;
 
 use crate::scale::ExperimentScale;
 
-/// Which attack is being evaluated.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub enum AttackKind {
-    /// The paper's attack.
-    Bgc,
-    /// BGC with random poisoned-node selection (Figure 5).
-    BgcRand,
-    /// Naive direct injection into the condensed graph (Figure 1).
-    NaivePoison,
-    /// GTA adapted to condensation (Figure 4).
-    Gta,
-    /// DOORPING adapted to condensation (Figure 4).
-    Doorping,
-}
-
-impl AttackKind {
-    /// Display name used in tables and figures.
-    pub fn name(&self) -> &'static str {
-        match self {
-            AttackKind::Bgc => "BGC",
-            AttackKind::BgcRand => "BGC_Rand",
-            AttackKind::NaivePoison => "NaivePoison",
-            AttackKind::Gta => "GTA",
-            AttackKind::Doorping => "DOORPING",
-        }
-    }
-}
+pub use bgc_core::{AttackArtifacts, AttackKind};
 
 /// One experiment configuration (a cell of Table II, or one point of a
 /// figure).
@@ -51,13 +28,13 @@ impl AttackKind {
 pub struct RunSpec {
     /// Dataset under attack.
     pub dataset: DatasetKind,
-    /// Condensation method under attack.
-    pub method: CondensationKind,
+    /// Condensation method under attack (registry name).
+    pub method: MethodId,
     /// Condensation ratio `r` (paper-scale value; the quick scale rescales
     /// it internally).
     pub ratio: f32,
-    /// Attack to run.
-    pub attack: AttackKind,
+    /// Attack to run (registry name).
+    pub attack: AttackId,
     /// Experiment scale.
     pub scale: ExperimentScale,
     /// Base seed; repetition `i` uses `seed + i`.
@@ -68,15 +45,15 @@ impl RunSpec {
     /// A BGC run spec with the defaults of the paper.
     pub fn bgc(
         dataset: DatasetKind,
-        method: CondensationKind,
+        method: impl Into<MethodId>,
         ratio: f32,
         scale: ExperimentScale,
     ) -> Self {
         Self {
             dataset,
-            method,
+            method: method.into(),
             ratio,
-            attack: AttackKind::Bgc,
+            attack: AttackKind::Bgc.into(),
             scale,
             seed: 17,
         }
@@ -120,9 +97,9 @@ impl RunMetrics {
     /// An OOM placeholder row.
     pub fn oom(spec: &RunSpec) -> Self {
         Self {
-            dataset: spec.dataset.name().to_string(),
-            method: spec.method.name().to_string(),
-            attack: spec.attack.name().to_string(),
+            dataset: spec.dataset.to_string(),
+            method: spec.method.to_string(),
+            attack: spec.attack.to_string(),
             ratio: spec.ratio,
             c_cta: 0.0,
             c_cta_std: 0.0,
@@ -207,90 +184,55 @@ struct RepetitionOutcome {
     asr: f32,
 }
 
-/// Output of the attack stage of one experiment cell: the poisoned condensed
-/// graph plus the trigger provider used against victims at test time.  The
-/// grid runner ([`crate::runner`]) caches and shares these across cells, so
-/// everything inside is immutable and behind `Arc`.
-#[derive(Clone)]
-pub struct AttackArtifacts {
-    /// The poisoned condensed graph handed to the victim.
-    pub condensed: Arc<CondensedGraph>,
-    /// The trigger provider evaluated against the victim.
-    pub provider: Arc<dyn TriggerProvider + Send + Sync>,
-}
-
 /// Clean-reference condensation stage: condenses the unpoisoned graph with
 /// the method under attack (shared by every attack on the same cell
 /// coordinates).
 pub fn clean_stage(
     graph: &Graph,
-    method: CondensationKind,
+    method: &dyn CondensationMethod,
     config: &BgcConfig,
-) -> Result<CondensedGraph, CondenseError> {
-    method.build().condense(graph, &config.condensation)
+) -> Result<CondensedGraph, BgcError> {
+    Ok(method.condense(graph, &config.condensation)?)
 }
 
 /// Attack stage: runs `attack` against `method` on `graph` and returns the
-/// poisoned condensed graph plus the test-time trigger provider.  The Naive
-/// Poison baseline injects directly into the clean condensed graph, hence the
-/// `clean` argument — it must be `Some` for [`AttackKind::NaivePoison`] and
-/// is ignored by every other attack.
+/// poisoned condensed graph plus the test-time trigger provider.  Attacks
+/// that report [`Attack::needs_clean_reference`] (the Naive Poison baseline)
+/// receive the clean condensed graph through `clean`; every other attack
+/// ignores it.
 pub fn attack_stage(
-    attack: AttackKind,
-    method: CondensationKind,
+    attack: &dyn Attack,
+    method: &dyn CondensationMethod,
     graph: &Graph,
     config: &BgcConfig,
     clean: Option<&CondensedGraph>,
-) -> Result<AttackArtifacts, CondenseError> {
-    let (condensed, provider): (_, Arc<dyn TriggerProvider + Send + Sync>) = match attack {
-        AttackKind::Bgc => {
-            let outcome = BgcAttack::new(config.clone()).run(graph, method)?;
-            (outcome.condensed, Arc::new(outcome.generator))
-        }
-        AttackKind::BgcRand => {
-            let rand_config = bgc_core::randomized_selection(config);
-            let outcome = BgcAttack::new(rand_config).run(graph, method)?;
-            (outcome.condensed, Arc::new(outcome.generator))
-        }
-        AttackKind::NaivePoison => {
-            let naive = bgc_core::baselines::NaivePoisonAttack::new(
-                bgc_core::baselines::naive_poison::NaivePoisonConfig {
-                    target_class: config.target_class,
-                    trigger_size: config.trigger_size,
-                    poison_fraction: 0.3,
-                    seed: config.seed,
-                },
-            );
-            let clean = clean.expect("the Naive Poison attack needs the clean condensed graph");
-            let outcome = naive.poison_condensed(clean, graph.num_features());
-            (outcome.condensed, Arc::new(outcome.trigger))
-        }
-        AttackKind::Gta => {
-            let outcome = bgc_core::baselines::GtaAttack::new(config.clone()).run(graph, method)?;
-            (outcome.condensed, Arc::new(outcome.generator))
-        }
-        AttackKind::Doorping => {
-            let outcome =
-                bgc_core::baselines::DoorpingAttack::new(config.clone()).run(graph, method)?;
-            (outcome.condensed, Arc::new(outcome.trigger))
-        }
-    };
-    Ok(AttackArtifacts {
-        condensed: Arc::new(condensed),
-        provider,
-    })
+) -> Result<AttackArtifacts, BgcError> {
+    attack.run(graph, method, config, clean)
+}
+
+/// Resolves a spec's attack from the registry.
+pub(crate) fn lookup_attack(id: &AttackId) -> Result<std::sync::Arc<dyn Attack>, BgcError> {
+    resolve_attack(id.as_str()).ok_or_else(|| BgcError::UnknownAttack(id.to_string()))
+}
+
+/// Resolves a spec's condensation method from the registry.
+pub(crate) fn lookup_method(
+    id: &MethodId,
+) -> Result<std::sync::Arc<dyn CondensationMethod>, BgcError> {
+    resolve_condenser(id.as_str()).ok_or_else(|| BgcError::UnknownMethod(id.to_string()))
 }
 
 fn run_once(
-    spec: &RunSpec,
+    attack: &dyn Attack,
+    method: &dyn CondensationMethod,
     graph: &Graph,
     config: &BgcConfig,
     victim: &VictimSpec,
     options: &EvaluationOptions,
-) -> Result<RepetitionOutcome, CondenseError> {
+) -> Result<RepetitionOutcome, BgcError> {
     // Clean reference condensation (shared by every attack).
-    let clean = clean_stage(graph, spec.method, config)?;
-    let artifacts = attack_stage(spec.attack, spec.method, graph, config, Some(&clean))?;
+    let clean = clean_stage(graph, method, config)?;
+    let artifacts = attack_stage(attack, method, graph, config, Some(&clean))?;
     let backdoored = evaluate_backdoor(
         graph,
         &artifacts.condensed,
@@ -317,8 +259,9 @@ fn run_once(
 
 /// Runs one experiment configuration for the scale's number of repetitions
 /// and aggregates the metrics.  GC-SNTK OOM conditions are reported as an
-/// `oom` row rather than an error, matching Table II.
-pub fn run_spec(spec: &RunSpec) -> RunMetrics {
+/// `oom` row rather than an error, matching Table II; every other failure
+/// (including unknown attack/method names) is a typed [`BgcError`].
+pub fn run_spec(spec: &RunSpec) -> Result<RunMetrics, BgcError> {
     run_spec_with(spec, |_, _| {})
 }
 
@@ -328,7 +271,9 @@ pub fn run_spec(spec: &RunSpec) -> RunMetrics {
 pub fn run_spec_with(
     spec: &RunSpec,
     customize: impl Fn(&mut BgcConfig, &mut VictimSpec),
-) -> RunMetrics {
+) -> Result<RunMetrics, BgcError> {
+    let attack = lookup_attack(&spec.attack)?;
+    let method = lookup_method(&spec.method)?;
     let mut c_ctas = Vec::new();
     let mut ctas = Vec::new();
     let mut c_asrs = Vec::new();
@@ -340,32 +285,40 @@ pub fn run_spec_with(
         let mut victim = spec.scale.victim_spec();
         customize(&mut config, &mut victim);
         let options = spec.scale.evaluation_options(seed);
-        match run_once(spec, &graph, &config, &victim, &options) {
+        match run_once(
+            attack.as_ref(),
+            method.as_ref(),
+            &graph,
+            &config,
+            &victim,
+            &options,
+        ) {
             Ok(outcome) => {
                 c_ctas.push(outcome.c_cta);
                 ctas.push(outcome.cta);
                 c_asrs.push(outcome.c_asr);
                 asrs.push(outcome.asr);
             }
-            Err(CondenseError::OutOfMemory { .. }) => return RunMetrics::oom(spec),
-            Err(err) => panic!("experiment {:?} failed: {}", spec, err),
+            Err(err) if err.is_oom() => return Ok(RunMetrics::oom(spec)),
+            Err(err) => return Err(err),
         }
     }
-    RunMetrics::from_repetitions(
+    Ok(RunMetrics::from_repetitions(
         spec.dataset.name(),
-        spec.method.name(),
-        spec.attack.name(),
+        spec.method.as_str(),
+        spec.attack.as_str(),
         spec.ratio,
         &c_ctas,
         &ctas,
         &c_asrs,
         &asrs,
-    )
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgc_condense::CondensationKind;
 
     #[test]
     fn bgc_run_reproduces_the_headline_shape() {
@@ -376,7 +329,7 @@ mod tests {
             0.026,
             ExperimentScale::Quick,
         );
-        let metrics = run_spec(&spec);
+        let metrics = run_spec(&spec).expect("spec runs");
         assert!(!metrics.oom);
         assert!(
             metrics.asr > 0.7,
@@ -408,5 +361,31 @@ mod tests {
         );
         let row = RunMetrics::oom(&spec).table_row();
         assert!(row.contains("OOM"));
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let mut spec = RunSpec::bgc(
+            DatasetKind::Cora,
+            CondensationKind::GCondX,
+            0.026,
+            ExperimentScale::Quick,
+        );
+        spec.attack = AttackId::new("Ghost");
+        assert!(matches!(
+            run_spec(&spec),
+            Err(BgcError::UnknownAttack(name)) if name == "Ghost"
+        ));
+        let mut spec = RunSpec::bgc(
+            DatasetKind::Cora,
+            CondensationKind::GCondX,
+            0.026,
+            ExperimentScale::Quick,
+        );
+        spec.method = MethodId::new("Vapour");
+        assert!(matches!(
+            run_spec(&spec),
+            Err(BgcError::UnknownMethod(name)) if name == "Vapour"
+        ));
     }
 }

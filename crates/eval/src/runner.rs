@@ -14,33 +14,41 @@
 //!   tables/figures (e.g. the GCond/Cora/BGC cell appearing in Table II,
 //!   Fig. 1, Fig. 4 and Table VI) pay for each attack once;
 //! * **resumably** — per-cell results are persisted as JSON under
-//!   `target/experiments/<scale>/cells/` and re-runs are served from disk.
+//!   `target/experiments/<scale>/cells/` and re-runs are served from disk;
+//! * **openly** — attacks, condensation methods and defenses are resolved by
+//!   name from their registries and driven through trait objects, so a newly
+//!   registered attack/method/defense runs through the grid without touching
+//!   this crate.
 //!
 //! The regenerators in [`crate::experiments`] declare their cell lists with
 //! [`Runner::group`] and render from [`Runner::metrics`]; they never loop
 //! over attacks inline.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::fs;
 use std::path::PathBuf;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rayon::prelude::*;
 use serde::Serialize;
 
-use bgc_condense::{CondensationKind, CondenseError};
+use bgc_condense::MethodId;
 use bgc_core::{
-    asr_sample_nodes, attach_to_computation_graph, directed_attack, evaluate_backdoor, BgcConfig,
-    EvaluationOptions, GeneratorKind, TriggerProvider, VictimSpec,
+    asr_sample_nodes, attach_to_computation_graph, directed_attack, evaluate_backdoor,
+    AttackArtifacts, AttackId, BgcConfig, BgcError, EvaluationOptions, GeneratorKind,
+    TriggerProvider, VictimSpec,
 };
-use bgc_defense::{prune_defense, randsmooth_predict, PruneConfig, RandsmoothConfig};
+use bgc_defense::{resolve_defense, Defense, DefenseId};
 use bgc_graph::{CondensedGraph, DatasetKind, Graph, PoisonBudget};
 use bgc_nn::{accuracy, attack_success_rate, train_on_condensed, AdjacencyRef, GnnArchitecture};
 use bgc_tensor::init::rng_from_seed;
+use bgc_tensor::Matrix;
 
 use crate::protocol::{
-    attack_stage, clean_stage, AttackArtifacts, AttackKind, RunMetrics, RunSpec,
+    attack_stage, clean_stage, lookup_attack, lookup_method, AttackKind, RunMetrics, RunSpec,
 };
 use crate::scale::ExperimentScale;
 
@@ -49,27 +57,76 @@ use crate::scale::ExperimentScale;
 pub const DEFAULT_BASE_SEED: u64 = 17;
 
 /// Version tag of the on-disk cell format; bump when [`CellResult`] or the
-/// evaluation protocol changes so stale caches are recomputed.
-const CELL_FILE_VERSION: u64 = 1;
+/// evaluation protocol changes so stale caches are recomputed.  v2: defended
+/// cells train their victim from the shared defended init stream regardless
+/// of the defense kind.
+const CELL_FILE_VERSION: u64 = 2;
 
-/// How the victim is evaluated in a cell.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+/// How the victim is evaluated in a cell: undefended, or through a named
+/// defense from the defense registry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum EvalKind {
     /// Undefended victim: CTA/ASR plus the clean-reference C-CTA/C-ASR.
     Standard,
-    /// Victim trained on the Prune-defended condensed graph (Table IV).
-    Prune,
-    /// Victim evaluated through randomized smoothing (Table IV).
-    Randsmooth,
+    /// Victim trained and evaluated through a registered defense (Table IV).
+    Defended(DefenseId),
 }
 
 impl EvalKind {
-    /// Stable name used in canonical keys.
-    pub fn name(&self) -> &'static str {
+    /// The built-in Prune defense (Table IV).
+    pub fn prune() -> Self {
+        EvalKind::Defended(DefenseId::from("prune"))
+    }
+
+    /// The built-in Randsmooth defense (Table IV).
+    pub fn randsmooth() -> Self {
+        EvalKind::Defended(DefenseId::from("randsmooth"))
+    }
+
+    /// Stable name used in tables and the CLI.
+    pub fn name(&self) -> &str {
         match self {
             EvalKind::Standard => "standard",
-            EvalKind::Prune => "prune",
-            EvalKind::Randsmooth => "randsmooth",
+            EvalKind::Defended(id) => id.as_str(),
+        }
+    }
+
+    /// Collision-free encoding used inside canonical cache keys: a defense
+    /// that somehow carries the reserved name `standard` must never share a
+    /// cache identity with the undefended mode.
+    fn canon_tag(&self) -> String {
+        match self {
+            EvalKind::Standard => "standard".to_string(),
+            EvalKind::Defended(id) => format!("defended:{}", id),
+        }
+    }
+
+    /// Re-canonicalizes a defended mode's spelling against the registry
+    /// (no-op for `Standard` and unregistered names).
+    fn canonicalized(&self) -> EvalKind {
+        match self {
+            EvalKind::Standard => EvalKind::Standard,
+            EvalKind::Defended(id) => EvalKind::Defended(DefenseId::from(id.as_str())),
+        }
+    }
+}
+
+impl fmt::Display for EvalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EvalKind {
+    type Err = std::convert::Infallible;
+
+    /// `"standard"` parses to the undefended mode; anything else names a
+    /// defense (resolved against the registry at run time).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("standard") {
+            Ok(EvalKind::Standard)
+        } else {
+            Ok(EvalKind::Defended(DefenseId::from(s)))
         }
     }
 }
@@ -214,10 +271,10 @@ pub struct CellKey {
     pub scale: ExperimentScale,
     /// Dataset under attack.
     pub dataset: DatasetKind,
-    /// Condensation method under attack.
-    pub method: CondensationKind,
-    /// Attack to run.
-    pub attack: AttackKind,
+    /// Condensation method under attack (registry name).
+    pub method: MethodId,
+    /// Attack to run (registry name).
+    pub attack: AttackId,
     /// Condensation ratio as `f32::to_bits` (hashable, exact).
     pub ratio_bits: u32,
     /// Base seed of the grid.
@@ -250,12 +307,12 @@ impl CellKey {
             CELL_FILE_VERSION,
             self.scale.name(),
             self.dataset.name(),
-            self.method.name(),
-            self.attack.name(),
+            self.method,
+            self.attack,
             self.ratio_bits,
             self.base_seed,
             self.rep,
-            self.eval.name(),
+            self.eval.canon_tag(),
             self.overrides.canon(),
         )
     }
@@ -267,7 +324,7 @@ impl CellKey {
             "clean|{}|{}|{}|r={:08x}|seed={}|ep={}",
             self.scale.name(),
             self.dataset.name(),
-            self.method.name(),
+            self.method,
             self.ratio_bits,
             self.seed(),
             self.overrides
@@ -284,8 +341,8 @@ impl CellKey {
             "attack|{}|{}|{}|{}|r={:08x}|seed={}|{}",
             self.scale.name(),
             self.dataset.name(),
-            self.method.name(),
-            self.attack.name(),
+            self.method,
+            self.attack,
             self.ratio_bits,
             self.seed(),
             self.overrides.attack_canon(),
@@ -346,9 +403,9 @@ pub struct CellGroup {
     /// Dataset under attack.
     pub dataset: DatasetKind,
     /// Condensation method under attack.
-    pub method: CondensationKind,
+    pub method: MethodId,
     /// Attack being evaluated.
-    pub attack: AttackKind,
+    pub attack: AttackId,
     /// Condensation ratio.
     pub ratio: f32,
     /// Victim evaluation mode.
@@ -434,7 +491,7 @@ impl RunnerStats {
     }
 }
 
-type StageResult<T> = Result<T, CondenseError>;
+type StageResult<T> = Result<T, BgcError>;
 
 /// The experiment-grid engine.  See the module docs for the execution model.
 pub struct Runner {
@@ -490,9 +547,21 @@ impl Runner {
         self
     }
 
+    /// Overrides the base seed of the grid (repetition `i` of a cell runs
+    /// with `base_seed + i`).
+    pub fn with_base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
     /// The runner's experiment scale.
     pub fn scale(&self) -> ExperimentScale {
         self.scale
+    }
+
+    /// The base seed of the grid.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
     }
 
     /// Declares one experiment configuration as a group of per-repetition
@@ -501,23 +570,53 @@ impl Runner {
     pub fn group(
         &self,
         dataset: DatasetKind,
-        method: CondensationKind,
-        attack: AttackKind,
+        method: impl Into<MethodId>,
+        attack: impl Into<AttackId>,
         ratio: f32,
         eval: EvalKind,
         overrides: CellOverrides,
     ) -> CellGroup {
+        self.group_seeded(
+            dataset,
+            method.into(),
+            attack.into(),
+            ratio,
+            eval,
+            overrides,
+            self.base_seed,
+        )
+    }
+
+    /// [`Runner::group`] with an explicit base seed (used by the experiment
+    /// builder, whose specs carry their own seed).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn group_seeded(
+        &self,
+        dataset: DatasetKind,
+        method: MethodId,
+        attack: AttackId,
+        ratio: f32,
+        eval: EvalKind,
+        overrides: CellOverrides,
+        base_seed: u64,
+    ) -> CellGroup {
+        // Re-canonicalize the spellings against the registries at lowering
+        // time: ids created before their entry was registered (or via
+        // `::new`) must not occupy a second cache identity.
+        let method = MethodId::from(method.as_str());
+        let attack = AttackId::from(attack.as_str());
+        let eval = eval.canonicalized();
         let overrides = self.normalize(dataset, ratio, overrides);
         let keys = (0..self.scale.repetitions())
             .map(|rep| CellKey {
                 scale: self.scale,
                 dataset,
-                method,
-                attack,
+                method: method.clone(),
+                attack: attack.clone(),
                 ratio_bits: ratio.to_bits(),
-                base_seed: self.base_seed,
+                base_seed,
                 rep,
-                eval,
+                eval: eval.clone(),
                 overrides: overrides.clone(),
             })
             .collect();
@@ -535,7 +634,7 @@ impl Runner {
     pub fn bgc_group(
         &self,
         dataset: DatasetKind,
-        method: CondensationKind,
+        method: impl Into<MethodId>,
         ratio: f32,
     ) -> CellGroup {
         self.group(
@@ -580,8 +679,10 @@ impl Runner {
     /// Executes every not-yet-known cell of `keys` (deduplicated), in
     /// parallel unless [`Runner::serial`].  Completed results land in the
     /// in-memory map (and on disk when persistence is enabled); read them
-    /// back with [`Runner::result`] or [`Runner::metrics`].
-    pub fn run_cells(&self, keys: &[CellKey]) {
+    /// back with [`Runner::result`] or [`Runner::metrics`].  The first cell
+    /// failure (unknown attack/method/defense, non-OOM condensation error)
+    /// aborts with a typed error; OOM cells are recorded as OOM results.
+    pub fn run_cells(&self, keys: &[CellKey]) -> Result<(), BgcError> {
         let mut pending = Vec::new();
         let mut seen = HashSet::new();
         {
@@ -597,20 +698,24 @@ impl Runner {
                 }
             }
         }
+        let errors: Mutex<Vec<BgcError>> = Mutex::new(Vec::new());
         let execute = |key: CellKey| {
-            let result = match self.load_cell(&key) {
+            let outcome = match self.load_cell(&key) {
                 Some(result) => {
                     self.cell_disk_hits.fetch_add(1, Ordering::Relaxed);
-                    result
+                    Ok(result)
                 }
-                None => {
-                    let result = self.compute_cell(&key);
+                None => self.compute_cell(&key).inspect(|result| {
                     self.cells_computed.fetch_add(1, Ordering::Relaxed);
-                    self.persist_cell(&key, &result);
-                    result
-                }
+                    self.persist_cell(&key, result);
+                }),
             };
-            self.results.lock().unwrap().insert(key, result);
+            match outcome {
+                Ok(result) => {
+                    self.results.lock().unwrap().insert(key, result);
+                }
+                Err(err) => errors.lock().unwrap().push(err),
+            }
         };
         if self.parallel && pending.len() > 1 {
             pending.into_par_iter().for_each(execute);
@@ -619,29 +724,34 @@ impl Runner {
                 execute(key);
             }
         }
+        match errors.into_inner().unwrap().into_iter().next() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
     }
 
     /// Runs every cell of the given groups (one call per report keeps the
     /// whole report's grid in flight at once).
-    pub fn run_groups(&self, groups: &[&CellGroup]) {
+    pub fn run_groups(&self, groups: &[&CellGroup]) -> Result<(), BgcError> {
         let keys: Vec<CellKey> = groups.iter().flat_map(|g| g.keys.iter().cloned()).collect();
-        self.run_cells(&keys);
+        self.run_cells(&keys)
     }
 
-    /// The completed result of a cell; panics if the cell was never run.
-    pub fn result(&self, key: &CellKey) -> CellResult {
+    /// The completed result of a cell; [`BgcError::CellNotExecuted`] if the
+    /// cell was never run.
+    pub fn result(&self, key: &CellKey) -> Result<CellResult, BgcError> {
         self.results
             .lock()
             .unwrap()
             .get(key)
             .copied()
-            .unwrap_or_else(|| panic!("cell was not executed: {}", key.canon()))
+            .ok_or_else(|| BgcError::CellNotExecuted { canon: key.canon() })
     }
 
     /// Aggregates a group's repetitions into a Table II-style row (runs any
     /// missing cells first).  A group with an OOM repetition reports the
     /// paper's `OOM` row.
-    pub fn metrics(&self, group: &CellGroup) -> RunMetrics {
+    pub fn metrics(&self, group: &CellGroup) -> Result<RunMetrics, BgcError> {
         // Read-back path: only submit cells that were never executed, so
         // rendering a report after its `run_groups` wave does not inflate
         // the memory-hit counter (that stat measures overlap between
@@ -656,30 +766,34 @@ impl Runner {
                 .collect()
         };
         if !missing.is_empty() {
-            self.run_cells(&missing);
+            self.run_cells(&missing)?;
         }
-        let results: Vec<CellResult> = group.keys.iter().map(|k| self.result(k)).collect();
+        let results: Vec<CellResult> = group
+            .keys
+            .iter()
+            .map(|k| self.result(k))
+            .collect::<Result<_, _>>()?;
         if results.iter().any(|r| r.oom) {
-            return RunMetrics::oom(&RunSpec {
+            return Ok(RunMetrics::oom(&RunSpec {
                 dataset: group.dataset,
-                method: group.method,
+                method: group.method.clone(),
                 ratio: group.ratio,
-                attack: group.attack,
+                attack: group.attack.clone(),
                 scale: self.scale,
                 seed: self.base_seed,
-            });
+            }));
         }
         let column = |f: fn(&CellResult) -> f32| -> Vec<f32> { results.iter().map(f).collect() };
-        RunMetrics::from_repetitions(
+        Ok(RunMetrics::from_repetitions(
             group.dataset.name(),
-            group.method.name(),
-            group.attack.name(),
+            group.method.as_str(),
+            group.attack.as_str(),
             group.ratio,
             &column(|r| r.c_cta),
             &column(|r| r.cta),
             &column(|r| r.c_asr),
             &column(|r| r.asr),
-        )
+        ))
     }
 
     /// Snapshot of the cache/execution counters.
@@ -699,7 +813,17 @@ impl Runner {
     // Cell execution
     // ------------------------------------------------------------------
 
-    fn compute_cell(&self, key: &CellKey) -> CellResult {
+    fn compute_cell(&self, key: &CellKey) -> Result<CellResult, BgcError> {
+        let attack = lookup_attack(&key.attack)?;
+        let method = lookup_method(&key.method)?;
+        let defense = match &key.eval {
+            EvalKind::Standard => None,
+            EvalKind::Defended(id) => Some(
+                resolve_defense(id.as_str())
+                    .ok_or_else(|| BgcError::UnknownDefense(id.to_string()))?,
+            ),
+        };
+
         let seed = key.seed();
         let graph = self.scale.load(key.dataset, seed);
         let mut config = self.scale.bgc_config(key.dataset, key.ratio(), seed);
@@ -708,18 +832,18 @@ impl Runner {
         key.overrides.apply(&mut config, &mut victim, &mut options);
 
         // Clean reference condensation — needed by the Standard evaluation
-        // (C-CTA/C-ASR columns) and by the Naive Poison baseline (it injects
-        // into the clean condensed graph); defense cells of other attacks
+        // (C-CTA/C-ASR columns) and by attacks that inject into the clean
+        // condensed graph (Naive Poison); defense cells of other attacks
         // skip it.
-        let needs_clean = key.eval == EvalKind::Standard || key.attack == AttackKind::NaivePoison;
+        let needs_clean = key.eval == EvalKind::Standard || attack.needs_clean_reference();
         let clean = if needs_clean {
             let outcome = self.clean_cache.get_or_compute(key.clean_stage_key(), || {
-                clean_stage(&graph, key.method, &config).map(Arc::new)
+                clean_stage(&graph, method.as_ref(), &config).map(Arc::new)
             });
             match outcome {
                 Ok(clean) => Some(clean),
-                Err(CondenseError::OutOfMemory { .. }) => return CellResult::oom(),
-                Err(err) => panic!("clean condensation failed for {}: {}", key.canon(), err),
+                Err(err) if err.is_oom() => return Ok(CellResult::oom()),
+                Err(err) => return Err(err),
             }
         } else {
             None
@@ -729,17 +853,23 @@ impl Runner {
             let outcome = self
                 .attack_cache
                 .get_or_compute(key.attack_stage_key(), || {
-                    attack_stage(key.attack, key.method, &graph, &config, clean.as_deref())
+                    attack_stage(
+                        attack.as_ref(),
+                        method.as_ref(),
+                        &graph,
+                        &config,
+                        clean.as_deref(),
+                    )
                 });
             match outcome {
                 Ok(artifacts) => artifacts,
-                Err(CondenseError::OutOfMemory { .. }) => return CellResult::oom(),
-                Err(err) => panic!("attack stage failed for {}: {}", key.canon(), err),
+                Err(err) if err.is_oom() => return Ok(CellResult::oom()),
+                Err(err) => return Err(err),
             }
         };
 
-        match key.eval {
-            EvalKind::Standard => {
+        match defense {
+            None => {
                 let backdoored = evaluate_backdoor(
                     &graph,
                     &artifacts.condensed,
@@ -757,52 +887,33 @@ impl Runner {
                     &victim,
                     &options,
                 );
-                CellResult {
+                Ok(CellResult {
                     c_cta: reference.cta,
                     cta: backdoored.cta,
                     c_asr: reference.asr,
                     asr: backdoored.asr,
                     asr_nodes: backdoored.asr_nodes,
                     oom: false,
-                }
+                })
             }
-            EvalKind::Prune => {
-                let pruned = prune_defense(&artifacts.condensed, &PruneConfig::default());
-                let defended = evaluate_backdoor(
-                    &graph,
-                    &pruned.condensed,
-                    artifacts.provider.as_ref(),
-                    &config,
-                    &victim,
-                    &options,
-                );
-                CellResult {
-                    c_cta: 0.0,
-                    cta: defended.cta,
-                    c_asr: 0.0,
-                    asr: defended.asr,
-                    asr_nodes: defended.asr_nodes,
-                    oom: false,
-                }
-            }
-            EvalKind::Randsmooth => {
-                let (cta, asr, asr_nodes) = randsmooth_evaluation(
+            Some(defense) => {
+                let (cta, asr, asr_nodes) = defended_evaluation(
                     &graph,
                     &artifacts.condensed,
+                    defense.as_ref(),
                     artifacts.provider.as_ref(),
                     &config,
                     &victim,
                     &options,
-                    &RandsmoothConfig::default(),
                 );
-                CellResult {
+                Ok(CellResult {
                     c_cta: 0.0,
                     cta,
                     c_asr: 0.0,
                     asr,
                     asr_nodes,
                     oom: false,
-                }
+                })
             }
         }
     }
@@ -870,21 +981,29 @@ struct CellFile {
     result: CellResult,
 }
 
-/// CTA/ASR of a victim trained on `condensed` but evaluated through
-/// randomized smoothing (Table IV).  The model-init RNG and the ASR node
-/// sample come from independent streams, and the sample is the same one
-/// `evaluate_backdoor` uses, so defended and undefended rows are measured on
-/// identical node sets.
-#[allow(clippy::too_many_arguments)]
-fn randsmooth_evaluation(
+/// CTA/ASR of a victim evaluated through a [`Defense`] (Table IV):
+///
+/// 1. the condensed graph is passed through [`Defense::sanitize`]
+///    (dataset-level defenses prune/transform it; model-level defenses leave
+///    it alone);
+/// 2. the victim trains on the sanitized graph;
+/// 3. every prediction — clean test nodes and triggered nodes alike — goes
+///    through [`Defense::predict`] when the defense overrides inference
+///    (randomized smoothing), and the plain forward pass otherwise.
+///
+/// The victim-init RNG and the ASR node sample come from independent
+/// streams, and the sample is the same one `evaluate_backdoor` uses, so
+/// defended and undefended rows are measured on identical node sets.
+fn defended_evaluation(
     graph: &Graph,
     condensed: &CondensedGraph,
+    defense: &dyn Defense,
     provider: &dyn TriggerProvider,
     config: &BgcConfig,
     victim: &VictimSpec,
     options: &EvaluationOptions,
-    smooth: &RandsmoothConfig,
 ) -> (f32, f32, usize) {
+    let sanitized = defense.sanitize(condensed);
     let mut init_rng = rng_from_seed(options.seed ^ 0x5107);
     let mut model = victim.architecture.build(
         graph.num_features(),
@@ -893,15 +1012,15 @@ fn randsmooth_evaluation(
         victim.num_layers,
         &mut init_rng,
     );
-    train_on_condensed(model.as_mut(), condensed, &victim.train);
+    train_on_condensed(model.as_mut(), &sanitized, &victim.train);
+    let predict = |adj: &AdjacencyRef, features: &Matrix| -> Vec<usize> {
+        defense
+            .predict(model.as_ref(), adj, features, graph.num_classes)
+            .unwrap_or_else(|| model.predict(adj, features))
+    };
+
     let full_adj = AdjacencyRef::from_graph(graph);
-    let preds = randsmooth_predict(
-        model.as_ref(),
-        &full_adj,
-        &graph.features,
-        graph.num_classes,
-        smooth,
-    );
+    let preds = predict(&full_adj, &graph.features);
     let test_preds: Vec<usize> = graph.split.test.iter().map(|&i| preds[i]).collect();
     let test_labels = graph.labels_of(&graph.split.test);
     let cta = accuracy(&test_preds, &test_labels);
@@ -918,13 +1037,7 @@ fn randsmooth_evaluation(
         );
         let trigger = provider.trigger_for(&full_adj, &graph.features, node);
         let features = attached.combined_features_plain(&trigger);
-        let preds = randsmooth_predict(
-            model.as_ref(),
-            &attached.adjacency_ref(),
-            &features,
-            graph.num_classes,
-            smooth,
-        );
+        let preds = predict(&attached.adjacency_ref(), &features);
         triggered.push(preds[attached.center]);
     }
     let asr = attack_success_rate(&triggered, config.target_class);
@@ -934,6 +1047,7 @@ fn randsmooth_evaluation(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgc_condense::CondensationKind;
 
     /// A tiny two-cell grid that shares the clean stage between two attacks.
     fn tiny_groups(runner: &Runner) -> Vec<CellGroup> {
@@ -1007,16 +1121,46 @@ mod tests {
     }
 
     #[test]
+    fn string_spellings_share_keys_with_typed_kinds() {
+        // The CLI parses names; the regenerators pass enum kinds — both must
+        // produce identical cell keys (one spelling, one cache entry).
+        let runner = Runner::in_memory(ExperimentScale::Quick);
+        let typed = runner.group(
+            DatasetKind::Cora,
+            CondensationKind::GCond,
+            AttackKind::Bgc,
+            0.026,
+            EvalKind::Standard,
+            CellOverrides::default(),
+        );
+        let spelled = runner.group(
+            DatasetKind::Cora,
+            "gcond",
+            "bgc",
+            0.026,
+            "standard".parse().unwrap(),
+            CellOverrides::default(),
+        );
+        assert_eq!(typed.keys, spelled.keys);
+        assert_eq!(EvalKind::prune().name(), "prune");
+        assert_eq!("PRUNE".parse::<EvalKind>().unwrap(), EvalKind::prune());
+        assert_eq!(
+            "randsmooth".parse::<EvalKind>().unwrap(),
+            EvalKind::randsmooth()
+        );
+    }
+
+    #[test]
     fn parallel_and_serial_execution_are_bit_identical() {
         let serial = Runner::in_memory(ExperimentScale::Quick).serial();
         let parallel = Runner::in_memory(ExperimentScale::Quick);
         let groups = tiny_groups(&serial);
         let keys: Vec<CellKey> = groups.iter().flat_map(|g| g.keys.clone()).collect();
-        serial.run_cells(&keys);
-        parallel.run_cells(&keys);
+        serial.run_cells(&keys).unwrap();
+        parallel.run_cells(&keys).unwrap();
         for key in &keys {
-            let a = serial.result(key);
-            let b = parallel.result(key);
+            let a = serial.result(key).unwrap();
+            let b = parallel.result(key).unwrap();
             assert_eq!(a.c_cta.to_bits(), b.c_cta.to_bits(), "{}", key.canon());
             assert_eq!(a.cta.to_bits(), b.cta.to_bits(), "{}", key.canon());
             assert_eq!(a.c_asr.to_bits(), b.c_asr.to_bits(), "{}", key.canon());
@@ -1038,20 +1182,20 @@ mod tests {
         let first = Runner::with_cache_dir(ExperimentScale::Quick, Some(dir.clone()));
         let groups = tiny_groups(&first);
         let keys: Vec<CellKey> = groups.iter().flat_map(|g| g.keys.clone()).collect();
-        first.run_cells(&keys);
+        first.run_cells(&keys).unwrap();
         assert_eq!(first.stats().cells_computed, keys.len());
         assert_eq!(first.stats().cell_disk_hits, 0);
 
         // A fresh runner (fresh process, conceptually) is served entirely
         // from disk, bit-identically.
         let second = Runner::with_cache_dir(ExperimentScale::Quick, Some(dir.clone()));
-        second.run_cells(&keys);
+        second.run_cells(&keys).unwrap();
         let stats = second.stats();
         assert_eq!(stats.cell_disk_hits, keys.len());
         assert_eq!(stats.cells_computed, 0);
         for key in &keys {
-            let a = first.result(key);
-            let b = second.result(key);
+            let a = first.result(key).unwrap();
+            let b = second.result(key).unwrap();
             assert_eq!(a.cta.to_bits(), b.cta.to_bits());
             assert_eq!(a.asr.to_bits(), b.asr.to_bits());
             assert_eq!(a.c_cta.to_bits(), b.c_cta.to_bits());
@@ -1059,7 +1203,7 @@ mod tests {
         }
 
         // Re-running on the same runner hits the in-memory map.
-        second.run_cells(&keys);
+        second.run_cells(&keys).unwrap();
         assert_eq!(second.stats().cell_memory_hits, keys.len());
 
         let _ = fs::remove_dir_all(&dir);
@@ -1079,13 +1223,51 @@ mod tests {
                 ..CellOverrides::default()
             },
         );
-        let metrics = runner.metrics(&group);
+        let metrics = runner.metrics(&group).unwrap();
         assert_eq!(metrics.dataset, "cora");
         assert_eq!(metrics.method, "GCond-X");
         assert!(!metrics.oom);
         assert!(metrics.cta > 0.0 && metrics.cta <= 1.0);
         // Quick scale has one repetition: the sample std collapses to zero.
         assert_eq!(metrics.asr_std, 0.0);
+    }
+
+    #[test]
+    fn unknown_registry_names_fail_with_typed_errors() {
+        let runner = Runner::in_memory(ExperimentScale::Quick);
+        let group = runner.group(
+            DatasetKind::Cora,
+            CondensationKind::GCondX,
+            "GhostAttack",
+            0.026,
+            EvalKind::Standard,
+            CellOverrides::default(),
+        );
+        assert!(matches!(
+            runner.metrics(&group),
+            Err(BgcError::UnknownAttack(name)) if name == "GhostAttack"
+        ));
+        let group = runner.group(
+            DatasetKind::Cora,
+            CondensationKind::GCondX,
+            AttackKind::Bgc,
+            0.026,
+            EvalKind::Defended(DefenseId::new("moat")),
+            CellOverrides {
+                outer_epochs: Some(2),
+                ..CellOverrides::default()
+            },
+        );
+        assert!(matches!(
+            runner.metrics(&group),
+            Err(BgcError::UnknownDefense(name)) if name == "moat"
+        ));
+        // An unexecuted cell reads back as a typed error, not a panic.
+        let group = runner.bgc_group(DatasetKind::Citeseer, CondensationKind::GCond, 0.018);
+        assert!(matches!(
+            runner.result(&group.keys[0]),
+            Err(BgcError::CellNotExecuted { .. })
+        ));
     }
 
     #[test]
@@ -1108,7 +1290,7 @@ mod tests {
                 results.insert(key.clone(), CellResult::oom());
             }
         }
-        let metrics = runner.metrics(&group);
+        let metrics = runner.metrics(&group).unwrap();
         assert!(metrics.oom);
         assert!(metrics.table_row().contains("OOM"));
     }

@@ -9,6 +9,9 @@
 //! * **Paper** — Table I-sized datasets, the paper's epoch counts and three
 //!   repetitions.  Substantially slower; intended for overnight runs.
 
+use std::fmt;
+use std::str::FromStr;
+
 use bgc_condense::CondensationConfig;
 use bgc_core::{BgcConfig, EvaluationOptions, VictimSpec};
 use bgc_graph::{DatasetKind, Graph};
@@ -23,6 +26,20 @@ pub enum ExperimentScale {
     Paper,
 }
 
+impl fmt::Display for ExperimentScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ExperimentScale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s).ok_or_else(|| format!("unknown experiment scale '{}'", s))
+    }
+}
+
 impl ExperimentScale {
     /// Parses `"quick"` / `"paper"` (case-insensitive).
     pub fn parse(value: &str) -> Option<Self> {
@@ -31,20 +48,6 @@ impl ExperimentScale {
             "paper" => Some(ExperimentScale::Paper),
             _ => None,
         }
-    }
-
-    /// Reads the scale from command-line arguments (`--scale quick|paper`),
-    /// defaulting to quick.
-    pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        for window in args.windows(2) {
-            if window[0] == "--scale" {
-                if let Some(scale) = Self::parse(&window[1]) {
-                    return scale;
-                }
-            }
-        }
-        ExperimentScale::Quick
     }
 
     /// Display name.

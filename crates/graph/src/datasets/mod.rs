@@ -10,6 +10,9 @@
 
 pub mod synthetic;
 
+use std::fmt;
+use std::str::FromStr;
+
 use crate::graph::{Graph, TaskSetting};
 pub use synthetic::{generate_sbm_graph, SbmSpec};
 
@@ -174,6 +177,23 @@ impl DatasetKind {
     }
 }
 
+impl fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for DatasetKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DatasetKind::all()
+            .into_iter()
+            .find(|kind| kind.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown dataset '{}'", s))
+    }
+}
+
 /// Poisoning budget `Delta_P`: either a fraction of the training set or an
 /// absolute node count.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -216,6 +236,18 @@ mod tests {
 
         assert!(DatasetKind::Flickr.spec().scale_note.is_some());
         assert!(DatasetKind::Reddit.spec().scale_note.is_some());
+    }
+
+    #[test]
+    fn names_round_trip_through_display_and_from_str() {
+        for kind in DatasetKind::all() {
+            assert_eq!(kind.to_string().parse::<DatasetKind>(), Ok(kind));
+            assert_eq!(
+                kind.name().to_ascii_uppercase().parse::<DatasetKind>(),
+                Ok(kind)
+            );
+        }
+        assert!("imagenet".parse::<DatasetKind>().is_err());
     }
 
     #[test]

@@ -142,13 +142,14 @@ fn sntk_oom_row_matches_table_two() {
         0.013,
         ExperimentScale::Quick,
     );
-    spec.attack = AttackKind::Bgc;
+    spec.attack = AttackKind::Bgc.into();
     // Force an artificial OOM by requesting the paper-scale limit check on a
     // node count we know exceeds it: use the quick dataset but patch the
     // limit through the condensation config override entry point.
     let metrics = bgc_eval::run_spec_with(&spec, |config, _| {
         config.condensation.sntk_node_limit = 1;
-    });
+    })
+    .expect("OOM is a row, not an error");
     assert!(metrics.oom, "expected an OOM row");
     assert!(metrics.table_row().contains("OOM"));
 }

@@ -9,14 +9,14 @@ use bgc_graph::DatasetKind;
 
 #[test]
 fn table1_report_lists_every_dataset_with_table_i_statistics() {
-    let report = experiments::table1(ExperimentScale::Quick);
+    let report = experiments::table1(ExperimentScale::Quick).expect("table1 renders");
     assert_eq!(report.id, "table1");
     let text = report.render();
     for dataset in DatasetKind::all() {
         assert!(text.contains(dataset.name()));
     }
     // Paper-scale statistics match Table I exactly for the citation graphs.
-    let paper = experiments::table1(ExperimentScale::Paper);
+    let paper = experiments::table1(ExperimentScale::Paper).expect("table1 renders");
     let text = paper.render();
     assert!(text.contains("2708"), "Cora node count from Table I");
     assert!(text.contains("3327"), "Citeseer node count from Table I");
@@ -40,7 +40,7 @@ fn one_table2_cell_reproduces_the_shape_of_the_paper() {
         0.026,
         ExperimentScale::Quick,
     );
-    let metrics = run_spec(&spec);
+    let metrics = run_spec(&spec).expect("spec runs");
     // Shape checks (not absolute values): high ASR, near-chance C-ASR,
     // bounded utility loss.
     assert!(metrics.asr > 0.6, "ASR {}", metrics.asr);
@@ -61,10 +61,10 @@ fn grid_runner_reproduces_the_serial_protocol_bit_exactly() {
         0.026,
         ExperimentScale::Quick,
     );
-    let serial = run_spec(&spec);
+    let serial = run_spec(&spec).expect("spec runs");
     let runner = Runner::in_memory(ExperimentScale::Quick);
-    let group = runner.bgc_group(spec.dataset, spec.method, spec.ratio);
-    let cell = runner.metrics(&group);
+    let group = runner.bgc_group(spec.dataset, spec.method.clone(), spec.ratio);
+    let cell = runner.metrics(&group).expect("grid runs");
     assert_eq!(serial.c_cta.to_bits(), cell.c_cta.to_bits());
     assert_eq!(serial.cta.to_bits(), cell.cta.to_bits());
     assert_eq!(serial.c_asr.to_bits(), cell.c_asr.to_bits());
@@ -74,7 +74,7 @@ fn grid_runner_reproduces_the_serial_protocol_bit_exactly() {
 
 #[test]
 fn reports_can_be_rendered_and_serialized() {
-    let report = experiments::table1(ExperimentScale::Quick);
+    let report = experiments::table1(ExperimentScale::Quick).expect("table1 renders");
     let json = serde_json::to_string(&report).expect("report serializes");
     assert!(json.contains("table1"));
     assert!(report.render().lines().count() >= 5);

@@ -1,6 +1,9 @@
 //! The [`GnnModel`] trait shared by every architecture, plus the
 //! architecture registry used by the transfer study (Table III).
 
+use std::fmt;
+use std::str::FromStr;
+
 use rand::rngs::StdRng;
 
 use bgc_tensor::{Matrix, Tape, Var};
@@ -102,6 +105,13 @@ impl GnnArchitecture {
         }
     }
 
+    /// Parses a display name case-insensitively (CLI / config files).
+    pub fn parse_name(s: &str) -> Option<Self> {
+        GnnArchitecture::all()
+            .into_iter()
+            .find(|arch| arch.name().eq_ignore_ascii_case(s))
+    }
+
     /// Builds an architecture instance with `num_layers` message-passing /
     /// hidden layers.
     pub fn build(
@@ -135,6 +145,20 @@ impl GnnArchitecture {
                 Box::new(ChebyNet::new(in_dim, hidden_dim, out_dim, num_layers, rng))
             }
         }
+    }
+}
+
+impl fmt::Display for GnnArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for GnnArchitecture {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        GnnArchitecture::parse_name(s).ok_or_else(|| format!("unknown GNN architecture '{}'", s))
     }
 }
 

@@ -3,52 +3,44 @@
 //! across architectures.  One BGC-poisoned condensed graph is handed to six
 //! different victims.
 //!
+//! Each victim is one builder-described experiment; because only the
+//! victim-side fields differ, all six cells share a single BGC attack run
+//! through the grid runner's stage cache.
+//!
 //! Run with: `cargo run --release --example architecture_transfer`
 
-use bgc_condense::CondensationKind;
-use bgc_core::{evaluate_backdoor, BgcAttack, BgcConfig, EvaluationOptions, VictimSpec};
-use bgc_graph::{DatasetKind, PoisonBudget};
+use bgc_core::BgcError;
+use bgc_eval::{Experiment, ExperimentScale, Runner};
+use bgc_graph::DatasetKind;
 use bgc_nn::GnnArchitecture;
 
-fn main() {
-    let graph = DatasetKind::Cora.load_small(13);
-    let mut config = BgcConfig::quick();
-    config.condensation.outer_epochs = 40;
-    config.condensation.ratio = 0.3;
-    config.poison_budget = PoisonBudget::Ratio(0.35);
-
-    println!("running BGC once against GCond-X ...");
-    let outcome = BgcAttack::new(config.clone())
-        .run(&graph, CondensationKind::GCondX)
-        .expect("attack should run");
-
+fn main() -> Result<(), BgcError> {
+    let runner = Runner::in_memory(ExperimentScale::Quick);
+    println!("running BGC once against GCond-X, evaluating six victims ...");
     println!("\nvictim        CTA      ASR");
-    let options = EvaluationOptions {
-        max_asr_nodes: 80,
-        ..Default::default()
-    };
     for architecture in GnnArchitecture::all() {
-        let victim = VictimSpec {
-            architecture,
-            ..VictimSpec::quick()
-        };
-        let eval = evaluate_backdoor(
-            &graph,
-            &outcome.condensed,
-            &outcome.generator,
-            &config,
-            &victim,
-            &options,
-        );
+        let experiment = Experiment::builder()
+            .dataset(DatasetKind::Cora)
+            .method("GCond-X")
+            .attack("BGC")
+            .ratio(0.026)
+            .victim(architecture)
+            .build()?;
+        let metrics = experiment.run(&runner)?;
         println!(
             "{:<10} {:>6.1}%  {:>6.1}%",
             architecture.name(),
-            eval.cta * 100.0,
-            eval.asr * 100.0
+            metrics.cta * 100.0,
+            metrics.asr * 100.0
         );
     }
+    let stats = runner.stats();
     println!(
         "\nThe same poisoned condensed graph backdoors every architecture the \
-         customer might pick — the attacker never needed to know it in advance."
+         customer might pick — the attacker never needed to know it in advance \
+         ({} attack run shared by {} victim evaluations).",
+        stats.attack_stages_computed,
+        stats.attack_stages_computed + stats.attack_stage_hits
     );
+    Ok(())
 }

@@ -3,85 +3,48 @@
 //! poisoned condensed graph, and later controls the customer's GNN through
 //! trigger-carrying inputs.
 //!
+//! The whole protocol — attack, clean reference condensation, victim
+//! training, CTA/ASR measurement — is described once through the typed
+//! experiment builder and executed by the grid runner.
+//!
 //! Run with: `cargo run --release --example backdoor_attack`
 
-use bgc_condense::CondensationKind;
-use bgc_core::{
-    evaluate_backdoor, evaluate_clean_reference, BgcAttack, BgcConfig, EvaluationOptions,
-    VictimSpec,
-};
-use bgc_graph::{DatasetKind, PoisonBudget};
+use bgc_core::BgcError;
+use bgc_eval::{Experiment, ExperimentScale, Runner};
+use bgc_graph::DatasetKind;
 
-fn main() {
-    let graph = DatasetKind::Cora.load_small(31);
-
-    // Attacker configuration: target class 0, trigger size 4, 10% poisoning.
-    let mut config = BgcConfig::quick();
-    config.condensation.outer_epochs = 40;
-    config.condensation.ratio = 0.3;
-    config.poison_budget = PoisonBudget::Ratio(0.35);
-    config.target_class = 0;
-
-    println!("running BGC against GCond-X condensation ...");
-    let outcome = BgcAttack::new(config.clone())
-        .run(&graph, CondensationKind::GCondX)
-        .expect("attack should run");
+fn main() -> Result<(), BgcError> {
+    let experiment = Experiment::builder()
+        .scale(ExperimentScale::Quick)
+        .dataset(DatasetKind::Cora)
+        .method("GCond-X")
+        .attack("BGC")
+        .ratio(0.026)
+        .build()?;
     println!(
-        "poisoned {} training nodes; condensed graph has {} synthetic nodes",
-        outcome.poisoned_nodes.len(),
-        outcome.condensed.num_nodes()
-    );
-    println!(
-        "trigger-generator loss: {:.3} -> {:.3}",
-        outcome.trigger_losses.first().unwrap(),
-        outcome.trigger_losses.last().unwrap()
+        "running {} against {} condensation on {} ...",
+        experiment.attack, experiment.method, experiment.dataset
     );
 
-    // The customer trains a GCN on the condensed graph they received.
-    let victim = VictimSpec::quick();
-    let options = EvaluationOptions {
-        max_asr_nodes: 100,
-        ..Default::default()
-    };
-    let backdoored = evaluate_backdoor(
-        &graph,
-        &outcome.condensed,
-        &outcome.generator,
-        &config,
-        &victim,
-        &options,
-    );
-
-    // Reference: the same customer, served by an honest provider.
-    let clean = CondensationKind::GCondX
-        .build()
-        .condense(&graph, &config.condensation)
-        .expect("clean condensation");
-    let reference = evaluate_clean_reference(
-        &graph,
-        &clean,
-        &outcome.generator,
-        &config,
-        &victim,
-        &options,
-    );
+    let runner = Runner::in_memory(ExperimentScale::Quick);
+    let metrics = experiment.run(&runner)?;
 
     println!("\n                         CTA      ASR");
     println!(
         "honest provider        {:>6.1}%  {:>6.1}%   (C-CTA / C-ASR)",
-        reference.cta * 100.0,
-        reference.asr * 100.0
+        metrics.c_cta * 100.0,
+        metrics.c_asr * 100.0
     );
     println!(
         "malicious provider     {:>6.1}%  {:>6.1}%   (CTA / ASR)",
-        backdoored.cta * 100.0,
-        backdoored.asr * 100.0
+        metrics.cta * 100.0,
+        metrics.asr * 100.0
     );
     println!(
         "\nBGC keeps the clean accuracy within {:.1} points of the honest provider while \
-         flipping {:.0}% of triggered test nodes to class {}.",
-        (reference.cta - backdoored.cta).abs() * 100.0,
-        backdoored.asr * 100.0,
-        config.target_class
+         flipping {:.0}% of triggered test nodes to the target class.",
+        (metrics.c_cta - metrics.cta).abs() * 100.0,
+        metrics.asr * 100.0,
     );
+    Ok(())
 }

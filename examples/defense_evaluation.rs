@@ -1,49 +1,56 @@
-//! Evaluates the two defenses of Table IV (Prune and Randsmooth) against a
-//! BGC-poisoned condensed graph, showing the utility/defense trade-off the
-//! paper reports.
+//! Evaluates the two registered defenses of Table IV (Prune and Randsmooth)
+//! against a BGC-poisoned condensed graph, showing the utility/defense
+//! trade-off the paper reports.
+//!
+//! The undefended and defended victims are builder-described experiments
+//! differing only in their `.defense(..)`; the three evaluations of each
+//! dataset share a single BGC attack through the runner's stage cache.
 //!
 //! Run with: `cargo run --release --example defense_evaluation`
 
-use bgc_condense::CondensationKind;
-use bgc_eval::experiments::run_defense_cell;
-use bgc_eval::{ExperimentScale, Runner};
+use bgc_core::BgcError;
+use bgc_defense::defense_names;
+use bgc_eval::{Experiment, ExperimentScale, Runner};
 use bgc_graph::DatasetKind;
 
-fn main() {
-    // An in-memory runner: the three evaluations (undefended / Prune /
-    // Randsmooth) of each cell share a single BGC attack via its stage cache.
+fn main() -> Result<(), BgcError> {
     let runner = Runner::in_memory(ExperimentScale::Quick);
     println!(
-        "defense evaluation at {} scale (Table IV protocol)\n",
-        runner.scale().name()
+        "defense evaluation at {} scale (Table IV protocol); registered defenses: {}\n",
+        runner.scale(),
+        defense_names().join(", ")
     );
     for dataset in [DatasetKind::Cora, DatasetKind::Citeseer] {
-        let ratio = dataset.paper_condensation_ratios()[1];
-        let record = run_defense_cell(&runner, dataset, CondensationKind::GCondX, ratio);
+        let base = Experiment::builder()
+            .dataset(dataset)
+            .method("GCond-X")
+            .attack("BGC");
+        let undefended = base.clone().build()?.run(&runner)?;
         println!(
             "dataset {:10}  (GCond-X, r = {:.2}%)",
-            record.dataset,
-            record.ratio * 100.0
+            undefended.dataset,
+            undefended.ratio * 100.0
         );
         println!(
             "  no defense : CTA {:>6.1}%  ASR {:>6.1}%",
-            record.cta * 100.0,
-            record.asr * 100.0
+            undefended.cta * 100.0,
+            undefended.asr * 100.0
         );
-        println!(
-            "  Prune      : CTA {:>6.1}%  ASR {:>6.1}%   (ΔCTA {:+.1}, ΔASR {:+.1})",
-            record.prune_cta * 100.0,
-            record.prune_asr * 100.0,
-            (record.prune_cta - record.cta) * 100.0,
-            (record.prune_asr - record.asr) * 100.0
-        );
-        println!(
-            "  Randsmooth : CTA {:>6.1}%  ASR {:>6.1}%   (ΔCTA {:+.1}, ΔASR {:+.1})",
-            record.randsmooth_cta * 100.0,
-            record.randsmooth_asr * 100.0,
-            (record.randsmooth_cta - record.cta) * 100.0,
-            (record.randsmooth_asr - record.asr) * 100.0
-        );
+        for defense in defense_names() {
+            let defended = base
+                .clone()
+                .defense(defense.as_str())
+                .build()?
+                .run(&runner)?;
+            println!(
+                "  {:<11}: CTA {:>6.1}%  ASR {:>6.1}%   (ΔCTA {:+.1}, ΔASR {:+.1})",
+                defense,
+                defended.cta * 100.0,
+                defended.asr * 100.0,
+                (defended.cta - undefended.cta) * 100.0,
+                (defended.asr - undefended.asr) * 100.0
+            );
+        }
         println!();
     }
     println!(
@@ -51,4 +58,5 @@ fn main() {
          comparable clean-accuracy cost: the trigger lives inside the synthetic \
          nodes, not in any single removable edge."
     );
+    Ok(())
 }

@@ -1,33 +1,37 @@
-//! Quickstart: condense a graph, train a GNN on the condensed graph, and
-//! compare it with a GNN trained on the full graph.
+//! Quickstart: resolve a condensation method from the open registry,
+//! condense a graph, train a GNN on the condensed graph, and compare it with
+//! a GNN trained on the full graph.
 //!
 //! This is the benign workflow (Figure 2, top) on which the attack of the
-//! other examples builds.
+//! other examples builds.  Methods are looked up by name — the same names
+//! `bgc list methods` prints and the `bgc` CLI parses.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use bgc_condense::{CondensationConfig, CondensationKind};
-use bgc_core::{full_graph_reference_accuracy, VictimSpec};
+use bgc_condense::{condenser_names, resolve_condenser, CondensationConfig};
+use bgc_core::{full_graph_reference_accuracy, BgcError, VictimSpec};
 use bgc_graph::{DatasetKind, GraphStats};
 use bgc_nn::{evaluate, train_on_condensed, AdjacencyRef, GnnArchitecture, TrainConfig};
 use bgc_tensor::init::rng_from_seed;
 
-fn main() {
+fn main() -> Result<(), BgcError> {
     // 1. Load a (synthetic stand-in for) Cora and print its statistics.
     let graph = DatasetKind::Cora.load_small(7);
     println!("{}", GraphStats::table_header());
     println!("{}", GraphStats::of(&graph).table_row());
 
-    // 2. Condense the graph with GCond at a 10x reduced ratio.
+    // 2. Resolve GCond from the condenser registry (any spelling works) and
+    //    condense at a 10x reduced ratio.  Unknown names are typed errors.
+    println!("registered methods: {}", condenser_names().join(", "));
+    let method =
+        resolve_condenser("gcond").ok_or_else(|| BgcError::UnknownMethod("gcond".into()))?;
     let config = CondensationConfig::quick(0.3);
-    let condensed = CondensationKind::GCond
-        .build()
-        .condense(&graph, &config)
-        .expect("condensation should succeed");
+    let condensed = method.condense(&graph, &config)?;
     println!(
-        "condensed {} training nodes into {} synthetic nodes (classes per node: {:?})",
+        "condensed {} training nodes into {} synthetic nodes with {} (classes per node: {:?})",
         graph.split.train.len(),
         condensed.num_nodes(),
+        method.name(),
         condensed.class_counts()
     );
 
@@ -57,4 +61,5 @@ fn main() {
         condensed_acc / full_acc.max(1e-6) * 100.0,
         condensed.num_nodes() as f32 / graph.split.train.len() as f32 * 100.0
     );
+    Ok(())
 }
