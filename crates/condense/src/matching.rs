@@ -59,6 +59,21 @@ impl MatchingVariant {
     }
 }
 
+/// Preallocated buffers for the surrogate SGC training loop (Eq. 16): the
+/// inner steps write into these instead of allocating per step.
+struct SurrogateScratch {
+    /// `Z'^T` (`d x N'`), packed once per [`GradientMatchingState::train_surrogate`] call.
+    zt: Matrix,
+    /// `Z' W` (`N' x C`).
+    logits: Matrix,
+    /// `softmax(Z' W)` (`N' x C`).
+    probs: Matrix,
+    /// `probs - Y'` (`N' x C`).
+    diff: Matrix,
+    /// `Z'^T diff / N'` (`d x C`).
+    grad: Matrix,
+}
+
 /// Re-entrant gradient-matching condensation state.
 pub struct GradientMatchingState {
     /// Matching flavour.
@@ -77,6 +92,20 @@ pub struct GradientMatchingState {
     num_classes: usize,
     rng: StdRng,
     epochs_done: usize,
+    /// Pooled tape reused across every matching step (reset, not rebuilt).
+    tape: Tape,
+    /// Synthetic node indices per class (labels are fixed at construction).
+    syn_class_indices: Vec<Vec<usize>>,
+    /// Per-class one-hot targets, recorded as shared constant leaves.
+    class_onehots: Vec<Option<Arc<Matrix>>>,
+    /// `I_{N'}` for the structure variant's self-loops (shared constant).
+    identity: Option<Arc<Matrix>>,
+    /// One-hot `Y'` for surrogate training.
+    syn_onehot: Matrix,
+    /// Zero gradient fallbacks (preallocated; see [`bgc_tensor::Gradients::get_or`]).
+    x_zero_grad: Matrix,
+    structure_zero_grads: Vec<Matrix>,
+    scratch: SurrogateScratch,
 }
 
 impl GradientMatchingState {
@@ -104,18 +133,69 @@ impl GradientMatchingState {
         let surrogate_weight = xavier_uniform(d, graph.num_classes, &mut rng);
         let feature_opt = Adam::new(config.feature_lr, 0.0);
         let structure_opt = Adam::new(config.structure_lr, 0.0);
+        let num_classes = graph.num_classes;
+        let n_syn = syn_labels.len();
+        let syn_class_indices: Vec<Vec<usize>> = (0..num_classes)
+            .map(|class| {
+                syn_labels
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &l)| l == class)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        let class_onehots: Vec<Option<Arc<Matrix>>> = syn_class_indices
+            .iter()
+            .enumerate()
+            .map(|(class, idx)| {
+                if idx.is_empty() {
+                    None
+                } else {
+                    Some(Arc::new(Matrix::one_hot(
+                        &vec![class; idx.len()],
+                        num_classes,
+                    )))
+                }
+            })
+            .collect();
+        let identity = structure
+            .is_some()
+            .then(|| Arc::new(Matrix::identity(n_syn)));
+        let structure_zero_grads = match &structure {
+            Some(gen) => gen
+                .parameters()
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect(),
+            None => Vec::new(),
+        };
         Self {
             variant,
             config,
+            syn_onehot: Matrix::one_hot(&syn_labels, num_classes),
+            x_zero_grad: Matrix::zeros(n_syn, d),
+            scratch: SurrogateScratch {
+                zt: Matrix::zeros(d, n_syn),
+                logits: Matrix::zeros(n_syn, num_classes),
+                probs: Matrix::zeros(n_syn, num_classes),
+                diff: Matrix::zeros(n_syn, num_classes),
+                grad: Matrix::zeros(d, num_classes),
+            },
             syn_features,
             syn_labels,
             surrogate_weight,
             structure,
             feature_opt,
             structure_opt,
-            num_classes: graph.num_classes,
+            num_classes,
             rng,
             epochs_done: 0,
+            tape: Tape::new(),
+            syn_class_indices,
+            class_onehots,
+            identity,
+            structure_zero_grads,
         }
     }
 
@@ -185,17 +265,23 @@ impl GradientMatchingState {
 
     /// Trains the surrogate SGC weight on the current condensed graph for
     /// `steps` gradient steps (the `T` inner iterations of Eq. 16).
+    ///
+    /// The inner loop writes into the preallocated [`SurrogateScratch`]
+    /// buffers and packs `Z'^T` once per call instead of once per step; the
+    /// floating-point sequence matches the former allocating implementation.
     pub fn train_surrogate(&mut self, steps: usize) {
         let z = self.synthetic_representation();
-        let y = Matrix::one_hot(&self.syn_labels, self.num_classes);
         let n = self.syn_labels.len().max(1) as f32;
+        let scratch = &mut self.scratch;
+        z.transpose_into(&mut scratch.zt);
         for _ in 0..steps {
-            let logits = z.matmul(&self.surrogate_weight);
-            let probs = logits.softmax_rows();
-            let diff = probs.sub(&y);
-            let grad = z.transpose_matmul(&diff).scale(1.0 / n);
+            z.matmul_into(&self.surrogate_weight, &mut scratch.logits);
+            scratch.logits.softmax_rows_into(&mut scratch.probs);
+            scratch.probs.sub_into(&self.syn_onehot, &mut scratch.diff);
+            scratch.zt.matmul_into(&scratch.diff, &mut scratch.grad);
+            scratch.grad.scale_assign(1.0 / n);
             self.surrogate_weight
-                .add_scaled_assign(&grad, -self.config.surrogate_lr);
+                .add_scaled_assign(&scratch.grad, -self.config.surrogate_lr);
         }
     }
 
@@ -251,58 +337,65 @@ impl GradientMatchingState {
             self.syn_features.cols(),
             "real representation feature dimension mismatch"
         );
-        let mut tape = Tape::new();
-        let x_var = tape.leaf(self.syn_features.clone());
+        // Per-class surrogate gradients on the real graph: plain (constant)
+        // matrices, computed before the tape section.
+        let real_grads: Vec<Option<Arc<Matrix>>> = (0..self.num_classes)
+            .map(|class| {
+                if self.syn_class_indices[class].is_empty() {
+                    None
+                } else {
+                    self.real_class_gradient(z_real, graph, class).map(Arc::new)
+                }
+            })
+            .collect();
+
+        self.tape.reset();
+        let x_var = self.tape.leaf_copied(&self.syn_features);
         // Synthetic representation Z' (differentiable w.r.t. X' and structure).
         let (z_syn, structure_params) = match &self.structure {
             Some(gen) => {
-                let (adj, params) = gen.forward(&mut tape, x_var);
-                let identity = tape.leaf(Matrix::identity(self.num_synthetic()));
-                let adj_loops = tape.add(adj, identity);
-                let prop = tape.row_normalize(adj_loops);
+                let (adj, params) = gen.forward(&mut self.tape, x_var);
+                let identity = self
+                    .identity
+                    .clone()
+                    .expect("structure variants precompute the identity");
+                let identity = self.tape.const_leaf(identity);
+                let adj_loops = self.tape.add(adj, identity);
+                let prop = self.tape.row_normalize(adj_loops);
                 let mut z = x_var;
                 for _ in 0..self.config.propagation_steps {
-                    z = tape.matmul(prop, z);
+                    z = self.tape.matmul(prop, z);
                 }
                 (z, params)
             }
             None => (x_var, Vec::new()),
         };
-        let w_const = tape.leaf(self.surrogate_weight.clone());
+        let w_const = self.tape.leaf_detached(&self.surrogate_weight);
 
         // Per-class matching terms.
         let mut total: Option<bgc_tensor::Var> = None;
         let mut matched_classes = 0usize;
-        for class in 0..self.num_classes {
-            let syn_idx: Vec<usize> = self
-                .syn_labels
-                .iter()
-                .enumerate()
-                .filter(|(_, &l)| l == class)
-                .map(|(i, _)| i)
-                .collect();
-            if syn_idx.is_empty() {
-                continue;
-            }
-            let real_grad = match self.real_class_gradient(z_real, graph, class) {
+        for (class, real_grad) in real_grads.into_iter().enumerate() {
+            let real_grad = match real_grad {
                 Some(g) => g,
                 None => continue,
             };
+            let syn_idx = &self.syn_class_indices[class];
             matched_classes += 1;
-            let zc = tape.row_select(z_syn, &syn_idx);
-            let logits = tape.matmul(zc, w_const);
-            let probs = tape.softmax_rows(logits);
-            let onehot = tape.leaf(Matrix::one_hot(
-                &vec![class; syn_idx.len()],
-                self.num_classes,
-            ));
-            let diff = tape.sub(probs, onehot);
-            let zc_t = tape.transpose(zc);
-            let grad_syn = tape.matmul(zc_t, diff);
-            let grad_syn = tape.scale(grad_syn, 1.0 / syn_idx.len() as f32);
-            let term = tape.cosine_match_to_const(grad_syn, Arc::new(real_grad));
+            let zc = self.tape.row_select(z_syn, syn_idx);
+            let logits = self.tape.matmul(zc, w_const);
+            let probs = self.tape.softmax_rows(logits);
+            let onehot = self.class_onehots[class]
+                .clone()
+                .expect("non-empty classes precompute their one-hot target");
+            let onehot = self.tape.const_leaf(onehot);
+            let diff = self.tape.sub(probs, onehot);
+            let zc_t = self.tape.transpose(zc);
+            let grad_syn = self.tape.matmul(zc_t, diff);
+            let grad_syn = self.tape.scale(grad_syn, 1.0 / syn_idx.len() as f32);
+            let term = self.tape.cosine_match_to_const(grad_syn, real_grad);
             total = Some(match total {
-                Some(acc) => tape.add(acc, term),
+                Some(acc) => self.tape.add(acc, term),
                 None => term,
             });
         }
@@ -310,24 +403,24 @@ impl GradientMatchingState {
             Some(t) => t,
             None => return 0.0,
         };
-        let loss_value = tape.scalar(total);
-        let grads = tape.backward(total);
+        let loss_value = self.tape.scalar(total);
+        let grads = self.tape.backward(total);
 
         // Update X'.
-        let x_grad = grads.get_or_zeros(x_var, self.syn_features.rows(), self.syn_features.cols());
+        let x_grad = grads.get_or(x_var, &self.x_zero_grad);
         self.feature_opt
             .step(&mut [&mut self.syn_features], &[x_grad]);
         // Update the structure generator (if any).
         if let Some(gen) = &mut self.structure {
-            let shapes: Vec<(usize, usize)> = gen.parameters().iter().map(|p| p.shape()).collect();
-            let grad_mats: Vec<Matrix> = structure_params
+            let grad_refs: Vec<&Matrix> = structure_params
                 .iter()
-                .zip(shapes.iter())
-                .map(|(&v, &(r, c))| grads.get_or_zeros(v, r, c))
+                .zip(self.structure_zero_grads.iter())
+                .map(|(&v, zero)| grads.get_or(v, zero))
                 .collect();
             let mut params = gen.parameters_mut();
-            self.structure_opt.step(&mut params, &grad_mats);
+            self.structure_opt.step(&mut params, &grad_refs);
         }
+        self.tape.absorb(grads);
         self.epochs_done += 1;
         let _ = matched_classes;
         loss_value
@@ -356,14 +449,18 @@ impl GradientMatchingState {
     /// Runs the full condensation loop on a single (clean or poisoned) graph:
     /// resample/train the surrogate, then one matching step, for
     /// `config.outer_epochs` iterations.
+    ///
+    /// The real-graph representation is fixed across the loop, so it is
+    /// propagated once up front instead of once per epoch.
     pub fn run(&mut self, graph: &Graph) -> Vec<f32> {
+        let z_real = self.real_representation(graph);
         let mut losses = Vec::with_capacity(self.config.outer_epochs);
         for epoch in 0..self.config.outer_epochs {
             if epoch % self.config.surrogate_resample_every == 0 {
                 self.resample_surrogate();
             }
             self.train_surrogate(self.config.surrogate_steps);
-            losses.push(self.step(graph));
+            losses.push(self.step_with_real_representation(graph, &z_real));
         }
         losses
     }

@@ -144,14 +144,19 @@ pub fn condense_sntk(
     }
 
     let mut optimizer = Adam::new(config.feature_lr, 0.0);
+    // Epoch constants, recorded by reference every iteration; the tape is
+    // pooled and reset rather than rebuilt.
+    let ridge = Arc::new(Matrix::identity(syn_labels.len()).scale(config.krr_lambda.max(1e-4)));
+    let y_syn = Arc::new(y_syn);
+    let x_zero_grad = Matrix::zeros(syn_features.rows(), syn_features.cols());
+    let mut tape = Tape::new();
     for _ in 0..config.outer_epochs {
-        let mut tape = Tape::new();
-        let x = tape.leaf(syn_features.clone());
+        tape.reset();
+        let x = tape.leaf_copied(&syn_features);
         let k_ss = kernel_var_var(&mut tape, x);
-        let ridge =
-            tape.leaf(Matrix::identity(syn_labels.len()).scale(config.krr_lambda.max(1e-4)));
-        let k_reg = tape.add(k_ss, ridge);
-        let y_syn_var = tape.leaf(y_syn.clone());
+        let ridge_var = tape.const_leaf(ridge.clone());
+        let k_reg = tape.add(k_ss, ridge_var);
+        let y_syn_var = tape.const_leaf(y_syn.clone());
         let alpha = tape.solve_spd(k_reg, y_syn_var);
         let k_ts = kernel_var_const(&mut tape, x, z_train.clone());
         // K_tS is (n_syn-major) ... kernel_var_const(a=x, b=z_train) gives
@@ -160,8 +165,8 @@ pub fn condense_sntk(
         let pred = tape.matmul(k_st, alpha);
         let loss = tape.mse_to_const(pred, y_train.clone());
         let grads = tape.backward(loss);
-        let x_grad = grads.get_or_zeros(x, syn_features.rows(), syn_features.cols());
-        optimizer.step(&mut [&mut syn_features], &[x_grad]);
+        optimizer.step(&mut [&mut syn_features], &[grads.get_or(x, &x_zero_grad)]);
+        tape.absorb(grads);
     }
 
     Ok(CondensedGraph::structure_free(

@@ -33,7 +33,7 @@ impl StructureGenerator {
     /// Differentiable forward pass producing the dense adjacency (values in
     /// `(0, 1)`) and the tape handles of the generator parameters.
     pub fn forward(&self, tape: &mut Tape, x: Var) -> (Var, Vec<Var>) {
-        let w = tape.leaf(self.weight.clone());
+        let w = tape.leaf_copied(&self.weight);
         let h = tape.matmul(x, w);
         let ht = tape.transpose(h);
         let logits = tape.matmul(h, ht);

@@ -56,7 +56,7 @@ impl AttachedGraph {
             (self.trigger_size, self.sub_features.cols()),
             "trigger feature block has the wrong shape"
         );
-        let base = tape.leaf((*self.sub_features).clone());
+        let base = tape.const_leaf(self.sub_features.clone());
         tape.concat_rows(base, trigger_features)
     }
 

@@ -106,6 +106,20 @@ impl BgcAttack {
         let mut attached_cache: HashMap<usize, AttachedGraph> = HashMap::new();
         let mut matching_losses = Vec::new();
         let mut trigger_losses = Vec::new();
+        // One pooled tape serves every generator update and trigger
+        // materialization of the attack loop; zero-gradient fallbacks are
+        // preallocated per generator parameter.
+        let mut scratch_tape = Tape::new();
+        let gen_zero_grads: Vec<Matrix> = generator
+            .parameters()
+            .iter()
+            .map(|p| Matrix::zeros(p.rows(), p.cols()))
+            .collect();
+        // The poisoned graph's structure (trigger attachment pattern,
+        // labels, split, normalization) is fixed across epochs — only the
+        // trigger features evolve — so it is assembled once and reused with
+        // replaced features afterwards.
+        let mut poisoned_structure: Option<Graph> = None;
 
         for epoch in 0..self.config.condensation.outer_epochs {
             if epoch % self.config.condensation.surrogate_resample_every == 0 {
@@ -115,9 +129,12 @@ impl BgcAttack {
             state.train_surrogate(self.config.surrogate_steps);
             // (ii) M trigger-generator steps (Eq. 17).
             for _ in 0..self.config.generator_steps {
-                let loss = self.update_generator(
+                let loss = generator_update_step(
+                    &self.config,
+                    &mut scratch_tape,
                     &mut generator,
                     &mut generator_opt,
+                    &gen_zero_grads,
                     &work,
                     &adj,
                     &state.surrogate_weight,
@@ -127,15 +144,28 @@ impl BgcAttack {
                 trigger_losses.push(loss);
             }
             // (iii) attach the updated triggers to V_P to form G_P.
-            let trigger_features =
-                generator.generate_plain(&adj, &work.features, &selection.poisoned_nodes);
-            let poisoned = build_poisoned_graph(
-                &work,
+            let trigger_features = generator.generate_plain_on(
+                &mut scratch_tape,
+                &adj,
+                &work.features,
                 &selection.poisoned_nodes,
-                &trigger_features,
-                self.config.trigger_size,
-                self.config.target_class,
             );
+            let poisoned = match &poisoned_structure {
+                Some(template) => {
+                    template.with_replaced_features(work.features.vstack(&trigger_features))
+                }
+                None => {
+                    let built = build_poisoned_graph(
+                        &work,
+                        &selection.poisoned_nodes,
+                        &trigger_features,
+                        self.config.trigger_size,
+                        self.config.target_class,
+                    );
+                    poisoned_structure = Some(built.clone());
+                    built
+                }
+            };
             // (iv) one condensed-graph update against G_P (Eq. 18).
             matching_losses.push(state.step(&poisoned));
         }
@@ -167,41 +197,23 @@ impl BgcAttack {
             selection,
         })
     }
-
-    /// One trigger-generator update step (Eq. 17).
-    #[allow(clippy::too_many_arguments)]
-    fn update_generator(
-        &self,
-        generator: &mut TriggerGenerator,
-        optimizer: &mut Adam,
-        graph: &Graph,
-        adj: &AdjacencyRef,
-        surrogate_weight: &Matrix,
-        rng: &mut StdRng,
-        cache: &mut HashMap<usize, AttachedGraph>,
-    ) -> f32 {
-        generator_update_step(
-            &self.config,
-            generator,
-            optimizer,
-            graph,
-            adj,
-            surrogate_weight,
-            rng,
-            cache,
-        )
-    }
 }
 
 /// One trigger-generator update step (Eq. 17): sample `V_U`, attach the
 /// generated triggers to each node's computation graph, and minimize the
 /// surrogate's cross-entropy towards the target class.  Shared with the GTA
 /// baseline (which optimizes against a static surrogate).
+///
+/// `tape` is a pooled tape reused across steps (reset here); `zero_grads`
+/// are preallocated per-parameter zero fallbacks aligned with
+/// [`TriggerGenerator::parameters`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn generator_update_step(
     config: &BgcConfig,
+    tape: &mut Tape,
     generator: &mut TriggerGenerator,
     optimizer: &mut Adam,
+    zero_grads: &[Matrix],
     graph: &Graph,
     adj: &AdjacencyRef,
     surrogate_weight: &Matrix,
@@ -221,15 +233,15 @@ pub(crate) fn generator_update_step(
             )
         });
     }
-    let mut tape = Tape::new();
-    let batch = generator.generate(&mut tape, adj, &graph.features, &sample);
-    let w_const = tape.leaf(surrogate_weight.clone());
+    tape.reset();
+    let batch = generator.generate(tape, adj, &graph.features, &sample);
+    let w_const = tape.leaf_detached(surrogate_weight);
     let mut total: Option<bgc_tensor::Var> = None;
     for (i, &node) in sample.iter().enumerate() {
         let attached = cache.get(&node).expect("cache populated above").clone();
         let rows: Vec<usize> = (i * config.trigger_size..(i + 1) * config.trigger_size).collect();
         let trigger_block = tape.row_select(batch.features, &rows);
-        let x = attached.combined_features(&mut tape, trigger_block);
+        let x = attached.combined_features(tape, trigger_block);
         let mut z = x;
         for _ in 0..config.condensation.propagation_steps {
             z = tape.const_matmul(attached.norm_adj.clone(), z);
@@ -246,15 +258,17 @@ pub(crate) fn generator_update_step(
     let loss = tape.scale(total, 1.0 / sample.len() as f32);
     let loss_value = tape.scalar(loss);
     let grads = tape.backward(loss);
-    let shapes: Vec<(usize, usize)> = generator.parameters().iter().map(|p| p.shape()).collect();
-    let grad_mats: Vec<Matrix> = batch
-        .param_vars
-        .iter()
-        .zip(shapes.iter())
-        .map(|(&v, &(r, c))| grads.get_or_zeros(v, r, c))
-        .collect();
-    let mut params = generator.parameters_mut();
-    optimizer.step(&mut params, &grad_mats);
+    {
+        let grad_refs: Vec<&Matrix> = batch
+            .param_vars
+            .iter()
+            .zip(zero_grads.iter())
+            .map(|(&v, zero)| grads.get_or(v, zero))
+            .collect();
+        let mut params = generator.parameters_mut();
+        optimizer.step(&mut params, &grad_refs);
+    }
+    tape.absorb(grads);
     loss_value
 }
 

@@ -55,10 +55,16 @@ impl DoorpingAttack {
     }
 
     /// One universal-trigger update against the current surrogate.
+    ///
+    /// `tape` is a pooled tape reused across updates (reset here);
+    /// `trigger_zero_grad` is the preallocated zero fallback.
+    #[allow(clippy::too_many_arguments)]
     fn update_trigger(
         &self,
+        tape: &mut Tape,
         trigger: &mut Matrix,
         optimizer: &mut Adam,
+        trigger_zero_grad: &Matrix,
         graph: &Graph,
         surrogate_weight: &Matrix,
         rng: &mut StdRng,
@@ -77,13 +83,13 @@ impl DoorpingAttack {
                 )
             });
         }
-        let mut tape = Tape::new();
-        let trig_var = tape.leaf(trigger.clone());
-        let w_const = tape.leaf(surrogate_weight.clone());
+        tape.reset();
+        let trig_var = tape.leaf_copied(trigger);
+        let w_const = tape.leaf_detached(surrogate_weight);
         let mut total: Option<bgc_tensor::Var> = None;
         for &node in &sample {
             let attached = cache.get(&node).expect("cache populated").clone();
-            let x = attached.combined_features(&mut tape, trig_var);
+            let x = attached.combined_features(tape, trig_var);
             let mut z = x;
             for _ in 0..self.config.condensation.propagation_steps {
                 z = tape.const_matmul(attached.norm_adj.clone(), z);
@@ -100,8 +106,8 @@ impl DoorpingAttack {
         let loss = tape.scale(total, 1.0 / sample.len() as f32);
         let loss_value = tape.scalar(loss);
         let grads = tape.backward(loss);
-        let grad = grads.get_or_zeros(trig_var, trigger.rows(), trigger.cols());
-        optimizer.step(&mut [trigger], &[grad]);
+        optimizer.step(&mut [trigger], &[grads.get_or(trig_var, trigger_zero_grad)]);
+        tape.absorb(grads);
         loss_value
     }
 
@@ -137,6 +143,10 @@ impl DoorpingAttack {
             GradientMatchingState::new(&work, variant, self.config.condensation.clone());
         let mut optimizer = Adam::new(self.config.generator_lr, 0.0);
         let mut cache = HashMap::new();
+        let mut tape = Tape::new();
+        let trigger_zero_grad = Matrix::zeros(trigger.rows(), trigger.cols());
+        // Fixed poisoned structure across epochs (see `BgcAttack::run_with`).
+        let mut poisoned_structure: Option<Graph> = None;
         for epoch in 0..self.config.condensation.outer_epochs {
             if epoch % self.config.condensation.surrogate_resample_every == 0 {
                 state.resample_surrogate();
@@ -144,8 +154,10 @@ impl DoorpingAttack {
             state.train_surrogate(self.config.surrogate_steps);
             for _ in 0..self.config.generator_steps {
                 self.update_trigger(
+                    &mut tape,
                     &mut trigger,
                     &mut optimizer,
+                    &trigger_zero_grad,
                     &work,
                     &state.surrogate_weight,
                     &mut rng,
@@ -161,13 +173,20 @@ impl DoorpingAttack {
                 .iter()
                 .skip(1)
                 .fold(rows[0].clone(), |acc, m| acc.vstack(m));
-            let poisoned = build_poisoned_graph(
-                &work,
-                &selection.poisoned_nodes,
-                &stacked,
-                self.config.trigger_size,
-                self.config.target_class,
-            );
+            let poisoned = match &poisoned_structure {
+                Some(template) => template.with_replaced_features(work.features.vstack(&stacked)),
+                None => {
+                    let built = build_poisoned_graph(
+                        &work,
+                        &selection.poisoned_nodes,
+                        &stacked,
+                        self.config.trigger_size,
+                        self.config.target_class,
+                    );
+                    poisoned_structure = Some(built.clone());
+                    built
+                }
+            };
             state.step(&poisoned);
         }
         let condensed = if method.matching_variant().is_none() {

@@ -12,7 +12,7 @@ use bgc_condense::{working_graph, CondensationKind, CondensationMethod, Condense
 use bgc_graph::{CondensedGraph, Graph};
 use bgc_nn::{Adam, AdjacencyRef};
 use bgc_tensor::init::{rng_from_seed, xavier_uniform};
-use bgc_tensor::Matrix;
+use bgc_tensor::{Matrix, Tape};
 
 use crate::attach::build_poisoned_graph;
 use crate::attack::generator_update_step;
@@ -103,11 +103,19 @@ impl GtaAttack {
         let surrogate = self.static_surrogate(&work);
         let mut optimizer = Adam::new(self.config.generator_lr, 0.0);
         let mut cache = HashMap::new();
+        let mut tape = Tape::new();
+        let zero_grads: Vec<Matrix> = generator
+            .parameters()
+            .iter()
+            .map(|p| Matrix::zeros(p.rows(), p.cols()))
+            .collect();
         for _ in 0..self.pretrain_steps {
             generator_update_step(
                 &self.config,
+                &mut tape,
                 &mut generator,
                 &mut optimizer,
+                &zero_grads,
                 &work,
                 &adj,
                 &surrogate,

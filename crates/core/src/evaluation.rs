@@ -4,10 +4,10 @@
 
 use bgc_graph::{CondensedGraph, Graph};
 use bgc_nn::{
-    accuracy, attack_success_rate, evaluate, train_on_condensed, AdjacencyRef, GnnArchitecture,
-    TrainConfig,
+    accuracy, attack_success_rate, train_on_condensed, AdjacencyRef, GnnArchitecture, TrainConfig,
 };
 use bgc_tensor::init::{rng_from_seed, sample_without_replacement};
+use bgc_tensor::Tape;
 
 use crate::attach::attach_to_computation_graph;
 use crate::config::BgcConfig;
@@ -166,15 +166,16 @@ pub fn evaluate_backdoor(
     );
     train_on_condensed(model.as_mut(), condensed, &victim.train);
 
+    // One pooled tape serves the clean-accuracy forward pass, trigger
+    // generation, and victim prediction for every sampled ASR node.
+    let mut tape = Tape::new();
+
     // Clean test accuracy on the full original graph.
     let full_adj = AdjacencyRef::from_graph(graph);
-    let cta = evaluate(
-        model.as_ref(),
-        &full_adj,
-        &graph.features,
-        &graph.labels,
-        &graph.split.test,
-    );
+    let preds = model.predict_on(&mut tape, &full_adj, &graph.features);
+    let test_preds: Vec<usize> = graph.split.test.iter().map(|&i| preds[i]).collect();
+    let test_labels: Vec<usize> = graph.split.test.iter().map(|&i| graph.labels[i]).collect();
+    let cta = accuracy(&test_preds, &test_labels);
 
     // Attack success rate on triggered test nodes.
     let sample = asr_sample_nodes(graph, options, attack_config.target_class);
@@ -194,9 +195,9 @@ pub fn evaluate_backdoor(
             attack_config.khop,
             attack_config.max_neighbors_per_hop,
         );
-        let trigger = generator.trigger_for(&full_adj, &graph.features, node);
+        let trigger = generator.trigger_for_on(&mut tape, &full_adj, &graph.features, node);
         let features = attached.combined_features_plain(&trigger);
-        let preds = model.predict(&attached.adjacency_ref(), &features);
+        let preds = model.predict_on(&mut tape, &attached.adjacency_ref(), &features);
         triggered_predictions.push(preds[attached.center]);
     }
     let asr = attack_success_rate(&triggered_predictions, attack_config.target_class);

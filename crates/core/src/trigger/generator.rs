@@ -182,15 +182,15 @@ impl TriggerGenerator {
         features: &Matrix,
         nodes: &[usize],
     ) -> (Var, Vec<Var>) {
-        let w1 = tape.leaf(self.enc_w1.clone());
-        let b1 = tape.leaf(self.enc_b1.clone());
-        let w2 = tape.leaf(self.enc_w2.clone());
-        let b2 = tape.leaf(self.enc_b2.clone());
+        let w1 = tape.leaf_copied(&self.enc_w1);
+        let b1 = tape.leaf_copied(&self.enc_b1);
+        let w2 = tape.leaf_copied(&self.enc_w2);
+        let b2 = tape.leaf_copied(&self.enc_b2);
         let params = vec![w1, b1, w2, b2];
         let h = match self.kind {
             GeneratorKind::Gcn => {
                 // Full-graph message passing, then select the requested rows.
-                let x = tape.leaf(features.clone());
+                let x = tape.leaf_detached(features);
                 let p1 = adj.propagate(tape, x);
                 let l1 = tape.matmul(p1, w1);
                 let l1 = tape.add_bias(l1, b1);
@@ -203,7 +203,7 @@ impl TriggerGenerator {
             GeneratorKind::Mlp | GeneratorKind::Transformer => {
                 // Feature-only encoding: restrict to the requested rows first
                 // (cheaper on large graphs).
-                let x = tape.leaf(features.select_rows(nodes));
+                let x = tape.constant(features.select_rows(nodes));
                 let l1 = tape.matmul(x, w1);
                 let l1 = tape.add_bias(l1, b1);
                 let h1 = tape.relu(l1);
@@ -224,7 +224,7 @@ impl TriggerGenerator {
     ) -> TriggerBatch {
         assert!(!nodes.is_empty(), "generate called with no nodes");
         let (hidden, mut param_vars) = self.encode(tape, adj, features, nodes);
-        let w_feat = tape.leaf(self.w_feat.clone());
+        let w_feat = tape.leaf_copied(&self.w_feat);
         param_vars.push(w_feat);
         let decoded = tape.matmul(hidden, w_feat);
         let features_var = match self.kind {
@@ -232,10 +232,10 @@ impl TriggerGenerator {
                 tape.reshape(decoded, nodes.len() * self.trigger_size, self.feat_dim)
             }
             GeneratorKind::Transformer => {
-                let wq = tape.leaf(self.w_query.clone().expect("transformer weights"));
-                let wk = tape.leaf(self.w_key.clone().expect("transformer weights"));
-                let wv = tape.leaf(self.w_value.clone().expect("transformer weights"));
-                let wo = tape.leaf(self.w_out.clone().expect("transformer weights"));
+                let wq = tape.leaf_copied(self.w_query.as_ref().expect("transformer weights"));
+                let wk = tape.leaf_copied(self.w_key.as_ref().expect("transformer weights"));
+                let wv = tape.leaf_copied(self.w_value.as_ref().expect("transformer weights"));
+                let wo = tape.leaf_copied(self.w_out.as_ref().expect("transformer weights"));
                 param_vars.extend([wq, wk, wv, wo]);
                 let slots_all = tape.reshape(decoded, nodes.len() * self.trigger_size, self.hidden);
                 let scale = 1.0 / (self.hidden as f32).sqrt();
@@ -274,8 +274,21 @@ impl TriggerGenerator {
     /// time and when materializing the poisoned graph).
     pub fn generate_plain(&self, adj: &AdjacencyRef, features: &Matrix, nodes: &[usize]) -> Matrix {
         let mut tape = Tape::new();
-        let batch = self.generate(&mut tape, adj, features, nodes);
-        tape.value(batch.features)
+        self.generate_plain_on(&mut tape, adj, features, nodes)
+    }
+
+    /// [`TriggerGenerator::generate_plain`] on a caller-provided pooled tape
+    /// (reset here), so per-epoch materialization reuses one tape's memory.
+    pub fn generate_plain_on(
+        &self,
+        tape: &mut Tape,
+        adj: &AdjacencyRef,
+        features: &Matrix,
+        nodes: &[usize],
+    ) -> Matrix {
+        tape.reset();
+        let batch = self.generate(tape, adj, features, nodes);
+        tape.value_ref(batch.features).clone()
     }
 
     /// Generates the binarized trigger adjacency for a single node through the
@@ -288,12 +301,12 @@ impl TriggerGenerator {
     ) -> Matrix {
         let mut tape = Tape::new();
         let (hidden, _) = self.encode(&mut tape, adj, features, &[node]);
-        let w_adj = tape.leaf(self.w_adj.clone());
+        let w_adj = tape.leaf_copied(&self.w_adj);
         let logits = tape.matmul(hidden, w_adj);
         let probs = tape.sigmoid(logits);
         let binary = tape.binarize_ste(probs);
         let shaped = tape.reshape(binary, self.trigger_size, self.trigger_size);
-        let mut out = tape.value(shaped);
+        let mut out = tape.value_ref(shaped).clone();
         // Symmetrize and clear the diagonal so the result is a valid
         // undirected trigger topology.
         for r in 0..self.trigger_size {

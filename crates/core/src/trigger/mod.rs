@@ -5,7 +5,7 @@ pub mod generator;
 pub use generator::{TriggerBatch, TriggerGenerator};
 
 use bgc_nn::AdjacencyRef;
-use bgc_tensor::Matrix;
+use bgc_tensor::{Matrix, Tape};
 
 /// Anything that can produce the trigger features for a given node at test
 /// time: BGC's adaptive generator, or the universal trigger of the DOORPING
@@ -16,6 +16,20 @@ pub trait TriggerProvider {
 
     /// Trigger node features (`trigger_size x d`) for `node`.
     fn trigger_for(&self, adj: &AdjacencyRef, features: &Matrix, node: usize) -> Matrix;
+
+    /// [`TriggerProvider::trigger_for`] on a caller-provided pooled tape, so
+    /// per-node evaluation loops reuse one tape's memory.  Providers that do
+    /// not run a differentiable generator ignore the tape.
+    fn trigger_for_on(
+        &self,
+        tape: &mut Tape,
+        adj: &AdjacencyRef,
+        features: &Matrix,
+        node: usize,
+    ) -> Matrix {
+        let _ = tape;
+        self.trigger_for(adj, features, node)
+    }
 }
 
 impl TriggerProvider for TriggerGenerator {
@@ -25,6 +39,16 @@ impl TriggerProvider for TriggerGenerator {
 
     fn trigger_for(&self, adj: &AdjacencyRef, features: &Matrix, node: usize) -> Matrix {
         self.generate_plain(adj, features, &[node])
+    }
+
+    fn trigger_for_on(
+        &self,
+        tape: &mut Tape,
+        adj: &AdjacencyRef,
+        features: &Matrix,
+        node: usize,
+    ) -> Matrix {
+        self.generate_plain_on(tape, adj, features, &[node])
     }
 }
 

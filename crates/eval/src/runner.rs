@@ -502,6 +502,10 @@ pub struct Runner {
     results: Mutex<HashMap<CellKey, CellResult>>,
     clean_cache: StageCache<StageResult<Arc<CondensedGraph>>>,
     attack_cache: StageCache<StageResult<AttackArtifacts>>,
+    /// Generated datasets, shared across cells: `(dataset, seed)` fully
+    /// determines the graph, so overlapping cells reuse one instance
+    /// instead of re-generating it.
+    graphs: StageCache<Arc<Graph>>,
     cells_computed: AtomicUsize,
     cell_memory_hits: AtomicUsize,
     cell_disk_hits: AtomicUsize,
@@ -533,6 +537,7 @@ impl Runner {
             results: Mutex::new(HashMap::new()),
             clean_cache: StageCache::new(),
             attack_cache: StageCache::new(),
+            graphs: StageCache::new(),
             cells_computed: AtomicUsize::new(0),
             cell_memory_hits: AtomicUsize::new(0),
             cell_disk_hits: AtomicUsize::new(0),
@@ -825,7 +830,11 @@ impl Runner {
         };
 
         let seed = key.seed();
-        let graph = self.scale.load(key.dataset, seed);
+        let graph = self
+            .graphs
+            .get_or_compute(format!("{}|{}", key.dataset.name(), seed), || {
+                Arc::new(self.scale.load(key.dataset, seed))
+            });
         let mut config = self.scale.bgc_config(key.dataset, key.ratio(), seed);
         let mut victim = self.scale.victim_spec();
         let mut options = self.scale.evaluation_options(seed);

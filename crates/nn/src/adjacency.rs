@@ -89,6 +89,8 @@ mod tests {
         let mut tape = Tape::new();
         let xv = tape.leaf(x.clone());
         let out = adj.propagate(&mut tape, xv);
-        assert!(tape.value(out).approx_eq(&adj.propagate_matrix(&x), 1e-5));
+        assert!(tape
+            .value_ref(out)
+            .approx_eq(&adj.propagate_matrix(&x), 1e-5));
     }
 }

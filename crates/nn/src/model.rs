@@ -27,6 +27,23 @@ pub struct ForwardPass {
 /// [`GnnModel::forward`], which keeps the training loop generic across
 /// architectures and lets upstream differentiable computations (e.g. the BGC
 /// trigger generator producing some of the input features) share the tape.
+///
+/// # Contract for model authors (pooled-tape engine)
+///
+/// The training loop calls `forward` on the **same** tape every epoch,
+/// [`Tape::reset`]-ing it in between, so implementations must record
+/// per-epoch state accordingly:
+///
+/// * register parameters with [`Tape::leaf_copied`] (a pool-backed copy —
+///   parameters change between epochs and must be snapshotted), never by
+///   stashing `Var`s across epochs;
+/// * inputs arrive as an already-recorded `x: Var` — typically a shared
+///   [`Tape::const_leaf`] the loop recorded once — and implementations must
+///   not assume they can mutate or retain it;
+/// * epoch-invariant constants a model needs (fixed adjacencies, masks)
+///   should be held as `Arc<Matrix>` and recorded via [`Tape::const_leaf`] /
+///   [`Tape::hadamard_const`]-style constant ops so they are shared, not
+///   copied.
 pub trait GnnModel {
     /// Human-readable architecture name (e.g. `"GCN"`).
     fn name(&self) -> &'static str;
@@ -49,12 +66,22 @@ pub trait GnnModel {
         let mut tape = Tape::new();
         let xv = tape.leaf(x.clone());
         let pass = self.forward(&mut tape, adj, xv);
-        tape.value(pass.logits)
+        tape.value_ref(pass.logits).clone()
     }
 
     /// Predicted class per node.
     fn predict(&self, adj: &AdjacencyRef, x: &Matrix) -> Vec<usize> {
         self.logits(adj, x).argmax_rows()
+    }
+
+    /// [`GnnModel::predict`] on a caller-provided pooled tape (reset here):
+    /// per-node evaluation loops reuse one tape's memory instead of building
+    /// a fresh tape per forward pass.
+    fn predict_on(&self, tape: &mut Tape, adj: &AdjacencyRef, x: &Matrix) -> Vec<usize> {
+        tape.reset();
+        let xv = tape.leaf_detached(x);
+        let pass = self.forward(tape, adj, xv);
+        tape.value_ref(pass.logits).argmax_rows()
     }
 
     /// Total number of scalar parameters.

@@ -53,10 +53,10 @@ impl GnnModel for Appnp {
     }
 
     fn forward(&self, tape: &mut Tape, adj: &AdjacencyRef, x: Var) -> ForwardPass {
-        let w0 = tape.leaf(self.weights[0].clone());
-        let b0 = tape.leaf(self.biases[0].clone());
-        let w1 = tape.leaf(self.weights[1].clone());
-        let b1 = tape.leaf(self.biases[1].clone());
+        let w0 = tape.leaf_copied(&self.weights[0]);
+        let b0 = tape.leaf_copied(&self.biases[0]);
+        let w1 = tape.leaf_copied(&self.weights[1]);
+        let b1 = tape.leaf_copied(&self.biases[1]);
         // Prediction step (MLP).
         let l0 = tape.matmul(x, w0);
         let l0 = tape.add_bias(l0, b0);

@@ -64,9 +64,9 @@ impl GnnModel for ChebyNet {
         let mut h = x;
         let last = self.w0.len() - 1;
         for l in 0..self.w0.len() {
-            let w0 = tape.leaf(self.w0[l].clone());
-            let w1 = tape.leaf(self.w1[l].clone());
-            let b = tape.leaf(self.biases[l].clone());
+            let w0 = tape.leaf_copied(&self.w0[l]);
+            let w1 = tape.leaf_copied(&self.w1[l]);
+            let b = tape.leaf_copied(&self.biases[l]);
             param_vars.extend_from_slice(&[w0, w1, b]);
             let identity_term = tape.matmul(h, w0);
             let propagated = adj.propagate(tape, h);

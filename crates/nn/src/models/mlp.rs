@@ -55,8 +55,8 @@ impl Mlp {
         let mut h = x;
         let last = self.weights.len() - 1;
         for (l, (w, b)) in self.weights.iter().zip(self.biases.iter()).enumerate() {
-            let wv = tape.leaf(w.clone());
-            let bv = tape.leaf(b.clone());
+            let wv = tape.leaf_copied(w);
+            let bv = tape.leaf_copied(b);
             param_vars.push(wv);
             param_vars.push(bv);
             let lin = tape.matmul(h, wv);

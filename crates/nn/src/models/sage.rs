@@ -62,9 +62,9 @@ impl GnnModel for GraphSage {
         let mut h = x;
         let last = self.self_weights.len() - 1;
         for l in 0..self.self_weights.len() {
-            let ws = tape.leaf(self.self_weights[l].clone());
-            let wn = tape.leaf(self.neigh_weights[l].clone());
-            let b = tape.leaf(self.biases[l].clone());
+            let ws = tape.leaf_copied(&self.self_weights[l]);
+            let wn = tape.leaf_copied(&self.neigh_weights[l]);
+            let b = tape.leaf_copied(&self.biases[l]);
             param_vars.extend_from_slice(&[ws, wn, b]);
             let self_term = tape.matmul(h, ws);
             let aggregated = adj.propagate(tape, h);

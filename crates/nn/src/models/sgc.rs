@@ -43,8 +43,8 @@ impl GnnModel for Sgc {
     }
 
     fn forward(&self, tape: &mut Tape, adj: &AdjacencyRef, x: Var) -> ForwardPass {
-        let wv = tape.leaf(self.weight.clone());
-        let bv = tape.leaf(self.bias.clone());
+        let wv = tape.leaf_copied(&self.weight);
+        let bv = tape.leaf_copied(&self.bias);
         let mut h = x;
         for _ in 0..self.k {
             h = adj.propagate(tape, h);

@@ -7,8 +7,9 @@ use bgc_tensor::Matrix;
 /// A first-order optimizer over a fixed list of parameters.
 pub trait Optimizer {
     /// Applies one update step.  `params` and `grads` must be aligned and have
-    /// the same length on every call.
-    fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]);
+    /// the same length on every call.  Gradients are borrowed so callers can
+    /// step directly from a [`bgc_tensor::Gradients`] without cloning.
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[&Matrix]);
 
     /// Learning rate currently in use.
     fn learning_rate(&self) -> f32;
@@ -33,7 +34,7 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]) {
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[&Matrix]) {
         assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
         for (p, g) in params.iter_mut().zip(grads.iter()) {
             assert_eq!(p.shape(), g.shape(), "parameter/gradient shape mismatch");
@@ -83,7 +84,7 @@ impl Adam {
         }
     }
 
-    fn ensure_state(&mut self, grads: &[Matrix]) {
+    fn ensure_state(&mut self, grads: &[&Matrix]) {
         if self.m.len() != grads.len() {
             self.m = grads
                 .iter()
@@ -96,14 +97,14 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]) {
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[&Matrix]) {
         assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
         self.ensure_state(grads);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for i in 0..params.len() {
-            let g = &grads[i];
+            let g = grads[i];
             assert_eq!(
                 params[i].shape(),
                 g.shape(),
@@ -161,7 +162,7 @@ mod tests {
         let mut opt = Sgd::new(0.1, 0.0);
         for _ in 0..200 {
             let g = quadratic_grad(&p);
-            opt.step(&mut [&mut p], &[g]);
+            opt.step(&mut [&mut p], &[&g]);
         }
         assert!(p.approx_eq(&Matrix::filled(2, 2, 3.0), 1e-3));
     }
@@ -172,7 +173,7 @@ mod tests {
         let mut opt = Adam::new(0.2, 0.0);
         for _ in 0..500 {
             let g = quadratic_grad(&p);
-            opt.step(&mut [&mut p], &[g]);
+            opt.step(&mut [&mut p], &[&g]);
         }
         assert!(p.approx_eq(&Matrix::filled(3, 1, 3.0), 1e-2));
     }
@@ -182,7 +183,7 @@ mod tests {
         let mut p = Matrix::filled(2, 2, 1.0);
         let mut opt = Sgd::new(0.1, 0.5);
         let zero_grad = Matrix::zeros(2, 2);
-        opt.step(&mut [&mut p], &[zero_grad]);
+        opt.step(&mut [&mut p], &[&zero_grad]);
         assert!(p.max() < 1.0);
     }
 

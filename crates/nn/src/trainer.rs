@@ -1,6 +1,16 @@
 //! Full-batch training loops for node classification, on both the original
 //! graph (Eq. 1 left-hand side, the "clean GNN") and the condensed graph
 //! (Eq. 5, the victim GNN trained on `S`).
+//!
+//! The epoch loop is allocation-free in steady state: one pooled [`Tape`] is
+//! reset (not rebuilt) every epoch, the feature matrix is recorded once as a
+//! shared constant leaf ([`Tape::const_leaf`]), validation predictions are
+//! read off the epoch's already-computed logits instead of running a second
+//! forward pass, and the best-validation parameters are kept in preallocated
+//! buffers.  The control flow is bit-identical to the historical
+//! fresh-tape/`predict`-based loop (property-tested in this crate).
+
+use std::sync::Arc;
 
 use bgc_graph::CondensedGraph;
 use bgc_tensor::{Matrix, Tape};
@@ -93,56 +103,107 @@ pub fn train_node_classifier(
     let train_labels: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
     let val_labels: Vec<usize> = val_idx.iter().map(|&i| labels[i]).collect();
 
+    // Recorded once as a shared constant leaf; epochs never copy it again.
+    let features: Arc<Matrix> = Arc::new(features.clone());
     let param_shapes: Vec<(usize, usize)> = model.parameters().iter().map(|p| p.shape()).collect();
+    // Preallocated zero gradients (for parameters the loss does not reach)
+    // and best-validation parameter buffers: the epoch loop only copies into
+    // these, it never clones the parameter set.
+    let zero_grads: Vec<Matrix> = param_shapes
+        .iter()
+        .map(|&(r, c)| Matrix::zeros(r, c))
+        .collect();
+    let mut best_params: Vec<Matrix> = param_shapes
+        .iter()
+        .map(|&(r, c)| Matrix::zeros(r, c))
+        .collect();
+    let mut has_best = false;
     let mut optimizer = Adam::new(config.lr, config.weight_decay);
     let mut losses = Vec::with_capacity(config.epochs);
     let mut best_val = 0.0f32;
-    let mut best_params: Option<Vec<Matrix>> = None;
     let mut evals_since_improvement = 0usize;
     let mut epochs_run = 0usize;
 
-    for epoch in 0..config.epochs {
-        epochs_run = epoch + 1;
-        let mut tape = Tape::new();
-        let x = tape.leaf(features.clone());
+    // Validation bookkeeping for an eval epoch `e` runs on the *next*
+    // epoch's forward pass (same parameters — the optimizer has not stepped
+    // in between), which makes eval epochs free: the training forward pass
+    // doubles as the evaluation pass.  Only a run whose final epoch is an
+    // eval epoch needs one extra forward, after the loop.  The observable
+    // behaviour (accuracies, early stopping, restored parameters, loss
+    // trace) is identical to evaluating eagerly with a second forward pass.
+    let mut tape = Tape::new();
+    let mut pending_eval = false;
+    let mut stopped_early = false;
+    'epochs: for epoch in 0..config.epochs {
+        tape.reset();
+        let x = tape.const_leaf(features.clone());
         let pass = model.forward(&mut tape, adj, x);
-        let train_logits = tape.row_select(pass.logits, train_idx);
-        let loss = tape.softmax_cross_entropy(train_logits, &train_labels);
-        losses.push(tape.scalar(loss));
-        let grads = tape.backward(loss);
-        let grad_mats: Vec<Matrix> = pass
-            .param_vars
-            .iter()
-            .zip(param_shapes.iter())
-            .map(|(&v, &(r, c))| grads.get_or_zeros(v, r, c))
-            .collect();
-        let mut params = model.parameters_mut();
-        optimizer.step(&mut params, &grad_mats);
-
-        let is_eval_epoch = !val_idx.is_empty()
-            && (epoch % config.eval_every == config.eval_every - 1 || epoch + 1 == config.epochs);
-        if is_eval_epoch {
-            let preds = model.predict(adj, features);
-            let val_preds: Vec<usize> = val_idx.iter().map(|&i| preds[i]).collect();
+        if pending_eval {
+            pending_eval = false;
+            let logits = tape.value_ref(pass.logits);
+            let val_preds: Vec<usize> = val_idx.iter().map(|&i| logits.row_argmax(i)).collect();
             let val_acc = accuracy(&val_preds, &val_labels);
             if val_acc > best_val {
                 best_val = val_acc;
-                best_params = Some(model.parameters().iter().map(|p| (*p).clone()).collect());
+                for (saved, param) in best_params.iter_mut().zip(model.parameters()) {
+                    saved.copy_from(param);
+                }
+                has_best = true;
                 evals_since_improvement = 0;
             } else {
                 evals_since_improvement += 1;
                 if let Some(patience) = config.patience {
                     if evals_since_improvement >= patience {
-                        break;
+                        stopped_early = true;
+                        break 'epochs;
                     }
                 }
             }
         }
+        epochs_run = epoch + 1;
+        let train_logits = tape.row_select(pass.logits, train_idx);
+        let loss = tape.softmax_cross_entropy(train_logits, &train_labels);
+        losses.push(tape.scalar(loss));
+        let grads = tape.backward(loss);
+        {
+            let grad_refs: Vec<&Matrix> = pass
+                .param_vars
+                .iter()
+                .zip(zero_grads.iter())
+                .map(|(&v, zero)| grads.get_or(v, zero))
+                .collect();
+            let mut params = model.parameters_mut();
+            optimizer.step(&mut params, &grad_refs);
+        }
+        tape.absorb(grads);
+
+        let is_eval_epoch = !val_idx.is_empty()
+            && (epoch % config.eval_every == config.eval_every - 1 || epoch + 1 == config.epochs);
+        if is_eval_epoch {
+            pending_eval = true;
+        }
+    }
+    if pending_eval && !stopped_early {
+        // The final epoch was an eval epoch: one extra forward pass for its
+        // deferred evaluation (early stopping can no longer trigger).
+        tape.reset();
+        let x = tape.const_leaf(features.clone());
+        let pass = model.forward(&mut tape, adj, x);
+        let logits = tape.value_ref(pass.logits);
+        let val_preds: Vec<usize> = val_idx.iter().map(|&i| logits.row_argmax(i)).collect();
+        let val_acc = accuracy(&val_preds, &val_labels);
+        if val_acc > best_val {
+            best_val = val_acc;
+            for (saved, param) in best_params.iter_mut().zip(model.parameters()) {
+                saved.copy_from(param);
+            }
+            has_best = true;
+        }
     }
 
-    if let Some(best) = best_params {
-        for (param, saved) in model.parameters_mut().into_iter().zip(best) {
-            *param = saved;
+    if has_best {
+        for (param, saved) in model.parameters_mut().into_iter().zip(best_params.iter()) {
+            param.copy_from(saved);
         }
     }
 

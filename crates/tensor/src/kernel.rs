@@ -108,9 +108,17 @@ fn axpy4(
             cc[l] += a0 * v0[l] + a1 * v1[l] + a2 * v2[l] + a3 * v3[l];
         }
     }
-    for (j, cc) in c_tail.iter_mut().enumerate() {
-        let j = split + j;
-        *cc += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+    // Iterator-zipped tail: the same fused four-term expression per element
+    // (bit-identical), but free of bounds checks so LLVM vectorizes the
+    // narrow-output case (e.g. `n = num_classes` logits products).
+    let tail = c_tail
+        .iter_mut()
+        .zip(&b0[split..])
+        .zip(&b1[split..])
+        .zip(&b2[split..])
+        .zip(&b3[split..]);
+    for ((((cc, &v0), &v1), &v2), &v3) in tail {
+        *cc += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
     }
 }
 
@@ -122,6 +130,26 @@ fn gemm_block(a_rows: &[f32], k: usize, n: usize, b: &[f32], c_block: &mut [f32]
     debug_assert_eq!(c_block.len() % n, 0);
     let mb = c_block.len() / n;
     debug_assert_eq!(a_rows.len(), mb * k);
+    if n < LANES {
+        // Narrow outputs (n below one vector width, e.g. `num_classes`-wide
+        // logits) keep the whole output row in a register-resident
+        // accumulator across the depth loop instead of streaming it through
+        // memory per `axpy4` pass.  The per-element floating-point sequence
+        // is identical to the wide path's (same fused four-term updates in
+        // the same order), so results stay bit-identical.
+        match n {
+            0 => {}
+            1 => narrow_rows::<1>(a_rows, k, b, c_block),
+            2 => narrow_rows::<2>(a_rows, k, b, c_block),
+            3 => narrow_rows::<3>(a_rows, k, b, c_block),
+            4 => narrow_rows::<4>(a_rows, k, b, c_block),
+            5 => narrow_rows::<5>(a_rows, k, b, c_block),
+            6 => narrow_rows::<6>(a_rows, k, b, c_block),
+            7 => narrow_rows::<7>(a_rows, k, b, c_block),
+            _ => unreachable!("narrow path requires n < LANES"),
+        }
+        return;
+    }
     for k0 in (0..k).step_by(KC) {
         let kb = KC.min(k - k0);
         for j0 in (0..n).step_by(NC) {
@@ -150,6 +178,42 @@ fn gemm_block(a_rows: &[f32], k: usize, n: usize, b: &[f32], c_block: &mut [f32]
                 }
             }
         }
+    }
+}
+
+/// Narrow (`N < LANES`) gemm rows: `c += a · B` with a compile-time output
+/// width, so the whole output row lives in a register-resident `[f32; N]`
+/// accumulator and the inner loops fully unroll without bounds checks.
+/// Performs exactly the wide path's per-element operations — `c[j] +=
+/// a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]` per `KU`-group, then
+/// single-row updates for the depth tail — in the same order, so results
+/// are bit-identical to the `axpy4`/`axpy` path.
+fn narrow_rows<const N: usize>(a_rows: &[f32], k: usize, b: &[f32], c_block: &mut [f32]) {
+    let row_at =
+        |kk: usize| -> &[f32; N] { b[kk * N..kk * N + N].try_into().expect("exact-width b row") };
+    for (a_row, c_row) in a_rows.chunks_exact(k).zip(c_block.chunks_exact_mut(N)) {
+        let mut acc: [f32; N] = c_row.try_into().expect("exact-width c row");
+        let mut kk = 0;
+        while kk + KU <= k {
+            let a0 = a_row[kk];
+            let a1 = a_row[kk + 1];
+            let a2 = a_row[kk + 2];
+            let a3 = a_row[kk + 3];
+            let (b0, b1, b2, b3) = (row_at(kk), row_at(kk + 1), row_at(kk + 2), row_at(kk + 3));
+            for j in 0..N {
+                acc[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+            kk += KU;
+        }
+        while kk < k {
+            let a0 = a_row[kk];
+            let b0 = row_at(kk);
+            for j in 0..N {
+                acc[j] += a0 * b0[j];
+            }
+            kk += 1;
+        }
+        c_row.copy_from_slice(&acc);
     }
 }
 

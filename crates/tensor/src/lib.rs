@@ -11,6 +11,9 @@
 //!   operation set covers GNN training, gradient matching and the BGC trigger
 //!   generator (including straight-through binarization and a differentiable
 //!   SPD solve for kernel ridge regression).
+//! * [`BufferPool`] — the length-keyed buffer pool behind the
+//!   allocation-free training engine: [`Tape::reset`] parks every epoch's
+//!   buffers for reuse by the next epoch (see `crates/tensor/README.md`).
 //! * [`init`] — seeded random initializers (Gaussian, Xavier, Kaiming).
 //! * [`linalg`] — Cholesky factorization and SPD solves.
 //! * [`kernel`] — the blocked, rayon-parallel kernel substrate every dense
@@ -27,10 +30,12 @@ pub mod init;
 pub mod kernel;
 pub mod linalg;
 pub mod matrix;
+pub mod pool;
 pub mod sparse;
 pub mod tape;
 
 pub use matrix::Matrix;
+pub use pool::{BufferPool, PoolStats};
 pub use sparse::CsrMatrix;
 pub use tape::{Gradients, Tape, Var};
 

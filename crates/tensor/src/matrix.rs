@@ -365,6 +365,77 @@ impl Matrix {
         out
     }
 
+    /// Overwrites `self` with the contents of an equally shaped `src`.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            src.shape(),
+            "copy_from: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            src.shape()
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// [`Matrix::matmul`] into a caller-provided output (zeroed here), so
+    /// steady-state loops can reuse one buffer instead of allocating.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimensions differ ({}x{} * {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into: output shape {:?} does not match {}x{}",
+            out.shape(),
+            self.rows,
+            other.cols
+        );
+        out.data.fill(0.0);
+        kernel::gemm(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+    }
+
+    /// [`Matrix::sub`] into a caller-provided output.
+    pub fn sub_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "sub: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(out.shape(), self.shape(), "sub_into: output shape mismatch");
+        kernel::binary_map_into(&self.data, &other.data, &mut out.data, |a, b| a - b);
+    }
+
+    /// [`Matrix::softmax_rows`] into a caller-provided output.
+    pub fn softmax_rows_into(&self, out: &mut Matrix) {
+        out.copy_from(self);
+        kernel::for_each_row(&mut out.data, self.cols, |_, row| softmax_row_in_place(row));
+    }
+
+    /// [`Matrix::transpose`] into a caller-provided output.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into: output shape {:?} does not match {}x{}",
+            out.shape(),
+            self.cols,
+            self.rows
+        );
+        kernel::transpose_into(self.rows, self.cols, &self.data, &mut out.data);
+    }
+
     /// Element-wise addition.
     pub fn add(&self, other: &Matrix) -> Matrix {
         self.zip_map(other, |a, b| a + b)
@@ -510,41 +581,30 @@ impl Matrix {
         Matrix::row_vector(&sums)
     }
 
+    /// Index of the maximum value of row `r` (first maximum wins).
+    pub fn row_argmax(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in row.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
     /// Index of the maximum value in each row.
     pub fn argmax_rows(&self) -> Vec<usize> {
-        (0..self.rows)
-            .map(|r| {
-                let row = self.row(r);
-                let mut best = 0usize;
-                let mut best_v = f32::NEG_INFINITY;
-                for (i, &v) in row.iter().enumerate() {
-                    if v > best_v {
-                        best_v = v;
-                        best = i;
-                    }
-                }
-                best
-            })
-            .collect()
+        (0..self.rows).map(|r| self.row_argmax(r)).collect()
     }
 
     /// Row-wise softmax (non-differentiable helper; the differentiable version
     /// lives on the tape). Parallel over rows for large matrices.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        kernel::for_each_row(&mut out.data, self.cols, |_, row| {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            if sum > 0.0 {
-                for v in row.iter_mut() {
-                    *v /= sum;
-                }
-            }
-        });
+        kernel::for_each_row(&mut out.data, self.cols, |_, row| softmax_row_in_place(row));
         out
     }
 
@@ -615,6 +675,25 @@ impl Matrix {
     /// Clamps all entries to `[lo, hi]`.
     pub fn clamp(&self, lo: f32, hi: f32) -> Matrix {
         self.map(|v| v.clamp(lo, hi))
+    }
+}
+
+/// The one softmax-row routine every softmax in the workspace shares
+/// (max-shifted exp, in-order sum, divide with a zero-sum guard).  The
+/// tape's fused cross-entropy backward replays exactly this sequence, so
+/// keeping a single copy is what preserves the engine's bit-identity
+/// guarantee.
+pub fn softmax_row_in_place(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
     }
 }
 

@@ -4,11 +4,13 @@
 //! large for dense storage, so the adjacency matrix, its GCN normalization
 //! and the sparse-dense product `Â · X` all operate on this CSR type.
 
+use std::sync::OnceLock;
+
 use crate::kernel;
 use crate::matrix::Matrix;
 
 /// A sparse matrix in compressed sparse row format.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
@@ -18,6 +20,35 @@ pub struct CsrMatrix {
     indices: Vec<usize>,
     /// Non-zero values, aligned with `indices`.
     values: Vec<f32>,
+    /// Lazily computed transpose, shared across backward passes: a graph
+    /// adjacency is transposed once per [`CsrMatrix`] instead of once per
+    /// epoch (see [`CsrMatrix::spmm_transpose`]).
+    transpose_cache: OnceLock<Box<CsrMatrix>>,
+}
+
+impl Clone for CsrMatrix {
+    fn clone(&self) -> Self {
+        // The cache is dropped on clone; it repopulates on first use.
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.clone(),
+            transpose_cache: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // The transpose cache is derived state and excluded from equality.
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.values == other.values
+    }
 }
 
 impl CsrMatrix {
@@ -85,6 +116,7 @@ impl CsrMatrix {
             indptr,
             indices,
             values,
+            transpose_cache: OnceLock::new(),
         }
     }
 
@@ -110,6 +142,7 @@ impl CsrMatrix {
             indptr: vec![0; rows + 1],
             indices: Vec::new(),
             values: Vec::new(),
+            transpose_cache: OnceLock::new(),
         }
     }
 
@@ -209,7 +242,15 @@ impl CsrMatrix {
             indptr,
             indices,
             values,
+            transpose_cache: OnceLock::new(),
         }
+    }
+
+    /// The transpose, computed once per matrix and cached (the backward pass
+    /// of `Â · X` message passing hits this every epoch).
+    pub fn transposed_cached(&self) -> &CsrMatrix {
+        self.transpose_cache
+            .get_or_init(|| Box::new(self.transpose()))
     }
 
     /// Returns `max(self, self^T)` entry-wise, making an adjacency symmetric.
@@ -303,6 +344,16 @@ impl CsrMatrix {
     /// accumulation order is fixed, so results are bit-identical across
     /// thread counts. Small products run serially.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        self.spmm_into(dense, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::spmm`] into a caller-provided (pool-backed) output.
+    ///
+    /// `out` must be `rows x dense.cols()` and **zeroed** — the kernel
+    /// accumulates onto it.
+    pub fn spmm_into(&self, dense: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             dense.rows(),
@@ -313,9 +364,16 @@ impl CsrMatrix {
             dense.cols()
         );
         let cols = dense.cols();
-        let mut out = Matrix::zeros(self.rows, cols);
+        assert_eq!(
+            out.shape(),
+            (self.rows, cols),
+            "spmm_into: output shape {:?} does not match {}x{}",
+            out.shape(),
+            self.rows,
+            cols
+        );
         if cols == 0 || self.nnz() == 0 {
-            return out;
+            return;
         }
         let work = self.nnz() * cols;
         if work >= kernel::PAR_SPMM_WORK && rayon::current_num_threads() > 1 {
@@ -344,16 +402,26 @@ impl CsrMatrix {
                 }
             }
         }
-        out
     }
 
     /// Sparse-transpose times dense: `self^T * dense`.
     ///
-    /// Large products transpose the CSR (`O(nnz)`, see
-    /// [`CsrMatrix::transpose`]) and run the parallel gather-form
-    /// [`CsrMatrix::spmm`]; because the transpose keeps source rows ordered,
-    /// this produces bit-identical results to the serial scatter fallback.
+    /// Large products use the cached CSR transpose (computed once per
+    /// matrix, see [`CsrMatrix::transposed_cached`]) and run the parallel
+    /// gather-form [`CsrMatrix::spmm`]; because the transpose keeps source
+    /// rows ordered, this produces bit-identical results to the serial
+    /// scatter fallback.
     pub fn spmm_transpose(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, dense.cols());
+        self.spmm_transpose_into(dense, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::spmm_transpose`] into a caller-provided (pool-backed)
+    /// output.
+    ///
+    /// `out` must be `cols x dense.cols()` and **zeroed**.
+    pub fn spmm_transpose_into(&self, dense: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows,
             dense.rows(),
@@ -364,16 +432,23 @@ impl CsrMatrix {
         let cols = dense.cols();
         let work = self.nnz() * cols;
         if work >= kernel::PAR_SPMM_WORK && rayon::current_num_threads() > 1 {
-            return self.transpose().spmm(dense);
+            self.transposed_cached().spmm_into(dense, out);
+            return;
         }
-        let mut out = Matrix::zeros(self.cols, cols);
+        assert_eq!(
+            out.shape(),
+            (self.cols, cols),
+            "spmm_transpose_into: output shape {:?} does not match {}x{}",
+            out.shape(),
+            self.cols,
+            cols
+        );
         for r in 0..self.rows {
             let src = dense.row(r);
             for (c, v) in self.row_iter(r) {
                 kernel::axpy(out.row_mut(c), v, src);
             }
         }
-        out
     }
 
     /// Densifies the matrix (only sensible for small matrices such as

@@ -13,10 +13,36 @@
 //! straight-through binarization for discrete trigger structure, per-column
 //! cosine matching for gradient matching, and a differentiable SPD solve for
 //! kernel ridge regression).
+//!
+//! # The allocation-free training engine
+//!
+//! Training loops record the *same* computation graph every epoch, so the
+//! tape is built to be **pooled** rather than rebuilt:
+//!
+//! * [`Tape::reset`] clears the recorded nodes but parks every owned value
+//!   buffer in the tape's [`BufferPool`]; the next epoch's operations draw
+//!   their output buffers from the pool instead of the allocator.
+//! * [`Tape::const_leaf`] records an `Arc<Matrix>` **by reference** — epoch
+//!   constants (features, fixed adjacencies, matching targets) are never
+//!   copied onto the tape.  [`Tape::leaf_copied`] records a pool-backed copy
+//!   for values that change between epochs (model parameters).
+//! * [`Tape::backward`] accumulates gradients **in place** into pool-backed
+//!   buffers (axpy-style `+=`, no clone-then-add), seeds each node's slot by
+//!   move, and fuses the element-wise backward rules (ReLU masks, softmax
+//!   cross-entropy, MSE) into single passes.
+//! * [`Tape::absorb`] returns a [`Gradients`] value's buffers to the pool
+//!   once the optimizer step has consumed them.
+//!
+//! All pooled paths are **bit-identical** to the allocating implementation
+//! they replaced: buffers are either zero-filled or fully overwritten, and
+//! every fused rule performs the same floating-point operations in the same
+//! order (property-tested in `bgc-nn`).
 
 use std::sync::Arc;
 
-use crate::matrix::Matrix;
+use crate::kernel;
+use crate::matrix::{softmax_row_in_place, Matrix};
+use crate::pool::{BufferPool, PoolStats};
 use crate::sparse::CsrMatrix;
 
 /// A handle to a node recorded on a [`Tape`].
@@ -75,12 +101,39 @@ enum Op {
     },
 }
 
+/// The forward value of a node: owned (pool-recyclable) or shared by
+/// reference with the caller ([`Tape::const_leaf`]).
+enum Payload {
+    Owned(Matrix),
+    Shared(Arc<Matrix>),
+}
+
+impl Payload {
+    #[inline]
+    fn matrix(&self) -> &Matrix {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(m) => m,
+        }
+    }
+}
+
 struct Node {
-    value: Matrix,
+    value: Payload,
     op: Op,
+    /// Whether any gradient-carrying leaf is reachable below this node.
+    /// Backward skips accumulation into (and hence traversal of) subtrees
+    /// that only lead to constants — the values read by callers are
+    /// unaffected, the wasted matrix products are not performed.
+    needs_grad: bool,
 }
 
 /// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+///
+/// The contained matrices are pool-backed; hand the value back to
+/// [`Tape::absorb`] after the optimizer step to keep the hot loop
+/// allocation-free (dropping it instead simply releases the buffers to the
+/// allocator).
 pub struct Gradients {
     grads: Vec<Option<Matrix>>,
 }
@@ -99,18 +152,28 @@ impl Gradients {
             .cloned()
             .unwrap_or_else(|| Matrix::zeros(rows, cols))
     }
+
+    /// Gradient of `v`, or `fallback` (typically a preallocated zero matrix)
+    /// when `v` did not influence the loss.  The allocation-free counterpart
+    /// of [`Gradients::get_or_zeros`].
+    pub fn get_or<'a>(&'a self, v: Var, fallback: &'a Matrix) -> &'a Matrix {
+        self.get(v).unwrap_or(fallback)
+    }
 }
 
 /// The autodiff tape.  See the module documentation.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: BufferPool,
+    /// Recycled gradient-slot storage for [`Tape::backward`].
+    grad_slots: Vec<Option<Matrix>>,
 }
 
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape with an empty buffer pool.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
     /// Number of recorded nodes.
@@ -123,48 +186,179 @@ impl Tape {
         self.nodes.is_empty()
     }
 
-    fn push(&mut self, value: Matrix, op: Op) -> Var {
+    /// Clears the recorded computation while retaining node capacity and
+    /// parking every owned value buffer in the pool, so the next epoch's
+    /// recording reuses this epoch's memory.  Shared ([`Tape::const_leaf`])
+    /// values are released back to their `Arc` without copying.
+    pub fn reset(&mut self) {
+        let Self { nodes, pool, .. } = self;
+        for node in nodes.drain(..) {
+            if let Payload::Owned(m) = node.value {
+                pool.recycle(m);
+            }
+            match node.op {
+                Op::RowSelect(_, indices) => pool.recycle_indices(indices),
+                Op::SoftmaxCrossEntropy { labels, .. } => pool.recycle_indices(labels),
+                _ => {}
+            }
+        }
+    }
+
+    /// Returns a [`Gradients`] value's buffers to the pool (call after the
+    /// optimizer step).
+    pub fn absorb(&mut self, gradients: Gradients) {
+        let mut slots = gradients.grads;
+        for m in slots.drain(..).flatten() {
+            self.pool.recycle(m);
+        }
+        if slots.capacity() > self.grad_slots.capacity() {
+            self.grad_slots = slots;
+        }
+    }
+
+    /// Allocation counters of the tape's buffer pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Zeroes the pool's allocation counters.
+    pub fn reset_pool_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    /// Direct access to the tape's buffer pool, for callers that want to
+    /// recycle their own scratch buffers through it (and for the training
+    /// bench / stale-buffer tests, which clear or poison parked buffers).
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    fn push(&mut self, value: Payload, op: Op, needs_grad: bool) -> Var {
         debug_assert!(
-            !value.has_non_finite(),
+            !value.matrix().has_non_finite(),
             "tape produced a non-finite value (op index {})",
             self.nodes.len()
         );
-        self.nodes.push(Node { value, op });
+        self.nodes.push(Node {
+            value,
+            op,
+            needs_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
+    /// Pushes a non-leaf node, deriving `needs_grad` from its operands.
+    fn push_owned(&mut self, value: Matrix, op: Op) -> Var {
+        let needs_grad = self.op_needs_grad(&op);
+        self.push(Payload::Owned(value), op, needs_grad)
+    }
+
+    fn op_needs_grad(&self, op: &Op) -> bool {
+        let n = |i: usize| self.nodes[i].needs_grad;
+        match op {
+            Op::Leaf => true,
+            Op::MatMul(a, b)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::AddBias(a, b)
+            | Op::Hadamard(a, b)
+            | Op::ConcatRows(a, b)
+            | Op::ConcatCols(a, b)
+            | Op::SolveSpd { a, b } => n(*a) || n(*b),
+            Op::SpMM(_, x)
+            | Op::ConstMul(_, x)
+            | Op::MatMulTransposeConst(x, _)
+            | Op::Scale(x, _)
+            | Op::AddScalar(x)
+            | Op::HadamardConst(x, _)
+            | Op::Relu(x)
+            | Op::Sigmoid(x)
+            | Op::Tanh(x)
+            | Op::Transpose(x)
+            | Op::RowSelect(x, _)
+            | Op::SoftmaxRows(x)
+            | Op::RowNormalize(x)
+            | Op::Reshape(x)
+            | Op::L2NormalizeRows(x)
+            | Op::SoftmaxCrossEntropy { logits: x, .. }
+            | Op::MeanAll(x)
+            | Op::SumAll(x)
+            | Op::FrobeniusMse(x, _)
+            | Op::BinarizeSte(x)
+            | Op::CosineMatchToConst(x, _) => n(*x),
+        }
+    }
+
+    #[inline]
     fn val(&self, v: usize) -> &Matrix {
-        &self.nodes[v].value
+        self.nodes[v].value.matrix()
     }
 
-    /// Registers an input/parameter matrix on the tape.
+    /// A pool-backed copy of node `idx`'s value.
+    fn copy_val(&mut self, idx: usize) -> Matrix {
+        let Self { nodes, pool, .. } = self;
+        pool.copy_of(nodes[idx].value.matrix())
+    }
+
+    /// Registers an input/parameter matrix on the tape (by value).
     pub fn leaf(&mut self, value: Matrix) -> Var {
-        self.push(value, Op::Leaf)
+        self.push(Payload::Owned(value), Op::Leaf, true)
     }
 
-    /// Alias of [`Tape::leaf`] for values that are semantically constants.
+    /// Registers a **shared** constant leaf: the value is recorded by
+    /// reference, so epoch-invariant inputs (features, fixed adjacencies,
+    /// matching targets) are never copied onto the tape.  Constant leaves
+    /// carry no gradient; backward prunes subtrees that reach only
+    /// constants.
+    pub fn const_leaf(&mut self, value: Arc<Matrix>) -> Var {
+        self.push(Payload::Shared(value), Op::Leaf, false)
+    }
+
+    /// Registers a pool-backed **copy** of `value` as a leaf.  This is the
+    /// epoch-loop form for values that change between epochs (model
+    /// parameters): the copy costs no allocation once the pool is warm.
+    pub fn leaf_copied(&mut self, value: &Matrix) -> Var {
+        let copy = self.pool.copy_of(value);
+        self.push(Payload::Owned(copy), Op::Leaf, true)
+    }
+
+    /// Registers a pool-backed copy of `value` as a **detached** leaf: the
+    /// value participates in the forward computation but carries no
+    /// gradient (e.g. a frozen surrogate weight).  Backward prunes the
+    /// wasted products into it.
+    pub fn leaf_detached(&mut self, value: &Matrix) -> Var {
+        let copy = self.pool.copy_of(value);
+        self.push(Payload::Owned(copy), Op::Leaf, false)
+    }
+
+    /// Registers an owned matrix that is semantically a constant (no
+    /// gradient is tracked into it).
     pub fn constant(&mut self, value: Matrix) -> Var {
-        self.leaf(value)
+        self.push(Payload::Owned(value), Op::Leaf, false)
     }
 
     /// Returns a clone of the forward value of `v`.
+    #[deprecated(
+        note = "allocates a full clone per call; use `value_ref` (and clone explicitly \
+                         only where ownership is required)"
+    )]
     pub fn value(&self, v: Var) -> Matrix {
-        self.nodes[v.0].value.clone()
+        self.nodes[v.0].value.matrix().clone()
     }
 
     /// Returns a reference to the forward value of `v`.
     pub fn value_ref(&self, v: Var) -> &Matrix {
-        &self.nodes[v.0].value
+        self.nodes[v.0].value.matrix()
     }
 
     /// Shape of the forward value of `v`.
     pub fn shape(&self, v: Var) -> (usize, usize) {
-        self.nodes[v.0].value.shape()
+        self.value_ref(v).shape()
     }
 
     /// Scalar value of a `1x1` node.
     pub fn scalar(&self, v: Var) -> f32 {
-        let m = &self.nodes[v.0].value;
+        let m = self.value_ref(v);
         assert_eq!(m.shape(), (1, 1), "scalar() called on a non-scalar node");
         m.get(0, 0)
     }
@@ -175,22 +369,53 @@ impl Tape {
 
     /// Dense matrix product of two variables.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.val(a.0).matmul(self.val(b.0));
-        self.push(value, Op::MatMul(a.0, b.0))
+        let (m, ka) = self.shape(a);
+        let (kb, n) = self.shape(b);
+        assert_eq!(
+            ka, kb,
+            "matmul: inner dimensions differ ({}x{} * {}x{})",
+            m, ka, kb, n
+        );
+        let mut out = self.pool.zeros(m, n);
+        kernel::gemm(
+            m,
+            ka,
+            n,
+            self.val(a.0).data(),
+            self.val(b.0).data(),
+            out.data_mut(),
+        );
+        self.push_owned(out, Op::MatMul(a.0, b.0))
     }
 
     /// Sparse constant times variable (`S * x`).  Used for `Â · X` message
     /// passing on the large original graph.
     pub fn spmm(&mut self, sparse: Arc<CsrMatrix>, x: Var) -> Var {
-        let value = sparse.spmm(self.val(x.0));
-        self.push(value, Op::SpMM(sparse, x.0))
+        let mut out = self.pool.zeros(sparse.rows(), self.shape(x).1);
+        sparse.spmm_into(self.val(x.0), &mut out);
+        self.push_owned(out, Op::SpMM(sparse, x.0))
     }
 
     /// Dense constant times variable (`C * x`).  Used for message passing on
     /// small dense adjacencies (condensed graphs, attached trigger blocks).
     pub fn const_matmul(&mut self, constant: Arc<Matrix>, x: Var) -> Var {
-        let value = constant.matmul(self.val(x.0));
-        self.push(value, Op::ConstMul(constant, x.0))
+        let (m, ka) = constant.shape();
+        let (kb, n) = self.shape(x);
+        assert_eq!(
+            ka, kb,
+            "matmul: inner dimensions differ ({}x{} * {}x{})",
+            m, ka, kb, n
+        );
+        let mut out = self.pool.zeros(m, n);
+        kernel::gemm(
+            m,
+            ka,
+            n,
+            constant.data(),
+            self.val(x.0).data(),
+            out.data_mut(),
+        );
+        self.push_owned(out, Op::ConstMul(constant, x.0))
     }
 
     /// Variable times a transposed dense constant (`x * c^T`), computed
@@ -198,151 +423,240 @@ impl Tape {
     /// of the SNTK cross-kernel `K(X', Z)` and runs on the blocked
     /// `matmul_transpose` substrate directly.
     pub fn matmul_transpose_const(&mut self, x: Var, constant: Arc<Matrix>) -> Var {
-        let value = self.val(x.0).matmul_transpose(&constant);
-        self.push(value, Op::MatMulTransposeConst(x.0, constant))
+        let (m, ka) = self.shape(x);
+        let (n, kb) = constant.shape();
+        assert_eq!(ka, kb, "matmul_transpose: column mismatch {} vs {}", ka, kb);
+        let mut packed = self.pool.raw(kb, n);
+        kernel::transpose_into(n, kb, constant.data(), packed.data_mut());
+        let mut out = self.pool.zeros(m, n);
+        kernel::gemm(
+            m,
+            ka,
+            n,
+            self.val(x.0).data(),
+            packed.data(),
+            out.data_mut(),
+        );
+        self.pool.recycle(packed);
+        self.push_owned(out, Op::MatMulTransposeConst(x.0, constant))
+    }
+
+    fn binary_elementwise(
+        &mut self,
+        a: Var,
+        b: Var,
+        op: Op,
+        name: &str,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Var {
+        assert_eq!(
+            self.shape(a),
+            self.shape(b),
+            "{}: shape mismatch {:?} vs {:?}",
+            name,
+            self.shape(a),
+            self.shape(b)
+        );
+        let (r, c) = self.shape(a);
+        let mut out = self.pool.raw(r, c);
+        kernel::binary_map_into(
+            self.val(a.0).data(),
+            self.val(b.0).data(),
+            out.data_mut(),
+            f,
+        );
+        self.push_owned(out, op)
+    }
+
+    fn unary_elementwise(&mut self, x: Var, op: Op, f: impl Fn(f32) -> f32 + Sync) -> Var {
+        let (r, c) = self.shape(x);
+        let mut out = self.pool.raw(r, c);
+        kernel::unary_map_into(self.val(x.0).data(), out.data_mut(), f);
+        self.push_owned(out, op)
     }
 
     /// Element-wise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.val(a.0).add(self.val(b.0));
-        self.push(value, Op::Add(a.0, b.0))
+        self.binary_elementwise(a, b, Op::Add(a.0, b.0), "add", |x, y| x + y)
     }
 
     /// Element-wise difference `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.val(a.0).sub(self.val(b.0));
-        self.push(value, Op::Sub(a.0, b.0))
+        self.binary_elementwise(a, b, Op::Sub(a.0, b.0), "sub", |x, y| x - y)
     }
 
     /// Adds a `1 x d` bias row to every row of `x`.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
-        let xv = self.val(x.0);
+        let (xr, xc) = self.shape(x);
+        let (br, bc) = self.shape(bias);
+        assert_eq!(br, 1, "add_bias: bias must have exactly one row");
+        assert_eq!(xc, bc, "add_bias: column mismatch {} vs {}", xc, bc);
+        let mut value = self.copy_val(x.0);
         let bv = self.val(bias.0);
-        assert_eq!(bv.rows(), 1, "add_bias: bias must have exactly one row");
-        assert_eq!(
-            xv.cols(),
-            bv.cols(),
-            "add_bias: column mismatch {} vs {}",
-            xv.cols(),
-            bv.cols()
-        );
-        let mut value = xv.clone();
-        for r in 0..value.rows() {
-            for c in 0..value.cols() {
+        for r in 0..xr {
+            for c in 0..xc {
                 value.add_at(r, c, bv.get(0, c));
             }
         }
-        self.push(value, Op::AddBias(x.0, bias.0))
+        self.push_owned(value, Op::AddBias(x.0, bias.0))
     }
 
     /// Multiplies every entry by a constant scalar.
     pub fn scale(&mut self, x: Var, s: f32) -> Var {
-        let value = self.val(x.0).scale(s);
-        self.push(value, Op::Scale(x.0, s))
+        self.unary_elementwise(x, Op::Scale(x.0, s), move |v| v * s)
     }
 
     /// Adds a constant scalar to every entry.
     pub fn add_scalar(&mut self, x: Var, s: f32) -> Var {
-        let value = self.val(x.0).add_scalar(s);
-        self.push(value, Op::AddScalar(x.0))
+        self.unary_elementwise(x, Op::AddScalar(x.0), move |v| v + s)
     }
 
     /// Element-wise product of two variables.
     pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
-        let value = self.val(a.0).hadamard(self.val(b.0));
-        self.push(value, Op::Hadamard(a.0, b.0))
+        self.binary_elementwise(a, b, Op::Hadamard(a.0, b.0), "hadamard", |x, y| x * y)
     }
 
     /// Element-wise product with a constant mask (e.g. dropout mask).
     pub fn hadamard_const(&mut self, x: Var, mask: Arc<Matrix>) -> Var {
-        let value = self.val(x.0).hadamard(&mask);
-        self.push(value, Op::HadamardConst(x.0, mask))
+        assert_eq!(
+            self.shape(x),
+            mask.shape(),
+            "hadamard: shape mismatch {:?} vs {:?}",
+            self.shape(x),
+            mask.shape()
+        );
+        let (r, c) = self.shape(x);
+        let mut out = self.pool.raw(r, c);
+        kernel::binary_map_into(self.val(x.0).data(), mask.data(), out.data_mut(), |a, b| {
+            a * b
+        });
+        self.push_owned(out, Op::HadamardConst(x.0, mask))
     }
 
     /// ReLU non-linearity.
     pub fn relu(&mut self, x: Var) -> Var {
-        let value = self.val(x.0).relu();
-        self.push(value, Op::Relu(x.0))
+        self.unary_elementwise(x, Op::Relu(x.0), |v| v.max(0.0))
     }
 
     /// Logistic sigmoid non-linearity.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let value = self.val(x.0).map(|v| 1.0 / (1.0 + (-v).exp()));
-        self.push(value, Op::Sigmoid(x.0))
+        self.unary_elementwise(x, Op::Sigmoid(x.0), |v| 1.0 / (1.0 + (-v).exp()))
     }
 
     /// Hyperbolic tangent non-linearity.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let value = self.val(x.0).map(f32::tanh);
-        self.push(value, Op::Tanh(x.0))
+        self.unary_elementwise(x, Op::Tanh(x.0), f32::tanh)
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, x: Var) -> Var {
-        let value = self.val(x.0).transpose();
-        self.push(value, Op::Transpose(x.0))
+        let (r, c) = self.shape(x);
+        let mut out = self.pool.raw(c, r);
+        kernel::transpose_into(r, c, self.val(x.0).data(), out.data_mut());
+        self.push_owned(out, Op::Transpose(x.0))
     }
 
     /// Selects (and possibly repeats) rows of `x`.
     pub fn row_select(&mut self, x: Var, indices: &[usize]) -> Var {
-        let value = self.val(x.0).select_rows(indices);
-        self.push(value, Op::RowSelect(x.0, indices.to_vec()))
+        let (rows, cols) = self.shape(x);
+        let mut out = self.pool.raw(indices.len(), cols);
+        {
+            let src = self.val(x.0);
+            for (i, &idx) in indices.iter().enumerate() {
+                assert!(
+                    idx < rows,
+                    "select_rows: index {} out of bounds for {} rows",
+                    idx,
+                    rows
+                );
+                out.row_mut(i).copy_from_slice(src.row(idx));
+            }
+        }
+        let recorded = self.pool.copy_indices(indices);
+        self.push_owned(out, Op::RowSelect(x.0, recorded))
     }
 
     /// Vertically stacks `a` over `b`.
     pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
-        let value = self.val(a.0).vstack(self.val(b.0));
-        self.push(value, Op::ConcatRows(a.0, b.0))
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ac, bc, "vstack: column mismatch {} vs {}", ac, bc);
+        let mut out = self.pool.raw(ar + br, ac);
+        out.data_mut()[..ar * ac].copy_from_slice(self.val(a.0).data());
+        out.data_mut()[ar * ac..].copy_from_slice(self.val(b.0).data());
+        self.push_owned(out, Op::ConcatRows(a.0, b.0))
     }
 
     /// Horizontally concatenates `a` and `b`.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let value = self.val(a.0).hstack(self.val(b.0));
-        self.push(value, Op::ConcatCols(a.0, b.0))
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ar, br, "hstack: row mismatch {} vs {}", ar, br);
+        let mut out = self.pool.raw(ar, ac + bc);
+        {
+            let av = self.val(a.0);
+            let bv = self.val(b.0);
+            for r in 0..ar {
+                out.row_mut(r)[..ac].copy_from_slice(av.row(r));
+                out.row_mut(r)[ac..].copy_from_slice(bv.row(r));
+            }
+        }
+        self.push_owned(out, Op::ConcatCols(a.0, b.0))
     }
 
     /// Reshapes a node to `(rows, cols)` preserving row-major element order
     /// (e.g. turning one `1 x (t*d)` trigger row into a `t x d` block).
     pub fn reshape(&mut self, x: Var, rows: usize, cols: usize) -> Var {
-        let xv = self.val(x.0);
+        let len = self.val(x.0).len();
         assert_eq!(
-            xv.len(),
+            len,
             rows * cols,
             "reshape: cannot view {} elements as {}x{}",
-            xv.len(),
+            len,
             rows,
             cols
         );
-        let value = Matrix::new(rows, cols, xv.data().to_vec());
-        self.push(value, Op::Reshape(x.0))
+        let Self { nodes, pool, .. } = self;
+        let value = pool.copy_reshaped(nodes[x.0].value.matrix(), rows, cols);
+        self.push_owned(value, Op::Reshape(x.0))
     }
 
     /// L2-normalizes every row (rows with tiny norm are passed through
     /// unchanged).  Used to keep generated trigger features on the data's
     /// scale.
     pub fn l2_normalize_rows(&mut self, x: Var) -> Var {
-        let value = self.val(x.0).l2_normalize_rows();
-        self.push(value, Op::L2NormalizeRows(x.0))
+        let cols = self.shape(x).1;
+        let mut value = self.copy_val(x.0);
+        kernel::for_each_row(value.data_mut(), cols, |_, row| {
+            let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                for v in row.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        });
+        self.push_owned(value, Op::L2NormalizeRows(x.0))
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, x: Var) -> Var {
-        let value = self.val(x.0).softmax_rows();
-        self.push(value, Op::SoftmaxRows(x.0))
+        let cols = self.shape(x).1;
+        let mut value = self.copy_val(x.0);
+        kernel::for_each_row(value.data_mut(), cols, |_, row| softmax_row_in_place(row));
+        self.push_owned(value, Op::SoftmaxRows(x.0))
     }
 
     /// Divides every row by its sum (plus a small epsilon).  Used to
     /// normalize generated trigger adjacency blocks differentiably.
     pub fn row_normalize(&mut self, x: Var) -> Var {
-        let xv = self.val(x.0);
-        let mut value = xv.clone();
+        let mut value = self.copy_val(x.0);
         for r in 0..value.rows() {
             let sum: f32 = value.row(r).iter().sum::<f32>() + 1e-8;
             for v in value.row_mut(r) {
                 *v /= sum;
             }
         }
-        self.push(value, Op::RowNormalize(x.0))
+        self.push_owned(value, Op::RowNormalize(x.0))
     }
 
     /// Mean softmax cross-entropy between the rows of `logits` and integer
@@ -356,7 +670,8 @@ impl Tape {
             lv.rows(),
             labels.len()
         );
-        let probs = lv.softmax_rows();
+        // Fused: per row, only the label's softmax probability is needed;
+        // the max / exp / sum accumulation order matches `softmax_rows`.
         let mut loss = 0.0;
         for (r, &label) in labels.iter().enumerate() {
             assert!(
@@ -365,29 +680,48 @@ impl Tape {
                 label,
                 lv.cols()
             );
-            loss -= (probs.get(r, label) + 1e-12).ln();
+            let row = lv.row(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            let mut label_exp = 0.0;
+            for (c, &v) in row.iter().enumerate() {
+                let e = (v - max).exp();
+                sum += e;
+                if c == label {
+                    label_exp = e;
+                }
+            }
+            let p = if sum > 0.0 {
+                label_exp / sum
+            } else {
+                label_exp
+            };
+            loss -= (p + 1e-12).ln();
         }
         let n = labels.len().max(1) as f32;
-        let value = Matrix::new(1, 1, vec![loss / n]);
-        self.push(
+        let value = self.pool.filled(1, 1, loss / n);
+        let labels = self.pool.copy_indices(labels);
+        self.push_owned(
             value,
             Op::SoftmaxCrossEntropy {
                 logits: logits.0,
-                labels: labels.to_vec(),
+                labels,
             },
         )
     }
 
     /// Mean of all entries (scalar node).
     pub fn mean_all(&mut self, x: Var) -> Var {
-        let value = Matrix::new(1, 1, vec![self.val(x.0).mean()]);
-        self.push(value, Op::MeanAll(x.0))
+        let mean = self.val(x.0).mean();
+        let value = self.pool.filled(1, 1, mean);
+        self.push_owned(value, Op::MeanAll(x.0))
     }
 
     /// Sum of all entries (scalar node).
     pub fn sum_all(&mut self, x: Var) -> Var {
-        let value = Matrix::new(1, 1, vec![self.val(x.0).sum()]);
-        self.push(value, Op::SumAll(x.0))
+        let sum = self.val(x.0).sum();
+        let value = self.pool.filled(1, 1, sum);
+        self.push_owned(value, Op::SumAll(x.0))
     }
 
     /// Mean squared error against a constant target (scalar node).
@@ -400,17 +734,36 @@ impl Tape {
             xv.shape(),
             target.shape()
         );
-        let diff = xv.sub(&target);
-        let value = Matrix::new(1, 1, vec![diff.map(|v| v * v).mean()]);
-        self.push(value, Op::FrobeniusMse(x.0, target))
+        // Fused (a - b)^2 accumulation in element order.
+        let mut sum = 0.0f32;
+        for (&a, &b) in xv.data().iter().zip(target.data()) {
+            let d = a - b;
+            sum += d * d;
+        }
+        let mse = if xv.is_empty() {
+            0.0
+        } else {
+            sum / xv.len() as f32
+        };
+        let value = self.pool.filled(1, 1, mse);
+        self.push_owned(value, Op::FrobeniusMse(x.0, target))
     }
 
     /// Straight-through binarization: forward thresholds at 0.5, backward
     /// passes the gradient unchanged (Hubara et al., used by the trigger
     /// structure head, Eq. 11).
     pub fn binarize_ste(&mut self, x: Var) -> Var {
-        let value = self.val(x.0).map(|v| if v >= 0.5 { 1.0 } else { 0.0 });
-        self.push(value, Op::BinarizeSte(x.0))
+        self.unary_elementwise(
+            x,
+            Op::BinarizeSte(x.0),
+            |v| {
+                if v >= 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
     }
 
     /// Per-column cosine matching loss `sum_j (1 - cos(x[:,j], target[:,j]))`
@@ -426,14 +779,28 @@ impl Tape {
             xv.shape(),
             target.shape()
         );
+        // Strided column walk (no per-column copies); accumulation order per
+        // column matches `Matrix::cosine_similarity` over materialized
+        // columns.
+        let (rows, cols) = xv.shape();
         let mut loss = 0.0;
-        for j in 0..xv.cols() {
-            let a = xv.col(j);
-            let b = target.col(j);
-            loss += 1.0 - Matrix::cosine_similarity(&a, &b);
+        for j in 0..cols {
+            let mut dot = 0.0;
+            let mut na = 0.0;
+            let mut nb = 0.0;
+            for i in 0..rows {
+                let a = xv.get(i, j);
+                let b = target.get(i, j);
+                dot += a * b;
+                na += a * a;
+                nb += b * b;
+            }
+            let denom = na.sqrt() * nb.sqrt();
+            let cos = if denom < 1e-12 { 0.0 } else { dot / denom };
+            loss += 1.0 - cos;
         }
-        let value = Matrix::new(1, 1, vec![loss]);
-        self.push(value, Op::CosineMatchToConst(x.0, target))
+        let value = self.pool.filled(1, 1, loss);
+        self.push_owned(value, Op::CosineMatchToConst(x.0, target))
     }
 
     /// Differentiable solve of the SPD system `A X = B` (via Cholesky).
@@ -442,7 +809,7 @@ impl Tape {
     pub fn solve_spd(&mut self, a: Var, b: Var) -> Var {
         let value = crate::linalg::solve_spd(self.val(a.0), self.val(b.0))
             .expect("solve_spd: matrix is not positive definite");
-        self.push(value, Op::SolveSpd { a: a.0, b: b.0 })
+        self.push_owned(value, Op::SolveSpd { a: a.0, b: b.0 })
     }
 
     // ------------------------------------------------------------------
@@ -451,164 +818,251 @@ impl Tape {
 
     /// Runs reverse-mode differentiation from the scalar node `loss`.
     ///
+    /// Gradients accumulate **in place** into pool-backed buffers; return
+    /// the result to [`Tape::absorb`] after use to recycle them.
+    ///
     /// # Panics
     /// Panics when `loss` is not a `1x1` node.
-    pub fn backward(&self, loss: Var) -> Gradients {
+    pub fn backward(&mut self, loss: Var) -> Gradients {
         assert_eq!(
-            self.nodes[loss.0].value.shape(),
+            self.value_ref(loss).shape(),
             (1, 1),
             "backward must start from a scalar (1x1) node"
         );
-        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Matrix::ones(1, 1));
+        let mut grads = std::mem::take(&mut self.grad_slots);
+        grads.clear();
+        grads.resize_with(self.nodes.len(), || None);
+        let Self { nodes, pool, .. } = self;
+        let nodes: &[Node] = nodes;
+        grads[loss.0] = Some(pool.filled(1, 1, 1.0));
 
         for idx in (0..=loss.0).rev() {
+            // Seed by move; the slot is re-seeded (again by move, no clone)
+            // after the node's rule has consumed the gradient by reference.
             let grad = match grads[idx].take() {
                 Some(g) => g,
                 None => continue,
             };
-            // Re-insert so callers can still read it afterwards.
-            grads[idx] = Some(grad.clone());
-            match &self.nodes[idx].op {
+            let val = |v: usize| nodes[v].value.matrix();
+            // Constant-only subtrees receive no gradient (see `needs_grad`);
+            // multi-operand rules check per operand before computing the
+            // (potentially large) delta product.
+            let needs = |v: usize| nodes[v].needs_grad;
+            match &nodes[idx].op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
-                    let da = grad.matmul_transpose(self.val(*b));
-                    let db = self.val(*a).transpose_matmul(&grad);
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    // y = a b  =>  da = dy b^T, db = a^T dy.
+                    if needs(*a) {
+                        let da = matmul_transpose_pooled(pool, &grad, val(*b));
+                        accumulate(&mut grads, pool, *a, da);
+                    }
+                    if needs(*b) {
+                        let db = transpose_matmul_pooled(pool, val(*a), &grad);
+                        accumulate(&mut grads, pool, *b, db);
+                    }
                 }
                 Op::SpMM(sparse, x) => {
-                    let dx = sparse.spmm_transpose(&grad);
-                    accumulate(&mut grads, *x, dx);
+                    let mut dx = pool.zeros(sparse.cols(), grad.cols());
+                    sparse.spmm_transpose_into(&grad, &mut dx);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::ConstMul(c, x) => {
-                    let dx = c.transpose_matmul(&grad);
-                    accumulate(&mut grads, *x, dx);
+                    let dx = transpose_matmul_pooled(pool, c, &grad);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::MatMulTransposeConst(x, c) => {
                     // y = x c^T  =>  dx = dy * c
-                    let dx = grad.matmul(c);
-                    accumulate(&mut grads, *x, dx);
+                    let mut dx = pool.zeros(grad.rows(), c.cols());
+                    kernel::gemm(
+                        grad.rows(),
+                        grad.cols(),
+                        c.cols(),
+                        grad.data(),
+                        c.data(),
+                        dx.data_mut(),
+                    );
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, grad.clone());
-                    accumulate(&mut grads, *b, grad);
+                    if needs(*a) {
+                        accumulate_copy(&mut grads, pool, *a, &grad);
+                    }
+                    if needs(*b) {
+                        accumulate_copy(&mut grads, pool, *b, &grad);
+                    }
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, grad.clone());
-                    accumulate(&mut grads, *b, grad.scale(-1.0));
+                    if needs(*a) {
+                        accumulate_copy(&mut grads, pool, *a, &grad);
+                    }
+                    if needs(*b) {
+                        let mut db = pool.raw(grad.rows(), grad.cols());
+                        kernel::unary_map_into(grad.data(), db.data_mut(), |v| -v);
+                        accumulate(&mut grads, pool, *b, db);
+                    }
                 }
                 Op::AddBias(x, bias) => {
-                    accumulate(&mut grads, *x, grad.clone());
-                    let col_sums = grad.col_sums();
-                    accumulate(&mut grads, *bias, Matrix::row_vector(&col_sums));
+                    if needs(*x) {
+                        accumulate_copy(&mut grads, pool, *x, &grad);
+                    }
+                    if needs(*bias) {
+                        // Column sums of the gradient, in row order.
+                        let mut db = pool.zeros(1, grad.cols());
+                        for r in 0..grad.rows() {
+                            for (s, &v) in db.data_mut().iter_mut().zip(grad.row(r)) {
+                                *s += v;
+                            }
+                        }
+                        accumulate(&mut grads, pool, *bias, db);
+                    }
                 }
                 Op::Scale(x, s) => {
-                    accumulate(&mut grads, *x, grad.scale(*s));
+                    let s = *s;
+                    let mut dx = pool.raw(grad.rows(), grad.cols());
+                    kernel::unary_map_into(grad.data(), dx.data_mut(), move |v| v * s);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::AddScalar(x) => {
-                    accumulate(&mut grads, *x, grad);
+                    accumulate_copy(&mut grads, pool, *x, &grad);
                 }
                 Op::Hadamard(a, b) => {
-                    let da = grad.hadamard(self.val(*b));
-                    let db = grad.hadamard(self.val(*a));
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    if needs(*a) {
+                        let mut da = pool.raw(grad.rows(), grad.cols());
+                        kernel::binary_map_into(
+                            grad.data(),
+                            val(*b).data(),
+                            da.data_mut(),
+                            |g, v| g * v,
+                        );
+                        accumulate(&mut grads, pool, *a, da);
+                    }
+                    if needs(*b) {
+                        let mut db = pool.raw(grad.rows(), grad.cols());
+                        kernel::binary_map_into(
+                            grad.data(),
+                            val(*a).data(),
+                            db.data_mut(),
+                            |g, v| g * v,
+                        );
+                        accumulate(&mut grads, pool, *b, db);
+                    }
                 }
                 Op::HadamardConst(x, mask) => {
-                    accumulate(&mut grads, *x, grad.hadamard(mask));
+                    let mut dx = pool.raw(grad.rows(), grad.cols());
+                    kernel::binary_map_into(grad.data(), mask.data(), dx.data_mut(), |g, v| g * v);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::Relu(x) => {
-                    let mask = self.val(*x).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-                    accumulate(&mut grads, *x, grad.hadamard(&mask));
+                    // Fused mask: g * (x > 0 ? 1 : 0), same multiply as the
+                    // former materialized mask.
+                    let mut dx = pool.raw(grad.rows(), grad.cols());
+                    kernel::binary_map_into(grad.data(), val(*x).data(), dx.data_mut(), |g, v| {
+                        g * if v > 0.0 { 1.0 } else { 0.0 }
+                    });
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::Sigmoid(x) => {
-                    let y = &self.nodes[idx].value;
-                    let dsig = y.map(|v| v * (1.0 - v));
-                    accumulate(&mut grads, *x, grad.hadamard(&dsig));
+                    let y = nodes[idx].value.matrix();
+                    let mut dx = pool.raw(grad.rows(), grad.cols());
+                    kernel::binary_map_into(grad.data(), y.data(), dx.data_mut(), |g, v| {
+                        g * (v * (1.0 - v))
+                    });
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::Tanh(x) => {
-                    let y = &self.nodes[idx].value;
-                    let dtanh = y.map(|v| 1.0 - v * v);
-                    accumulate(&mut grads, *x, grad.hadamard(&dtanh));
+                    let y = nodes[idx].value.matrix();
+                    let mut dx = pool.raw(grad.rows(), grad.cols());
+                    kernel::binary_map_into(grad.data(), y.data(), dx.data_mut(), |g, v| {
+                        g * (1.0 - v * v)
+                    });
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::Transpose(x) => {
-                    accumulate(&mut grads, *x, grad.transpose());
+                    let mut dx = pool.raw(grad.cols(), grad.rows());
+                    kernel::transpose_into(grad.rows(), grad.cols(), grad.data(), dx.data_mut());
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::RowSelect(x, indices) => {
-                    let (rows, cols) = self.val(*x).shape();
-                    let mut dx = Matrix::zeros(rows, cols);
+                    let (rows, cols) = val(*x).shape();
+                    let mut dx = pool.zeros(rows, cols);
                     for (i, &src) in indices.iter().enumerate() {
                         for c in 0..cols {
                             dx.add_at(src, c, grad.get(i, c));
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::ConcatRows(a, b) => {
-                    let a_rows = self.val(*a).rows();
+                    let a_rows = val(*a).rows();
                     let cols = grad.cols();
-                    let mut da = Matrix::zeros(a_rows, cols);
-                    let mut db = Matrix::zeros(grad.rows() - a_rows, cols);
-                    for r in 0..grad.rows() {
-                        if r < a_rows {
-                            da.row_mut(r).copy_from_slice(grad.row(r));
-                        } else {
-                            db.row_mut(r - a_rows).copy_from_slice(grad.row(r));
-                        }
+                    if needs(*a) {
+                        let mut da = pool.raw(a_rows, cols);
+                        da.data_mut().copy_from_slice(&grad.data()[..a_rows * cols]);
+                        accumulate(&mut grads, pool, *a, da);
                     }
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    if needs(*b) {
+                        let mut db = pool.raw(grad.rows() - a_rows, cols);
+                        db.data_mut().copy_from_slice(&grad.data()[a_rows * cols..]);
+                        accumulate(&mut grads, pool, *b, db);
+                    }
                 }
                 Op::ConcatCols(a, b) => {
-                    let a_cols = self.val(*a).cols();
+                    let a_cols = val(*a).cols();
                     let rows = grad.rows();
-                    let mut da = Matrix::zeros(rows, a_cols);
-                    let mut db = Matrix::zeros(rows, grad.cols() - a_cols);
-                    for r in 0..rows {
-                        da.row_mut(r).copy_from_slice(&grad.row(r)[..a_cols]);
-                        db.row_mut(r).copy_from_slice(&grad.row(r)[a_cols..]);
+                    if needs(*a) {
+                        let mut da = pool.raw(rows, a_cols);
+                        for r in 0..rows {
+                            da.row_mut(r).copy_from_slice(&grad.row(r)[..a_cols]);
+                        }
+                        accumulate(&mut grads, pool, *a, da);
                     }
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    if needs(*b) {
+                        let mut db = pool.raw(rows, grad.cols() - a_cols);
+                        for r in 0..rows {
+                            db.row_mut(r).copy_from_slice(&grad.row(r)[a_cols..]);
+                        }
+                        accumulate(&mut grads, pool, *b, db);
+                    }
                 }
                 Op::SoftmaxRows(x) => {
-                    let y = &self.nodes[idx].value;
-                    let mut dx = Matrix::zeros(y.rows(), y.cols());
+                    let y = nodes[idx].value.matrix();
+                    let mut dx = pool.raw(y.rows(), y.cols());
                     for r in 0..y.rows() {
                         let yr = y.row(r);
                         let gr = grad.row(r);
                         let dot: f32 = yr.iter().zip(gr.iter()).map(|(&a, &b)| a * b).sum();
-                        for c in 0..y.cols() {
-                            dx.set(r, c, yr[c] * (gr[c] - dot));
+                        for (d, (&yv, &gv)) in
+                            dx.row_mut(r).iter_mut().zip(yr.iter().zip(gr.iter()))
+                        {
+                            *d = yv * (gv - dot);
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::RowNormalize(x) => {
-                    let xv = self.val(*x);
-                    let y = &self.nodes[idx].value;
-                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    let xv = val(*x);
+                    let y = nodes[idx].value.matrix();
+                    let mut dx = pool.raw(xv.rows(), xv.cols());
                     for r in 0..xv.rows() {
                         let sum: f32 = xv.row(r).iter().sum::<f32>() + 1e-8;
                         let gr = grad.row(r);
                         let yr = y.row(r);
                         let dot: f32 = gr.iter().zip(yr.iter()).map(|(&a, &b)| a * b).sum();
-                        for (c, &g) in gr.iter().enumerate() {
-                            dx.set(r, c, (g - dot) / sum);
+                        for (d, &g) in dx.row_mut(r).iter_mut().zip(gr.iter()) {
+                            *d = (g - dot) / sum;
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::Reshape(x) => {
-                    let (rows, cols) = self.val(*x).shape();
-                    let dx = Matrix::new(rows, cols, grad.data().to_vec());
-                    accumulate(&mut grads, *x, dx);
+                    let (rows, cols) = val(*x).shape();
+                    let dx = pool.copy_reshaped(&grad, rows, cols);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::L2NormalizeRows(x) => {
-                    let xv = self.val(*x);
-                    let y = &self.nodes[idx].value;
-                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
+                    let xv = val(*x);
+                    let y = nodes[idx].value.matrix();
+                    let mut dx = pool.raw(xv.rows(), xv.cols());
                     for r in 0..xv.rows() {
                         let norm = xv.row(r).iter().map(|&v| v * v).sum::<f32>().sqrt();
                         let gr = grad.row(r);
@@ -619,84 +1073,176 @@ impl Tape {
                         }
                         let yr = y.row(r);
                         let dot: f32 = gr.iter().zip(yr.iter()).map(|(&a, &b)| a * b).sum();
-                        for c in 0..xv.cols() {
-                            dx.set(r, c, (gr[c] - dot * yr[c]) / norm);
+                        for (d, (&g, &yv)) in dx.row_mut(r).iter_mut().zip(gr.iter().zip(yr.iter()))
+                        {
+                            *d = (g - dot * yv) / norm;
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::SoftmaxCrossEntropy { logits, labels } => {
-                    let lv = self.val(*logits);
-                    let probs = lv.softmax_rows();
+                    // Fused single pass: dx = (softmax(logits) - onehot) * s,
+                    // replicating the softmax / subtract / scale sequence of
+                    // the former three-pass implementation element for
+                    // element.
+                    let lv = val(*logits);
                     let n = labels.len().max(1) as f32;
                     let scale = grad.get(0, 0) / n;
-                    let mut dx = probs;
+                    let mut dx = pool.raw(lv.rows(), lv.cols());
                     for (r, &label) in labels.iter().enumerate() {
-                        dx.add_at(r, label, -1.0);
+                        let dst = dx.row_mut(r);
+                        dst.copy_from_slice(lv.row(r));
+                        softmax_row_in_place(dst);
+                        dst[label] += -1.0;
+                        for v in dst.iter_mut() {
+                            *v *= scale;
+                        }
                     }
-                    dx.scale_assign(scale);
-                    accumulate(&mut grads, *logits, dx);
+                    accumulate(&mut grads, pool, *logits, dx);
                 }
                 Op::MeanAll(x) => {
-                    let (rows, cols) = self.val(*x).shape();
+                    let (rows, cols) = val(*x).shape();
                     let scale = grad.get(0, 0) / (rows * cols).max(1) as f32;
-                    accumulate(&mut grads, *x, Matrix::filled(rows, cols, scale));
+                    let dx = pool.filled(rows, cols, scale);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::SumAll(x) => {
-                    let (rows, cols) = self.val(*x).shape();
+                    let (rows, cols) = val(*x).shape();
                     let scale = grad.get(0, 0);
-                    accumulate(&mut grads, *x, Matrix::filled(rows, cols, scale));
+                    let dx = pool.filled(rows, cols, scale);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::FrobeniusMse(x, target) => {
-                    let xv = self.val(*x);
+                    // Fused (x - t) * s, matching the former subtract-then-
+                    // scale passes.
+                    let xv = val(*x);
                     let scale = 2.0 * grad.get(0, 0) / xv.len().max(1) as f32;
-                    let dx = xv.sub(target).scale(scale);
-                    accumulate(&mut grads, *x, dx);
+                    let mut dx = pool.raw(xv.rows(), xv.cols());
+                    kernel::binary_map_into(
+                        xv.data(),
+                        target.data(),
+                        dx.data_mut(),
+                        move |a, b| (a - b) * scale,
+                    );
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::BinarizeSte(x) => {
-                    accumulate(&mut grads, *x, grad);
+                    accumulate_copy(&mut grads, pool, *x, &grad);
                 }
                 Op::CosineMatchToConst(x, target) => {
-                    let xv = self.val(*x);
+                    let xv = val(*x);
                     let scale = grad.get(0, 0);
-                    let mut dx = Matrix::zeros(xv.rows(), xv.cols());
-                    for j in 0..xv.cols() {
-                        let a = xv.col(j);
-                        let b = target.col(j);
-                        let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
-                        let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+                    let (rows, cols) = xv.shape();
+                    let mut dx = pool.zeros(rows, cols);
+                    for j in 0..cols {
+                        let mut dot = 0.0;
+                        let mut na = 0.0;
+                        let mut nb = 0.0;
+                        for i in 0..rows {
+                            let a = xv.get(i, j);
+                            let b = target.get(i, j);
+                            dot += a * b;
+                            na += a * a;
+                            nb += b * b;
+                        }
+                        let na = na.sqrt();
+                        let nb = nb.sqrt();
                         if na < 1e-12 || nb < 1e-12 {
                             continue;
                         }
-                        let dot: f32 = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
-                        for (i, (&ai, &bi)) in a.iter().zip(b.iter()).enumerate() {
+                        for i in 0..rows {
+                            let ai = xv.get(i, j);
+                            let bi = target.get(i, j);
                             // d(1 - cos)/da_i = -(b_i/(na*nb) - dot*a_i/(na^3*nb))
                             let g = -(bi / (na * nb) - dot * ai / (na * na * na * nb));
                             dx.add_at(i, j, scale * g);
                         }
                     }
-                    accumulate(&mut grads, *x, dx);
+                    accumulate(&mut grads, pool, *x, dx);
                 }
                 Op::SolveSpd { a, b } => {
                     // C = A^{-1} B.  dB = A^{-1} dC, dA = -dB C^T.
-                    let av = self.val(*a);
-                    let c = &self.nodes[idx].value;
+                    let av = val(*a);
+                    let c = nodes[idx].value.matrix();
                     let db = crate::linalg::solve_spd(av, &grad)
                         .expect("solve_spd backward: matrix is not positive definite");
-                    let da = db.matmul_transpose(c).scale(-1.0);
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    if needs(*a) {
+                        let mut da = matmul_transpose_pooled(pool, &db, c);
+                        da.scale_assign(-1.0);
+                        accumulate(&mut grads, pool, *a, da);
+                    }
+                    if needs(*b) {
+                        accumulate(&mut grads, pool, *b, db);
+                    } else {
+                        pool.recycle(db);
+                    }
                 }
             }
+            grads[idx] = Some(grad);
         }
         Gradients { grads }
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], idx: usize, delta: Matrix) {
+/// Pooled `a * b^T` (the backward rule of [`Op::MatMul`]'s left operand).
+fn matmul_transpose_pooled(pool: &mut BufferPool, a: &Matrix, b: &Matrix) -> Matrix {
+    debug_assert_eq!(a.cols(), b.cols());
+    let mut packed = pool.raw(b.cols(), b.rows());
+    kernel::transpose_into(b.rows(), b.cols(), b.data(), packed.data_mut());
+    let mut out = pool.zeros(a.rows(), b.rows());
+    kernel::gemm(
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        a.data(),
+        packed.data(),
+        out.data_mut(),
+    );
+    pool.recycle(packed);
+    out
+}
+
+/// Pooled `a^T * b` (the backward rule of [`Op::MatMul`]'s right operand).
+fn transpose_matmul_pooled(pool: &mut BufferPool, a: &Matrix, b: &Matrix) -> Matrix {
+    debug_assert_eq!(a.rows(), b.rows());
+    let mut packed = pool.raw(a.cols(), a.rows());
+    kernel::transpose_into(a.rows(), a.cols(), a.data(), packed.data_mut());
+    let mut out = pool.zeros(a.cols(), b.cols());
+    kernel::gemm(
+        a.cols(),
+        a.rows(),
+        b.cols(),
+        packed.data(),
+        b.data(),
+        out.data_mut(),
+    );
+    pool.recycle(packed);
+    out
+}
+
+/// Accumulates an owned delta into a gradient slot: in-place `+=` (recycling
+/// the delta) when the slot is occupied, a move when it is empty.
+fn accumulate(grads: &mut [Option<Matrix>], pool: &mut BufferPool, idx: usize, delta: Matrix) {
     match &mut grads[idx] {
-        Some(existing) => existing.add_assign(&delta),
+        Some(existing) => {
+            existing.add_assign(&delta);
+            pool.recycle(delta);
+        }
         slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Accumulates a borrowed delta: in-place `+=` when the slot is occupied, a
+/// pool-backed copy when it is empty.
+fn accumulate_copy(
+    grads: &mut [Option<Matrix>],
+    pool: &mut BufferPool,
+    idx: usize,
+    delta: &Matrix,
+) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_assign(delta),
+        slot @ None => *slot = Some(pool.copy_of(delta)),
     }
 }
 
@@ -931,7 +1477,7 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.leaf(Matrix::new(1, 3, vec![0.2, 0.7, 0.9]));
         let b = tape.binarize_ste(x);
-        assert_eq!(tape.value(b).data(), &[0.0, 1.0, 1.0]);
+        assert_eq!(tape.value_ref(b).data(), &[0.0, 1.0, 1.0]);
         let loss = tape.sum_all(b);
         let grads = tape.backward(loss);
         assert_eq!(grads.get(x).unwrap().data(), &[1.0, 1.0, 1.0]);
@@ -966,5 +1512,110 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.leaf(Matrix::ones(2, 2));
         let _ = tape.backward(x);
+    }
+
+    /// Records one representative epoch (every pooled op class) and returns
+    /// the loss, the leaf gradient, and an intermediate value.
+    fn representative_epoch(tape: &mut Tape, x0: &Matrix, features: &Arc<Matrix>) -> (f32, Matrix) {
+        let adj = Arc::new(
+            CsrMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+                .symmetrize()
+                .gcn_normalize(),
+        );
+        let x = tape.leaf_copied(x0);
+        let f = tape.const_leaf(features.clone());
+        let fx = tape.hadamard(x, f);
+        let p = tape.spmm(adj, fx);
+        let r = tape.relu(p);
+        let s = tape.sigmoid(r);
+        let t = tape.transpose(s);
+        let tt = tape.transpose(t);
+        let sel = tape.row_select(tt, &[0, 2, 1, 3]);
+        let cat = tape.concat_cols(sel, tt);
+        let soft = tape.softmax_rows(cat);
+        let norm = tape.row_normalize(soft);
+        let l2 = tape.l2_normalize_rows(norm);
+        let resh = tape.reshape(l2, 2, 12);
+        let back = tape.reshape(resh, 4, 6);
+        let scaled = tape.scale(back, 1.3);
+        let shifted = tape.add_scalar(scaled, 0.1);
+        let loss = tape.softmax_cross_entropy(shifted, &[0, 3, 1, 2]);
+        let loss_value = tape.scalar(loss);
+        let grads = tape.backward(loss);
+        let gx = grads.get(x).expect("leaf gradient").clone();
+        tape.absorb(grads);
+        (loss_value, gx)
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_reproduces_results_bitwise() {
+        let mut rng = rng_from_seed(21);
+        let x0 = randn(4, 3, 0.0, 1.0, &mut rng);
+        let features = Arc::new(randn(4, 3, 0.5, 0.8, &mut rng));
+
+        let mut tape = Tape::new();
+        let (loss1, grad1) = representative_epoch(&mut tape, &x0, &features);
+        tape.reset();
+        tape.reset_pool_stats();
+        let (loss2, grad2) = representative_epoch(&mut tape, &x0, &features);
+
+        assert_eq!(loss1.to_bits(), loss2.to_bits(), "loss must be bit-stable");
+        assert_eq!(grad1.data(), grad2.data(), "gradient must be bit-stable");
+        let stats = tape.pool_stats();
+        assert_eq!(
+            stats.fresh_allocations, 0,
+            "a warm pool must serve every buffer of a repeated epoch: {:?}",
+            stats
+        );
+        assert!(stats.reuses > 0);
+    }
+
+    /// Poisoning every parked pool buffer with NaN must not change the next
+    /// epoch's results: every pooled buffer is either zero-filled or fully
+    /// overwritten before it is read, so `reset()` can never leak values
+    /// between epochs.
+    #[test]
+    fn poisoned_pool_buffers_never_leak_into_results() {
+        let mut rng = rng_from_seed(22);
+        let x0 = randn(4, 3, 0.0, 1.0, &mut rng);
+        let features = Arc::new(randn(4, 3, 0.5, 0.8, &mut rng));
+
+        let mut fresh = Tape::new();
+        let (want_loss, want_grad) = representative_epoch(&mut fresh, &x0, &features);
+
+        let mut tape = Tape::new();
+        let _ = representative_epoch(&mut tape, &x0, &features);
+        tape.reset();
+        tape.pool_mut().poison(f32::NAN);
+        let (loss, grad) = representative_epoch(&mut tape, &x0, &features);
+        assert_eq!(want_loss.to_bits(), loss.to_bits());
+        assert_eq!(want_grad.data(), grad.data());
+    }
+
+    #[test]
+    fn const_leaf_shares_the_caller_buffer() {
+        let features = Arc::new(Matrix::ones(2, 2));
+        let mut tape = Tape::new();
+        let f = tape.const_leaf(features.clone());
+        assert!(std::ptr::eq(tape.value_ref(f), &*features));
+        // Resetting releases the reference instead of recycling it.
+        tape.reset();
+        assert_eq!(Arc::strong_count(&features), 1);
+    }
+
+    #[test]
+    fn absorb_recycles_gradient_buffers() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(3, 3));
+        let loss = tape.mean_all(x);
+        let grads = tape.backward(loss);
+        tape.absorb(grads);
+        tape.reset();
+        tape.reset_pool_stats();
+        let x = tape.leaf(Matrix::ones(3, 3));
+        let loss = tape.mean_all(x);
+        let grads = tape.backward(loss);
+        assert!(grads.get(x).is_some());
+        assert_eq!(tape.pool_stats().fresh_allocations, 0);
     }
 }
