@@ -1,0 +1,197 @@
+//! Sampled data-plane benchmark: training-node throughput (nodes/sec) of
+//! neighbour-sampled minibatch training vs full-batch training on a
+//! large-tier-style SBM graph.  Results are written to
+//! `BENCH_sampling.json` at the workspace root.
+//!
+//! Same-run smoke gates (machine-independent; CI runs with `BENCH_QUICK=1`):
+//!
+//! * the sampler is deterministic — two draws with the same seed/key are
+//!   bit-identical;
+//! * unbounded blocks are exact — a block forward pass reproduces the
+//!   full-batch logits bit for bit on the batch rows;
+//! * both engines report finite, positive throughput.
+//!
+//! The sampled/full throughput *ratio* is recorded but not gated: it is a
+//! property of the graph size (sampling wins ever harder as graphs grow,
+//! and full batch stops fitting at all at the 233k-node Reddit scale).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bgc_graph::{
+    datasets::synthetic::{generate_sbm_graph_chunked, SbmSpec},
+    Graph, NeighborSampler, TaskSetting,
+};
+use bgc_nn::{
+    train_with_plan, AdjacencyRef, GnnArchitecture, SampledPlan, TrainConfig, TrainingPlan,
+};
+use bgc_tensor::init::rng_from_seed;
+use bgc_tensor::Tape;
+
+/// A large-tier-style benchmark graph (chunked generation path).
+fn bench_graph(quick: bool) -> Graph {
+    let num_nodes = if quick { 12_000 } else { 60_000 };
+    let spec = SbmSpec {
+        name: "bench-sampling",
+        num_nodes,
+        num_classes: 7,
+        num_features: 64,
+        avg_degree: 12.0,
+        homophily: 0.6,
+        feature_noise: 1.0,
+        train_size: num_nodes / 2,
+        val_size: num_nodes / 10,
+        test_size: num_nodes / 5,
+        setting: TaskSetting::Inductive,
+        scale_note: None,
+    };
+    let mut g = generate_sbm_graph_chunked(&spec, 7);
+    g.split.train.sort_unstable();
+    // No validation split: the trainer always evaluates on the final epoch
+    // when one exists, and a full-graph forward pass inside the timed
+    // region would distort both engines' throughput numbers.
+    g.split.val.clear();
+    g
+}
+
+struct EngineRun {
+    nodes_per_second: f64,
+    epochs: usize,
+}
+
+fn run_plan(graph: &Graph, plan: &TrainingPlan, epochs: usize) -> EngineRun {
+    let mut rng = rng_from_seed(0);
+    let mut model =
+        GnnArchitecture::Gcn.build(graph.num_features(), 32, graph.num_classes, 2, &mut rng);
+    let config = TrainConfig {
+        epochs,
+        patience: None,
+        ..TrainConfig::quick()
+    };
+    let start = Instant::now();
+    let report = train_with_plan(model.as_mut(), graph, &config, plan, 11);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(report.epochs_run, epochs);
+    EngineRun {
+        nodes_per_second: (graph.split.train.len() * epochs) as f64 / elapsed,
+        epochs,
+    }
+}
+
+/// Gate: sampler determinism and unbounded-block exactness.
+fn smoke_gates(graph: &Graph) {
+    // Determinism across draws.
+    let sampler = NeighborSampler::new(vec![10, 10], 3);
+    let targets: Vec<usize> = graph.split.train.iter().copied().take(256).collect();
+    let a = sampler.sample(&graph.normalized, &targets, 5);
+    let b = sampler.sample(&graph.normalized, &targets, 5);
+    for (x, y) in a.blocks.iter().zip(b.blocks.iter()) {
+        assert_eq!(x.src_nodes, y.src_nodes, "sampler must be deterministic");
+        assert_eq!(*x.adj, *y.adj, "sampler must be deterministic");
+    }
+
+    // Unbounded blocks reproduce the full forward bitwise.
+    let mut rng = rng_from_seed(1);
+    let model =
+        GnnArchitecture::Gcn.build(graph.num_features(), 16, graph.num_classes, 2, &mut rng);
+    let full_adj = AdjacencyRef::from_graph(graph);
+    let full_logits = model.logits(&full_adj, &graph.features);
+    let exact = NeighborSampler::new(vec![0, 0], 3);
+    let batch: Vec<usize> = graph.split.train.iter().copied().take(64).collect();
+    let sampled = Arc::new(exact.sample(&graph.normalized, &batch, 0));
+    let inputs = sampled.input_nodes().to_vec();
+    let adj = AdjacencyRef::blocks(sampled);
+    let mut tape = Tape::new();
+    let x = tape.leaf(graph.features.select_rows(&inputs));
+    let pass = model.forward(&mut tape, &adj, x);
+    let block_logits = tape.value_ref(pass.logits);
+    for (r, &node) in batch.iter().enumerate() {
+        for c in 0..graph.num_classes {
+            assert_eq!(
+                block_logits.get(r, c).to_bits(),
+                full_logits.get(node, c).to_bits(),
+                "unbounded block forward must be bit-identical to full batch"
+            );
+        }
+    }
+}
+
+fn bench_sampling(_c: &mut Criterion) {
+    let quick = std::env::var("BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let graph = bench_graph(quick);
+    println!(
+        "sampling/graph: {} nodes, {} edges, {} train",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.split.train.len()
+    );
+
+    smoke_gates(&graph);
+    println!("sampling/gates: determinism + unbounded-block exactness OK");
+
+    let epochs = if quick { 1 } else { 2 };
+    let sampled_plan = TrainingPlan::Sampled(SampledPlan {
+        fanouts: vec![10, 10],
+        batch_size: 1024,
+    });
+    let sampled = run_plan(&graph, &sampled_plan, epochs);
+    let full = run_plan(&graph, &TrainingPlan::FullBatch, epochs);
+    println!(
+        "sampling/sampled    {:.0} train-nodes/s ({} epochs, fanouts 10x10, batch 1024)",
+        sampled.nodes_per_second, sampled.epochs
+    );
+    println!(
+        "sampling/full-batch {:.0} train-nodes/s ({} epochs)",
+        full.nodes_per_second, full.epochs
+    );
+
+    // Hard gates: both engines must actually make progress.
+    assert!(
+        sampled.nodes_per_second.is_finite() && sampled.nodes_per_second > 0.0,
+        "sampled engine reported no throughput"
+    );
+    assert!(
+        full.nodes_per_second.is_finite() && full.nodes_per_second > 0.0,
+        "full-batch engine reported no throughput"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"sampled_vs_full_batch_gcn\",");
+    let _ = writeln!(
+        json,
+        "  \"graph\": {{\n    \"nodes\": {},\n    \"edges\": {},\n    \"train_nodes\": {}\n  }},",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.split.train.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"sampled\": {{\n    \"nodes_per_second\": {:.1},\n    \"fanouts\": [10, 10],\n    \"batch_size\": 1024\n  }},",
+        sampled.nodes_per_second
+    );
+    let _ = writeln!(
+        json,
+        "  \"full_batch\": {{\n    \"nodes_per_second\": {:.1}\n  }},",
+        full.nodes_per_second
+    );
+    let _ = writeln!(
+        json,
+        "  \"sampled_over_full_ratio\": {:.3}",
+        sampled.nodes_per_second / full.nodes_per_second
+    );
+    json.push('}');
+    json.push('\n');
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sampling.json");
+    if let Err(err) = fs::write(path, &json) {
+        eprintln!("warning: could not write BENCH_sampling.json: {}", err);
+    }
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -14,7 +14,7 @@ use bgc_core::{attack_names, BgcError, GeneratorKind};
 use bgc_defense::defense_names;
 use bgc_eval::{experiments, Experiment, ExperimentScale, RunMetrics, Runner};
 use bgc_graph::{DatasetKind, PoisonBudget};
-use bgc_nn::GnnArchitecture;
+use bgc_nn::{GnnArchitecture, SampledPlan, TrainingPlan};
 
 /// The `bgc --help` text.  Snapshotted in `docs/cli-help.txt` (checked by a
 /// unit test and by CI), so help drift is caught at review time.
@@ -35,13 +35,15 @@ COMMANDS:
     help            Show this message
 
 GLOBAL OPTIONS:
-    --scale quick|paper   Experiment scale (default: quick)
+    --scale quick|paper|large
+                          Experiment scale (default: quick; large restores
+                          the paper's full node counts with sampled plans)
     --full                Include all four datasets in sweeps at quick scale
     --serial              Disable the cell thread pool (bit-identical output)
     --no-cache            Disable the on-disk cell cache
 
 EXPERIMENT OPTIONS (run; repeatable in grid):
-    --dataset <name>      cora|citeseer|flickr|reddit (required for run)
+    --dataset <name>      cora|citeseer|flickr|reddit|arxiv (required for run)
     --method <name>       Condensation method (default: GCond)
     --attack <name>       Attack (default: BGC)
     --ratio <r>           Condensation ratio (default: the dataset's middle
@@ -55,11 +57,20 @@ EXPERIMENT OPTIONS (run; repeatable in grid):
     --budget-ratio <r>    Poisoning budget as a training-set fraction
     --budget-count <n>    Poisoning budget as an absolute node count
     --source-class <c>    Directed attack from this class (Table VI)
+    --plan full|sampled[:b<batch>][:f<f1>x<f2>...]
+                          Training plan of full-graph stages (default: the
+                          scale's per-dataset choice)
+    --batch-size <n>      Sampled-plan minibatch size (implies --plan sampled)
+    --fanouts <f1xf2...>  Sampled-plan per-layer fanout caps, 0 = unbounded
+                          (implies --plan sampled)
     --seed <n>            Base seed (default: 17)
 
 EXAMPLES:
     bgc run --dataset cora --method GCond --attack BGC --ratio 0.026
     bgc run --dataset citeseer --defense prune
+    bgc run --dataset reddit --scale large --method GCond-X
+        (structure-free methods fit the large tier's trimmed epoch budget;
+        GCond's structure generator needs paper-scale epochs)
     bgc grid --dataset cora --dataset citeseer --attack BGC --attack GTA
     bgc table 2 --scale quick
     bgc list attacks
@@ -160,6 +171,9 @@ struct Options {
     epochs: Option<usize>,
     budget: Option<PoisonBudget>,
     source_class: Option<usize>,
+    plan: Option<TrainingPlan>,
+    batch_size: Option<usize>,
+    fanouts: Option<Vec<usize>>,
     seed: Option<u64>,
     operands: Vec<String>,
 }
@@ -186,6 +200,9 @@ fn parse_options(args: &[&str]) -> Result<Options, CliError> {
         epochs: None,
         budget: None,
         source_class: None,
+        plan: None,
+        batch_size: None,
+        fanouts: None,
         seed: None,
         operands: Vec::new(),
     };
@@ -241,6 +258,23 @@ fn parse_options(args: &[&str]) -> Result<Options, CliError> {
             }
             "--source-class" => {
                 options.source_class = Some(parse_num(value("--source-class")?, "--source-class")?)
+            }
+            "--plan" => {
+                options.plan = Some(value("--plan")?.parse().map_err(|e: String| usage(e))?)
+            }
+            "--batch-size" => {
+                options.batch_size = Some(parse_num(value("--batch-size")?, "--batch-size")?)
+            }
+            "--fanouts" => {
+                let list = value("--fanouts")?;
+                let fanouts = list
+                    .split('x')
+                    .map(|f| parse_num::<usize>(f, "--fanouts"))
+                    .collect::<Result<Vec<usize>, CliError>>()?;
+                if fanouts.is_empty() {
+                    return Err(usage("--fanouts expects a non-empty f1xf2... list"));
+                }
+                options.fanouts = Some(fanouts);
             }
             "--seed" => options.seed = Some(parse_num(value("--seed")?, "--seed")?),
             flag if flag.starts_with("--") => {
@@ -314,10 +348,41 @@ fn experiment_for(
     if let Some(source) = options.source_class {
         builder = builder.source_class(source);
     }
+    if let Some(plan) = resolve_plan(options)? {
+        builder = builder.plan(plan);
+    }
     if let Some(seed) = options.seed {
         builder = builder.seed(seed);
     }
     builder.build()
+}
+
+/// Combines `--plan` with the `--batch-size` / `--fanouts` shorthands (the
+/// shorthands imply a sampled plan when `--plan` is absent).
+fn resolve_plan(options: &Options) -> Result<Option<TrainingPlan>, BgcError> {
+    let mut plan = options.plan.clone();
+    if plan.is_none() && (options.batch_size.is_some() || options.fanouts.is_some()) {
+        plan = Some(TrainingPlan::Sampled(SampledPlan::default_two_layer()));
+    }
+    match &mut plan {
+        Some(TrainingPlan::Sampled(sampled)) => {
+            if let Some(batch) = options.batch_size {
+                sampled.batch_size = batch;
+            }
+            if let Some(fanouts) = &options.fanouts {
+                sampled.fanouts = fanouts.clone();
+            }
+        }
+        Some(TrainingPlan::FullBatch)
+            if options.batch_size.is_some() || options.fanouts.is_some() =>
+        {
+            return Err(BgcError::invalid(
+                "--batch-size/--fanouts only apply to sampled plans (--plan sampled)",
+            ));
+        }
+        Some(TrainingPlan::FullBatch) | None => {}
+    }
+    Ok(plan)
 }
 
 fn print_rows(rows: &[RunMetrics]) {
@@ -516,13 +581,20 @@ pub fn list_lines(what: &str) -> Result<Vec<String>, CliError> {
         "attacks" => attack_names(),
         "methods" => condenser_names(),
         "defenses" => defense_names(),
-        "datasets" => DatasetKind::all().iter().map(|d| d.to_string()).collect(),
+        "datasets" => DatasetKind::extended()
+            .iter()
+            .map(|d| d.to_string())
+            .collect(),
         "architectures" => GnnArchitecture::all()
             .iter()
             .map(|a| a.to_string())
             .collect(),
         "generators" => GeneratorKind::all().iter().map(|g| g.to_string()).collect(),
-        "scales" => vec!["quick".to_string(), "paper".to_string()],
+        "scales" => vec![
+            "quick".to_string(),
+            "paper".to_string(),
+            "large".to_string(),
+        ],
         other => {
             return Err(usage(format!(
                 "cannot list '{}' (expected attacks, methods, defenses, datasets, architectures, generators or scales)",

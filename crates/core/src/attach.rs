@@ -15,9 +15,11 @@
 
 use std::sync::Arc;
 
-use bgc_graph::{k_hop_subgraph, Graph};
-use bgc_nn::AdjacencyRef;
+use bgc_graph::{k_hop_subgraph, Graph, NeighborSampler};
+use bgc_nn::{AdjacencyRef, TrainingPlan};
 use bgc_tensor::{Matrix, Tape, Var};
+
+use crate::config::BgcConfig;
 
 /// A computation graph with an attached (fully connected) trigger block.
 #[derive(Clone, Debug)]
@@ -129,6 +131,58 @@ pub fn attach_to_computation_graph(
         center: sub.center,
         sub_nodes: sub.nodes.len(),
         trigger_size,
+    }
+}
+
+/// Extracts a *sampled* computation graph of `node` (randomized,
+/// fanout-capped neighbour draws through the deterministic
+/// [`NeighborSampler`], one cap per hop) and attaches a trigger block — the
+/// sampled-plan counterpart of [`attach_to_computation_graph`], so the
+/// trigger subgraph joins the same kind of computation graph the sampled
+/// training pipeline sees.  `seed` keys the neighbour draws; extraction is a
+/// pure function of `(graph, node, fanouts, seed)`.
+pub fn attach_to_sampled_computation_graph(
+    graph: &Graph,
+    node: usize,
+    trigger_size: usize,
+    fanouts: &[usize],
+    seed: u64,
+) -> AttachedGraph {
+    let sampler = NeighborSampler::new(fanouts.to_vec(), seed ^ 0x47ac);
+    let sub = sampler.sampled_computation_graph(graph, node);
+    let norm_adj = normalized_attached_adjacency(&sub.adjacency, trigger_size, sub.center);
+    AttachedGraph {
+        node,
+        sub_features: Arc::new(sub.features),
+        norm_adj: Arc::new(norm_adj),
+        center: sub.center,
+        sub_nodes: sub.nodes.len(),
+        trigger_size,
+    }
+}
+
+/// Attachment used by the ASR evaluation: full-batch plans keep the
+/// historical deterministic first-k capped extraction; sampled plans route
+/// through [`attach_to_sampled_computation_graph`] with the plan's fanouts.
+pub fn attach_for_evaluation(
+    graph: &Graph,
+    node: usize,
+    trigger_size: usize,
+    config: &BgcConfig,
+    plan: &TrainingPlan,
+    seed: u64,
+) -> AttachedGraph {
+    match plan {
+        TrainingPlan::FullBatch => attach_to_computation_graph(
+            graph,
+            node,
+            trigger_size,
+            config.khop,
+            config.max_neighbors_per_hop,
+        ),
+        TrainingPlan::Sampled(sampled) => {
+            attach_to_sampled_computation_graph(graph, node, trigger_size, &sampled.fanouts, seed)
+        }
     }
 }
 

@@ -5,6 +5,7 @@ use std::str::FromStr;
 
 use bgc_condense::CondensationConfig;
 use bgc_graph::PoisonBudget;
+use bgc_nn::TrainingPlan;
 
 /// Which encoder backs the adaptive trigger generator `f_g` (Table V studies
 /// MLP, GCN and Transformer encoders).
@@ -108,6 +109,9 @@ pub struct BgcConfig {
     pub khop: usize,
     /// Cap on neighbours expanded per hop (keeps Reddit-style hubs tractable).
     pub max_neighbors_per_hop: usize,
+    /// How full-graph training stages of the attack (the selector GCN) run:
+    /// full batch, or neighbour-sampled minibatches for paper-scale graphs.
+    pub training_plan: TrainingPlan,
     /// Condensation hyper-parameters (shared with the clean baseline).
     pub condensation: CondensationConfig,
     /// Base random seed.
@@ -133,6 +137,7 @@ impl Default for BgcConfig {
             update_sample_size: 24,
             khop: 2,
             max_neighbors_per_hop: 16,
+            training_plan: TrainingPlan::FullBatch,
             condensation: CondensationConfig::default(),
             seed: 0,
         }

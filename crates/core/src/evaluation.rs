@@ -5,11 +5,12 @@
 use bgc_graph::{CondensedGraph, Graph};
 use bgc_nn::{
     accuracy, attack_success_rate, train_on_condensed, AdjacencyRef, GnnArchitecture, TrainConfig,
+    TrainingPlan,
 };
 use bgc_tensor::init::{rng_from_seed, sample_without_replacement};
 use bgc_tensor::Tape;
 
-use crate::attach::attach_to_computation_graph;
+use crate::attach::attach_for_evaluation;
 use crate::config::BgcConfig;
 use crate::trigger::TriggerProvider;
 
@@ -24,6 +25,11 @@ pub struct VictimSpec {
     pub num_layers: usize,
     /// Training hyper-parameters on the condensed graph.
     pub train: TrainConfig,
+    /// How full-graph victim stages (the Figure 1 reference model trained on
+    /// the original graph) run: full batch or neighbour-sampled minibatches.
+    /// Training on the condensed graph is always full batch — condensed
+    /// graphs are tiny by construction.
+    pub plan: TrainingPlan,
 }
 
 impl Default for VictimSpec {
@@ -37,6 +43,7 @@ impl Default for VictimSpec {
                 patience: None,
                 ..TrainConfig::default()
             },
+            plan: TrainingPlan::FullBatch,
         }
     }
 }
@@ -72,6 +79,11 @@ pub struct EvaluationOptions {
     /// Restrict the ASR estimate to test nodes of this class (used by the
     /// directed-attack study, Table VI).
     pub asr_source_class: Option<usize>,
+    /// How triggered computation graphs are extracted for the ASR estimate:
+    /// under a sampled plan the k-hop extraction uses the plan's randomized
+    /// fanout caps ([`crate::attach::attach_for_evaluation`]) instead of the
+    /// deterministic first-k cap, matching the sampled training regime.
+    pub plan: TrainingPlan,
     /// Random seed for victim initialization and ASR-node sampling.
     pub seed: u64,
 }
@@ -81,6 +93,7 @@ impl Default for EvaluationOptions {
         Self {
             max_asr_nodes: 200,
             asr_source_class: None,
+            plan: TrainingPlan::FullBatch,
             seed: 0,
         }
     }
@@ -188,12 +201,13 @@ pub fn evaluate_backdoor(
     }
     let mut triggered_predictions = Vec::with_capacity(sample.len());
     for &node in &sample {
-        let attached = attach_to_computation_graph(
+        let attached = attach_for_evaluation(
             graph,
             node,
             generator.trigger_size(),
-            attack_config.khop,
-            attack_config.max_neighbors_per_hop,
+            attack_config,
+            &options.plan,
+            options.seed,
         );
         let trigger = generator.trigger_for_on(&mut tape, &full_adj, &graph.features, node);
         let features = attached.combined_features_plain(&trigger);
@@ -242,15 +256,20 @@ pub fn full_graph_reference_accuracy(graph: &Graph, victim: &VictimSpec, seed: u
         &mut rng,
     );
     let adj = AdjacencyRef::from_graph(graph);
-    bgc_nn::train_node_classifier(
-        model.as_mut(),
-        &adj,
-        &graph.features,
-        &graph.labels,
-        &graph.split.train,
-        &graph.split.val,
-        &victim.train,
-    );
+    // Full-graph training is the stage the victim plan governs: at the
+    // `large` scale this is a sampled minibatch run, everywhere else the
+    // byte-identical full-batch path.  A sampled plan is adapted to the
+    // victim's propagation depth (one fanout per step).
+    let plan = match (
+        &victim.plan,
+        victim.architecture.propagation_depth(victim.num_layers),
+    ) {
+        (TrainingPlan::Sampled(sampled), Some(depth)) => {
+            TrainingPlan::Sampled(sampled.with_depth(depth))
+        }
+        (plan, _) => plan.clone(),
+    };
+    bgc_nn::train_with_plan(model.as_mut(), graph, &victim.train, &plan, seed ^ 0x91e5);
     let preds = model.predict(&adj, &graph.features);
     let test_preds: Vec<usize> = graph.split.test.iter().map(|&i| preds[i]).collect();
     let test_labels = graph.labels_of(&graph.split.test);

@@ -24,7 +24,10 @@ pub mod selector;
 pub mod trigger;
 pub mod variants;
 
-pub use attach::{attach_to_computation_graph, build_poisoned_graph, AttachedGraph};
+pub use attach::{
+    attach_for_evaluation, attach_to_computation_graph, attach_to_sampled_computation_graph,
+    build_poisoned_graph, AttachedGraph,
+};
 pub use attack::{BgcAttack, BgcOutcome};
 pub use config::{BgcConfig, GeneratorKind, SelectionStrategy};
 pub use error::BgcError;

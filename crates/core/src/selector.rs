@@ -12,7 +12,7 @@ use rand::Rng;
 
 use bgc_graph::Graph;
 use bgc_nn::models::Gcn;
-use bgc_nn::{train_node_classifier, AdjacencyRef, GnnModel, TrainConfig};
+use bgc_nn::{train_with_plan, AdjacencyRef, GnnModel, TrainConfig, TrainingPlan};
 use bgc_tensor::init::rng_from_seed;
 use bgc_tensor::{Matrix, Tape};
 
@@ -45,23 +45,30 @@ fn selector_representations(graph: &Graph, config: &BgcConfig) -> (Matrix, f32) 
     use std::collections::HashMap;
     use std::sync::{Arc, Mutex, OnceLock};
 
-    type Key = ((usize, usize, u64), u64, usize, usize);
+    type Key = ((usize, usize, u64), u64, usize, usize, TrainingPlan);
     type Guard = (Arc<Matrix>, Arc<bgc_tensor::CsrMatrix>);
     type Memo = Mutex<HashMap<Key, (Guard, Arc<(Matrix, f32)>)>>;
     const CAP: usize = 64;
     static MEMO: OnceLock<Memo> = OnceLock::new();
     let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    // The selector GCN's depth is fixed at 2: adapt a shared sampled plan
+    // to it instead of requiring every caller to match the fanout count.
+    let plan = match &config.training_plan {
+        TrainingPlan::FullBatch => TrainingPlan::FullBatch,
+        TrainingPlan::Sampled(sampled) => TrainingPlan::Sampled(sampled.with_depth(2)),
+    };
     let key = (
         graph.memo_key(),
         config.seed,
         config.hidden_dim,
         config.selector_epochs,
+        plan.clone(),
     );
     if let Some((_, cached)) = memo.lock().unwrap().get(&key) {
         let (hidden, acc) = &**cached;
         return (hidden.clone(), *acc);
     }
-    let computed = selector_representations_uncached(graph, config);
+    let computed = selector_representations_uncached(graph, config, &plan);
     let guard = (graph.features.clone(), graph.normalized.clone());
     let mut memo = memo.lock().unwrap();
     if memo.len() >= CAP {
@@ -72,7 +79,11 @@ fn selector_representations(graph: &Graph, config: &BgcConfig) -> (Matrix, f32) 
     computed
 }
 
-fn selector_representations_uncached(graph: &Graph, config: &BgcConfig) -> (Matrix, f32) {
+fn selector_representations_uncached(
+    graph: &Graph,
+    config: &BgcConfig,
+    plan: &TrainingPlan,
+) -> (Matrix, f32) {
     let adj = AdjacencyRef::from_graph(graph);
     let mut rng = rng_from_seed(config.seed ^ 0x5e1e);
     let mut gcn = Gcn::new(
@@ -87,15 +98,10 @@ fn selector_representations_uncached(graph: &Graph, config: &BgcConfig) -> (Matr
         patience: None,
         ..TrainConfig::default()
     };
-    train_node_classifier(
-        &mut gcn,
-        &adj,
-        &graph.features,
-        &graph.labels,
-        &graph.split.train,
-        &graph.split.val,
-        &train_cfg,
-    );
+    // The plan decides how the selector trains on the (possibly paper-scale)
+    // original graph; `FullBatch` is byte-identical to the historical
+    // `train_node_classifier` call.
+    train_with_plan(&mut gcn, graph, &train_cfg, plan, config.seed ^ 0x3a1f);
     let preds = gcn.predict(&adj, &graph.features);
     let train_labels: Vec<usize> = graph.labels_of(&graph.split.train);
     let train_preds: Vec<usize> = graph.split.train.iter().map(|&i| preds[i]).collect();

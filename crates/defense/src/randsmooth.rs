@@ -84,6 +84,9 @@ pub fn randsmooth_predict(
     let dense = match adj {
         AdjacencyRef::Dense(d) => (**d).clone(),
         AdjacencyRef::Sparse(s) => s.to_dense(),
+        AdjacencyRef::Blocks { .. } => {
+            unreachable!("randomized smoothing operates on whole (sub)graphs, not sampled blocks")
+        }
     };
     let n = features.rows();
     let mut votes = vec![vec![0usize; num_classes]; n];

@@ -28,7 +28,7 @@ use bgc_condense::MethodId;
 use bgc_core::{AttackId, BgcError, GeneratorKind};
 use bgc_defense::DefenseId;
 use bgc_graph::{DatasetKind, PoisonBudget};
-use bgc_nn::GnnArchitecture;
+use bgc_nn::{GnnArchitecture, TrainingPlan};
 
 use crate::protocol::{lookup_attack, lookup_method, AttackKind, RunMetrics, RunSpec};
 use crate::runner::{CellGroup, CellOverrides, EvalKind, Runner, DEFAULT_BASE_SEED};
@@ -218,6 +218,13 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Training plan of the full-graph stages (`full` or a sampled
+    /// minibatch plan; default: the scale's per-dataset choice).
+    pub fn plan(mut self, plan: TrainingPlan) -> Self {
+        self.overrides.plan = Some(plan);
+        self
+    }
+
     /// Base seed (default: the grid default, 17).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -276,6 +283,37 @@ impl ExperimentBuilder {
                 ));
             }
             _ => {}
+        }
+        if let Some(TrainingPlan::Sampled(plan)) = &self.overrides.plan {
+            if plan.batch_size == 0 {
+                return Err(BgcError::invalid(
+                    "sampled plans need a non-zero batch size",
+                ));
+            }
+            if plan.fanouts.is_empty() {
+                return Err(BgcError::invalid(
+                    "sampled plans need at least one fanout (one per propagation step)",
+                ));
+            }
+            // An explicitly requested plan must match the victim's
+            // propagation depth (scale-default plans are adapted
+            // automatically; fixed-depth stages like the selector GCN adapt
+            // any plan).  Validating here turns a mid-run panic on a
+            // multi-minute large-tier cell into an immediate typed error.
+            let architecture = self.overrides.architecture.unwrap_or(GnnArchitecture::Gcn);
+            let layers = self.overrides.num_layers.unwrap_or(2);
+            if let Some(depth) = architecture.propagation_depth(layers) {
+                if plan.fanouts.len() != depth {
+                    return Err(BgcError::invalid(format!(
+                        "the sampled plan provides {} fanouts but a {}-layer {} victim \
+                         performs {} propagation steps — pass one fanout per step",
+                        plan.fanouts.len(),
+                        layers,
+                        architecture,
+                        depth
+                    )));
+                }
+            }
         }
         if let Some(source) = self.overrides.source_class {
             let baseline = self.scale.bgc_config(dataset, ratio, self.seed);
@@ -409,6 +447,24 @@ mod tests {
             .poison_budget(PoisonBudget::Count(0))
             .build()
             .is_err());
+        // Sampled-plan depth validation: fanout count must match the
+        // victim's propagation depth.
+        assert!(Experiment::builder()
+            .dataset(DatasetKind::Cora)
+            .plan("sampled:b64:f8x8".parse().unwrap())
+            .build()
+            .is_ok());
+        assert!(Experiment::builder()
+            .dataset(DatasetKind::Cora)
+            .plan("sampled:b64:f8".parse().unwrap())
+            .build()
+            .is_err());
+        assert!(Experiment::builder()
+            .dataset(DatasetKind::Cora)
+            .num_layers(3)
+            .plan("sampled:b64:f8x8x8".parse().unwrap())
+            .build()
+            .is_ok());
         // Directed-attack consistency: class 0 is the target class.
         assert!(Experiment::builder()
             .dataset(DatasetKind::Cora)

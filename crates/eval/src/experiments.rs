@@ -436,6 +436,9 @@ pub fn fig6(runner: &Runner, full: bool) -> Result<ExperimentReport, BgcError> {
     let epoch_grid: Vec<usize> = match runner.scale() {
         ExperimentScale::Quick => vec![5, 10, 20, 40, 80],
         ExperimentScale::Paper => vec![50, 100, 300, 500, 700, 900, 1000],
+        // The large tier is for single-cell scenario runs, not figure
+        // sweeps; a short grid keeps an explicit request tractable.
+        ExperimentScale::Large => vec![4, 8, 12],
     };
     let mut rows = Vec::new();
     for dataset in sweep_datasets(runner.scale(), full) {
@@ -498,6 +501,9 @@ pub fn table7(runner: &Runner, full: bool) -> Result<ExperimentReport, BgcError>
                 bgc_graph::PoisonBudget::Count(180),
                 bgc_graph::PoisonBudget::Count(230),
             ],
+            // Not part of the paper's Table VII sweep; a single default
+            // budget keeps the row meaningful if ever requested explicitly.
+            DatasetKind::Arxiv => vec![dataset.paper_poison_budget()],
         };
         for budget in budgets {
             for method in methods {

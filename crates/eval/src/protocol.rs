@@ -282,9 +282,9 @@ pub fn run_spec_with(
         let seed = spec.seed + rep as u64;
         let graph = spec.scale.load(spec.dataset, seed);
         let mut config = spec.scale.bgc_config(spec.dataset, spec.ratio, seed);
-        let mut victim = spec.scale.victim_spec();
+        let mut victim = spec.scale.victim_spec_for(spec.dataset);
         customize(&mut config, &mut victim);
-        let options = spec.scale.evaluation_options(seed);
+        let options = spec.scale.evaluation_options_for(spec.dataset, seed);
         match run_once(
             attack.as_ref(),
             method.as_ref(),

@@ -37,13 +37,14 @@ use serde::Serialize;
 
 use bgc_condense::MethodId;
 use bgc_core::{
-    asr_sample_nodes, attach_to_computation_graph, directed_attack, evaluate_backdoor,
-    AttackArtifacts, AttackId, BgcConfig, BgcError, EvaluationOptions, GeneratorKind,
-    TriggerProvider, VictimSpec,
+    asr_sample_nodes, attach_for_evaluation, directed_attack, evaluate_backdoor, AttackArtifacts,
+    AttackId, BgcConfig, BgcError, EvaluationOptions, GeneratorKind, TriggerProvider, VictimSpec,
 };
 use bgc_defense::{resolve_defense, Defense, DefenseId};
 use bgc_graph::{CondensedGraph, DatasetKind, Graph, PoisonBudget};
-use bgc_nn::{accuracy, attack_success_rate, train_on_condensed, AdjacencyRef, GnnArchitecture};
+use bgc_nn::{
+    accuracy, attack_success_rate, train_on_condensed, AdjacencyRef, GnnArchitecture, TrainingPlan,
+};
 use bgc_tensor::init::rng_from_seed;
 use bgc_tensor::Matrix;
 
@@ -190,6 +191,11 @@ pub struct CellOverrides {
     pub architecture: Option<GnnArchitecture>,
     /// Victim layer count (Table VIII).
     pub num_layers: Option<usize>,
+    /// Training plan of full-graph stages (selector, reference models, ASR
+    /// computation-graph extraction).  `None` means the scale's per-dataset
+    /// default (sampled on the large tier's big graphs, full batch
+    /// elsewhere).
+    pub plan: Option<TrainingPlan>,
 }
 
 impl CellOverrides {
@@ -222,6 +228,11 @@ impl CellOverrides {
         if let Some(layers) = self.num_layers {
             victim.num_layers = layers;
         }
+        if let Some(plan) = &self.plan {
+            config.training_plan = plan.clone();
+            victim.plan = plan.clone();
+            options.plan = plan.clone();
+        }
     }
 
     /// Fixed-order canonical encoding (part of [`CellKey::canon`]).
@@ -229,7 +240,7 @@ impl CellOverrides {
         fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
             v.as_ref().map_or_else(|| "-".to_string(), T::to_string)
         }
-        format!(
+        let mut canon = format!(
             "gen={}|tsz={}|ep={}|budget={}|src={}|arch={}|layers={}",
             self.generator.map_or("-", |g| g.name()),
             opt(&self.trigger_size),
@@ -239,13 +250,19 @@ impl CellOverrides {
             opt(&self.source_class),
             self.architecture.map_or("-", |a| a.name()),
             opt(&self.num_layers),
-        )
+        );
+        // Appended only when set: pre-plan cell canons (and their on-disk
+        // file names) must stay byte-identical.
+        if let Some(plan) = &self.plan {
+            canon.push_str(&format!("|plan={}", plan));
+        }
+        canon
     }
 
     /// The subset of the overrides that changes the attack stage (everything
     /// except the victim-side fields).
     fn attack_canon(&self) -> String {
-        format!(
+        let mut canon = format!(
             "gen={}|tsz={}|ep={}|budget={}|src={}",
             self.generator.map_or("-", |g| g.name()),
             self.trigger_size
@@ -256,7 +273,11 @@ impl CellOverrides {
                 .map_or_else(|| "-".to_string(), |b| b.canon()),
             self.source_class
                 .map_or_else(|| "-".to_string(), |v| v.to_string()),
-        )
+        );
+        if let Some(plan) = &self.plan {
+            canon.push_str(&format!("|plan={}", plan));
+        }
+        canon
     }
 }
 
@@ -678,6 +699,9 @@ impl Runner {
         if overrides.num_layers == Some(victim.num_layers) {
             overrides.num_layers = None;
         }
+        if overrides.plan.as_ref() == Some(&baseline.training_plan) {
+            overrides.plan = None;
+        }
         overrides
     }
 
@@ -836,8 +860,8 @@ impl Runner {
                 Arc::new(self.scale.load(key.dataset, seed))
             });
         let mut config = self.scale.bgc_config(key.dataset, key.ratio(), seed);
-        let mut victim = self.scale.victim_spec();
-        let mut options = self.scale.evaluation_options(seed);
+        let mut victim = self.scale.victim_spec_for(key.dataset);
+        let mut options = self.scale.evaluation_options_for(key.dataset, seed);
         key.overrides.apply(&mut config, &mut victim, &mut options);
 
         // Clean reference condensation — needed by the Standard evaluation
@@ -1037,12 +1061,13 @@ fn defended_evaluation(
     let sample = asr_sample_nodes(graph, options, config.target_class);
     let mut triggered = Vec::with_capacity(sample.len());
     for &node in &sample {
-        let attached = attach_to_computation_graph(
+        let attached = attach_for_evaluation(
             graph,
             node,
             provider.trigger_size(),
-            config.khop,
-            config.max_neighbors_per_hop,
+            config,
+            &options.plan,
+            options.seed,
         );
         let trigger = provider.trigger_for(&full_adj, &graph.features, node);
         let features = attached.combined_features_plain(&trigger);

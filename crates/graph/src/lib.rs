@@ -14,6 +14,7 @@
 pub mod condensed;
 pub mod datasets;
 pub mod graph;
+pub mod sampling;
 pub mod splits;
 pub mod stats;
 pub mod subgraph;
@@ -21,6 +22,7 @@ pub mod subgraph;
 pub use condensed::CondensedGraph;
 pub use datasets::{DatasetKind, PoisonBudget, SbmSpec};
 pub use graph::{Graph, TaskSetting};
+pub use sampling::{mix_seed, NeighborSampler, SampledBatch, SampledBlock};
 pub use splits::DataSplit;
 pub use stats::GraphStats;
 pub use subgraph::{k_hop_subgraph, ComputationGraph};

@@ -1,0 +1,439 @@
+//! Deterministic layer-wise neighbour sampling — the minibatch data plane.
+//!
+//! Full-batch message passing materializes `Â · H` over the whole graph,
+//! which caps the reproduction at toy dataset sizes.  This module provides
+//! the sampled alternative used by [`bgc-nn`]'s `TrainingPlan::Sampled`
+//! path: a seed-keyed, thread-count-independent [`NeighborSampler`] that
+//! turns a batch of target nodes into a chain of bipartite [`SampledBlock`]s
+//! (one per message-passing step), each a row-slice of the graph's
+//! GCN-normalized CSR adjacency with an optional per-row fanout cap.
+//!
+//! Design invariants:
+//!
+//! * **Exact rows under no cap.**  With `fanout = 0` (unbounded) a block row
+//!   is the *identical* slice of the normalized adjacency row — same values,
+//!   same ascending column order — so a block forward pass reproduces the
+//!   full-batch forward pass bit for bit on the covered rows.
+//! * **Sorted node lists.**  `dst_nodes` and `src_nodes` are ascending global
+//!   node ids, which keeps the floating-point accumulation order of sparse
+//!   and dense products aligned with the full-batch operators.
+//! * **Determinism.**  All randomness flows from `seed ^ mix(batch key,
+//!   layer)` through the workspace `StdRng`; sampling never touches the
+//!   thread pool, so blocks are bit-identical for every thread count and
+//!   execution order.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use bgc_tensor::init::{rng_from_seed, sample_without_replacement};
+use bgc_tensor::CsrMatrix;
+
+use crate::graph::Graph;
+use crate::subgraph::ComputationGraph;
+
+/// Mixes auxiliary words into a seed (FNV-1a over the little-endian bytes).
+/// Shared by the sampler and by callers deriving per-batch seeds.
+pub fn mix_seed(words: &[u64]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for word in words {
+        for b in word.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// One bipartite message-passing operator: `|dst| x |src|` rows sliced from
+/// the normalized adjacency, mapping source-node features to destination-node
+/// messages (`h_dst = block · h_src`).
+#[derive(Clone, Debug)]
+pub struct SampledBlock {
+    /// Destination (output) nodes, ascending global ids.
+    pub dst_nodes: Vec<usize>,
+    /// Source (input) nodes, ascending global ids; a superset of `dst_nodes`.
+    pub src_nodes: Vec<usize>,
+    /// `dst_in_src[i]` is the position of `dst_nodes[i]` inside `src_nodes`.
+    pub dst_in_src: Vec<usize>,
+    /// The `|dst| x |src|` operator (row `i` belongs to `dst_nodes[i]`,
+    /// columns index `src_nodes`).
+    pub adj: Arc<CsrMatrix>,
+}
+
+impl SampledBlock {
+    /// Number of destination nodes.
+    pub fn num_dst(&self) -> usize {
+        self.dst_nodes.len()
+    }
+
+    /// Number of source nodes.
+    pub fn num_src(&self) -> usize {
+        self.src_nodes.len()
+    }
+}
+
+/// The block chain of one minibatch: `blocks[0]` consumes the raw input
+/// features of [`SampledBatch::input_nodes`]; `blocks.last()` produces rows
+/// for exactly [`SampledBatch::targets`].
+#[derive(Clone, Debug)]
+pub struct SampledBatch {
+    /// Bipartite operators, input side first.
+    pub blocks: Vec<SampledBlock>,
+    /// The batch's target nodes (ascending global ids).
+    pub targets: Vec<usize>,
+}
+
+impl SampledBatch {
+    /// Global ids of the nodes whose raw features feed the first block.
+    pub fn input_nodes(&self) -> &[usize] {
+        self.blocks
+            .first()
+            .map(|b| b.src_nodes.as_slice())
+            .unwrap_or(&self.targets)
+    }
+
+    /// Number of message-passing steps.
+    pub fn num_layers(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Positions of the targets inside [`SampledBatch::input_nodes`]
+    /// (models without any propagation step, e.g. an MLP, produce
+    /// input-sized outputs; this maps target rows back out).
+    pub fn target_positions_in_inputs(&self) -> Vec<usize> {
+        let inputs = self.input_nodes();
+        self.targets
+            .iter()
+            .map(|t| {
+                inputs
+                    .binary_search(t)
+                    .expect("targets are always included in the input nodes")
+            })
+            .collect()
+    }
+}
+
+/// Seed-keyed layer-wise neighbour sampler over a normalized CSR adjacency.
+#[derive(Clone, Debug)]
+pub struct NeighborSampler {
+    fanouts: Vec<usize>,
+    seed: u64,
+}
+
+impl NeighborSampler {
+    /// A sampler with one fanout cap per message-passing step
+    /// (`fanouts[0]` governs the input-side step; `0` means unbounded).
+    pub fn new(fanouts: Vec<usize>, seed: u64) -> Self {
+        assert!(!fanouts.is_empty(), "need at least one fanout / layer");
+        Self { fanouts, seed }
+    }
+
+    /// The per-layer fanout caps.
+    pub fn fanouts(&self) -> &[usize] {
+        &self.fanouts
+    }
+
+    /// Samples the block chain for one batch of target nodes.
+    ///
+    /// `targets` must be strictly ascending (sorted, unique); `key`
+    /// distinguishes batches (e.g. `mix_seed(&[epoch, batch_index])`) so
+    /// every batch draws from its own RNG stream regardless of execution
+    /// order.
+    pub fn sample(&self, normalized: &CsrMatrix, targets: &[usize], key: u64) -> SampledBatch {
+        assert!(!targets.is_empty(), "cannot sample an empty batch");
+        assert!(
+            targets.windows(2).all(|w| w[0] < w[1]),
+            "targets must be strictly ascending"
+        );
+        let mut blocks_rev: Vec<SampledBlock> = Vec::with_capacity(self.fanouts.len());
+        let mut dst: Vec<usize> = targets.to_vec();
+        // Sample from the output side towards the input side: the dst set of
+        // step `l` is the src set of step `l + 1`.
+        for (depth, &fanout) in self.fanouts.iter().rev().enumerate() {
+            let layer = self.fanouts.len() - 1 - depth;
+            let mut rng = rng_from_seed(self.seed ^ mix_seed(&[key, layer as u64]));
+            let block = sample_block(normalized, &dst, fanout, &mut rng);
+            dst = block.src_nodes.clone();
+            blocks_rev.push(block);
+        }
+        blocks_rev.reverse();
+        SampledBatch {
+            blocks: blocks_rev,
+            targets: targets.to_vec(),
+        }
+    }
+
+    /// Extracts a sampled computation graph around `center`: the randomized,
+    /// fanout-capped counterpart of [`crate::subgraph::k_hop_subgraph`]
+    /// (which always takes the *first* `cap` neighbours).  Used by the
+    /// trigger-attachment operator under a sampled plan, so the trigger
+    /// subgraph joins the same kind of computation graph the sampled victim
+    /// trains on.  A fanout of `0` expands every neighbour of that hop.
+    pub fn sampled_computation_graph(&self, graph: &Graph, center: usize) -> ComputationGraph {
+        assert!(center < graph.num_nodes(), "center node out of range");
+        let mut rng = rng_from_seed(self.seed ^ mix_seed(&[center as u64, 0x5ab]));
+        let mut included: Vec<usize> = vec![center];
+        let mut seen = vec![false; graph.num_nodes()];
+        seen[center] = true;
+        let mut frontier = vec![center];
+        for &fanout in self.fanouts.iter().rev() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let fresh: Vec<usize> = graph
+                    .adjacency
+                    .row_indices(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| !seen[v])
+                    .collect();
+                let chosen: Vec<usize> = if fanout == 0 || fresh.len() <= fanout {
+                    fresh
+                } else {
+                    let mut picked = sample_without_replacement(fresh.len(), fanout, &mut rng);
+                    picked.sort_unstable();
+                    picked.into_iter().map(|i| fresh[i]).collect()
+                };
+                for v in chosen {
+                    seen[v] = true;
+                    included.push(v);
+                    next.push(v);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        let adjacency = graph.adjacency.induced_submatrix(&included);
+        let features = graph.features.select_rows(&included);
+        let labels = graph.labels_of(&included);
+        ComputationGraph {
+            nodes: included,
+            adjacency,
+            features,
+            labels,
+            center: 0,
+        }
+    }
+}
+
+/// Builds one bipartite block: for every dst node, slice its normalized
+/// adjacency row; rows above the fanout cap keep their diagonal entry and a
+/// uniform sample of `fanout` neighbours, rescaled by `others / kept` so the
+/// expected message matches the uncapped row.
+fn sample_block(
+    normalized: &CsrMatrix,
+    dst: &[usize],
+    fanout: usize,
+    rng: &mut StdRng,
+) -> SampledBlock {
+    // Kept (global column, value) entries per dst row, ascending columns.
+    let mut kept_rows: Vec<Vec<(usize, f32)>> = Vec::with_capacity(dst.len());
+    for &v in dst {
+        let entries: Vec<(usize, f32)> = normalized.row_iter(v).collect();
+        if fanout == 0 || entries.len() <= fanout {
+            kept_rows.push(entries);
+            continue;
+        }
+        let diag = entries.iter().position(|&(c, _)| c == v);
+        let others: Vec<(usize, f32)> = entries
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i) != diag)
+            .map(|(_, &e)| e)
+            .collect();
+        let take = fanout.min(others.len());
+        let mut picked = sample_without_replacement(others.len(), take, rng);
+        picked.sort_unstable();
+        let scale = others.len() as f32 / take as f32;
+        let mut kept: Vec<(usize, f32)> = Vec::with_capacity(take + 1);
+        if let Some(d) = diag {
+            kept.push(entries[d]);
+        }
+        kept.extend(
+            picked
+                .into_iter()
+                .map(|i| (others[i].0, others[i].1 * scale)),
+        );
+        kept.sort_unstable_by_key(|&(c, _)| c);
+        kept_rows.push(kept);
+    }
+
+    // Source set: the dst nodes plus every referenced column, ascending.
+    let mut src_nodes: Vec<usize> = dst.to_vec();
+    src_nodes.extend(kept_rows.iter().flatten().map(|&(c, _)| c));
+    src_nodes.sort_unstable();
+    src_nodes.dedup();
+
+    let local = |node: usize| -> usize {
+        src_nodes
+            .binary_search(&node)
+            .expect("column is a member of the source set")
+    };
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+    for (r, kept) in kept_rows.iter().enumerate() {
+        for &(c, v) in kept {
+            triplets.push((r, local(c), v));
+        }
+    }
+    let adj = CsrMatrix::from_triplets(dst.len(), src_nodes.len(), &triplets);
+    let dst_in_src: Vec<usize> = dst.iter().map(|&v| local(v)).collect();
+    SampledBlock {
+        dst_nodes: dst.to_vec(),
+        src_nodes,
+        dst_in_src,
+        adj: Arc::new(adj),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetKind;
+    use bgc_tensor::Matrix;
+
+    fn sorted_targets(graph: &Graph, count: usize) -> Vec<usize> {
+        let mut t: Vec<usize> = graph.split.train.iter().copied().take(count).collect();
+        t.sort_unstable();
+        t
+    }
+
+    #[test]
+    fn unbounded_blocks_slice_the_normalized_rows_exactly() {
+        let g = DatasetKind::Cora.load_small(3);
+        let sampler = NeighborSampler::new(vec![0, 0], 7);
+        let targets = sorted_targets(&g, 12);
+        let batch = sampler.sample(&g.normalized, &targets, 0);
+        assert_eq!(batch.num_layers(), 2);
+        assert_eq!(batch.blocks[1].dst_nodes, targets);
+        for block in &batch.blocks {
+            for (r, &v) in block.dst_nodes.iter().enumerate() {
+                let full: Vec<(usize, f32)> = g.normalized.row_iter(v).collect();
+                let sliced: Vec<(usize, f32)> = block
+                    .adj
+                    .row_iter(r)
+                    .map(|(c, val)| (block.src_nodes[c], val))
+                    .collect();
+                assert_eq!(full, sliced, "row of node {} must be an exact slice", v);
+            }
+        }
+        // The dst set of the input-side block is the src set of the next.
+        assert_eq!(batch.blocks[0].dst_nodes, batch.blocks[1].src_nodes);
+    }
+
+    #[test]
+    fn unbounded_block_propagation_is_bit_identical_to_full_batch() {
+        let g = DatasetKind::Citeseer.load_small(5);
+        let sampler = NeighborSampler::new(vec![0], 1);
+        let targets = sorted_targets(&g, 9);
+        let batch = sampler.sample(&g.normalized, &targets, 3);
+        let block = &batch.blocks[0];
+        let x = Matrix::from_fn(g.num_nodes(), 4, |r, c| {
+            ((r * 7 + c * 3) % 11) as f32 * 0.25
+        });
+        let full = g.normalized.spmm(&x);
+        let local_x = x.select_rows(&block.src_nodes);
+        let sampled = block.adj.spmm(&local_x);
+        for (r, &v) in block.dst_nodes.iter().enumerate() {
+            for c in 0..4 {
+                assert_eq!(
+                    sampled.get(r, c).to_bits(),
+                    full.get(v, c).to_bits(),
+                    "row {} col {} must match bit-for-bit",
+                    v,
+                    c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_caps_bound_row_nnz_and_keep_the_diagonal() {
+        let g = DatasetKind::Reddit.load_small(1);
+        let fanout = 3;
+        let sampler = NeighborSampler::new(vec![fanout, fanout], 11);
+        let targets = sorted_targets(&g, 16);
+        let batch = sampler.sample(&g.normalized, &targets, 5);
+        for block in &batch.blocks {
+            for (r, &v) in block.dst_nodes.iter().enumerate() {
+                // Capped rows keep the diagonal plus at most `fanout` others.
+                assert!(block.adj.row_nnz(r) <= fanout + 1);
+                let has_diag = block.adj.row_iter(r).any(|(c, _)| block.src_nodes[c] == v);
+                assert!(has_diag, "self entry of node {} must survive the cap", v);
+            }
+            // Capped rows are rescaled so the row sum stays close to the
+            // uncapped row sum (unbiased in expectation).
+            let (r, &v) = block
+                .dst_nodes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &v)| g.normalized.row_nnz(v))
+                .unwrap();
+            if g.normalized.row_nnz(v) > fanout + 1 {
+                let full: f32 = g.normalized.row_iter(v).map(|(_, x)| x).sum();
+                let capped: f32 = block.adj.row_iter(r).map(|(_, x)| x).sum();
+                assert!(
+                    (capped - full).abs() < full,
+                    "rescaled row sum {} too far from {}",
+                    capped,
+                    full
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_keyed() {
+        let g = DatasetKind::Flickr.load_small(2);
+        let sampler = NeighborSampler::new(vec![4, 4], 23);
+        let targets = sorted_targets(&g, 20);
+        let a = sampler.sample(&g.normalized, &targets, 9);
+        let b = sampler.sample(&g.normalized, &targets, 9);
+        for (x, y) in a.blocks.iter().zip(b.blocks.iter()) {
+            assert_eq!(x.src_nodes, y.src_nodes);
+            assert_eq!(*x.adj, *y.adj);
+        }
+        // A different batch key draws a different neighbourhood.
+        let c = sampler.sample(&g.normalized, &targets, 10);
+        assert!(
+            a.blocks[0].src_nodes != c.blocks[0].src_nodes || *a.blocks[0].adj != *c.blocks[0].adj,
+            "different keys must sample differently"
+        );
+    }
+
+    #[test]
+    fn targets_are_always_inside_the_input_nodes() {
+        let g = DatasetKind::Cora.load_small(4);
+        let sampler = NeighborSampler::new(vec![2, 2], 3);
+        let targets = sorted_targets(&g, 15);
+        let batch = sampler.sample(&g.normalized, &targets, 1);
+        let positions = batch.target_positions_in_inputs();
+        let inputs = batch.input_nodes();
+        for (t, &p) in targets.iter().zip(positions.iter()) {
+            assert_eq!(inputs[p], *t);
+        }
+    }
+
+    #[test]
+    fn sampled_computation_graph_caps_the_frontier() {
+        let g = DatasetKind::Reddit.load_small(6);
+        let sampler = NeighborSampler::new(vec![3, 3], 5);
+        let center = g.split.test[0];
+        let sub = sampler.sampled_computation_graph(&g, center);
+        assert_eq!(sub.nodes[0], center);
+        assert_eq!(sub.center, 0);
+        // Two hops with fanout 3: at most 1 + 3 + 9 nodes.
+        assert!(sub.num_nodes() <= 13, "got {} nodes", sub.num_nodes());
+        let again = sampler.sampled_computation_graph(&g, center);
+        assert_eq!(sub.nodes, again.nodes, "extraction must be deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_targets_are_rejected() {
+        let g = DatasetKind::Cora.load_small(1);
+        let sampler = NeighborSampler::new(vec![0], 0);
+        let _ = sampler.sample(&g.normalized, &[5, 3], 0);
+    }
+}

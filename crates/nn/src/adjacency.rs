@@ -1,10 +1,12 @@
-//! A unified handle over sparse (original graph) and dense (condensed graph /
-//! attached trigger block) normalized adjacency matrices, so that every GNN
-//! implementation works unchanged on both.
+//! A unified handle over sparse (original graph), dense (condensed graph /
+//! attached trigger block) and bipartite-block (sampled minibatch) normalized
+//! adjacencies, so that every GNN implementation works unchanged on all of
+//! them.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use bgc_graph::{CondensedGraph, Graph};
+use bgc_graph::{CondensedGraph, Graph, SampledBatch};
 use bgc_tensor::{CsrMatrix, Matrix, Tape, Var};
 
 /// A (typically GCN-normalized) adjacency usable in differentiable message
@@ -16,6 +18,17 @@ pub enum AdjacencyRef {
     /// Dense adjacency of a small graph (condensed graph, computation graph
     /// with an attached trigger, ...).
     Dense(Arc<Matrix>),
+    /// The bipartite block chain of one sampled minibatch.  Each
+    /// [`AdjacencyRef::propagate`] call consumes the next block (shrinking
+    /// the node set towards the batch targets), so a `Blocks` adjacency is
+    /// **single-use**: build one per forward pass.  Clones share the block
+    /// cursor.
+    Blocks {
+        /// The sampled block chain (input side first).
+        batch: Arc<SampledBatch>,
+        /// Index of the next block to consume.
+        cursor: Arc<AtomicUsize>,
+    },
 }
 
 impl AdjacencyRef {
@@ -39,35 +52,108 @@ impl AdjacencyRef {
         AdjacencyRef::Sparse(Arc::new(adj))
     }
 
-    /// Number of nodes.
+    /// Wraps one minibatch's sampled block chain (fresh cursor).
+    pub fn blocks(batch: Arc<SampledBatch>) -> Self {
+        AdjacencyRef::Blocks {
+            batch,
+            cursor: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Number of input-side nodes (for `Blocks`: the nodes whose raw
+    /// features feed the first block).
     pub fn num_nodes(&self) -> usize {
         match self {
             AdjacencyRef::Sparse(a) => a.rows(),
             AdjacencyRef::Dense(a) => a.rows(),
+            AdjacencyRef::Blocks { batch, .. } => batch.input_nodes().len(),
         }
     }
 
-    /// One step of message passing `Â · h` recorded on the tape.
+    /// One step of message passing `Â · h` recorded on the tape.  For
+    /// `Blocks` this consumes the next bipartite block: the output has one
+    /// row per *destination* node of that block.
     pub fn propagate(&self, tape: &mut Tape, h: Var) -> Var {
         match self {
             AdjacencyRef::Sparse(a) => tape.spmm(a.clone(), h),
             AdjacencyRef::Dense(a) => tape.const_matmul(a.clone(), h),
+            AdjacencyRef::Blocks { batch, cursor } => {
+                let block = Self::take_block(batch, cursor);
+                assert_eq!(
+                    tape.shape(h).0,
+                    block.num_src(),
+                    "block propagation: input has {} rows but the block expects {} source nodes \
+                     (does the sampled plan's fanout count match the model's propagation depth?)",
+                    tape.shape(h).0,
+                    block.num_src()
+                );
+                tape.spmm(block.adj.clone(), h)
+            }
         }
     }
 
-    /// Non-differentiable propagation `Â · H` for plain matrices.
+    /// Restricts `h` to the rows of the *destination* nodes of the block the
+    /// next [`AdjacencyRef::propagate`] call will consume — the "self"
+    /// operand of architectures like GraphSAGE that combine a propagated
+    /// term with the nodes' own representation.  For non-block adjacencies
+    /// every node is its own destination, so `h` is returned unchanged
+    /// (recording nothing on the tape).
+    pub fn dst_restrict(&self, tape: &mut Tape, h: Var) -> Var {
+        match self {
+            AdjacencyRef::Sparse(_) | AdjacencyRef::Dense(_) => h,
+            AdjacencyRef::Blocks { batch, cursor } => {
+                let block = Self::peek_block(batch, cursor);
+                tape.row_select(h, &block.dst_in_src)
+            }
+        }
+    }
+
+    /// Non-differentiable propagation `Â · H` for plain matrices (consumes a
+    /// block, like [`AdjacencyRef::propagate`]).
     pub fn propagate_matrix(&self, h: &Matrix) -> Matrix {
         match self {
             AdjacencyRef::Sparse(a) => a.spmm(h),
             AdjacencyRef::Dense(a) => a.matmul(h),
+            AdjacencyRef::Blocks { batch, cursor } => {
+                let block = Self::take_block(batch, cursor);
+                block.adj.spmm(h)
+            }
         }
+    }
+
+    fn take_block<'a>(
+        batch: &'a Arc<SampledBatch>,
+        cursor: &Arc<AtomicUsize>,
+    ) -> &'a bgc_graph::SampledBlock {
+        let i = cursor.fetch_add(1, Ordering::SeqCst);
+        batch.blocks.get(i).unwrap_or_else(|| {
+            panic!(
+                "block adjacency exhausted: the model requested propagation step {} but the \
+                 sampled plan provides only {} blocks",
+                i + 1,
+                batch.blocks.len()
+            )
+        })
+    }
+
+    fn peek_block<'a>(
+        batch: &'a Arc<SampledBatch>,
+        cursor: &Arc<AtomicUsize>,
+    ) -> &'a bgc_graph::SampledBlock {
+        let i = cursor.load(Ordering::SeqCst);
+        batch.blocks.get(i).unwrap_or_else(|| {
+            panic!(
+                "block adjacency exhausted: no block left for propagation step {}",
+                i + 1
+            )
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgc_graph::DatasetKind;
+    use bgc_graph::{DatasetKind, NeighborSampler};
 
     #[test]
     fn sparse_and_dense_propagation_agree() {
@@ -92,5 +178,49 @@ mod tests {
         assert!(tape
             .value_ref(out)
             .approx_eq(&adj.propagate_matrix(&x), 1e-5));
+    }
+
+    #[test]
+    fn block_propagation_consumes_the_chain_towards_the_targets() {
+        let g = DatasetKind::Cora.load_small(7);
+        let sampler = NeighborSampler::new(vec![0, 0], 1);
+        let mut targets: Vec<usize> = g.split.train.iter().copied().take(8).collect();
+        targets.sort_unstable();
+        let batch = Arc::new(sampler.sample(&g.normalized, &targets, 0));
+        let adj = AdjacencyRef::blocks(batch.clone());
+        assert_eq!(adj.num_nodes(), batch.input_nodes().len());
+
+        let mut tape = Tape::new();
+        let x = tape.leaf(g.features.select_rows(batch.input_nodes()));
+        let h1 = adj.propagate(&mut tape, x);
+        assert_eq!(tape.shape(h1).0, batch.blocks[0].num_dst());
+        // The second step needs the dst restriction before it shrinks again.
+        let h1_dst = adj.dst_restrict(&mut tape, h1);
+        assert_eq!(tape.shape(h1_dst).0, batch.blocks[1].num_dst());
+        let h2 = adj.propagate(&mut tape, h1);
+        assert_eq!(tape.shape(h2).0, targets.len());
+
+        // Unbounded blocks reproduce the full-batch propagation bit for bit.
+        let full = g.normalized.spmm(&g.normalized.spmm(&g.features));
+        let sampled = tape.value_ref(h2);
+        for (r, &node) in targets.iter().enumerate() {
+            for c in 0..g.num_features() {
+                assert_eq!(sampled.get(r, c).to_bits(), full.get(node, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block adjacency exhausted")]
+    fn exhausting_the_block_chain_panics() {
+        let g = DatasetKind::Cora.load_small(2);
+        let sampler = NeighborSampler::new(vec![2], 0);
+        let targets = vec![g.split.train.iter().copied().min().unwrap()];
+        let batch = Arc::new(sampler.sample(&g.normalized, &targets, 0));
+        let adj = AdjacencyRef::blocks(batch.clone());
+        let mut tape = Tape::new();
+        let x = tape.leaf(g.features.select_rows(batch.input_nodes()));
+        let h = adj.propagate(&mut tape, x);
+        let _ = adj.propagate(&mut tape, h); // one block only
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! Graph neural network substrate for the Rust reproduction of *"Backdoor
 //! Graph Condensation"* (ICDE 2025): six GNN architectures (GCN, SGC,
-//! GraphSAGE, MLP, APPNP, ChebyNet), Adam/SGD optimizers, full-batch training
-//! loops for both original and condensed graphs, and the CTA/ASR metrics of
-//! the paper's evaluation protocol.
+//! GraphSAGE, MLP, APPNP, ChebyNet), Adam/SGD optimizers, full-batch and
+//! neighbour-sampled training plans ([`TrainingPlan`]) for both original and
+//! condensed graphs, and the CTA/ASR metrics of the paper's evaluation
+//! protocol.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,13 +15,17 @@ pub mod metrics;
 pub mod model;
 pub mod models;
 pub mod optim;
+pub mod plan;
 pub mod trainer;
 
 pub use adjacency::AdjacencyRef;
 pub use metrics::{accuracy, attack_success_rate, format_percent, mean_std};
 pub use model::{ForwardPass, GnnArchitecture, GnnModel};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use trainer::{evaluate, train_node_classifier, train_on_condensed, TrainConfig, TrainReport};
+pub use plan::{SampledPlan, TrainingPlan};
+pub use trainer::{
+    evaluate, train_node_classifier, train_on_condensed, train_with_plan, TrainConfig, TrainReport,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -132,6 +132,22 @@ impl GnnArchitecture {
         }
     }
 
+    /// Number of message-passing (propagation) steps one forward pass of
+    /// this architecture performs when built with `num_layers` layers, or
+    /// `None` for propagation-free models (MLP).  This is the number of
+    /// bipartite blocks — one fanout per step — a sampled training plan
+    /// must provide for the model.
+    pub fn propagation_depth(&self, num_layers: usize) -> Option<usize> {
+        match self {
+            GnnArchitecture::Mlp => None,
+            GnnArchitecture::Appnp => Some(num_layers.max(2)),
+            GnnArchitecture::Gcn
+            | GnnArchitecture::Sage
+            | GnnArchitecture::Sgc
+            | GnnArchitecture::Cheby => Some(num_layers.max(1)),
+        }
+    }
+
     /// Parses a display name case-insensitively (CLI / config files).
     pub fn parse_name(s: &str) -> Option<Self> {
         GnnArchitecture::all()

@@ -63,10 +63,14 @@ impl GnnModel for Appnp {
         let h0 = tape.relu(l0);
         let l1 = tape.matmul(h0, w1);
         let z = tape.add_bias(l1, b1);
-        // Propagation step.
-        let teleport = tape.scale(z, self.alpha);
+        // Propagation step.  Each power iteration narrows the teleport term
+        // to the step's destination nodes on a bipartite block chain; on
+        // full adjacencies `dst_restrict` is the identity and records
+        // nothing, so the full-batch tape is unchanged.
+        let mut teleport = tape.scale(z, self.alpha);
         let mut h = z;
         for _ in 0..self.k {
+            teleport = adj.dst_restrict(tape, teleport);
             let propagated = adj.propagate(tape, h);
             let damped = tape.scale(propagated, 1.0 - self.alpha);
             h = tape.add(damped, teleport);

@@ -68,7 +68,11 @@ impl GnnModel for ChebyNet {
             let w1 = tape.leaf_copied(&self.w1[l]);
             let b = tape.leaf_copied(&self.biases[l]);
             param_vars.extend_from_slice(&[w0, w1, b]);
-            let identity_term = tape.matmul(h, w0);
+            // On a bipartite block the identity term only covers the layer's
+            // destination nodes; on full adjacencies `dst_restrict` is the
+            // identity and records nothing (full-batch tapes unchanged).
+            let h_dst = adj.dst_restrict(tape, h);
+            let identity_term = tape.matmul(h_dst, w0);
             let propagated = adj.propagate(tape, h);
             let neg_propagated = tape.scale(propagated, -1.0);
             let laplacian_term = tape.matmul(neg_propagated, w1);

@@ -66,7 +66,12 @@ impl GnnModel for GraphSage {
             let wn = tape.leaf_copied(&self.neigh_weights[l]);
             let b = tape.leaf_copied(&self.biases[l]);
             param_vars.extend_from_slice(&[ws, wn, b]);
-            let self_term = tape.matmul(h, ws);
+            // On a bipartite block the self term only covers the layer's
+            // destination nodes; on full adjacencies `dst_restrict` is the
+            // identity (recording nothing, so the full-batch tape is
+            // unchanged from the historical implementation).
+            let h_dst = adj.dst_restrict(tape, h);
+            let self_term = tape.matmul(h_dst, ws);
             let aggregated = adj.propagate(tape, h);
             let neigh_term = tape.matmul(aggregated, wn);
             let combined = tape.add(self_term, neigh_term);

@@ -1,24 +1,39 @@
-//! Full-batch training loops for node classification, on both the original
-//! graph (Eq. 1 left-hand side, the "clean GNN") and the condensed graph
-//! (Eq. 5, the victim GNN trained on `S`).
+//! Training loops for node classification, on both the original graph
+//! (Eq. 1 left-hand side, the "clean GNN") and the condensed graph (Eq. 5,
+//! the victim GNN trained on `S`).
 //!
-//! The epoch loop is allocation-free in steady state: one pooled [`Tape`] is
-//! reset (not rebuilt) every epoch, the feature matrix is recorded once as a
-//! shared constant leaf ([`Tape::const_leaf`]), validation predictions are
-//! read off the epoch's already-computed logits instead of running a second
-//! forward pass, and the best-validation parameters are kept in preallocated
-//! buffers.  The control flow is bit-identical to the historical
-//! fresh-tape/`predict`-based loop (property-tested in this crate).
+//! Two strategies share the allocation-free engine, selected by a
+//! [`TrainingPlan`] through [`train_with_plan`]:
+//!
+//! * **Full batch** ([`train_node_classifier`]) — one pooled [`Tape`] is
+//!   reset (not rebuilt) every epoch, the feature matrix is recorded once as
+//!   a shared constant leaf ([`Tape::const_leaf`]), validation predictions
+//!   are read off the epoch's already-computed logits instead of running a
+//!   second forward pass, and the best-validation parameters are kept in
+//!   preallocated buffers.  The control flow is bit-identical to the
+//!   historical fresh-tape/`predict`-based loop (property-tested here).
+//! * **Sampled** ([`TrainingPlan::Sampled`]) — per epoch the training nodes
+//!   are shuffled into ascending-sorted minibatches, each batch's receptive
+//!   field is materialized as a bipartite block chain by the deterministic
+//!   [`NeighborSampler`] and only those rows flow through the model.  All
+//!   randomness derives from the plan seed plus `(epoch, batch)` keys, so
+//!   results are bit-identical across thread counts and runs.  A plan that
+//!   samples nothing (one batch covering the training set, every fanout
+//!   unbounded) collapses onto the full propagation operator and is
+//!   bit-identical to [`train_node_classifier`] (property-tested in
+//!   `tests/sampled_training.rs`).
 
 use std::sync::Arc;
 
-use bgc_graph::CondensedGraph;
+use bgc_graph::{mix_seed, CondensedGraph, Graph, NeighborSampler};
+use bgc_tensor::init::{rng_from_seed, shuffle};
 use bgc_tensor::{Matrix, Tape};
 
 use crate::adjacency::AdjacencyRef;
 use crate::metrics::accuracy;
 use crate::model::GnnModel;
 use crate::optim::{Adam, Optimizer};
+use crate::plan::{SampledPlan, TrainingPlan};
 
 /// Hyper-parameters of a training run.
 #[derive(Clone, Debug)]
@@ -80,6 +95,53 @@ impl TrainReport {
     }
 }
 
+/// Preallocated zero-gradient fallbacks and best-validation parameter
+/// buffers matching the model's parameter shapes — the training loops only
+/// copy into these, never clone the parameter set.
+fn param_buffers(model: &dyn GnnModel) -> (Vec<Matrix>, Vec<Matrix>) {
+    let shapes: Vec<(usize, usize)> = model.parameters().iter().map(|p| p.shape()).collect();
+    let zero_grads = shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect();
+    let best_params = shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect();
+    (zero_grads, best_params)
+}
+
+/// One optimizer step off pool-backed gradients (borrowed, with zero
+/// fallbacks for unreached parameters), recycling the gradient buffers
+/// afterwards.  Shared by the full-batch and sampled loops.
+fn step_and_absorb(
+    tape: &mut Tape,
+    model: &mut dyn GnnModel,
+    optimizer: &mut Adam,
+    param_vars: &[bgc_tensor::Var],
+    zero_grads: &[Matrix],
+    grads: bgc_tensor::Gradients,
+) {
+    {
+        let grad_refs: Vec<&Matrix> = param_vars
+            .iter()
+            .zip(zero_grads.iter())
+            .map(|(&v, zero)| grads.get_or(v, zero))
+            .collect();
+        let mut params = model.parameters_mut();
+        optimizer.step(&mut params, &grad_refs);
+    }
+    tape.absorb(grads);
+}
+
+/// Copies the model's current parameters into the best-parameter buffers.
+fn save_params(best_params: &mut [Matrix], model: &dyn GnnModel) {
+    for (saved, param) in best_params.iter_mut().zip(model.parameters()) {
+        saved.copy_from(param);
+    }
+}
+
+/// Restores saved best-validation parameters into the model.
+fn restore_params(model: &mut dyn GnnModel, best_params: &[Matrix]) {
+    for (param, saved) in model.parameters_mut().into_iter().zip(best_params.iter()) {
+        param.copy_from(saved);
+    }
+}
+
 /// Trains `model` on the given graph data with full-batch Adam.
 ///
 /// `train_idx`/`val_idx` index rows of `features`; labels are the full label
@@ -105,18 +167,7 @@ pub fn train_node_classifier(
 
     // Recorded once as a shared constant leaf; epochs never copy it again.
     let features: Arc<Matrix> = Arc::new(features.clone());
-    let param_shapes: Vec<(usize, usize)> = model.parameters().iter().map(|p| p.shape()).collect();
-    // Preallocated zero gradients (for parameters the loss does not reach)
-    // and best-validation parameter buffers: the epoch loop only copies into
-    // these, it never clones the parameter set.
-    let zero_grads: Vec<Matrix> = param_shapes
-        .iter()
-        .map(|&(r, c)| Matrix::zeros(r, c))
-        .collect();
-    let mut best_params: Vec<Matrix> = param_shapes
-        .iter()
-        .map(|&(r, c)| Matrix::zeros(r, c))
-        .collect();
+    let (zero_grads, mut best_params) = param_buffers(model);
     let mut has_best = false;
     let mut optimizer = Adam::new(config.lr, config.weight_decay);
     let mut losses = Vec::with_capacity(config.epochs);
@@ -145,9 +196,7 @@ pub fn train_node_classifier(
             let val_acc = accuracy(&val_preds, &val_labels);
             if val_acc > best_val {
                 best_val = val_acc;
-                for (saved, param) in best_params.iter_mut().zip(model.parameters()) {
-                    saved.copy_from(param);
-                }
+                save_params(&mut best_params, model);
                 has_best = true;
                 evals_since_improvement = 0;
             } else {
@@ -165,17 +214,14 @@ pub fn train_node_classifier(
         let loss = tape.softmax_cross_entropy(train_logits, &train_labels);
         losses.push(tape.scalar(loss));
         let grads = tape.backward(loss);
-        {
-            let grad_refs: Vec<&Matrix> = pass
-                .param_vars
-                .iter()
-                .zip(zero_grads.iter())
-                .map(|(&v, zero)| grads.get_or(v, zero))
-                .collect();
-            let mut params = model.parameters_mut();
-            optimizer.step(&mut params, &grad_refs);
-        }
-        tape.absorb(grads);
+        step_and_absorb(
+            &mut tape,
+            model,
+            &mut optimizer,
+            &pass.param_vars,
+            &zero_grads,
+            grads,
+        );
 
         let is_eval_epoch = !val_idx.is_empty()
             && (epoch % config.eval_every == config.eval_every - 1 || epoch + 1 == config.epochs);
@@ -194,17 +240,212 @@ pub fn train_node_classifier(
         let val_acc = accuracy(&val_preds, &val_labels);
         if val_acc > best_val {
             best_val = val_acc;
-            for (saved, param) in best_params.iter_mut().zip(model.parameters()) {
-                saved.copy_from(param);
-            }
+            save_params(&mut best_params, model);
             has_best = true;
         }
     }
 
     if has_best {
-        for (param, saved) in model.parameters_mut().into_iter().zip(best_params.iter()) {
-            param.copy_from(saved);
+        restore_params(model, &best_params);
+    }
+
+    TrainReport {
+        train_losses: losses,
+        best_val_accuracy: best_val,
+        epochs_run,
+    }
+}
+
+/// Trains `model` on an original graph's training split under the given
+/// [`TrainingPlan`], using the graph's own train/validation split.
+///
+/// * [`TrainingPlan::FullBatch`] delegates to [`train_node_classifier`]
+///   (byte-identical to calling it directly).
+/// * [`TrainingPlan::Sampled`] runs the neighbour-sampled minibatch loop;
+///   `plan_seed` keys every sampling decision (batch composition and
+///   neighbour draws), so a `(graph, model, config, plan, plan_seed)` tuple
+///   fully determines the result regardless of thread count.
+pub fn train_with_plan(
+    model: &mut dyn GnnModel,
+    graph: &Graph,
+    config: &TrainConfig,
+    plan: &TrainingPlan,
+    plan_seed: u64,
+) -> TrainReport {
+    match plan {
+        TrainingPlan::FullBatch => {
+            let adj = AdjacencyRef::from_graph(graph);
+            train_node_classifier(
+                model,
+                &adj,
+                &graph.features,
+                &graph.labels,
+                &graph.split.train,
+                &graph.split.val,
+                config,
+            )
         }
+        TrainingPlan::Sampled(sampled) => train_sampled(model, graph, config, sampled, plan_seed),
+    }
+}
+
+/// The neighbour-sampled minibatch loop (see [`train_with_plan`]).
+///
+/// Batches are ascending-sorted node lists: sorting keeps the block source
+/// sets aligned with global node order (so sampled forward passes reproduce
+/// full-batch rows bit for bit under unbounded fanouts) and gives the
+/// degenerate single-batch/unbounded plan an exact collapse onto the
+/// full-batch operator.  Validation runs eagerly on the full graph every
+/// `eval_every` epochs — observably the same protocol (accuracies, early
+/// stopping, restored parameters) as the full-batch loop's deferred
+/// evaluation.
+fn train_sampled(
+    model: &mut dyn GnnModel,
+    graph: &Graph,
+    config: &TrainConfig,
+    plan: &SampledPlan,
+    plan_seed: u64,
+) -> TrainReport {
+    let train_idx = &graph.split.train;
+    let val_idx = &graph.split.val;
+    assert!(!train_idx.is_empty(), "training split must not be empty");
+    let batch_size = plan.batch_size.max(1).min(train_idx.len());
+    // A plan that samples nothing collapses onto the full propagation
+    // operator: same blocks for every batch ⇒ share the graph's CSR instead
+    // of re-slicing it, and the computation matches full-batch training bit
+    // for bit (modulo the sorted batch order).
+    let collapses = batch_size >= train_idx.len() && plan.is_unbounded();
+    let sampler = NeighborSampler::new(plan.fanouts.clone(), plan_seed);
+    let full_adj = AdjacencyRef::from_graph(graph);
+
+    let val_labels: Vec<usize> = val_idx.iter().map(|&i| graph.labels[i]).collect();
+    let (zero_grads, mut best_params) = param_buffers(model);
+    let mut has_best = false;
+    let mut optimizer = Adam::new(config.lr, config.weight_decay);
+    let mut losses = Vec::with_capacity(config.epochs);
+    let mut best_val = 0.0f32;
+    let mut evals_since_improvement = 0usize;
+    let mut epochs_run = 0usize;
+    let mut tape = Tape::new();
+
+    let sorted_chunks = |order: &[usize]| -> Vec<Vec<usize>> {
+        order
+            .chunks(batch_size)
+            .map(|chunk| {
+                let mut batch = chunk.to_vec();
+                batch.sort_unstable();
+                batch
+            })
+            .collect()
+    };
+    let single_batch: Vec<Vec<usize>> = if collapses {
+        sorted_chunks(train_idx)
+    } else {
+        Vec::new()
+    };
+
+    'epochs: for epoch in 0..config.epochs {
+        let batches: Vec<Vec<usize>> = if collapses {
+            single_batch.clone()
+        } else {
+            let mut order = train_idx.clone();
+            let mut epoch_rng = rng_from_seed(plan_seed ^ mix_seed(&[0x5a7c, epoch as u64]));
+            shuffle(&mut order, &mut epoch_rng);
+            sorted_chunks(&order)
+        };
+        let mut epoch_loss = 0.0f32;
+        for (b, batch) in batches.iter().enumerate() {
+            tape.reset();
+            let batch_labels: Vec<usize> = batch.iter().map(|&i| graph.labels[i]).collect();
+            let (selected, pass) = if collapses {
+                let x = tape.const_leaf(graph.features.clone());
+                let pass = model.forward(&mut tape, &full_adj, x);
+                let selected = tape.row_select(pass.logits, batch);
+                (selected, pass)
+            } else {
+                let sampled = sampler.sample(
+                    &graph.normalized,
+                    batch,
+                    mix_seed(&[epoch as u64, b as u64]),
+                );
+                let target_positions = sampled.target_positions_in_inputs();
+                // Pool-backed input gather: batch receptive fields differ in
+                // size every step, so this leans on the pool's best-fit
+                // reuse instead of a fresh multi-megabyte allocation.
+                let inputs = sampled.input_nodes();
+                let num_inputs = inputs.len();
+                let mut input_features = tape.pool_mut().raw(num_inputs, graph.num_features());
+                for (r, &node) in inputs.iter().enumerate() {
+                    input_features
+                        .row_mut(r)
+                        .copy_from_slice(graph.features.row(node));
+                }
+                let adj = AdjacencyRef::blocks(Arc::new(sampled));
+                let x = tape.constant(input_features);
+                let pass = model.forward(&mut tape, &adj, x);
+                // Propagating models shrink their output to exactly the
+                // batch rows; propagation-free models (MLP) stay input-sized
+                // and need the target rows mapped out.  Anything in between
+                // means the model consumed fewer propagation steps than the
+                // plan provides fanouts — selecting rows from a mid-chain
+                // matrix would silently train on the wrong nodes.
+                let rows = tape.shape(pass.logits).0;
+                let selected = if rows == batch.len() {
+                    pass.logits
+                } else if rows == num_inputs {
+                    tape.row_select(pass.logits, &target_positions)
+                } else {
+                    panic!(
+                        "sampled-plan depth mismatch: the model produced {} output rows for a \
+                         batch of {} targets ({} input nodes) — a sampled plan needs exactly \
+                         one fanout per propagation step of the model ({} provided)",
+                        rows,
+                        batch.len(),
+                        num_inputs,
+                        plan.fanouts.len()
+                    );
+                };
+                (selected, pass)
+            };
+            let loss = tape.softmax_cross_entropy(selected, &batch_labels);
+            epoch_loss += tape.scalar(loss) * batch.len() as f32;
+            let grads = tape.backward(loss);
+            step_and_absorb(
+                &mut tape,
+                model,
+                &mut optimizer,
+                &pass.param_vars,
+                &zero_grads,
+                grads,
+            );
+        }
+        losses.push(epoch_loss / train_idx.len() as f32);
+        epochs_run = epoch + 1;
+
+        let is_eval_epoch = !val_idx.is_empty()
+            && (epoch % config.eval_every == config.eval_every - 1 || epoch + 1 == config.epochs);
+        if is_eval_epoch {
+            let preds = model.predict_on(&mut tape, &full_adj, &graph.features);
+            let val_preds: Vec<usize> = val_idx.iter().map(|&i| preds[i]).collect();
+            let val_acc = accuracy(&val_preds, &val_labels);
+            if val_acc > best_val {
+                best_val = val_acc;
+                save_params(&mut best_params, model);
+                has_best = true;
+                evals_since_improvement = 0;
+            } else {
+                evals_since_improvement += 1;
+                if let Some(patience) = config.patience {
+                    if evals_since_improvement >= patience {
+                        break 'epochs;
+                    }
+                }
+            }
+        }
+    }
+
+    if has_best {
+        restore_params(model, &best_params);
     }
 
     TrainReport {

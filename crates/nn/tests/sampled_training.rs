@@ -1,0 +1,339 @@
+//! Property tests of the sampled data plane:
+//!
+//! * a `Sampled` plan with unbounded fanouts and one batch is **bit
+//!   identical** to full-batch training on GCN and GraphSAGE (losses,
+//!   validation trace, early stopping, restored parameters, predictions);
+//! * under real multi-batch sampling with unbounded fanouts, the block
+//!   forward pass reproduces the full-batch logits bit for bit on the batch
+//!   rows;
+//! * the sampler (and sampled training on top of it) is deterministic across
+//!   runs and across thread counts — the thread-count axis is checked by
+//!   re-running the digest computation in a child process pinned to one
+//!   pool thread (`BGC_NUM_THREADS=1`).
+
+use std::sync::Arc;
+
+use bgc_graph::{DatasetKind, Graph, NeighborSampler};
+use bgc_nn::{
+    train_node_classifier, train_with_plan, AdjacencyRef, GnnArchitecture, SampledPlan,
+    TrainConfig, TrainingPlan,
+};
+use bgc_tensor::init::rng_from_seed;
+
+/// A small graph whose training split is ascending-sorted: sampled batches
+/// are always sorted, so a sorted split makes the single-batch plan's node
+/// order coincide with the full-batch loop's.
+fn sorted_split_graph(kind: DatasetKind, seed: u64) -> Graph {
+    let mut g = kind.load_small(seed);
+    g.split.train.sort_unstable();
+    g
+}
+
+fn test_config() -> TrainConfig {
+    TrainConfig {
+        epochs: 30,
+        lr: 0.05,
+        weight_decay: 5e-4,
+        eval_every: 3,
+        patience: Some(3),
+    }
+}
+
+#[test]
+fn unbounded_single_batch_plan_is_bit_identical_to_full_batch() {
+    for arch in [GnnArchitecture::Gcn, GnnArchitecture::Sage] {
+        let g = sorted_split_graph(DatasetKind::Cora, 11);
+        let config = test_config();
+        let build = || {
+            let mut rng = rng_from_seed(31);
+            arch.build(g.num_features(), 16, g.num_classes, 2, &mut rng)
+        };
+
+        let mut full_model = build();
+        let adj = AdjacencyRef::from_graph(&g);
+        let full = train_node_classifier(
+            full_model.as_mut(),
+            &adj,
+            &g.features,
+            &g.labels,
+            &g.split.train,
+            &g.split.val,
+            &config,
+        );
+
+        let mut sampled_model = build();
+        let plan = TrainingPlan::Sampled(SampledPlan {
+            fanouts: vec![0, 0],
+            batch_size: usize::MAX,
+        });
+        let sampled = train_with_plan(sampled_model.as_mut(), &g, &config, &plan, 999);
+
+        assert_eq!(full.epochs_run, sampled.epochs_run, "{}", arch.name());
+        assert_eq!(
+            full.best_val_accuracy.to_bits(),
+            sampled.best_val_accuracy.to_bits(),
+            "{}",
+            arch.name()
+        );
+        assert_eq!(full.train_losses.len(), sampled.train_losses.len());
+        for (e, (a, b)) in full
+            .train_losses
+            .iter()
+            .zip(sampled.train_losses.iter())
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{} loss diverges at epoch {}: {} vs {}",
+                arch.name(),
+                e,
+                a,
+                b
+            );
+        }
+        for (i, (p, q)) in full_model
+            .parameters()
+            .iter()
+            .zip(sampled_model.parameters().iter())
+            .enumerate()
+        {
+            assert!(
+                p.approx_eq(q, 0.0),
+                "{} parameter {} differs after training",
+                arch.name(),
+                i
+            );
+        }
+        assert_eq!(
+            full_model.predict(&adj, &g.features),
+            sampled_model.predict(&adj, &g.features),
+            "{}",
+            arch.name()
+        );
+    }
+}
+
+#[test]
+fn unbounded_multi_batch_forward_matches_full_batch_rows_bitwise() {
+    // Every architecture with exactly one propagation step per layer
+    // (2 layers here ⇒ 2 blocks): GCN, SAGE, SGC (k = 2), Cheby, and
+    // APPNP (k = max(num_layers, 2) power iterations).
+    for arch in [
+        GnnArchitecture::Gcn,
+        GnnArchitecture::Sage,
+        GnnArchitecture::Sgc,
+        GnnArchitecture::Cheby,
+        GnnArchitecture::Appnp,
+    ] {
+        let g = sorted_split_graph(DatasetKind::Citeseer, 7);
+        let mut rng = rng_from_seed(5);
+        let model = arch.build(g.num_features(), 8, g.num_classes, 2, &mut rng);
+        let full_adj = AdjacencyRef::from_graph(&g);
+        let full_logits = model.logits(&full_adj, &g.features);
+
+        let sampler = NeighborSampler::new(vec![0, 0], 17);
+        for batch in g.split.train.chunks(g.split.train.len() / 3 + 1) {
+            let mut batch = batch.to_vec();
+            batch.sort_unstable();
+            let sampled = Arc::new(sampler.sample(&g.normalized, &batch, 0));
+            let inputs = sampled.input_nodes().to_vec();
+            let adj = AdjacencyRef::blocks(sampled);
+            let mut tape = bgc_tensor::Tape::new();
+            let x = tape.leaf(g.features.select_rows(&inputs));
+            let pass = model.forward(&mut tape, &adj, x);
+            let block_logits = tape.value_ref(pass.logits);
+            assert_eq!(block_logits.rows(), batch.len());
+            for (r, &node) in batch.iter().enumerate() {
+                for c in 0..g.num_classes {
+                    assert_eq!(
+                        block_logits.get(r, c).to_bits(),
+                        full_logits.get(node, c).to_bits(),
+                        "{}: logits for node {} class {} differ",
+                        arch.name(),
+                        node,
+                        c
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mlp_under_a_sampled_plan_maps_target_rows_correctly() {
+    // The MLP ignores the adjacency: its block output stays input-sized and
+    // the trainer must map the target rows back out.  Training still has to
+    // learn the (feature-separable) classes.
+    let g = sorted_split_graph(DatasetKind::Cora, 13);
+    let mut rng = rng_from_seed(2);
+    let mut model = GnnArchitecture::Mlp.build(g.num_features(), 16, g.num_classes, 2, &mut rng);
+    let plan = TrainingPlan::Sampled(SampledPlan {
+        fanouts: vec![4, 4],
+        batch_size: 32,
+    });
+    let report = train_with_plan(model.as_mut(), &g, &TrainConfig::quick(), &plan, 5);
+    assert!(
+        report.final_loss() < report.train_losses[0],
+        "sampled MLP loss must decrease ({} -> {})",
+        report.train_losses[0],
+        report.final_loss()
+    );
+}
+
+#[test]
+fn sampled_training_with_real_fanouts_learns() {
+    let g = sorted_split_graph(DatasetKind::Cora, 19);
+    let mut rng = rng_from_seed(4);
+    let mut model = GnnArchitecture::Gcn.build(g.num_features(), 32, g.num_classes, 2, &mut rng);
+    let plan = TrainingPlan::Sampled(SampledPlan {
+        fanouts: vec![8, 8],
+        batch_size: 48,
+    });
+    let report = train_with_plan(model.as_mut(), &g, &TrainConfig::quick(), &plan, 21);
+    assert!(report.final_loss() < report.train_losses[0]);
+    let adj = AdjacencyRef::from_graph(&g);
+    let preds = model.predict(&adj, &g.features);
+    let correct = g
+        .split
+        .test
+        .iter()
+        .filter(|&&i| preds[i] == g.labels[i])
+        .count();
+    let acc = correct as f32 / g.split.test.len() as f32;
+    assert!(acc > 0.5, "sampled-trained GCN accuracy {} too low", acc);
+}
+
+#[test]
+#[should_panic(expected = "depth mismatch")]
+fn too_many_fanouts_fail_with_a_clear_error() {
+    // A 2-layer GCN consumes 2 of 3 blocks: its output rows match neither
+    // the batch nor the input nodes, which must be a hard error (selecting
+    // rows from a mid-chain matrix would silently train on wrong nodes).
+    let g = sorted_split_graph(DatasetKind::Cora, 3);
+    let mut rng = rng_from_seed(1);
+    let mut model = GnnArchitecture::Gcn.build(g.num_features(), 8, g.num_classes, 2, &mut rng);
+    let plan = TrainingPlan::Sampled(SampledPlan {
+        fanouts: vec![4, 4, 4],
+        batch_size: 16,
+    });
+    let _ = train_with_plan(model.as_mut(), &g, &TrainConfig::quick(), &plan, 1);
+}
+
+#[test]
+#[should_panic(expected = "block adjacency exhausted")]
+fn too_few_fanouts_fail_with_a_clear_error() {
+    let g = sorted_split_graph(DatasetKind::Cora, 3);
+    let mut rng = rng_from_seed(1);
+    let mut model = GnnArchitecture::Gcn.build(g.num_features(), 8, g.num_classes, 2, &mut rng);
+    let plan = TrainingPlan::Sampled(SampledPlan {
+        fanouts: vec![4],
+        batch_size: 16,
+    });
+    let _ = train_with_plan(model.as_mut(), &g, &TrainConfig::quick(), &plan, 1);
+}
+
+/// FNV-1a digest of every sampled block plus the trained parameters —
+/// anything the thread count could conceivably perturb.
+fn sampled_digest() -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut put = |v: u64| {
+        for b in v.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let g = sorted_split_graph(DatasetKind::Flickr, 3);
+    let sampler = NeighborSampler::new(vec![5, 5], 77);
+    let mut batch: Vec<usize> = g.split.train.iter().copied().take(40).collect();
+    batch.sort_unstable();
+    let sampled = sampler.sample(&g.normalized, &batch, 12);
+    for block in &sampled.blocks {
+        for &n in &block.src_nodes {
+            put(n as u64);
+        }
+        for (r, c, v) in block.adj.triplets() {
+            put(r as u64);
+            put(c as u64);
+            put(v.to_bits() as u64);
+        }
+    }
+    let mut rng = rng_from_seed(6);
+    let mut model = GnnArchitecture::Sage.build(g.num_features(), 8, g.num_classes, 2, &mut rng);
+    let plan = TrainingPlan::Sampled(SampledPlan {
+        fanouts: vec![5, 5],
+        batch_size: 64,
+    });
+    let report = train_with_plan(
+        model.as_mut(),
+        &g,
+        &TrainConfig {
+            epochs: 6,
+            ..TrainConfig::quick()
+        },
+        &plan,
+        77,
+    );
+    for loss in &report.train_losses {
+        put(loss.to_bits() as u64);
+    }
+    for p in model.parameters() {
+        for r in 0..p.rows() {
+            for &v in p.row(r) {
+                put(v.to_bits() as u64);
+            }
+        }
+    }
+    hash
+}
+
+#[test]
+fn sampler_and_sampled_training_are_deterministic_across_thread_counts() {
+    const CHILD_MARKER: &str = "BGC_SAMPLED_DIGEST_CHILD";
+    let digest = sampled_digest();
+    if std::env::var(CHILD_MARKER).is_ok() {
+        // Child mode (single pool thread): print the digest for the parent.
+        println!("SAMPLED_DIGEST={:016x}", digest);
+        return;
+    }
+    // Same-process re-run: bit-identical.
+    assert_eq!(digest, sampled_digest(), "in-process determinism");
+
+    // Thread-count invariance: re-run this very test in a child process with
+    // the kernel pool pinned to one thread and compare digests.
+    let exe = std::env::current_exe().expect("test executable path");
+    let output = std::process::Command::new(exe)
+        .args([
+            "sampler_and_sampled_training_are_deterministic_across_thread_counts",
+            "--exact",
+            "--nocapture",
+        ])
+        .env(CHILD_MARKER, "1")
+        .env("BGC_NUM_THREADS", "1")
+        .output()
+        .expect("spawn single-thread child");
+    assert!(
+        output.status.success(),
+        "single-thread child failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // The libtest harness prints its `test <name> ...` prefix on the same
+    // line, so match the marker anywhere in the output.
+    let child_digest = stdout
+        .split("SAMPLED_DIGEST=")
+        .nth(1)
+        .map(|rest| &rest[..16])
+        .unwrap_or_else(|| {
+            panic!(
+                "child printed no digest.\nstdout:\n{}\nstderr:\n{}",
+                stdout,
+                String::from_utf8_lossy(&output.stderr)
+            )
+        });
+    assert_eq!(
+        child_digest,
+        format!("{:016x}", digest),
+        "sampled results must be bit-identical on a single-thread pool"
+    );
+}

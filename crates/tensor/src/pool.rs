@@ -51,11 +51,46 @@ impl BufferPool {
         Self::default()
     }
 
+    /// Minimum length for which a larger parked buffer may be truncated to
+    /// serve a smaller request (below this, a fresh allocation is cheaper
+    /// than burying a large buffer's capacity in a tiny one).
+    const BEST_FIT_MIN_LEN: usize = 4096;
+    /// A parked buffer may serve a request down to a quarter of its length.
+    const BEST_FIT_MAX_RATIO: usize = 4;
+
     /// Takes a `len`-element buffer with **unspecified contents**.
+    ///
+    /// Exact-length hits come first (steady-state epoch loops reuse their own
+    /// buffers).  On a miss, a large request may be served by *truncating*
+    /// the smallest parked buffer within [`Self::BEST_FIT_MAX_RATIO`] —
+    /// without this, workloads whose buffer sizes differ every step (sampled
+    /// minibatches draw a different receptive field per batch) would park
+    /// every size forever and answer every request with a fresh allocation.
     fn take_raw(&mut self, len: usize) -> Vec<f32> {
         if let Some((_, bucket)) = self.f32_buckets.iter_mut().find(|(l, _)| *l == len) {
             if let Some(buf) = bucket.pop() {
                 debug_assert_eq!(buf.len(), len);
+                self.stats.reuses += 1;
+                return buf;
+            }
+        }
+        if len >= Self::BEST_FIT_MIN_LEN {
+            let mut best: Option<(usize, usize)> = None;
+            for (i, (l, bucket)) in self.f32_buckets.iter().enumerate() {
+                if *l > len
+                    && *l <= len * Self::BEST_FIT_MAX_RATIO
+                    && !bucket.is_empty()
+                    && best.is_none_or(|(_, best_len)| *l < best_len)
+                {
+                    best = Some((i, *l));
+                }
+            }
+            if let Some((i, _)) = best {
+                let mut buf = self.f32_buckets[i]
+                    .1
+                    .pop()
+                    .expect("bucket checked non-empty");
+                buf.truncate(len);
                 self.stats.reuses += 1;
                 return buf;
             }

@@ -337,16 +337,9 @@ impl Tape {
         self.push(Payload::Owned(value), Op::Leaf, false)
     }
 
-    /// Returns a clone of the forward value of `v`.
-    #[deprecated(
-        note = "allocates a full clone per call; use `value_ref` (and clone explicitly \
-                         only where ownership is required)"
-    )]
-    pub fn value(&self, v: Var) -> Matrix {
-        self.nodes[v.0].value.matrix().clone()
-    }
-
-    /// Returns a reference to the forward value of `v`.
+    /// Returns a reference to the forward value of `v`.  (The historical
+    /// cloning `value()` accessor is gone: clone explicitly off `value_ref`
+    /// where ownership is required.)
     pub fn value_ref(&self, v: Var) -> &Matrix {
         self.nodes[v.0].value.matrix()
     }
