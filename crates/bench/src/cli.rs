@@ -7,12 +7,12 @@
 //! spellings execute the identical code path and produce byte-identical
 //! reports and cell caches.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bgc_condense::condenser_names;
 use bgc_core::{attack_names, BgcError, GeneratorKind};
 use bgc_defense::defense_names;
-use bgc_eval::{experiments, Experiment, ExperimentScale, RunMetrics, Runner};
+use bgc_eval::{experiments, Experiment, ExperimentScale, FaultPlan, RunMetrics, Runner};
 use bgc_graph::{DatasetKind, PoisonBudget};
 use bgc_nn::{GnnArchitecture, SampledPlan, TrainingPlan};
 
@@ -41,6 +41,12 @@ GLOBAL OPTIONS:
     --full                Include all four datasets in sweeps at quick scale
     --serial              Disable the cell thread pool (bit-identical output)
     --no-cache            Disable the on-disk cell cache
+    --keep-going          Complete the rest of the grid around failed cells
+                          (every failure is reported; exit code 3)
+    --cell-timeout <s>    Per-cell deadline in seconds; cells past it are
+                          cooperatively cancelled and reported as timed out
+    --retries <n>         Retry retriable cell failures (caught panics, I/O
+                          errors) up to n extra attempts (default: 0)
 
 EXPERIMENT OPTIONS (run; repeatable in grid):
     --dataset <name>      cora|citeseer|flickr|reddit|arxiv (required for run)
@@ -64,6 +70,19 @@ EXPERIMENT OPTIONS (run; repeatable in grid):
     --fanouts <f1xf2...>  Sampled-plan per-layer fanout caps, 0 = unbounded
                           (implies --plan sampled)
     --seed <n>            Base seed (default: 17)
+
+EXIT CODES:
+    0  success                  3  cell failure(s) (panic/timeout/error)
+    1  error                    4  every executed cell was OOM
+    2  usage error
+
+FAULT INJECTION (testing and CI):
+    BGC_FAULTS=\"point[@ctx][#n]=panic|io|delay:<ms>[;...]\" arms
+    deterministic faults at named points: trainer.epoch, condense.outer,
+    stage.clean, stage.attack, runner.persist, runner.load.  @ctx fires only
+    in cells whose canonical key contains ctx; #n fires on the nth matching
+    hit (default 1).  Each fault fires exactly once, so retries and re-runs
+    heal.  Example: BGC_FAULTS=\"stage.clean@citeseer=panic\"
 
 EXAMPLES:
     bgc run --dataset cora --method GCond --attack BGC --ratio 0.026
@@ -101,8 +120,56 @@ impl From<BgcError> for CliError {
     }
 }
 
+/// Exit code: success.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: generic error (unknown registry names, invalid experiments).
+pub const EXIT_ERROR: i32 = 1;
+/// Exit code: malformed invocation (bad flag/operand, malformed
+/// `BGC_FAULTS`).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: one or more cells failed during execution (panic, timeout,
+/// condensation/I-O failure).
+pub const EXIT_CELL_FAILURE: i32 = 3;
+/// Exit code: the run completed but every executed cell was the paper's OOM
+/// condition — nothing usable was measured.
+pub const EXIT_OOM_ONLY: i32 = 4;
+
+/// What a successful subcommand observed, used to pick the exit code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CliOutcome {
+    /// Cells that failed terminally (nonzero only under `--keep-going`).
+    pub cell_failures: usize,
+    /// Cells with a completed result.
+    pub completed: usize,
+    /// Completed cells that were OOM.
+    pub oom: usize,
+}
+
+impl CliOutcome {
+    fn from_runner(runner: &Runner) -> Self {
+        let (completed, oom) = runner.completed_counts();
+        Self {
+            cell_failures: runner.failure_count(),
+            completed,
+            oom,
+        }
+    }
+}
+
+/// Maps a finished invocation to its exit code (see `EXIT_*`).
+pub fn exit_code(result: &Result<CliOutcome, CliError>) -> i32 {
+    match result {
+        Ok(outcome) if outcome.cell_failures > 0 => EXIT_CELL_FAILURE,
+        Ok(outcome) if outcome.completed > 0 && outcome.completed == outcome.oom => EXIT_OOM_ONLY,
+        Ok(_) => EXIT_OK,
+        Err(CliError::Usage(_)) => EXIT_USAGE,
+        Err(CliError::Bgc(err)) if err.is_cell_failure() => EXIT_CELL_FAILURE,
+        Err(CliError::Bgc(_)) => EXIT_ERROR,
+    }
+}
+
 /// Entry point of the `bgc` binary: parses `std::env::args`, runs, exits
-/// non-zero on failure.
+/// with the code class of the outcome (see `EXIT_*`).
 pub fn main() -> ! {
     let args: Vec<String> = std::env::args().skip(1).collect();
     exit_with(run(&args))
@@ -117,18 +184,15 @@ pub fn forward(prefix: &[&str]) -> ! {
     exit_with(run(&args))
 }
 
-fn exit_with(result: Result<(), CliError>) -> ! {
-    match result {
-        Ok(()) => std::process::exit(0),
-        Err(err) => {
-            eprintln!("error: {}", err);
-            std::process::exit(1)
-        }
+fn exit_with(result: Result<CliOutcome, CliError>) -> ! {
+    if let Err(err) = &result {
+        eprintln!("error: {}", err);
     }
+    std::process::exit(exit_code(&result))
 }
 
 /// Runs one CLI invocation (exposed for tests).
-pub fn run(args: &[String]) -> Result<(), CliError> {
+pub fn run(args: &[String]) -> Result<CliOutcome, CliError> {
     let mut args = args.iter().map(String::as_str);
     let command = args.next().unwrap_or("help");
     let rest: Vec<&str> = args.collect();
@@ -141,7 +205,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "list" => cmd_list(&rest),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
-            Ok(())
+            Ok(CliOutcome::default())
         }
         other => Err(CliError::Usage(format!("unknown command '{}'", other))),
     }
@@ -159,6 +223,9 @@ struct Options {
     full: bool,
     serial: bool,
     no_cache: bool,
+    keep_going: bool,
+    cell_timeout: Option<Duration>,
+    retries: Option<usize>,
     datasets: Vec<DatasetKind>,
     methods: Vec<String>,
     attacks: Vec<String>,
@@ -188,6 +255,9 @@ fn parse_options(args: &[&str]) -> Result<Options, CliError> {
         full: false,
         serial: false,
         no_cache: false,
+        keep_going: false,
+        cell_timeout: None,
+        retries: None,
         datasets: Vec::new(),
         methods: Vec::new(),
         attacks: Vec::new(),
@@ -220,6 +290,15 @@ fn parse_options(args: &[&str]) -> Result<Options, CliError> {
             "--full" => options.full = true,
             "--serial" => options.serial = true,
             "--no-cache" => options.no_cache = true,
+            "--keep-going" => options.keep_going = true,
+            "--cell-timeout" => {
+                let seconds: f64 = parse_num(value("--cell-timeout")?, "--cell-timeout")?;
+                if !(seconds > 0.0 && seconds.is_finite()) {
+                    return Err(usage("--cell-timeout expects a positive number of seconds"));
+                }
+                options.cell_timeout = Some(Duration::from_secs_f64(seconds));
+            }
+            "--retries" => options.retries = Some(parse_num(value("--retries")?, "--retries")?),
             "--dataset" => options
                 .datasets
                 .push(value("--dataset")?.parse().map_err(|e: String| usage(e))?),
@@ -291,7 +370,7 @@ fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, CliError
         .map_err(|_| usage(format!("{} got a malformed value '{}'", flag, text)))
 }
 
-fn build_runner(options: &Options) -> Runner {
+fn build_runner(options: &Options) -> Result<Runner, CliError> {
     let mut runner = if options.no_cache {
         Runner::in_memory(options.scale)
     } else {
@@ -300,7 +379,21 @@ fn build_runner(options: &Options) -> Runner {
     if options.serial {
         runner = runner.serial();
     }
-    runner
+    if options.keep_going {
+        runner = runner.keep_going(true);
+    }
+    if options.cell_timeout.is_some() {
+        runner = runner.with_cell_timeout(options.cell_timeout);
+    }
+    if let Some(retries) = options.retries {
+        runner = runner.with_retries(retries);
+    }
+    match FaultPlan::from_env() {
+        Ok(Some(plan)) => runner = runner.with_fault_plan(plan),
+        Ok(None) => {}
+        Err(err) => return Err(usage(format!("malformed BGC_FAULTS: {}", err))),
+    }
+    Ok(runner)
 }
 
 // ---------------------------------------------------------------------------
@@ -391,7 +484,7 @@ fn print_rows(rows: &[RunMetrics]) {
     }
 }
 
-fn cmd_run(args: &[&str]) -> Result<(), CliError> {
+fn cmd_run(args: &[&str]) -> Result<CliOutcome, CliError> {
     let options = parse_options(args)?;
     if !options.operands.is_empty() {
         return Err(usage(format!(
@@ -414,15 +507,15 @@ fn cmd_run(args: &[&str]) -> Result<(), CliError> {
         options.attacks.first().map(String::as_str),
         options.ratios.first().copied(),
     )?;
-    let runner = build_runner(&options);
+    let runner = build_runner(&options)?;
     let started = Instant::now();
     let metrics = experiment.run(&runner)?;
     print_rows(std::slice::from_ref(&metrics));
     report_runner_stats(&runner, started);
-    Ok(())
+    Ok(CliOutcome::from_runner(&runner))
 }
 
-fn cmd_grid(args: &[&str]) -> Result<(), CliError> {
+fn cmd_grid(args: &[&str]) -> Result<CliOutcome, CliError> {
     let options = parse_options(args)?;
     if !options.operands.is_empty() {
         return Err(usage(format!(
@@ -460,24 +553,32 @@ fn cmd_grid(args: &[&str]) -> Result<(), CliError> {
             }
         }
     }
-    let runner = build_runner(&options);
+    let runner = build_runner(&options)?;
     let started = Instant::now();
     let groups = experiments
         .iter()
         .map(|e| e.group(&runner))
         .collect::<Result<Vec<_>, _>>()
         .map_err(CliError::Bgc)?;
-    runner
+    let report = runner
         .run_groups(&groups.iter().collect::<Vec<_>>())
         .map_err(CliError::Bgc)?;
-    let rows = groups
-        .iter()
-        .map(|g| runner.metrics(g))
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(CliError::Bgc)?;
+    // Under --keep-going, render every group that completed and report the
+    // failed ones; otherwise any failure already aborted above.
+    let mut rows = Vec::new();
+    for group in &groups {
+        match runner.metrics(group) {
+            Ok(row) => rows.push(row),
+            Err(err) if options.keep_going => eprintln!("error: {}", err),
+            Err(err) => return Err(CliError::Bgc(err)),
+        }
+    }
     print_rows(&rows);
+    if !report.is_ok() {
+        eprintln!("-- grid outcome: {}", report.summary());
+    }
     report_runner_stats(&runner, started);
-    Ok(())
+    Ok(CliOutcome::from_runner(&runner))
 }
 
 // ---------------------------------------------------------------------------
@@ -489,7 +590,7 @@ enum ReportFamily {
     Fig,
 }
 
-fn cmd_report(args: &[&str], family: ReportFamily) -> Result<(), CliError> {
+fn cmd_report(args: &[&str], family: ReportFamily) -> Result<CliOutcome, CliError> {
     let options = parse_options(args)?;
     let (label, numbers) = match family {
         ReportFamily::Table => ("table", "1-8"),
@@ -499,7 +600,7 @@ fn cmd_report(args: &[&str], family: ReportFamily) -> Result<(), CliError> {
         return Err(usage(format!("{} expects one number ({})", label, numbers)));
     }
     let number: u32 = parse_num(&options.operands[0], label)?;
-    let runner = build_runner(&options);
+    let runner = build_runner(&options)?;
     let started = Instant::now();
     let full = options.full;
     let report = match (family, number) {
@@ -525,10 +626,14 @@ fn cmd_report(args: &[&str], family: ReportFamily) -> Result<(), CliError> {
     }?;
     report.print_and_save();
     report_runner_stats(&runner, started);
-    Ok(())
+    Ok(CliOutcome::from_runner(&runner))
 }
 
-fn cmd_all(args: &[&str]) -> Result<(), CliError> {
+/// A deferred report regenerator of `bgc all` (deferring lets `--keep-going`
+/// announce a failed report and move on to the next one).
+type Regenerator<'a> = Box<dyn Fn() -> Result<bgc_eval::ExperimentReport, BgcError> + 'a>;
+
+fn cmd_all(args: &[&str]) -> Result<CliOutcome, CliError> {
     let options = parse_options(args)?;
     if !options.operands.is_empty() {
         return Err(usage(format!(
@@ -536,33 +641,47 @@ fn cmd_all(args: &[&str]) -> Result<(), CliError> {
             options.operands[0]
         )));
     }
-    let runner = build_runner(&options);
+    let runner = build_runner(&options)?;
     let full = options.full;
     let started = Instant::now();
 
-    experiments::table1(runner.scale())?.print_and_save();
-    experiments::fig1(&runner)?.print_and_save();
-    experiments::table2(&runner, full)?.print_and_save();
-    experiments::fig4(&runner, full)?.print_and_save();
-    experiments::table3(&runner, full)?.print_and_save();
-    experiments::table4(&runner, full)?.print_and_save();
-    experiments::fig5(&runner)?.print_and_save();
-    experiments::table5(&runner)?.print_and_save();
-    experiments::table6(&runner)?.print_and_save();
-    experiments::fig6(&runner, full)?.print_and_save();
-    experiments::table7(&runner, full)?.print_and_save();
-    experiments::table8(&runner, full)?.print_and_save();
-    experiments::fig8(&runner)?.print_and_save();
+    // Under --keep-going a failed report is announced and the remaining
+    // reports still regenerate (cells that failed stay failed on this
+    // runner, so reports sharing them fail fast instead of re-running).
+    let reports: Vec<(&str, Regenerator)> = vec![
+        ("table 1", Box::new(|| experiments::table1(runner.scale()))),
+        ("fig 1", Box::new(|| experiments::fig1(&runner))),
+        ("table 2", Box::new(|| experiments::table2(&runner, full))),
+        ("fig 4", Box::new(|| experiments::fig4(&runner, full))),
+        ("table 3", Box::new(|| experiments::table3(&runner, full))),
+        ("table 4", Box::new(|| experiments::table4(&runner, full))),
+        ("fig 5", Box::new(|| experiments::fig5(&runner))),
+        ("table 5", Box::new(|| experiments::table5(&runner))),
+        ("table 6", Box::new(|| experiments::table6(&runner))),
+        ("fig 6", Box::new(|| experiments::fig6(&runner, full))),
+        ("table 7", Box::new(|| experiments::table7(&runner, full))),
+        ("table 8", Box::new(|| experiments::table8(&runner, full))),
+        ("fig 8", Box::new(|| experiments::fig8(&runner))),
+    ];
+    for (name, regenerate) in reports {
+        match regenerate() {
+            Ok(report) => report.print_and_save(),
+            Err(err) if options.keep_going => {
+                eprintln!("error: {} failed: {}", name, err);
+            }
+            Err(err) => return Err(CliError::Bgc(err)),
+        }
+    }
 
     report_runner_stats(&runner, started);
-    Ok(())
+    Ok(CliOutcome::from_runner(&runner))
 }
 
 // ---------------------------------------------------------------------------
 // list
 // ---------------------------------------------------------------------------
 
-fn cmd_list(args: &[&str]) -> Result<(), CliError> {
+fn cmd_list(args: &[&str]) -> Result<CliOutcome, CliError> {
     let options = parse_options(args)?;
     if options.operands.len() != 1 {
         return Err(usage(
@@ -572,7 +691,7 @@ fn cmd_list(args: &[&str]) -> Result<(), CliError> {
     for line in list_lines(&options.operands[0])? {
         println!("{}", line);
     }
-    Ok(())
+    Ok(CliOutcome::default())
 }
 
 /// The lines `bgc list <what>` prints (exposed for tests).
@@ -677,6 +796,72 @@ mod tests {
         assert!(matches!(
             err,
             Err(CliError::Bgc(BgcError::UnknownAttack(_)))
+        ));
+    }
+
+    #[test]
+    fn exit_codes_distinguish_failure_classes() {
+        assert_eq!(exit_code(&Ok(CliOutcome::default())), EXIT_OK);
+        assert_eq!(
+            exit_code(&Ok(CliOutcome {
+                cell_failures: 1,
+                completed: 120,
+                oom: 3,
+            })),
+            EXIT_CELL_FAILURE
+        );
+        assert_eq!(
+            exit_code(&Ok(CliOutcome {
+                cell_failures: 0,
+                completed: 2,
+                oom: 2,
+            })),
+            EXIT_OOM_ONLY
+        );
+        assert_eq!(
+            exit_code(&Ok(CliOutcome {
+                cell_failures: 0,
+                completed: 3,
+                oom: 2,
+            })),
+            EXIT_OK,
+            "a mixed grid with some OOM rows is a success"
+        );
+        assert_eq!(
+            exit_code(&Err(CliError::Usage("bad flag".into()))),
+            EXIT_USAGE
+        );
+        assert_eq!(
+            exit_code(&Err(CliError::Bgc(BgcError::UnknownAttack("x".into())))),
+            EXIT_ERROR
+        );
+        assert_eq!(
+            exit_code(&Err(CliError::Bgc(BgcError::CellPanicked {
+                canon: "c".into(),
+                message: "m".into(),
+            }))),
+            EXIT_CELL_FAILURE
+        );
+    }
+
+    #[test]
+    fn fault_tolerance_flags_parse() {
+        let options =
+            parse_options(&["--keep-going", "--cell-timeout", "2.5", "--retries", "3"]).unwrap();
+        assert!(options.keep_going);
+        assert_eq!(options.cell_timeout, Some(Duration::from_millis(2500)));
+        assert_eq!(options.retries, Some(3));
+        assert!(matches!(
+            parse_options(&["--cell-timeout", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_options(&["--cell-timeout", "soon"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_options(&["--retries", "-1"]),
+            Err(CliError::Usage(_))
         ));
     }
 

@@ -456,6 +456,8 @@ impl GradientMatchingState {
         let z_real = self.real_representation(graph);
         let mut losses = Vec::with_capacity(self.config.outer_epochs);
         for epoch in 0..self.config.outer_epochs {
+            bgc_runtime::checkpoint();
+            bgc_runtime::fault::fire("condense.outer");
             if epoch % self.config.surrogate_resample_every == 0 {
                 self.resample_surrogate();
             }

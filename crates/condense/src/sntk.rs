@@ -151,6 +151,8 @@ pub fn condense_sntk(
     let x_zero_grad = Matrix::zeros(syn_features.rows(), syn_features.cols());
     let mut tape = Tape::new();
     for _ in 0..config.outer_epochs {
+        bgc_runtime::checkpoint();
+        bgc_runtime::fault::fire("condense.outer");
         tape.reset();
         let x = tape.leaf_copied(&syn_features);
         let k_ss = kernel_var_var(&mut tape, x);

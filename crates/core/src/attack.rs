@@ -122,6 +122,7 @@ impl BgcAttack {
         let mut poisoned_structure: Option<Graph> = None;
 
         for epoch in 0..self.config.condensation.outer_epochs {
+            bgc_runtime::checkpoint();
             if epoch % self.config.condensation.surrogate_resample_every == 0 {
                 state.resample_surrogate();
             }

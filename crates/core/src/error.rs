@@ -35,6 +35,27 @@ pub enum BgcError {
         /// Canonical key of the missing cell.
         canon: String,
     },
+    /// A cell panicked; the panic was caught at the cell boundary instead of
+    /// poisoning the grid.
+    CellPanicked {
+        /// Canonical key of the panicked cell.
+        canon: String,
+        /// The panic payload's message, when it carried one.
+        message: String,
+    },
+    /// A cell exceeded its deadline and was cooperatively cancelled.
+    CellTimedOut {
+        /// Canonical key of the cancelled cell.
+        canon: String,
+        /// The deadline that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
+    /// Several cells of one grid failed; every per-cell error is retained
+    /// (a 10-cell failure is reported as 10, not 1).
+    Grid {
+        /// The per-cell failures, in grid submission order.
+        failures: Vec<BgcError>,
+    },
     /// Filesystem or serialization failure (reports, cell cache).
     Io(String),
 }
@@ -49,6 +70,40 @@ impl BgcError {
     /// Convenience constructor for validation failures.
     pub fn invalid(message: impl Into<String>) -> Self {
         BgcError::InvalidExperiment(message.into())
+    }
+
+    /// Whether this error reports cells failing *during execution* (panic,
+    /// timeout, condensation/I-O failure) as opposed to a misconfigured
+    /// experiment (unknown names, invalid builder input).  Drives the CLI's
+    /// distinct cell-failure exit code.
+    pub fn is_cell_failure(&self) -> bool {
+        match self {
+            BgcError::Condense(_)
+            | BgcError::CellPanicked { .. }
+            | BgcError::CellTimedOut { .. }
+            | BgcError::Io(_) => true,
+            BgcError::Grid { failures } => failures.iter().any(BgcError::is_cell_failure),
+            _ => false,
+        }
+    }
+
+    /// Whether a bounded retry could plausibly clear this failure: transient
+    /// I/O errors and caught panics are retriable, deterministic
+    /// configuration and condensation failures (and deadline overruns, which
+    /// would only overrun again) are not.
+    pub fn is_retriable(&self) -> bool {
+        matches!(self, BgcError::Io(_) | BgcError::CellPanicked { .. })
+    }
+
+    /// Aggregates per-cell failures into one error: `None` for an empty
+    /// list, the error itself for a single failure, [`BgcError::Grid`]
+    /// retaining every failure otherwise.
+    pub fn aggregate(mut failures: Vec<BgcError>) -> Option<BgcError> {
+        match failures.len() {
+            0 => None,
+            1 => failures.pop(),
+            _ => Some(BgcError::Grid { failures }),
+        }
     }
 }
 
@@ -68,6 +123,19 @@ impl fmt::Display for BgcError {
             ),
             BgcError::CellNotExecuted { canon } => {
                 write!(f, "cell was not executed: {}", canon)
+            }
+            BgcError::CellPanicked { canon, message } => {
+                write!(f, "cell panicked ({}): {}", message, canon)
+            }
+            BgcError::CellTimedOut { canon, limit_ms } => {
+                write!(f, "cell timed out after {} ms: {}", limit_ms, canon)
+            }
+            BgcError::Grid { failures } => {
+                write!(f, "{} cells failed:", failures.len())?;
+                for failure in failures {
+                    write!(f, "\n  - {}", failure)?;
+                }
+                Ok(())
             }
             BgcError::Io(msg) => write!(f, "io error: {}", msg),
         }
@@ -125,5 +193,48 @@ mod tests {
         assert!(BgcError::invalid("ratio out of range")
             .to_string()
             .contains("ratio"));
+    }
+
+    #[test]
+    fn aggregate_keeps_every_failure() {
+        assert_eq!(BgcError::aggregate(Vec::new()), None);
+        let single = BgcError::aggregate(vec![BgcError::Io("disk full".into())]).unwrap();
+        assert_eq!(single, BgcError::Io("disk full".into()));
+        let both = BgcError::aggregate(vec![
+            BgcError::Io("disk full".into()),
+            BgcError::CellPanicked {
+                canon: "v2|quick|cora".into(),
+                message: "boom".into(),
+            },
+        ])
+        .unwrap();
+        let rendered = both.to_string();
+        assert!(rendered.contains("2 cells failed"));
+        assert!(rendered.contains("disk full"));
+        assert!(rendered.contains("boom"));
+    }
+
+    #[test]
+    fn failure_classes_drive_retry_and_exit_codes() {
+        let panicked = BgcError::CellPanicked {
+            canon: "c".into(),
+            message: "m".into(),
+        };
+        let timed_out = BgcError::CellTimedOut {
+            canon: "c".into(),
+            limit_ms: 50,
+        };
+        assert!(panicked.is_retriable() && panicked.is_cell_failure());
+        assert!(BgcError::Io("x".into()).is_retriable());
+        assert!(!timed_out.is_retriable() && timed_out.is_cell_failure());
+        assert!(!BgcError::UnknownAttack("Ghost".into()).is_cell_failure());
+        assert!(BgcError::Grid {
+            failures: vec![timed_out]
+        }
+        .is_cell_failure());
+        assert!(!BgcError::Grid {
+            failures: vec![BgcError::UnknownAttack("Ghost".into())]
+        }
+        .is_cell_failure());
     }
 }

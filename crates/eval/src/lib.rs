@@ -23,14 +23,15 @@ pub mod scale;
 pub mod tables;
 
 pub use bgc_core::BgcError;
+pub use bgc_runtime::{CancelToken, FaultAction, FaultPlan, FaultSpec};
 pub use experiment::{Experiment, ExperimentBuilder};
 pub use protocol::{
     attack_stage, clean_stage, run_spec, run_spec_with, AttackArtifacts, AttackKind, RunMetrics,
     RunSpec,
 };
 pub use runner::{
-    BudgetOverride, CellGroup, CellKey, CellOverrides, CellResult, EvalKind, Runner, RunnerStats,
-    DEFAULT_BASE_SEED,
+    BudgetOverride, CellGroup, CellKey, CellOutcome, CellOverrides, CellResult, CellStatus,
+    EvalKind, GridReport, Runner, RunnerStats, DEFAULT_BASE_SEED,
 };
 pub use scale::ExperimentScale;
 pub use tables::ExperimentReport;

@@ -14,7 +14,18 @@
 //!   tables/figures (e.g. the GCond/Cora/BGC cell appearing in Table II,
 //!   Fig. 1, Fig. 4 and Table VI) pay for each attack once;
 //! * **resumably** — per-cell results are persisted as JSON under
-//!   `target/experiments/<scale>/cells/` and re-runs are served from disk;
+//!   `target/experiments/<scale>/cells/` (atomic temp-file + rename writes
+//!   with a checksum footer; corrupt or stale files are quarantined to
+//!   `<name>.corrupt` and recomputed) and re-runs are served from disk;
+//! * **fault-tolerantly** — every cell executes behind an unwind boundary,
+//!   so a panic becomes a typed [`CellStatus::Panicked`] outcome instead of
+//!   a poisoned-mutex cascade; a per-cell deadline ([`Runner::with_cell_timeout`])
+//!   cooperatively cancels stuck cells through the `bgc_runtime` checkpoints
+//!   in the trainer and condensation loops; transient failures retry
+//!   deterministically ([`Runner::with_retries`]); and
+//!   [`Runner::keep_going`] completes the rest of the grid around failed
+//!   cells, returning a [`GridReport`] that records every per-cell status
+//!   rather than the first error;
 //! * **openly** — attacks, condensation methods and defenses are resolved by
 //!   name from their registries and driven through trait objects, so a newly
 //!   registered attack/method/defense runs through the grid without touching
@@ -23,17 +34,28 @@
 //! The regenerators in [`crate::experiments`] declare their cell lists with
 //! [`Runner::group`] and render from [`Runner::metrics`]; they never loop
 //! over attacks inline.
+//!
+//! Fault injection for tests and CI goes through [`bgc_runtime::fault`]: the
+//! runner arms a [`FaultPlan`] ([`Runner::with_fault_plan`]) and enters it
+//! around each cell with the cell's canonical key as context, so the named
+//! fault points (`trainer.epoch`, `condense.outer`, `stage.clean`,
+//! `stage.attack`, `runner.persist`, `runner.load`) fire deterministically
+//! in exactly the targeted cell.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs;
-use std::path::PathBuf;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::str::FromStr;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
 
 use rayon::prelude::*;
 use serde::Serialize;
+
+use bgc_runtime::{fault, CancelToken, CancelUnwind, FaultPlan};
 
 use bgc_condense::MethodId;
 use bgc_core::{
@@ -455,7 +477,7 @@ impl<T: Clone> StageCache<T> {
 
     fn get_or_compute(&self, key: String, compute: impl FnOnce() -> T) -> T {
         let slot = {
-            let mut slots = self.slots.lock().unwrap();
+            let mut slots = relock(&self.slots);
             slots.entry(key).or_default().clone()
         };
         let mut ran = false;
@@ -489,6 +511,12 @@ pub struct RunnerStats {
     pub clean_stages_computed: usize,
     /// Clean condensations shared between cells (e.g. across attacks).
     pub clean_stage_hits: usize,
+    /// Corrupt/stale cell files quarantined to `<name>.corrupt` and
+    /// recomputed.
+    pub cells_quarantined: usize,
+    /// Cells whose results could not be persisted to the on-disk cache (the
+    /// in-memory results stayed valid).
+    pub persist_failures: usize,
 }
 
 impl RunnerStats {
@@ -497,9 +525,11 @@ impl RunnerStats {
         self.cell_memory_hits + self.cell_disk_hits + self.attack_stage_hits + self.clean_stage_hits
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary.  Quarantine and persist-failure
+    /// counts only appear when nonzero, so healthy runs print exactly what
+    /// they always printed.
     pub fn summary(&self) -> String {
-        format!(
+        let mut summary = format!(
             "cells: {} computed, {} memory hits, {} disk hits | attack stages: {} computed, {} shared | clean stages: {} computed, {} shared",
             self.cells_computed,
             self.cell_memory_hits,
@@ -508,7 +538,199 @@ impl RunnerStats {
             self.attack_stage_hits,
             self.clean_stages_computed,
             self.clean_stage_hits,
+        );
+        if self.cells_quarantined > 0 {
+            summary.push_str(&format!(" | {} quarantined", self.cells_quarantined));
+        }
+        if self.persist_failures > 0 {
+            summary.push_str(&format!(" | {} persist failures", self.persist_failures));
+        }
+        summary
+    }
+}
+
+/// Locks a mutex, recovering the guard if a panicking thread poisoned it.
+///
+/// Cells execute behind an unwind boundary and none of the runner's locks is
+/// ever held across cell compute, so the protected maps cannot be observed
+/// mid-update; recovering keeps one panicked cell from wedging the rest of
+/// the grid behind `PoisonError`.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` produces
+/// `&'static str` or `String` payloads; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&'static str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// An outcome that did not execute in this wave (memory hit, previously
+/// failed cell, or a skipped cell of an aborted wave).
+fn resolved_outcome(key: &CellKey, status: CellStatus) -> CellOutcome {
+    CellOutcome {
+        key: key.clone(),
+        status,
+        attempts: 0,
+        persist_error: None,
+    }
+}
+
+/// Terminal status of one cell in a [`GridReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellStatus {
+    /// The cell completed; its result is readable via [`Runner::result`].
+    Ok,
+    /// The cell completed as the paper's out-of-memory condition (rendered
+    /// as an `OOM` table row, not a failure).
+    Oom,
+    /// The cell failed with a typed error (registry lookup, condensation,
+    /// I/O).
+    Failed(BgcError),
+    /// The cell exceeded the per-cell deadline and was cooperatively
+    /// cancelled at a `bgc_runtime` checkpoint.
+    TimedOut {
+        /// The deadline that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The cell panicked; the panic was caught at the cell boundary.
+    Panicked {
+        /// The panic payload's message.
+        message: String,
+    },
+    /// The cell never started: an earlier cell failed and the runner is not
+    /// in [`Runner::keep_going`] mode.
+    Skipped,
+}
+
+impl CellStatus {
+    /// Whether the cell produced a usable result (`Ok` or `Oom`).
+    pub fn is_success(&self) -> bool {
+        matches!(self, CellStatus::Ok | CellStatus::Oom)
+    }
+
+    /// The status as a typed error (`None` for successes and skipped cells).
+    pub fn to_error(&self, canon: &str) -> Option<BgcError> {
+        match self {
+            CellStatus::Ok | CellStatus::Oom | CellStatus::Skipped => None,
+            CellStatus::Failed(err) => Some(err.clone()),
+            CellStatus::TimedOut { limit_ms } => Some(BgcError::CellTimedOut {
+                canon: canon.to_string(),
+                limit_ms: *limit_ms,
+            }),
+            CellStatus::Panicked { message } => Some(BgcError::CellPanicked {
+                canon: canon.to_string(),
+                message: message.clone(),
+            }),
+        }
+    }
+
+    /// Short human-readable label (grid summaries, CLI output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Oom => "oom",
+            CellStatus::Failed(_) => "failed",
+            CellStatus::TimedOut { .. } => "timed out",
+            CellStatus::Panicked { .. } => "panicked",
+            CellStatus::Skipped => "skipped",
+        }
+    }
+}
+
+/// Per-cell record of one [`Runner::run_cells`] wave.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The cell's coordinates.
+    pub key: CellKey,
+    /// Terminal status of the cell in this wave.
+    pub status: CellStatus,
+    /// Execution attempts this wave spent on the cell; `0` when the cell was
+    /// already resolved (an in-memory hit, or a cell that failed in an
+    /// earlier wave of the same runner).
+    pub attempts: usize,
+    /// Set when the cell computed but its result could not be written to the
+    /// on-disk cache (the in-memory result is still valid).
+    pub persist_error: Option<String>,
+}
+
+/// Per-cell statuses of one [`Runner::run_cells`] wave, in submission order
+/// (deduplicated).  This replaces the old first-error-wins return: a
+/// ten-cell failure reports ten statuses, and [`Runner::keep_going`] callers
+/// can render the cells that did complete.
+#[derive(Clone, Debug)]
+pub struct GridReport {
+    /// One outcome per distinct submitted cell, in submission order.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+impl GridReport {
+    /// Whether every cell completed (`Ok` or `Oom`).
+    pub fn is_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.status.is_success())
+    }
+
+    /// Outcomes that failed (errored, timed out or panicked; skipped cells
+    /// are not failures).
+    pub fn failures(&self) -> Vec<&CellOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.status.is_success() && o.status != CellStatus::Skipped)
+            .collect()
+    }
+
+    /// Cells that never started because the wave aborted on a failure.
+    pub fn skipped(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == CellStatus::Skipped)
+            .count()
+    }
+
+    /// Cells whose results could not be written to the on-disk cache.
+    pub fn persist_failures(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.persist_error.is_some())
+            .count()
+    }
+
+    /// Every failure aggregated into one typed error (`None` when the wave
+    /// succeeded).  A multi-cell failure retains every per-cell error.
+    pub fn error(&self) -> Option<BgcError> {
+        BgcError::aggregate(
+            self.failures()
+                .iter()
+                .filter_map(|o| o.status.to_error(&o.key.canon()))
+                .collect(),
         )
+    }
+
+    /// One-line summary, e.g. `121 cells: 119 ok, 1 oom, 1 panicked`.
+    pub fn summary(&self) -> String {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for outcome in &self.outcomes {
+            let label = outcome.status.label();
+            match counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((label, 1)),
+            }
+        }
+        let mut parts: Vec<String> = counts
+            .iter()
+            .map(|(label, n)| format!("{} {}", n, label))
+            .collect();
+        let persist = self.persist_failures();
+        if persist > 0 {
+            parts.push(format!("{} persist failures", persist));
+        }
+        format!("{} cells: {}", self.outcomes.len(), parts.join(", "))
     }
 }
 
@@ -519,8 +741,17 @@ pub struct Runner {
     scale: ExperimentScale,
     base_seed: u64,
     parallel: bool,
+    keep_going: bool,
+    cell_timeout: Option<Duration>,
+    retries: usize,
+    retry_backoff: Duration,
+    fault_plan: Option<FaultPlan>,
     cache_dir: Option<PathBuf>,
     results: Mutex<HashMap<CellKey, CellResult>>,
+    /// Cells that failed terminally in an earlier wave.  A failed cell stays
+    /// failed for the lifetime of the runner (so overlapping reports are
+    /// deterministic); a fresh process retries it naturally.
+    failures: Mutex<HashMap<CellKey, CellStatus>>,
     clean_cache: StageCache<StageResult<Arc<CondensedGraph>>>,
     attack_cache: StageCache<StageResult<AttackArtifacts>>,
     /// Generated datasets, shared across cells: `(dataset, seed)` fully
@@ -530,6 +761,8 @@ pub struct Runner {
     cells_computed: AtomicUsize,
     cell_memory_hits: AtomicUsize,
     cell_disk_hits: AtomicUsize,
+    cells_quarantined: AtomicUsize,
+    persist_failure_count: AtomicUsize,
 }
 
 impl Runner {
@@ -548,20 +781,33 @@ impl Runner {
     }
 
     /// A runner with an explicit cell-cache directory (`None` disables
-    /// persistence).
+    /// persistence).  Stale temp files left behind by killed processes are
+    /// swept on construction; the atomic-rename persist protocol guarantees
+    /// they are never the live copy.
     pub fn with_cache_dir(scale: ExperimentScale, cache_dir: Option<PathBuf>) -> Self {
+        if let Some(dir) = &cache_dir {
+            sweep_stale_tmp_files(dir);
+        }
         Self {
             scale,
             base_seed: DEFAULT_BASE_SEED,
             parallel: true,
+            keep_going: false,
+            cell_timeout: None,
+            retries: 0,
+            retry_backoff: Duration::from_millis(100),
+            fault_plan: None,
             cache_dir,
             results: Mutex::new(HashMap::new()),
+            failures: Mutex::new(HashMap::new()),
             clean_cache: StageCache::new(),
             attack_cache: StageCache::new(),
             graphs: StageCache::new(),
             cells_computed: AtomicUsize::new(0),
             cell_memory_hits: AtomicUsize::new(0),
             cell_disk_hits: AtomicUsize::new(0),
+            cells_quarantined: AtomicUsize::new(0),
+            persist_failure_count: AtomicUsize::new(0),
         }
     }
 
@@ -570,6 +816,45 @@ impl Runner {
     /// determinism test and for debugging).
     pub fn serial(mut self) -> Self {
         self.parallel = false;
+        self
+    }
+
+    /// Completes the rest of the grid around failed cells instead of
+    /// aborting the wave at the first failure; every failure is recorded in
+    /// the [`GridReport`].
+    pub fn keep_going(mut self, keep_going: bool) -> Self {
+        self.keep_going = keep_going;
+        self
+    }
+
+    /// Sets a per-cell deadline.  Cells past the deadline are cooperatively
+    /// cancelled at the next `bgc_runtime` checkpoint (trainer epochs,
+    /// condensation outer epochs) and reported as [`CellStatus::TimedOut`].
+    pub fn with_cell_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.cell_timeout = timeout;
+        self
+    }
+
+    /// Retries retriable cell failures (caught panics, I/O errors) up to
+    /// `retries` extra attempts, with deterministic linear backoff.
+    /// Deterministic failures — unknown registry names, condensation errors,
+    /// deadline overruns — never retry.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Pause before retry attempt `n` is `backoff * n` (default 100 ms).
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan: it is entered around every
+    /// cell with the cell's canonical key as context, so context filters
+    /// target exact cells (see [`bgc_runtime::fault`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = if plan.is_empty() { None } else { Some(plan) };
         self
     }
 
@@ -706,45 +991,60 @@ impl Runner {
     }
 
     /// Executes every not-yet-known cell of `keys` (deduplicated), in
-    /// parallel unless [`Runner::serial`].  Completed results land in the
-    /// in-memory map (and on disk when persistence is enabled); read them
-    /// back with [`Runner::result`] or [`Runner::metrics`].  The first cell
-    /// failure (unknown attack/method/defense, non-OOM condensation error)
-    /// aborts with a typed error; OOM cells are recorded as OOM results.
-    pub fn run_cells(&self, keys: &[CellKey]) -> Result<(), BgcError> {
-        let mut pending = Vec::new();
-        let mut seen = HashSet::new();
+    /// parallel unless [`Runner::serial`], and reports one [`CellOutcome`]
+    /// per distinct cell in submission order.
+    ///
+    /// Every cell runs behind an unwind boundary: a panic becomes
+    /// [`CellStatus::Panicked`], a deadline overrun [`CellStatus::TimedOut`]
+    /// and a typed error [`CellStatus::Failed`] — OOM cells stay ordinary
+    /// OOM *results*.  Retriable failures retry per
+    /// [`Runner::with_retries`].  Without [`Runner::keep_going`] the first
+    /// failure stops cells that have not started yet (recorded as
+    /// [`CellStatus::Skipped`]); with it the whole grid completes.
+    pub fn run_cells(&self, keys: &[CellKey]) -> GridReport {
+        let mut order: Vec<CellKey> = Vec::new();
+        let mut resolved: HashMap<CellKey, CellOutcome> = HashMap::new();
+        let mut pending: Vec<CellKey> = Vec::new();
         {
-            let results = self.results.lock().unwrap();
+            let results = relock(&self.results);
+            let failures = relock(&self.failures);
+            let mut seen = HashSet::new();
             for key in keys {
                 if !seen.insert(key.clone()) {
                     continue;
                 }
-                if results.contains_key(key) {
+                order.push(key.clone());
+                if let Some(result) = results.get(key) {
                     self.cell_memory_hits.fetch_add(1, Ordering::Relaxed);
+                    let status = if result.oom {
+                        CellStatus::Oom
+                    } else {
+                        CellStatus::Ok
+                    };
+                    resolved.insert(key.clone(), resolved_outcome(key, status));
+                } else if let Some(status) = failures.get(key) {
+                    resolved.insert(key.clone(), resolved_outcome(key, status.clone()));
                 } else {
                     pending.push(key.clone());
                 }
             }
         }
-        let errors: Mutex<Vec<BgcError>> = Mutex::new(Vec::new());
+        let aborted = AtomicBool::new(false);
+        let computed: Mutex<HashMap<CellKey, CellOutcome>> = Mutex::new(HashMap::new());
         let execute = |key: CellKey| {
-            let outcome = match self.load_cell(&key) {
-                Some(result) => {
-                    self.cell_disk_hits.fetch_add(1, Ordering::Relaxed);
-                    Ok(result)
+            let outcome = if aborted.load(Ordering::Relaxed) {
+                resolved_outcome(&key, CellStatus::Skipped)
+            } else {
+                let outcome = self.execute_cell(&key);
+                if !outcome.status.is_success() {
+                    relock(&self.failures).insert(key.clone(), outcome.status.clone());
+                    if !self.keep_going {
+                        aborted.store(true, Ordering::Relaxed);
+                    }
                 }
-                None => self.compute_cell(&key).inspect(|result| {
-                    self.cells_computed.fetch_add(1, Ordering::Relaxed);
-                    self.persist_cell(&key, result);
-                }),
+                outcome
             };
-            match outcome {
-                Ok(result) => {
-                    self.results.lock().unwrap().insert(key, result);
-                }
-                Err(err) => errors.lock().unwrap().push(err),
-            }
+            relock(&computed).insert(key, outcome);
         };
         if self.parallel && pending.len() > 1 {
             pending.into_par_iter().for_each(execute);
@@ -753,28 +1053,131 @@ impl Runner {
                 execute(key);
             }
         }
-        match errors.into_inner().unwrap().into_iter().next() {
-            Some(err) => Err(err),
-            None => Ok(()),
+        let mut computed = computed
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        GridReport {
+            outcomes: order
+                .into_iter()
+                .map(|key| {
+                    resolved
+                        .remove(&key)
+                        .or_else(|| computed.remove(&key))
+                        .expect("every submitted cell has an outcome")
+                })
+                .collect(),
+        }
+    }
+
+    /// Executes one cell behind the unwind boundary, with the deadline
+    /// token, the fault-injection scope and bounded deterministic retry.
+    fn execute_cell(&self, key: &CellKey) -> CellOutcome {
+        let canon = key.canon();
+        let mut attempt = 0usize;
+        loop {
+            attempt += 1;
+            let unwound = catch_unwind(AssertUnwindSafe(|| {
+                let _faults = self.fault_plan.as_ref().map(|plan| plan.enter(&canon));
+                let deadline = self.cell_timeout.map(CancelToken::with_timeout);
+                let _scope = deadline.as_ref().map(CancelToken::enter);
+                match self.load_cell(key) {
+                    Some(result) => Ok((result, false, None)),
+                    None => self
+                        .compute_cell(key)
+                        .map(|result| (result, true, self.persist_cell(key, &result).err())),
+                }
+            }));
+            let failure = match unwound {
+                Ok(Ok((result, computed, persist_error))) => {
+                    if computed {
+                        self.cells_computed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.cell_disk_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(reason) = &persist_error {
+                        self.persist_failure_count.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("warning: {}", reason);
+                    }
+                    relock(&self.results).insert(key.clone(), result);
+                    let status = if result.oom {
+                        CellStatus::Oom
+                    } else {
+                        CellStatus::Ok
+                    };
+                    return CellOutcome {
+                        key: key.clone(),
+                        status,
+                        attempts: attempt,
+                        persist_error,
+                    };
+                }
+                Ok(Err(err)) => err,
+                Err(payload) => {
+                    if payload.downcast_ref::<CancelUnwind>().is_some() {
+                        BgcError::CellTimedOut {
+                            canon: canon.clone(),
+                            limit_ms: self.cell_timeout.map_or(0, |t| t.as_millis() as u64),
+                        }
+                    } else {
+                        BgcError::CellPanicked {
+                            canon: canon.clone(),
+                            message: panic_message(payload.as_ref()),
+                        }
+                    }
+                }
+            };
+            if failure.is_retriable() && attempt <= self.retries {
+                eprintln!(
+                    "warning: cell attempt {} of {} failed, retrying: {}",
+                    attempt,
+                    self.retries + 1,
+                    failure
+                );
+                std::thread::sleep(self.retry_backoff * attempt as u32);
+                continue;
+            }
+            let status = match failure {
+                BgcError::CellTimedOut { limit_ms, .. } => CellStatus::TimedOut { limit_ms },
+                BgcError::CellPanicked { message, .. } => CellStatus::Panicked { message },
+                other => CellStatus::Failed(other),
+            };
+            return CellOutcome {
+                key: key.clone(),
+                status,
+                attempts: attempt,
+                persist_error: None,
+            };
         }
     }
 
     /// Runs every cell of the given groups (one call per report keeps the
     /// whole report's grid in flight at once).
-    pub fn run_groups(&self, groups: &[&CellGroup]) -> Result<(), BgcError> {
+    ///
+    /// Without [`Runner::keep_going`] any failure returns as a typed error
+    /// aggregating *every* failed cell (a ten-cell failure reports ten
+    /// errors, not one).  With it the [`GridReport`] is returned regardless
+    /// and the caller decides how to proceed.
+    pub fn run_groups(&self, groups: &[&CellGroup]) -> Result<GridReport, BgcError> {
         let keys: Vec<CellKey> = groups.iter().flat_map(|g| g.keys.iter().cloned()).collect();
-        self.run_cells(&keys)
+        let report = self.run_cells(&keys);
+        if !self.keep_going {
+            if let Some(err) = report.error() {
+                return Err(err);
+            }
+        }
+        Ok(report)
     }
 
-    /// The completed result of a cell; [`BgcError::CellNotExecuted`] if the
-    /// cell was never run.
+    /// The completed result of a cell; the cell's failure if it failed, and
+    /// [`BgcError::CellNotExecuted`] if it was never run.
     pub fn result(&self, key: &CellKey) -> Result<CellResult, BgcError> {
-        self.results
-            .lock()
-            .unwrap()
+        if let Some(result) = relock(&self.results).get(key) {
+            return Ok(*result);
+        }
+        let failed = relock(&self.failures)
             .get(key)
-            .copied()
-            .ok_or_else(|| BgcError::CellNotExecuted { canon: key.canon() })
+            .and_then(|status| status.to_error(&key.canon()));
+        Err(failed.unwrap_or_else(|| BgcError::CellNotExecuted { canon: key.canon() }))
     }
 
     /// Aggregates a group's repetitions into a Table II-style row (runs any
@@ -786,7 +1189,7 @@ impl Runner {
         // the memory-hit counter (that stat measures overlap between
         // reports, not result lookups).
         let missing: Vec<CellKey> = {
-            let results = self.results.lock().unwrap();
+            let results = relock(&self.results);
             group
                 .keys
                 .iter()
@@ -795,7 +1198,12 @@ impl Runner {
                 .collect()
         };
         if !missing.is_empty() {
-            self.run_cells(&missing)?;
+            // Cells that failed in an earlier wave resolve from the failure
+            // map without re-executing, so a failed group renders the same
+            // error every time it is asked for.
+            if let Some(err) = self.run_cells(&missing).error() {
+                return Err(err);
+            }
         }
         let results: Vec<CellResult> = group
             .keys
@@ -825,6 +1233,20 @@ impl Runner {
         ))
     }
 
+    /// Number of cells that failed terminally across all waves of this
+    /// runner (drives the CLI's cell-failure exit code).
+    pub fn failure_count(&self) -> usize {
+        relock(&self.failures).len()
+    }
+
+    /// `(completed, oom)` cell counts of the in-memory result map (drives
+    /// the CLI's OOM-only exit code).
+    pub fn completed_counts(&self) -> (usize, usize) {
+        let results = relock(&self.results);
+        let oom = results.values().filter(|r| r.oom).count();
+        (results.len(), oom)
+    }
+
     /// Snapshot of the cache/execution counters.
     pub fn stats(&self) -> RunnerStats {
         RunnerStats {
@@ -835,6 +1257,8 @@ impl Runner {
             attack_stage_hits: self.attack_cache.hits.load(Ordering::Relaxed),
             clean_stages_computed: self.clean_cache.computed.load(Ordering::Relaxed),
             clean_stage_hits: self.clean_cache.hits.load(Ordering::Relaxed),
+            cells_quarantined: self.cells_quarantined.load(Ordering::Relaxed),
+            persist_failures: self.persist_failure_count.load(Ordering::Relaxed),
         }
     }
 
@@ -871,6 +1295,7 @@ impl Runner {
         let needs_clean = key.eval == EvalKind::Standard || attack.needs_clean_reference();
         let clean = if needs_clean {
             let outcome = self.clean_cache.get_or_compute(key.clean_stage_key(), || {
+                fault::fire("stage.clean");
                 clean_stage(&graph, method.as_ref(), &config).map(Arc::new)
             });
             match outcome {
@@ -886,6 +1311,7 @@ impl Runner {
             let outcome = self
                 .attack_cache
                 .get_or_compute(key.attack_stage_key(), || {
+                    fault::fire("stage.attack");
                     attack_stage(
                         attack.as_ref(),
                         method.as_ref(),
@@ -955,52 +1381,189 @@ impl Runner {
     // On-disk cell cache
     // ------------------------------------------------------------------
 
+    /// Loads a persisted cell, verifying the integrity footer (version and
+    /// checksum), the JSON body and the stored canonical key.  A file that
+    /// fails any check is quarantined to `<name>.corrupt` and the cell
+    /// recomputes; a read error falls back to recomputation.
     fn load_cell(&self, key: &CellKey) -> Option<CellResult> {
         let dir = self.cache_dir.as_ref()?;
-        let text = fs::read_to_string(dir.join(key.file_name())).ok()?;
-        let value = serde_json::from_str(&text).ok()?;
-        if value.get("version")?.as_u64()? != CELL_FILE_VERSION {
-            return None;
+        let path = dir.join(key.file_name());
+        let read = fault::fire_io("runner.load").and_then(|()| fs::read_to_string(&path));
+        let text = match read {
+            Ok(text) => text,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(err) => {
+                eprintln!(
+                    "warning: could not read {}: {} (recomputing)",
+                    path.display(),
+                    err
+                );
+                return None;
+            }
+        };
+        match parse_cell_file(&text, key) {
+            Ok(result) => Some(result),
+            Err(reason) => {
+                self.quarantine(&path, &reason);
+                None
+            }
         }
-        // The file name is a 64-bit hash; the stored canonical key guards
-        // against collisions and stale formats.
-        if value.get("canon")?.as_str()? != key.canon() {
-            return None;
-        }
-        let result = value.get("result")?;
-        let field = |name: &str| -> Option<f32> { Some(result.get(name)?.as_f64()? as f32) };
-        Some(CellResult {
-            c_cta: field("c_cta")?,
-            cta: field("cta")?,
-            c_asr: field("c_asr")?,
-            asr: field("asr")?,
-            asr_nodes: result.get("asr_nodes")?.as_u64()? as usize,
-            oom: result.get("oom")?.as_bool()?,
-        })
     }
 
-    fn persist_cell(&self, key: &CellKey, result: &CellResult) {
-        let Some(dir) = self.cache_dir.as_ref() else {
-            return;
-        };
-        if let Err(err) = fs::create_dir_all(dir) {
-            eprintln!("warning: could not create {}: {}", dir.display(), err);
-            return;
+    /// Moves a corrupt/stale cell file aside to `<name>.corrupt` so the cell
+    /// recomputes and re-persists cleanly; the original bytes are kept for
+    /// inspection.
+    fn quarantine(&self, path: &Path, reason: &str) {
+        self.cells_quarantined.fetch_add(1, Ordering::Relaxed);
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let target = path.with_file_name(format!("{}.corrupt", name));
+        match fs::rename(path, &target) {
+            Ok(()) => eprintln!(
+                "warning: quarantined corrupt cell file {} ({}); recomputing",
+                path.display(),
+                reason
+            ),
+            Err(err) => eprintln!(
+                "warning: corrupt cell file {} ({}) could not be quarantined: {}; recomputing",
+                path.display(),
+                reason,
+                err
+            ),
         }
+    }
+
+    /// Atomically persists a completed cell: the payload (JSON plus
+    /// integrity footer) goes to a process-unique temp file which is then
+    /// renamed into place, so a crash mid-write never leaves a partial cell
+    /// file behind.  Failures are returned as a description instead of
+    /// failing the cell — the in-memory result is still valid.
+    fn persist_cell(&self, key: &CellKey, result: &CellResult) -> Result<(), String> {
+        let Some(dir) = self.cache_dir.as_ref() else {
+            return Ok(());
+        };
+        fs::create_dir_all(dir)
+            .map_err(|err| format!("could not create {}: {}", dir.display(), err))?;
         let file = CellFile {
             version: CELL_FILE_VERSION,
             canon: key.canon(),
             ratio: key.ratio(),
             result: *result,
         };
+        let json = serde_json::to_string_pretty(&file)
+            .map_err(|err| format!("could not serialize cell: {}", err))?;
         let path = dir.join(key.file_name());
-        match serde_json::to_string_pretty(&file) {
-            Ok(json) => {
-                if let Err(err) = fs::write(&path, json) {
-                    eprintln!("warning: could not write {}: {}", path.display(), err);
-                }
-            }
-            Err(err) => eprintln!("warning: could not serialize cell: {}", err),
+        let tmp = dir.join(format!("{}.tmp-{}", key.file_name(), std::process::id()));
+        let write = (|| -> std::io::Result<()> {
+            fs::write(&tmp, seal_cell_payload(&json))?;
+            // The window between temp write and rename is the kill/abort
+            // target of the atomicity tests.
+            fault::fire_io("runner.persist")?;
+            fs::rename(&tmp, &path)
+        })();
+        write.map_err(|err| {
+            let _ = fs::remove_file(&tmp);
+            format!("could not persist {}: {}", path.display(), err)
+        })
+    }
+}
+
+/// Appends the integrity footer: a comment line carrying the cell-format
+/// version and the FNV-1a64 checksum of the JSON body, verified on load.
+fn seal_cell_payload(json: &str) -> String {
+    format!(
+        "{}\n#bgc-cell v{} fnv1a64={:016x}\n",
+        json,
+        CELL_FILE_VERSION,
+        fnv1a64(json.as_bytes())
+    )
+}
+
+/// Parses and verifies a persisted cell: footer present, version current,
+/// checksum matching, JSON well-formed and the stored canonical key equal to
+/// the requested cell's (the file name is a 64-bit hash; the canon guards
+/// against collisions).  Any violation is reported as a quarantine reason.
+fn parse_cell_file(text: &str, key: &CellKey) -> Result<CellResult, String> {
+    let trimmed = text.strip_suffix('\n').unwrap_or(text);
+    let (body, footer) = trimmed
+        .rsplit_once('\n')
+        .ok_or("missing integrity footer")?;
+    let rest = footer
+        .strip_prefix("#bgc-cell v")
+        .ok_or("missing integrity footer")?;
+    let (version, checksum) = rest
+        .split_once(" fnv1a64=")
+        .ok_or("malformed integrity footer")?;
+    let version: u64 = version
+        .parse()
+        .map_err(|_| "malformed integrity footer".to_string())?;
+    if version != CELL_FILE_VERSION {
+        return Err(format!(
+            "stale cell format v{} (current v{})",
+            version, CELL_FILE_VERSION
+        ));
+    }
+    let expected =
+        u64::from_str_radix(checksum, 16).map_err(|_| "malformed integrity footer".to_string())?;
+    let actual = fnv1a64(body.as_bytes());
+    if actual != expected {
+        return Err(format!(
+            "checksum mismatch (stored {:016x}, computed {:016x})",
+            expected, actual
+        ));
+    }
+    let value: serde_json::Value =
+        serde_json::from_str(body).map_err(|err| format!("unparseable JSON: {}", err))?;
+    let stored_version = value
+        .get("version")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing version field")?;
+    if stored_version != CELL_FILE_VERSION {
+        return Err(format!("stale cell version {}", stored_version));
+    }
+    let canon = value
+        .get("canon")
+        .and_then(|v| v.as_str())
+        .ok_or("missing canon field")?;
+    if canon != key.canon() {
+        return Err("canonical key mismatch (hash collision or stale key)".to_string());
+    }
+    let result = value.get("result").ok_or("missing result field")?;
+    let field = |name: &str| -> Result<f32, String> {
+        result
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .map(|v| v as f32)
+            .ok_or_else(|| format!("missing result field '{}'", name))
+    };
+    Ok(CellResult {
+        c_cta: field("c_cta")?,
+        cta: field("cta")?,
+        c_asr: field("c_asr")?,
+        asr: field("asr")?,
+        asr_nodes: result
+            .get("asr_nodes")
+            .and_then(|v| v.as_u64())
+            .ok_or("missing result field 'asr_nodes'")? as usize,
+        oom: result
+            .get("oom")
+            .and_then(|v| v.as_bool())
+            .ok_or("missing result field 'oom'")?,
+    })
+}
+
+/// Removes temp files left behind by killed processes.  The atomic-rename
+/// persist protocol guarantees a temp file is never the live copy of a
+/// cell.
+fn sweep_stale_tmp_files(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().contains(".json.tmp-") {
+            let _ = fs::remove_file(entry.path());
         }
     }
 }
@@ -1190,8 +1753,8 @@ mod tests {
         let parallel = Runner::in_memory(ExperimentScale::Quick);
         let groups = tiny_groups(&serial);
         let keys: Vec<CellKey> = groups.iter().flat_map(|g| g.keys.clone()).collect();
-        serial.run_cells(&keys).unwrap();
-        parallel.run_cells(&keys).unwrap();
+        assert!(serial.run_cells(&keys).is_ok());
+        assert!(parallel.run_cells(&keys).is_ok());
         for key in &keys {
             let a = serial.result(key).unwrap();
             let b = parallel.result(key).unwrap();
@@ -1216,14 +1779,14 @@ mod tests {
         let first = Runner::with_cache_dir(ExperimentScale::Quick, Some(dir.clone()));
         let groups = tiny_groups(&first);
         let keys: Vec<CellKey> = groups.iter().flat_map(|g| g.keys.clone()).collect();
-        first.run_cells(&keys).unwrap();
+        assert!(first.run_cells(&keys).is_ok());
         assert_eq!(first.stats().cells_computed, keys.len());
         assert_eq!(first.stats().cell_disk_hits, 0);
 
         // A fresh runner (fresh process, conceptually) is served entirely
         // from disk, bit-identically.
         let second = Runner::with_cache_dir(ExperimentScale::Quick, Some(dir.clone()));
-        second.run_cells(&keys).unwrap();
+        assert!(second.run_cells(&keys).is_ok());
         let stats = second.stats();
         assert_eq!(stats.cell_disk_hits, keys.len());
         assert_eq!(stats.cells_computed, 0);
@@ -1236,8 +1799,12 @@ mod tests {
             assert_eq!(a.c_asr.to_bits(), b.c_asr.to_bits());
         }
 
-        // Re-running on the same runner hits the in-memory map.
-        second.run_cells(&keys).unwrap();
+        // Re-running on the same runner hits the in-memory map, and the
+        // report still carries per-cell outcomes (attempts 0: resolved
+        // without executing).
+        let report = second.run_cells(&keys);
+        assert!(report.is_ok());
+        assert!(report.outcomes.iter().all(|o| o.attempts == 0));
         assert_eq!(second.stats().cell_memory_hits, keys.len());
 
         let _ = fs::remove_dir_all(&dir);
@@ -1319,7 +1886,7 @@ mod tests {
         // needs a paper-scale Reddit load); `metrics` must aggregate it into
         // the paper's OOM row.
         {
-            let mut results = runner.results.lock().unwrap();
+            let mut results = relock(&runner.results);
             for key in &group.keys {
                 results.insert(key.clone(), CellResult::oom());
             }
@@ -1327,5 +1894,283 @@ mod tests {
         let metrics = runner.metrics(&group).unwrap();
         assert!(metrics.oom);
         assert!(metrics.table_row().contains("OOM"));
+    }
+
+    #[test]
+    fn keep_going_completes_the_grid_around_failures() {
+        let overrides = CellOverrides {
+            outer_epochs: Some(4),
+            ..CellOverrides::default()
+        };
+        let bad_then_good = |runner: &Runner| -> Vec<CellKey> {
+            let bad = runner.group(
+                DatasetKind::Cora,
+                CondensationKind::GCondX,
+                "GhostAttack",
+                0.026,
+                EvalKind::Standard,
+                overrides.clone(),
+            );
+            let good = runner.group(
+                DatasetKind::Cora,
+                CondensationKind::GCondX,
+                AttackKind::Bgc,
+                0.026,
+                EvalKind::Standard,
+                overrides.clone(),
+            );
+            bad.keys.into_iter().chain(good.keys).collect()
+        };
+
+        // keep-going: the failure is recorded, the other cell completes.
+        let runner = Runner::in_memory(ExperimentScale::Quick)
+            .serial()
+            .keep_going(true);
+        let keys = bad_then_good(&runner);
+        let report = runner.run_cells(&keys);
+        assert!(!report.is_ok());
+        assert_eq!(report.failures().len(), 1);
+        assert_eq!(report.skipped(), 0);
+        assert!(matches!(
+            &report.outcomes[0].status,
+            CellStatus::Failed(BgcError::UnknownAttack(name)) if name == "GhostAttack"
+        ));
+        assert_eq!(report.outcomes[1].status, CellStatus::Ok);
+        assert!(runner.result(&keys[1]).is_ok());
+        assert!(report.summary().contains("1 failed"));
+        // The failed cell reads back as its failure, not CellNotExecuted.
+        assert!(matches!(
+            runner.result(&keys[0]),
+            Err(BgcError::UnknownAttack(_))
+        ));
+        // Re-submitting does not re-execute the failed cell: the outcome is
+        // resolved from the failure map (attempts 0) with the same status.
+        let again = runner.run_cells(&keys);
+        assert_eq!(again.outcomes[0].attempts, 0);
+        assert!(matches!(
+            &again.outcomes[0].status,
+            CellStatus::Failed(BgcError::UnknownAttack(_))
+        ));
+
+        // Without keep-going (serial, so the order is deterministic), the
+        // failure aborts the wave and the second cell is skipped.
+        let runner = Runner::in_memory(ExperimentScale::Quick).serial();
+        let keys = bad_then_good(&runner);
+        let report = runner.run_cells(&keys);
+        assert!(matches!(
+            &report.outcomes[0].status,
+            CellStatus::Failed(BgcError::UnknownAttack(_))
+        ));
+        assert_eq!(report.outcomes[1].status, CellStatus::Skipped);
+        assert_eq!(report.skipped(), 1);
+        // Skipped cells are not failures: the aggregated error names only
+        // the cell that actually failed.
+        assert!(matches!(report.error(), Some(BgcError::UnknownAttack(_))));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_bounded_retry_recovers() {
+        use bgc_runtime::{FaultAction, FaultSpec};
+
+        let overrides = CellOverrides {
+            outer_epochs: Some(4),
+            ..CellOverrides::default()
+        };
+        let groups = |runner: &Runner| -> Vec<CellKey> {
+            let cora = runner.group(
+                DatasetKind::Cora,
+                CondensationKind::GCondX,
+                AttackKind::Bgc,
+                0.026,
+                EvalKind::Standard,
+                overrides.clone(),
+            );
+            let citeseer = runner.group(
+                DatasetKind::Citeseer,
+                CondensationKind::GCondX,
+                AttackKind::Bgc,
+                0.018,
+                EvalKind::Standard,
+                overrides.clone(),
+            );
+            cora.keys.into_iter().chain(citeseer.keys).collect()
+        };
+        let citeseer_clean_panic = || {
+            FaultPlan::new()
+                .with(FaultSpec::new("stage.clean", FaultAction::Panic).in_context("citeseer"))
+        };
+
+        // The injected panic is caught at the cell boundary: the cora cell
+        // completes, the citeseer cell reports Panicked.
+        let faulted = Runner::in_memory(ExperimentScale::Quick)
+            .serial()
+            .keep_going(true)
+            .with_fault_plan(citeseer_clean_panic());
+        let keys = groups(&faulted);
+        let report = faulted.run_cells(&keys);
+        assert_eq!(report.outcomes[0].status, CellStatus::Ok);
+        assert!(matches!(
+            &report.outcomes[1].status,
+            CellStatus::Panicked { message } if message.contains("stage.clean")
+        ));
+        assert!(matches!(
+            faulted.result(&keys[1]),
+            Err(BgcError::CellPanicked { .. })
+        ));
+
+        // Faults fire exactly once, so one retry heals the cell — and the
+        // healed result is bit-identical to a fault-free run.
+        let retried = Runner::in_memory(ExperimentScale::Quick)
+            .serial()
+            .with_retries(1)
+            .with_retry_backoff(Duration::from_millis(1))
+            .with_fault_plan(citeseer_clean_panic());
+        let report = retried.run_cells(&keys);
+        assert!(report.is_ok());
+        assert_eq!(report.outcomes[1].attempts, 2);
+
+        let plain = Runner::in_memory(ExperimentScale::Quick).serial();
+        assert!(plain.run_cells(&keys).is_ok());
+        for key in &keys {
+            let a = retried.result(key).unwrap();
+            let b = plain.result(key).unwrap();
+            assert_eq!(a.cta.to_bits(), b.cta.to_bits(), "{}", key.canon());
+            assert_eq!(a.asr.to_bits(), b.asr.to_bits(), "{}", key.canon());
+        }
+    }
+
+    #[test]
+    fn cell_deadline_times_out_cooperatively() {
+        let runner = Runner::in_memory(ExperimentScale::Quick)
+            .serial()
+            .keep_going(true)
+            .with_retries(3)
+            .with_cell_timeout(Some(Duration::ZERO));
+        let group = runner.group(
+            DatasetKind::Cora,
+            CondensationKind::GCondX,
+            AttackKind::Bgc,
+            0.026,
+            EvalKind::Standard,
+            CellOverrides {
+                outer_epochs: Some(4),
+                ..CellOverrides::default()
+            },
+        );
+        let report = runner.run_cells(&group.keys);
+        assert_eq!(
+            report.outcomes[0].status,
+            CellStatus::TimedOut { limit_ms: 0 }
+        );
+        // Deadline overruns would only overrun again: never retried.
+        assert_eq!(report.outcomes[0].attempts, 1);
+        assert!(matches!(
+            runner.result(&group.keys[0]),
+            Err(BgcError::CellTimedOut { limit_ms: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_cell_files_are_quarantined_and_recomputed_identically() {
+        let dir = std::env::temp_dir().join(format!("bgc-corrupt-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let seed = Runner::with_cache_dir(ExperimentScale::Quick, Some(dir.clone())).serial();
+        let group = seed.group(
+            DatasetKind::Cora,
+            CondensationKind::GCondX,
+            AttackKind::Bgc,
+            0.026,
+            EvalKind::Standard,
+            CellOverrides {
+                outer_epochs: Some(4),
+                ..CellOverrides::default()
+            },
+        );
+        assert!(seed.run_cells(&group.keys).is_ok());
+        let path = dir.join(group.keys[0].file_name());
+        let pristine = fs::read_to_string(&path).expect("cell file was persisted");
+        assert!(pristine.contains("#bgc-cell v"), "integrity footer present");
+
+        let corruptions: Vec<(&str, String)> = vec![
+            ("truncated", pristine[..pristine.len() / 2].to_string()),
+            ("bit-flipped", pristine.replacen("\"cta\"", "\"ctA\"", 1)),
+            (
+                "stale-version",
+                pristine.replace("#bgc-cell v2", "#bgc-cell v1"),
+            ),
+            ("footer-less (pre-footer format)", {
+                let json_end = pristine.rfind("\n#bgc-cell").unwrap();
+                pristine[..json_end].to_string()
+            }),
+        ];
+        for (label, corrupted) in corruptions {
+            fs::write(&path, corrupted).unwrap();
+            let runner = Runner::with_cache_dir(ExperimentScale::Quick, Some(dir.clone())).serial();
+            assert!(runner.run_cells(&group.keys).is_ok(), "{}", label);
+            let stats = runner.stats();
+            assert_eq!(stats.cells_quarantined, 1, "{}", label);
+            assert_eq!(stats.cells_computed, 1, "{}: recomputed, not loaded", label);
+            assert_eq!(stats.cell_disk_hits, 0, "{}", label);
+            assert!(stats.summary().contains("1 quarantined"), "{}", label);
+            // The corrupt bytes are kept for inspection...
+            let quarantined = path.with_file_name(format!(
+                "{}.corrupt",
+                path.file_name().unwrap().to_string_lossy()
+            ));
+            assert!(quarantined.exists(), "{}", label);
+            // ...and the healed file is byte-identical to the original.
+            let healed = fs::read_to_string(&path).unwrap();
+            assert_eq!(healed, pristine, "{}", label);
+            let _ = fs::remove_file(&quarantined);
+        }
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_failures_surface_without_failing_the_cell() {
+        use bgc_runtime::{FaultAction, FaultSpec};
+
+        let dir = std::env::temp_dir().join(format!("bgc-persist-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let runner = Runner::with_cache_dir(ExperimentScale::Quick, Some(dir.clone()))
+            .serial()
+            .with_fault_plan(
+                FaultPlan::new().with(FaultSpec::new("runner.persist", FaultAction::IoError)),
+            );
+        let group = runner.group(
+            DatasetKind::Cora,
+            CondensationKind::GCondX,
+            AttackKind::Bgc,
+            0.026,
+            EvalKind::Standard,
+            CellOverrides {
+                outer_epochs: Some(4),
+                ..CellOverrides::default()
+            },
+        );
+        let report = runner.run_cells(&group.keys);
+        // The cell itself succeeded; only its persistence failed.
+        assert!(report.is_ok());
+        assert_eq!(report.persist_failures(), 1);
+        assert!(report.outcomes[0].persist_error.is_some());
+        assert_eq!(runner.stats().persist_failures, 1);
+        assert!(runner.result(&group.keys[0]).is_ok());
+        // The atomic-rename protocol left neither a live file nor a temp
+        // file behind.
+        let path = dir.join(group.keys[0].file_name());
+        assert!(!path.exists());
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .map(|entries| entries.flatten().collect())
+            .unwrap_or_default();
+        assert!(
+            leftovers.is_empty(),
+            "no partial/tmp files: {:?}",
+            leftovers
+        );
+
+        let _ = fs::remove_dir_all(&dir);
     }
 }

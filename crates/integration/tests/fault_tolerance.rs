@@ -1,0 +1,182 @@
+//! Integration tests of fault-tolerant grid execution through the public
+//! `bgc_eval` API: injected panics stay isolated to their cell under
+//! `keep_going`, bounded retries heal transient faults bit-identically,
+//! cell deadlines cancel cooperatively inside the training stack, and
+//! corrupt cache files are quarantined and recomputed to the same bytes.
+
+use std::fs;
+use std::time::Duration;
+
+use bgc_condense::CondensationKind;
+use bgc_eval::{
+    CellStatus, ExperimentScale, FaultAction, FaultPlan, FaultSpec, GridReport, Runner,
+};
+use bgc_graph::DatasetKind;
+
+fn quick_runner() -> Runner {
+    Runner::in_memory(ExperimentScale::Quick).serial()
+}
+
+fn grid_keys(runner: &Runner) -> Vec<bgc_eval::CellKey> {
+    let cora = runner.bgc_group(DatasetKind::Cora, CondensationKind::GCondX, 0.026);
+    let citeseer = runner.bgc_group(DatasetKind::Citeseer, CondensationKind::GCondX, 0.018);
+    cora.keys
+        .iter()
+        .chain(citeseer.keys.iter())
+        .cloned()
+        .collect()
+}
+
+fn outcome_for(report: &GridReport, dataset: DatasetKind) -> &bgc_eval::CellOutcome {
+    report
+        .outcomes
+        .iter()
+        .find(|outcome| outcome.key.dataset == dataset)
+        .expect("grid contains the dataset")
+}
+
+#[test]
+fn keep_going_isolates_an_injected_panic_to_its_cell() {
+    // A panic injected deep inside citeseer's training loop must not take
+    // down the cora cell sharing the grid, and the aggregate error must name
+    // the panicked cell.
+    let plan = FaultPlan::new()
+        .with(FaultSpec::new("trainer.epoch", FaultAction::Panic).in_context("citeseer"));
+    let runner = quick_runner().keep_going(true).with_fault_plan(plan);
+    let keys = grid_keys(&runner);
+    let report = runner.run_cells(&keys);
+
+    assert!(!report.is_ok());
+    assert!(outcome_for(&report, DatasetKind::Cora).status.is_success());
+    let citeseer = outcome_for(&report, DatasetKind::Citeseer);
+    assert!(
+        matches!(&citeseer.status, CellStatus::Panicked { message } if message.contains("trainer.epoch")),
+        "expected an injected panic, got {:?}",
+        citeseer.status
+    );
+    let err = report.error().expect("a failed grid aggregates an error");
+    assert!(err.to_string().contains("citeseer"), "{}", err);
+    assert!(err.is_cell_failure());
+}
+
+#[test]
+fn bounded_retry_heals_a_transient_panic_bit_identically() {
+    // Injected faults fire exactly once, so one retry recovers the cell —
+    // and the recovered result must match a fault-free run to the bit.
+    let clean = quick_runner();
+    let keys = grid_keys(&clean);
+    assert!(clean.run_cells(&keys).is_ok());
+
+    let plan = FaultPlan::new()
+        .with(FaultSpec::new("trainer.epoch", FaultAction::Panic).in_context("citeseer"));
+    let faulted = quick_runner()
+        .keep_going(true)
+        .with_fault_plan(plan)
+        .with_retries(1)
+        .with_retry_backoff(Duration::from_millis(1));
+    let report = faulted.run_cells(&keys);
+
+    assert!(report.is_ok(), "retry heals: {}", report.summary());
+    assert_eq!(outcome_for(&report, DatasetKind::Citeseer).attempts, 2);
+    assert_eq!(outcome_for(&report, DatasetKind::Cora).attempts, 1);
+    for key in &keys {
+        let healed = faulted.result(key).expect("cell result");
+        let reference = clean.result(key).expect("cell result");
+        assert_eq!(healed.cta.to_bits(), reference.cta.to_bits());
+        assert_eq!(healed.asr.to_bits(), reference.asr.to_bits());
+        assert_eq!(healed.c_cta.to_bits(), reference.c_cta.to_bits());
+        assert_eq!(healed.c_asr.to_bits(), reference.c_asr.to_bits());
+    }
+}
+
+#[test]
+fn cell_deadline_cancels_inside_the_training_loop() {
+    // A delay injected into the first trainer epoch pushes the cell past its
+    // deadline; the next cooperative checkpoint must unwind into a typed
+    // timeout (not a panic), and deadline overruns must not be retried.
+    let plan = FaultPlan::new().with(FaultSpec::new(
+        "trainer.epoch",
+        FaultAction::Delay(Duration::from_millis(300)),
+    ));
+    let runner = quick_runner()
+        .keep_going(true)
+        .with_fault_plan(plan)
+        .with_cell_timeout(Some(Duration::from_millis(50)))
+        .with_retries(3);
+    let group = runner.bgc_group(DatasetKind::Cora, CondensationKind::GCondX, 0.026);
+    let report = runner.run_cells(&group.keys);
+
+    let outcome = outcome_for(&report, DatasetKind::Cora);
+    assert!(
+        matches!(outcome.status, CellStatus::TimedOut { limit_ms: 50 }),
+        "expected a 50 ms timeout, got {:?}",
+        outcome.status
+    );
+    assert_eq!(outcome.attempts, 1, "timeouts are not retried");
+}
+
+#[test]
+fn corrupt_cache_files_quarantine_and_heal_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("bgc-integration-corrupt-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    // Populate the cache and snapshot the pristine cell file.
+    let runner = Runner::with_cache_dir(ExperimentScale::Quick, Some(dir.clone())).serial();
+    let group = runner.bgc_group(DatasetKind::Cora, CondensationKind::GCondX, 0.026);
+    assert!(runner.run_cells(&group.keys).is_ok());
+    let cell_file = fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .find(|path| path.extension().is_some_and(|ext| ext == "json"))
+        .expect("one cell file persisted");
+    let pristine = fs::read(&cell_file).expect("pristine bytes");
+
+    // Truncate the file mid-payload; a fresh runner must quarantine it,
+    // recompute, and persist the identical bytes again.
+    fs::write(&cell_file, &pristine[..pristine.len() / 2]).expect("truncate");
+    let recovery = Runner::with_cache_dir(ExperimentScale::Quick, Some(dir.clone())).serial();
+    let group = recovery.bgc_group(DatasetKind::Cora, CondensationKind::GCondX, 0.026);
+    assert!(recovery.run_cells(&group.keys).is_ok());
+    let stats = recovery.stats();
+    assert_eq!(stats.cells_quarantined, 1);
+    assert_eq!(stats.cells_computed, 1);
+    assert_eq!(stats.cell_disk_hits, 0);
+    let quarantined = cell_file.with_extension("json.corrupt");
+    assert!(quarantined.exists(), "corrupt file kept for inspection");
+    assert_eq!(
+        fs::read(&cell_file).expect("healed bytes"),
+        pristine,
+        "recomputed cell file is byte-identical"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_persist_faults_keep_results_usable() {
+    // A persist failure must surface in the report without failing the cell:
+    // the in-memory result stays valid and no partial file is left behind.
+    let dir = std::env::temp_dir().join(format!("bgc-integration-persist-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    let plan = FaultPlan::new().with(FaultSpec::new("runner.persist", FaultAction::IoError));
+    let runner = Runner::with_cache_dir(ExperimentScale::Quick, Some(dir.clone()))
+        .serial()
+        .with_fault_plan(plan);
+    let group = runner.bgc_group(DatasetKind::Cora, CondensationKind::GCondX, 0.026);
+    let report = runner.run_cells(&group.keys);
+
+    assert!(report.is_ok(), "persist failures do not fail the cell");
+    assert_eq!(report.persist_failures(), 1);
+    assert!(runner.result(&group.keys[0]).is_ok());
+    let leftovers: Vec<_> = fs::read_dir(&dir)
+        .map(|entries| entries.filter_map(|e| e.ok().map(|e| e.path())).collect())
+        .unwrap_or_default();
+    assert!(
+        leftovers.is_empty(),
+        "no partial files after a failed persist: {:?}",
+        leftovers
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -186,6 +186,8 @@ pub fn train_node_classifier(
     let mut pending_eval = false;
     let mut stopped_early = false;
     'epochs: for epoch in 0..config.epochs {
+        bgc_runtime::checkpoint();
+        bgc_runtime::fault::fire("trainer.epoch");
         tape.reset();
         let x = tape.const_leaf(features.clone());
         let pass = model.forward(&mut tape, adj, x);
@@ -345,6 +347,8 @@ fn train_sampled(
     };
 
     'epochs: for epoch in 0..config.epochs {
+        bgc_runtime::checkpoint();
+        bgc_runtime::fault::fire("trainer.epoch");
         let batches: Vec<Vec<usize>> = if collapses {
             single_batch.clone()
         } else {
