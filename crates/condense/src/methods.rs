@@ -160,23 +160,23 @@ impl fmt::Display for MethodId {
 impl FromStr for MethodId {
     type Err = std::convert::Infallible;
 
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(s.into())
+    }
+}
+
+impl From<&str> for MethodId {
     /// Adopts the canonical registry spelling when the name matches a
     /// registered condenser case-insensitively, or a built-in through the
     /// punctuation-free aliases of [`CondensationKind::from_str`] (`gcondx`,
     /// `dcgraph`, ...); keeps the input verbatim otherwise.
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
+    fn from(s: &str) -> Self {
         let canonical = canonical_condenser_name(s).or_else(|| {
             s.parse::<CondensationKind>()
                 .ok()
                 .map(|k| k.name().to_string())
         });
-        Ok(MethodId(canonical.unwrap_or_else(|| s.to_string())))
-    }
-}
-
-impl From<&str> for MethodId {
-    fn from(s: &str) -> Self {
-        s.parse().expect("infallible")
+        MethodId(canonical.unwrap_or_else(|| s.to_string()))
     }
 }
 
@@ -247,7 +247,7 @@ fn canonical_condenser_name(name: &str) -> Option<String> {
 /// entry exists.  The memo is cleared when it exceeds a small cap, bounding
 /// retained memory in long-lived processes.
 pub fn working_graph(graph: &Graph) -> Graph {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     use std::sync::{Arc, Mutex, OnceLock};
 
     match graph.setting {
@@ -256,15 +256,15 @@ pub fn working_graph(graph: &Graph) -> Graph {
             type Key = (usize, usize, u64);
             type Guard = (Arc<bgc_tensor::Matrix>, Arc<bgc_tensor::CsrMatrix>);
             const CAP: usize = 64;
-            static MEMO: OnceLock<Mutex<HashMap<Key, (Guard, Graph)>>> = OnceLock::new();
-            let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+            static MEMO: OnceLock<Mutex<BTreeMap<Key, (Guard, Graph)>>> = OnceLock::new();
+            let memo = MEMO.get_or_init(|| Mutex::new(BTreeMap::new()));
             let key = graph.memo_key();
-            if let Some((_, cached)) = memo.lock().unwrap().get(&key) {
+            if let Some((_, cached)) = bgc_runtime::relock(memo).get(&key) {
                 return cached.clone();
             }
             let work = graph.training_subgraph();
             let guard = (graph.features.clone(), graph.normalized.clone());
-            let mut memo = memo.lock().unwrap();
+            let mut memo = bgc_runtime::relock(memo);
             if memo.len() >= CAP {
                 memo.clear();
             }

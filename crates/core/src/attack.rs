@@ -9,7 +9,7 @@
 //! `G_P` (Eq. 18).  The output is the poisoned condensed graph plus the
 //! trained trigger generator used at inference time.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 
@@ -103,7 +103,7 @@ impl BgcAttack {
         let mut state =
             GradientMatchingState::new(&work, matching_variant, self.config.condensation.clone());
         let mut generator_opt = Adam::new(self.config.generator_lr, 0.0);
-        let mut attached_cache: HashMap<usize, AttachedGraph> = HashMap::new();
+        let mut attached_cache: BTreeMap<usize, AttachedGraph> = BTreeMap::new();
         let mut matching_losses = Vec::new();
         let mut trigger_losses = Vec::new();
         // One pooled tape serves every generator update and trigger
@@ -219,7 +219,7 @@ pub(crate) fn generator_update_step(
     adj: &AdjacencyRef,
     surrogate_weight: &Matrix,
     rng: &mut StdRng,
-    cache: &mut HashMap<usize, AttachedGraph>,
+    cache: &mut BTreeMap<usize, AttachedGraph>,
 ) -> f32 {
     let sample_size = config.update_sample_size.min(graph.num_nodes()).max(1);
     let sample = sample_without_replacement(graph.num_nodes(), sample_size, rng);

@@ -9,7 +9,7 @@
 //! the poisoned graph is re-built with the current trigger before every
 //! condensed-graph update.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 
@@ -68,7 +68,7 @@ impl DoorpingAttack {
         graph: &Graph,
         surrogate_weight: &Matrix,
         rng: &mut StdRng,
-        cache: &mut HashMap<usize, AttachedGraph>,
+        cache: &mut BTreeMap<usize, AttachedGraph>,
     ) -> f32 {
         let sample_size = self.config.update_sample_size.min(graph.num_nodes()).max(1);
         let sample = sample_without_replacement(graph.num_nodes(), sample_size, rng);
@@ -142,7 +142,7 @@ impl DoorpingAttack {
         let mut state =
             GradientMatchingState::new(&work, variant, self.config.condensation.clone());
         let mut optimizer = Adam::new(self.config.generator_lr, 0.0);
-        let mut cache = HashMap::new();
+        let mut cache = BTreeMap::new();
         let mut tape = Tape::new();
         let trigger_zero_grad = Matrix::zeros(trigger.rows(), trigger.cols());
         // Fixed poisoned structure across epochs (see `BgcAttack::run_with`).

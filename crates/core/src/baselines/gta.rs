@@ -6,7 +6,7 @@
 //! updated during condensation, their influence is partially washed out by the
 //! synthetic-graph optimization — which is exactly the gap Figure 4 shows.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bgc_condense::{working_graph, CondensationKind, CondensationMethod, CondenseError};
 use bgc_graph::{CondensedGraph, Graph};
@@ -102,7 +102,7 @@ impl GtaAttack {
         let adj = AdjacencyRef::from_graph(&work);
         let surrogate = self.static_surrogate(&work);
         let mut optimizer = Adam::new(self.config.generator_lr, 0.0);
-        let mut cache = HashMap::new();
+        let mut cache = BTreeMap::new();
         let mut tape = Tape::new();
         let zero_grads: Vec<Matrix> = generator
             .parameters()

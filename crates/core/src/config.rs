@@ -9,7 +9,7 @@ use bgc_nn::TrainingPlan;
 
 /// Which encoder backs the adaptive trigger generator `f_g` (Table V studies
 /// MLP, GCN and Transformer encoders).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum GeneratorKind {
     /// Two-layer MLP encoder (the paper's default).
     Mlp,

@@ -143,17 +143,17 @@ impl fmt::Display for AttackId {
 impl FromStr for AttackId {
     type Err = std::convert::Infallible;
 
-    /// Adopts the canonical registry spelling when the name matches a
-    /// registered attack case-insensitively; keeps the input otherwise.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let canonical = resolve_attack(s).map(|a| a.name().to_string());
-        Ok(AttackId(canonical.unwrap_or_else(|| s.to_string())))
+        Ok(s.into())
     }
 }
 
 impl From<&str> for AttackId {
+    /// Adopts the canonical registry spelling when the name matches a
+    /// registered attack case-insensitively; keeps the input otherwise.
     fn from(s: &str) -> Self {
-        s.parse().expect("infallible")
+        let canonical = resolve_attack(s).map(|a| a.name().to_string());
+        AttackId(canonical.unwrap_or_else(|| s.to_string()))
     }
 }
 

@@ -42,15 +42,15 @@ pub struct SelectionResult {
 /// exists.  The memo is cleared when it exceeds a small cap, bounding
 /// retained memory in long-lived processes.
 fn selector_representations(graph: &Graph, config: &BgcConfig) -> (Matrix, f32) {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     use std::sync::{Arc, Mutex, OnceLock};
 
     type Key = ((usize, usize, u64), u64, usize, usize, TrainingPlan);
     type Guard = (Arc<Matrix>, Arc<bgc_tensor::CsrMatrix>);
-    type Memo = Mutex<HashMap<Key, (Guard, Arc<(Matrix, f32)>)>>;
+    type Memo = Mutex<BTreeMap<Key, (Guard, Arc<(Matrix, f32)>)>>;
     const CAP: usize = 64;
     static MEMO: OnceLock<Memo> = OnceLock::new();
-    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let memo = MEMO.get_or_init(|| Mutex::new(BTreeMap::new()));
     // The selector GCN's depth is fixed at 2: adapt a shared sampled plan
     // to it instead of requiring every caller to match the fanout count.
     let plan = match &config.training_plan {
@@ -64,13 +64,13 @@ fn selector_representations(graph: &Graph, config: &BgcConfig) -> (Matrix, f32) 
         config.selector_epochs,
         plan.clone(),
     );
-    if let Some((_, cached)) = memo.lock().unwrap().get(&key) {
+    if let Some((_, cached)) = bgc_runtime::relock(memo).get(&key) {
         let (hidden, acc) = &**cached;
         return (hidden.clone(), *acc);
     }
     let computed = selector_representations_uncached(graph, config, &plan);
     let guard = (graph.features.clone(), graph.normalized.clone());
-    let mut memo = memo.lock().unwrap();
+    let mut memo = bgc_runtime::relock(memo);
     if memo.len() >= CAP {
         memo.clear();
     }

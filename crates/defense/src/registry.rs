@@ -74,17 +74,17 @@ impl fmt::Display for DefenseId {
 impl FromStr for DefenseId {
     type Err = std::convert::Infallible;
 
-    /// Adopts the canonical registry spelling when the name matches a
-    /// registered defense case-insensitively; keeps the input otherwise.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let canonical = resolve_defense(s).map(|d| d.name().to_string());
-        Ok(DefenseId(canonical.unwrap_or_else(|| s.to_string())))
+        Ok(s.into())
     }
 }
 
 impl From<&str> for DefenseId {
+    /// Adopts the canonical registry spelling when the name matches a
+    /// registered defense case-insensitively; keeps the input otherwise.
     fn from(s: &str) -> Self {
-        s.parse().expect("infallible")
+        let canonical = resolve_defense(s).map(|d| d.name().to_string());
+        DefenseId(canonical.unwrap_or_else(|| s.to_string()))
     }
 }
 

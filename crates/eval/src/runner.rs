@@ -42,20 +42,24 @@
 //! `stage.attack`, `runner.persist`, `runner.load`) fire deterministically
 //! in exactly the targeted cell.
 
-use std::collections::{HashMap, HashSet};
+// Deterministic-by-construction collections: every map and set of this
+// module keyed by cells or stage keys is a `BTreeMap`/`BTreeSet`, so no
+// iteration order in the persist/report path can ever depend on hash-seed
+// or insertion order (`bgc-lint` rule `nondet-iteration`).
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 use rayon::prelude::*;
 use serde::Serialize;
 
-use bgc_runtime::{fault, CancelToken, CancelUnwind, FaultPlan};
+use bgc_runtime::{fault, relock, CancelToken, CancelUnwind, FaultPlan};
 
 use bgc_condense::MethodId;
 use bgc_core::{
@@ -87,7 +91,7 @@ const CELL_FILE_VERSION: u64 = 2;
 
 /// How the victim is evaluated in a cell: undefended, or through a named
 /// defense from the defense registry.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EvalKind {
     /// Undefended victim: CTA/ASR plus the clean-reference C-CTA/C-ASR.
     Standard,
@@ -155,7 +159,7 @@ impl FromStr for EvalKind {
 }
 
 /// A poisoning-budget override, hashable (the ratio is stored as f32 bits).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BudgetOverride {
     /// Fraction of the training nodes (stored as `f32::to_bits`).
     RatioBits(u32),
@@ -196,7 +200,7 @@ impl BudgetOverride {
 /// `None` means "the scale's default"; [`Runner::group`] normalizes overrides
 /// that equal the baseline back to `None`, so semantically identical cells
 /// from different tables share one cache entry.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellOverrides {
     /// Trigger-generator encoder (Table V).
     pub generator: Option<GeneratorKind>,
@@ -308,7 +312,7 @@ impl CellOverrides {
 /// cache identity, in memory and on disk, and every RNG stream of the cell
 /// derives from [`CellKey::seed`], so results are independent of execution
 /// order.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellKey {
     /// Experiment scale.
     pub scale: ExperimentScale,
@@ -461,7 +465,7 @@ pub struct CellGroup {
 /// need a stage computes it inside the slot's `OnceLock`; concurrent cells
 /// needing the same stage block on the lock and share the value.
 struct StageCache<T> {
-    slots: Mutex<HashMap<String, Arc<OnceLock<T>>>>,
+    slots: Mutex<BTreeMap<String, Arc<OnceLock<T>>>>,
     hits: AtomicUsize,
     computed: AtomicUsize,
 }
@@ -469,7 +473,7 @@ struct StageCache<T> {
 impl<T: Clone> StageCache<T> {
     fn new() -> Self {
         Self {
-            slots: Mutex::new(HashMap::new()),
+            slots: Mutex::new(BTreeMap::new()),
             hits: AtomicUsize::new(0),
             computed: AtomicUsize::new(0),
         }
@@ -549,15 +553,11 @@ impl RunnerStats {
     }
 }
 
-/// Locks a mutex, recovering the guard if a panicking thread poisoned it.
-///
-/// Cells execute behind an unwind boundary and none of the runner's locks is
-/// ever held across cell compute, so the protected maps cannot be observed
-/// mid-update; recovering keeps one panicked cell from wedging the rest of
-/// the grid behind `PoisonError`.
-fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
+// Poison recovery for the runner's locks goes through the workspace-shared
+// `bgc_runtime::relock`: cells execute behind an unwind boundary and none of
+// the runner's locks is ever held across cell compute, so the protected maps
+// cannot be observed mid-update; recovering keeps one panicked cell from
+// wedging the rest of the grid behind `PoisonError`.
 
 /// Best-effort extraction of a panic payload's message (`panic!` produces
 /// `&'static str` or `String` payloads; anything else is opaque).
@@ -747,11 +747,11 @@ pub struct Runner {
     retry_backoff: Duration,
     fault_plan: Option<FaultPlan>,
     cache_dir: Option<PathBuf>,
-    results: Mutex<HashMap<CellKey, CellResult>>,
+    results: Mutex<BTreeMap<CellKey, CellResult>>,
     /// Cells that failed terminally in an earlier wave.  A failed cell stays
     /// failed for the lifetime of the runner (so overlapping reports are
     /// deterministic); a fresh process retries it naturally.
-    failures: Mutex<HashMap<CellKey, CellStatus>>,
+    failures: Mutex<BTreeMap<CellKey, CellStatus>>,
     clean_cache: StageCache<StageResult<Arc<CondensedGraph>>>,
     attack_cache: StageCache<StageResult<AttackArtifacts>>,
     /// Generated datasets, shared across cells: `(dataset, seed)` fully
@@ -798,8 +798,8 @@ impl Runner {
             retry_backoff: Duration::from_millis(100),
             fault_plan: None,
             cache_dir,
-            results: Mutex::new(HashMap::new()),
-            failures: Mutex::new(HashMap::new()),
+            results: Mutex::new(BTreeMap::new()),
+            failures: Mutex::new(BTreeMap::new()),
             clean_cache: StageCache::new(),
             attack_cache: StageCache::new(),
             graphs: StageCache::new(),
@@ -1003,12 +1003,12 @@ impl Runner {
     /// [`CellStatus::Skipped`]); with it the whole grid completes.
     pub fn run_cells(&self, keys: &[CellKey]) -> GridReport {
         let mut order: Vec<CellKey> = Vec::new();
-        let mut resolved: HashMap<CellKey, CellOutcome> = HashMap::new();
+        let mut resolved: BTreeMap<CellKey, CellOutcome> = BTreeMap::new();
         let mut pending: Vec<CellKey> = Vec::new();
         {
             let results = relock(&self.results);
             let failures = relock(&self.failures);
-            let mut seen = HashSet::new();
+            let mut seen = BTreeSet::new();
             for key in keys {
                 if !seen.insert(key.clone()) {
                     continue;
@@ -1030,7 +1030,7 @@ impl Runner {
             }
         }
         let aborted = AtomicBool::new(false);
-        let computed: Mutex<HashMap<CellKey, CellOutcome>> = Mutex::new(HashMap::new());
+        let computed: Mutex<BTreeMap<CellKey, CellOutcome>> = Mutex::new(BTreeMap::new());
         let execute = |key: CellKey| {
             let outcome = if aborted.load(Ordering::Relaxed) {
                 resolved_outcome(&key, CellStatus::Skipped)
@@ -1060,10 +1060,19 @@ impl Runner {
             outcomes: order
                 .into_iter()
                 .map(|key| {
+                    // Every submitted cell resolves from the pre-wave maps or
+                    // the wave itself; if that invariant ever breaks, report
+                    // the cell as unexecuted instead of panicking mid-grid.
                     resolved
                         .remove(&key)
                         .or_else(|| computed.remove(&key))
-                        .expect("every submitted cell has an outcome")
+                        .unwrap_or_else(|| {
+                            let canon = key.canon();
+                            resolved_outcome(
+                                &key,
+                                CellStatus::Failed(BgcError::CellNotExecuted { canon }),
+                            )
+                        })
                 })
                 .collect(),
         }
@@ -1337,7 +1346,14 @@ impl Runner {
                     &victim,
                     &options,
                 );
-                let clean = clean.expect("standard cells always condense the clean reference");
+                // Standard cells condense the clean reference above
+                // (`needs_clean` is true for `EvalKind::Standard`); a missing
+                // reference is a typed failure, not a panic.
+                let Some(clean) = clean else {
+                    return Err(BgcError::MissingCleanReference {
+                        attack: key.attack.as_str().to_string(),
+                    });
+                };
                 let reference = evaluate_backdoor(
                     &graph,
                     &clean,

@@ -30,7 +30,7 @@ use bgc_nn::{SampledPlan, TrainConfig, TrainingPlan};
 pub const SAMPLED_PLAN_NODE_THRESHOLD: usize = 20_000;
 
 /// Quick (laptop), paper-faithful, or full-scale sampled experiment scale.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ExperimentScale {
     /// Reduced datasets / epochs / repetitions.
     Quick,

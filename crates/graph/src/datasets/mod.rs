@@ -38,7 +38,7 @@ pub const CHUNKED_GENERATION_THRESHOLD: usize = 50_000;
 
 /// The benchmark datasets: the paper's four (Table I) plus an
 /// ogbn-arxiv-like large citation graph used by the `large` scale tier.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DatasetKind {
     /// Cora citation network (transductive).
     Cora,

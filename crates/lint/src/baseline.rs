@@ -1,0 +1,247 @@
+//! The committed lint baseline: a ratchet for `unchecked-panic`.
+//!
+//! `lint-baseline.json` records, per baselineable rule and file, how many
+//! findings existed when the rule was introduced.  The lint pass compares
+//! current counts against it:
+//!
+//! * current > baseline — the excess sites are **new violations**;
+//! * current < baseline (or the file no longer exists) — the entry is
+//!   **stale** and must be shrunk (`bgc lint --write-baseline`), so the
+//!   baseline can only ever ratchet down;
+//! * entries for non-baselineable rules are rejected outright — those
+//!   rules must be fixed or waived at the site, never baselined.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::rules::Rule;
+
+/// Per-rule, per-file allowed finding counts.  `BTreeMap` keeps the
+/// serialized baseline byte-stable across regenerations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `rule name -> (workspace-relative file -> allowed count)`.
+    pub entries: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// A baseline entry that no longer matches reality and must be removed or
+/// shrunk.
+#[derive(Clone, Debug)]
+pub struct StaleEntry {
+    /// Rule name of the stale entry.
+    pub rule: String,
+    /// Workspace-relative file of the stale entry.
+    pub file: String,
+    /// Count recorded in the baseline.
+    pub allowed: usize,
+    /// Count actually found (0 when the file is gone).
+    pub found: usize,
+    /// Why the entry is stale.
+    pub why: String,
+}
+
+impl Baseline {
+    /// Loads the baseline from `path`.  A missing file is an empty
+    /// baseline (first run); a malformed file is an error.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Baseline::default())
+            }
+            Err(err) => return Err(format!("cannot read {}: {err}", path.display())),
+        };
+        Baseline::parse(&text).map_err(|why| format!("malformed {}: {why}", path.display()))
+    }
+
+    /// Parses the baseline JSON document.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = serde_json::from_str(text).map_err(|err| err.to_string())?;
+        let Value::Object(rules) = value else {
+            return Err("top level must be an object of rule names".to_string());
+        };
+        let mut entries = BTreeMap::new();
+        for (rule_name, files) in rules {
+            let Value::Object(files) = files else {
+                return Err(format!("entry for `{rule_name}` must be an object"));
+            };
+            let mut counts = BTreeMap::new();
+            for (file, count) in files {
+                let Some(count) = count.as_u64() else {
+                    return Err(format!(
+                        "count for `{rule_name}` / `{file}` must be a number"
+                    ));
+                };
+                counts.insert(file, count as usize);
+            }
+            entries.insert(rule_name, counts);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Builds a baseline from current per-(rule, file) counts, keeping
+    /// only baselineable rules (`--write-baseline`).
+    pub fn from_counts(counts: &BTreeMap<(Rule, String), usize>) -> Baseline {
+        let mut entries: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for ((rule, file), &count) in counts {
+            if rule.baselineable() && count > 0 {
+                entries
+                    .entry(rule.name().to_string())
+                    .or_default()
+                    .insert(file.clone(), count);
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// The allowed count for `(rule, file)`; 0 when absent.
+    pub fn allowed(&self, rule: Rule, file: &str) -> usize {
+        self.entries
+            .get(rule.name())
+            .and_then(|files| files.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Detects stale entries against current counts: a recorded count
+    /// higher than reality, or an entry for a rule that is not
+    /// baselineable at all.
+    pub fn stale_entries(&self, counts: &BTreeMap<(Rule, String), usize>) -> Vec<StaleEntry> {
+        let mut stale = Vec::new();
+        for (rule_name, files) in &self.entries {
+            let rule = Rule::from_name(rule_name);
+            for (file, &allowed) in files {
+                let Some(rule) = rule else {
+                    stale.push(StaleEntry {
+                        rule: rule_name.clone(),
+                        file: file.clone(),
+                        allowed,
+                        found: 0,
+                        why: format!("unknown rule `{rule_name}`"),
+                    });
+                    continue;
+                };
+                if !rule.baselineable() {
+                    stale.push(StaleEntry {
+                        rule: rule_name.clone(),
+                        file: file.clone(),
+                        allowed,
+                        found: 0,
+                        why: format!(
+                            "rule `{rule_name}` is not baselineable; fix or waive the sites"
+                        ),
+                    });
+                    continue;
+                }
+                let found = counts.get(&(rule, file.clone())).copied().unwrap_or(0);
+                if found < allowed {
+                    stale.push(StaleEntry {
+                        rule: rule_name.clone(),
+                        file: file.clone(),
+                        allowed,
+                        found,
+                        why: if found == 0 {
+                            "no findings remain (or the file is gone); remove the entry".to_string()
+                        } else {
+                            format!("only {found} of {allowed} findings remain; shrink the entry")
+                        },
+                    });
+                }
+            }
+        }
+        stale
+    }
+
+    /// Serializes the baseline as pretty JSON (stable key order via
+    /// `BTreeMap`), with a trailing newline for clean diffs.
+    pub fn to_json(&self) -> String {
+        let rules: Vec<(String, Value)> = self
+            .entries
+            .iter()
+            .map(|(rule, files)| {
+                let files: Vec<(String, Value)> = files
+                    .iter()
+                    .map(|(file, &count)| (file.clone(), Value::Number(count as f64)))
+                    .collect();
+                (rule.clone(), Value::Object(files))
+            })
+            .collect();
+        let mut text = Value::Object(rules).to_json_string_pretty();
+        text.push('\n');
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(Rule, &str, usize)]) -> BTreeMap<(Rule, String), usize> {
+        entries
+            .iter()
+            .map(|&(rule, file, n)| ((rule, file.to_string()), n))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let baseline = Baseline::from_counts(&counts(&[
+            (Rule::UncheckedPanic, "crates/a/src/lib.rs", 2),
+            (Rule::UncheckedPanic, "crates/b/src/lib.rs", 1),
+            // Not baselineable: dropped by from_counts.
+            (Rule::PoisonUnsafeLock, "crates/a/src/lib.rs", 1),
+        ]));
+        assert_eq!(baseline.entries.len(), 1);
+        let parsed = Baseline::parse(&baseline.to_json()).expect("round trip");
+        assert_eq!(parsed, baseline);
+        assert_eq!(
+            parsed.allowed(Rule::UncheckedPanic, "crates/a/src/lib.rs"),
+            2
+        );
+        assert_eq!(
+            parsed.allowed(Rule::UncheckedPanic, "crates/c/src/lib.rs"),
+            0
+        );
+    }
+
+    #[test]
+    fn stale_when_counts_shrink_or_rule_not_baselineable() {
+        let baseline = Baseline::parse(
+            r#"{
+                "unchecked-panic": { "crates/a/src/lib.rs": 3, "crates/gone.rs": 1 },
+                "poison-unsafe-lock": { "crates/a/src/lib.rs": 1 },
+                "made-up-rule": { "crates/a/src/lib.rs": 1 }
+            }"#,
+        )
+        .expect("parses");
+        let stale =
+            baseline.stale_entries(&counts(&[(Rule::UncheckedPanic, "crates/a/src/lib.rs", 1)]));
+        assert_eq!(stale.len(), 4, "{stale:?}");
+        assert!(stale
+            .iter()
+            .any(|s| s.file == "crates/gone.rs" && s.found == 0));
+        assert!(stale
+            .iter()
+            .any(|s| s.rule == "unchecked-panic" && s.allowed == 3 && s.found == 1));
+        assert!(stale.iter().any(|s| s.rule == "poison-unsafe-lock"));
+        assert!(stale.iter().any(|s| s.rule == "made-up-rule"));
+    }
+
+    #[test]
+    fn current_above_baseline_is_not_stale() {
+        let baseline = Baseline::parse(r#"{ "unchecked-panic": { "crates/a/src/lib.rs": 1 } }"#)
+            .expect("parses");
+        let stale =
+            baseline.stale_entries(&counts(&[(Rule::UncheckedPanic, "crates/a/src/lib.rs", 5)]));
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let baseline = Baseline::load(Path::new("/nonexistent/lint-baseline.json"))
+            .expect("missing file is empty baseline");
+        assert!(baseline.entries.is_empty());
+    }
+}

@@ -1,0 +1,565 @@
+//! A hand-rolled Rust lexer for the lint pass.
+//!
+//! Following the workspace's offline-shim philosophy this is not a `syn`
+//! dependency but a small, purpose-built tokenizer: it understands exactly
+//! what the rules need — identifiers, punctuation, string/char literals
+//! (including raw strings), line and nested block comments, lifetimes —
+//! and attaches a 1-based line to every token.  A second pass computes
+//! *test scope*: the token ranges covered by `#[test]` / `#[cfg(test)]`
+//! items and inline `mod tests { … }` modules, which every rule except the
+//! waiver machinery skips.
+//!
+//! Known limitation: `#[cfg(test)] mod tests;` referencing an out-of-line
+//! file does not mark that file as test code (the lexer sees one file at a
+//! time).  The workspace keeps its test modules inline.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal.
+    Number,
+    /// String, raw-string, byte-string or char literal; `text` holds the
+    /// *inner* (unprocessed) contents without quotes.
+    Str,
+    /// One punctuation character.
+    Punct,
+    /// `// …` comment; `text` holds the contents after the slashes.
+    LineComment,
+    /// `/* … */` comment (nesting handled); `text` holds the contents.
+    BlockComment,
+    /// `'a`-style lifetime (or loop label).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what is stored per kind).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is a comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `source`.  The lexer never fails: unterminated constructs
+/// simply consume the rest of the input (good enough for a lint pass over
+/// code that must already compile to reach CI).
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let len = chars.len();
+
+    let count_lines = |text: &[char]| text.iter().filter(|&&c| c == '\n').count();
+
+    while i < len {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < len {
+            if chars[i + 1] == '/' {
+                let start = i + 2;
+                let mut end = start;
+                while end < len && chars[end] != '\n' {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: chars[start..end].iter().collect(),
+                    line,
+                });
+                i = end;
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut end = start;
+                while end < len && depth > 0 {
+                    if chars[end] == '/' && end + 1 < len && chars[end + 1] == '*' {
+                        depth += 1;
+                        end += 2;
+                    } else if chars[end] == '*' && end + 1 < len && chars[end + 1] == '/' {
+                        depth -= 1;
+                        end += 2;
+                    } else {
+                        end += 1;
+                    }
+                }
+                let inner_end = end.saturating_sub(2).max(start);
+                line += count_lines(&chars[i..end]);
+                tokens.push(Token {
+                    kind: TokenKind::BlockComment,
+                    text: chars[start..inner_end].iter().collect(),
+                    line: start_line,
+                });
+                i = end;
+                continue;
+            }
+        }
+        // Raw strings: r"…", r#"…"#, br#"…"# (any number of hashes).
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if chars[j] == 'b' && j + 1 < len && chars[j + 1] == 'r' {
+                j += 1;
+            }
+            if chars[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < len && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < len && chars[k] == '"' {
+                    let start_line = line;
+                    let content_start = k + 1;
+                    let mut end = content_start;
+                    'raw: while end < len {
+                        if chars[end] == '"' {
+                            let mut h = 0usize;
+                            while end + 1 + h < len && h < hashes && chars[end + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                break 'raw;
+                            }
+                        }
+                        end += 1;
+                    }
+                    line += count_lines(&chars[i..end.min(len)]);
+                    tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: chars[content_start..end.min(len)].iter().collect(),
+                        line: start_line,
+                    });
+                    i = (end + 1 + hashes).min(len);
+                    continue;
+                }
+            }
+        }
+        // Byte strings and chars: b"…", b'…'.
+        if c == 'b' && i + 1 < len && (chars[i + 1] == '"' || chars[i + 1] == '\'') {
+            let (token, next, lines) = lex_quoted(&chars, i + 1, line);
+            line += lines;
+            tokens.push(token);
+            i = next;
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let (token, next, lines) = lex_quoted(&chars, i, line);
+            line += lines;
+            tokens.push(token);
+            i = next;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // 'x' or '\n' etc. is a char literal; 'ident (no closing quote
+            // right after) is a lifetime/label.
+            let is_char = if i + 1 < len && chars[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < len && chars[i + 2] == '\''
+            };
+            if is_char {
+                let (token, next, lines) = lex_quoted(&chars, i, line);
+                line += lines;
+                tokens.push(token);
+                i = next;
+                continue;
+            }
+            let start = i + 1;
+            let mut end = start;
+            while end < len && (chars[end].is_alphanumeric() || chars[end] == '_') {
+                end += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text: chars[start..end].iter().collect(),
+                line,
+            });
+            i = end.max(i + 1);
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut end = i;
+            while end < len && (chars[end].is_alphanumeric() || chars[end] == '_') {
+                end += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..end].iter().collect(),
+                line,
+            });
+            i = end;
+            continue;
+        }
+        // Numbers (loose: handles 1_000, 0xFF, 1.5e-4 without eating `..`).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut end = i;
+            while end < len {
+                let d = chars[end];
+                let continues = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.'
+                        && end + 1 < len
+                        && chars[end + 1].is_ascii_digit()
+                        && end > start)
+                    || ((d == '+' || d == '-')
+                        && end > start
+                        && matches!(chars[end - 1], 'e' | 'E'));
+                if !continues {
+                    break;
+                }
+                end += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: chars[start..end].iter().collect(),
+                line,
+            });
+            i = end;
+            continue;
+        }
+        // Everything else: one punctuation character.
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+/// Lexes a `"…"` or `'…'` literal starting at `chars[start]` (the opening
+/// quote).  Returns the token, the index after the closing quote and the
+/// number of newlines consumed.
+fn lex_quoted(chars: &[char], start: usize, line: usize) -> (Token, usize, usize) {
+    let quote = chars[start];
+    let len = chars.len();
+    let content_start = start + 1;
+    let mut end = content_start;
+    while end < len {
+        if chars[end] == '\\' {
+            end = (end + 2).min(len);
+            continue;
+        }
+        if chars[end] == quote {
+            break;
+        }
+        end += 1;
+    }
+    let newlines = chars[start..end.min(len)]
+        .iter()
+        .filter(|&&c| c == '\n')
+        .count();
+    (
+        Token {
+            kind: TokenKind::Str,
+            text: chars[content_start..end.min(len)].iter().collect(),
+            line,
+        },
+        (end + 1).min(len),
+        newlines,
+    )
+}
+
+/// For each token, whether it lies inside test scope: a `#[test]` or
+/// `#[cfg(test)]` item, or an inline `mod tests { … }` / `mod test { … }`.
+///
+/// The attribute's own tokens, the item header between the attribute and
+/// the opening brace, and the braced body all count as test scope.
+pub fn test_scope(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut depth = 0usize;
+    // Depths at which an active test region began; the region covers all
+    // tokens until `depth` drops back to the recorded value.
+    let mut test_depths: Vec<usize> = Vec::new();
+    // Set after a test attribute until the item's `{` or `;` is reached.
+    let mut pending = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if tok.is_comment() {
+            in_test[i] = !test_depths.is_empty() || pending;
+            i += 1;
+            continue;
+        }
+        match (tok.kind, tok.text.as_str()) {
+            (TokenKind::Punct, "{") => {
+                in_test[i] = !test_depths.is_empty() || pending;
+                if pending {
+                    test_depths.push(depth);
+                    pending = false;
+                }
+                depth += 1;
+            }
+            (TokenKind::Punct, "}") => {
+                depth = depth.saturating_sub(1);
+                while test_depths.last().is_some_and(|&d| depth <= d) {
+                    test_depths.pop();
+                }
+                // The closing brace of a test region still belongs to it.
+                in_test[i] = !test_depths.is_empty() || depth_was_test(&test_depths, depth);
+            }
+            (TokenKind::Punct, ";") => {
+                // A test attribute on a braceless item (e.g. a gated `use`)
+                // covers up to the semicolon.
+                in_test[i] = !test_depths.is_empty() || pending;
+                pending = false;
+            }
+            (TokenKind::Punct, "#") => {
+                // Attribute: # [ … ] — collect its tokens and check for
+                // #[test] / #[cfg(test)].
+                let start = i;
+                if let Some((content_ids, end)) = attribute_span(tokens, i) {
+                    let is_test = attribute_is_test(tokens, &content_ids);
+                    let scope = !test_depths.is_empty() || pending || is_test;
+                    for flag in in_test.iter_mut().take(end + 1).skip(start) {
+                        *flag = scope;
+                    }
+                    if is_test {
+                        pending = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+                in_test[i] = !test_depths.is_empty() || pending;
+            }
+            (TokenKind::Ident, "mod") => {
+                in_test[i] = !test_depths.is_empty() || pending;
+                // `mod tests {` / `mod test {` opens a test region even
+                // without a #[cfg(test)] attribute.
+                if let Some(next) = next_code_token(tokens, i + 1) {
+                    let name_is_tests = tokens[next].kind == TokenKind::Ident
+                        && matches!(tokens[next].text.as_str(), "tests" | "test");
+                    if name_is_tests {
+                        if let Some(brace) = next_code_token(tokens, next + 1) {
+                            if tokens[brace].kind == TokenKind::Punct && tokens[brace].text == "{" {
+                                pending = true;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                in_test[i] = !test_depths.is_empty() || pending;
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Whether `depth` equals a recorded test-region start (used to keep the
+/// region's own closing brace inside the region).
+fn depth_was_test(test_depths: &[usize], depth: usize) -> bool {
+    test_depths.last().is_some_and(|&d| d == depth)
+}
+
+/// The index of the next non-comment token at or after `from`.
+fn next_code_token(tokens: &[Token], from: usize) -> Option<usize> {
+    (from..tokens.len()).find(|&j| !tokens[j].is_comment())
+}
+
+/// If `tokens[at]` is `#` opening an attribute, returns the indices of the
+/// attribute's content tokens (between the brackets) and the index of the
+/// closing `]`.
+fn attribute_span(tokens: &[Token], at: usize) -> Option<(Vec<usize>, usize)> {
+    let open = next_code_token(tokens, at + 1)?;
+    if tokens[open].kind != TokenKind::Punct || tokens[open].text != "[" {
+        return None;
+    }
+    let mut depth = 1usize;
+    let mut content = Vec::new();
+    let mut j = open + 1;
+    while j < tokens.len() {
+        let tok = &tokens[j];
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((content, j));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !tok.is_comment() {
+            content.push(j);
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Whether an attribute's content marks a test item: exactly `test`
+/// (`#[test]`), or the sequence `cfg ( test` (`#[cfg(test)]`,
+/// `#[cfg(test, …)]`).  `#[cfg(not(test))]` does not match.
+fn attribute_is_test(tokens: &[Token], content: &[usize]) -> bool {
+    let text = |k: usize| tokens[content[k]].text.as_str();
+    if content.len() == 1 && text(0) == "test" {
+        return true;
+    }
+    content.windows(3).any(|w| {
+        tokens[w[0]].text == "cfg" && tokens[w[1]].text == "(" && tokens[w[2]].text == "test"
+    })
+}
+
+/// For each token, whether it belongs to a `use …;` declaration (the
+/// `nondet-iteration` rule does not flag imports, only uses).
+pub fn use_scope(tokens: &[Token]) -> Vec<bool> {
+    let mut in_use = vec![false; tokens.len()];
+    let mut active = false;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.is_comment() {
+            in_use[i] = active;
+            continue;
+        }
+        if !active && tok.kind == TokenKind::Ident && tok.text == "use" {
+            active = true;
+        }
+        in_use[i] = active;
+        if active && tok.kind == TokenKind::Punct && tok.text == ";" {
+            active = false;
+        }
+    }
+    in_use
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(tokens: &[Token]) -> Vec<&str> {
+        tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strings_comments_and_lifetimes_lex() {
+        let src = r##"
+// a comment with unwrap() inside
+fn f<'a>(x: &'a str) -> char {
+    let s = "quoted .unwrap() text";
+    let r = r#"raw "string" body"#;
+    let c = 'x';
+    let esc = '\'';
+    /* block /* nested */ comment */
+    'outer: loop { break 'outer; }
+}
+"##;
+        let tokens = tokenize(src);
+        let strings: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(
+            strings,
+            vec!["quoted .unwrap() text", "raw \"string\" body", "x", "\\'"]
+        );
+        let lifetimes: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "outer", "outer"]);
+        // The unwrap in the comment is a comment token, not an ident.
+        assert!(!idents(&tokens).contains(&"unwrap"));
+        let comments: Vec<&Token> = tokens.iter().filter(|t| t.is_comment()).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let src = "let a = \"line\nbreak\";\nlet b = 1;";
+        let tokens = tokenize(src);
+        let b = tokens
+            .iter()
+            .find(|t| t.text == "b")
+            .expect("token b exists");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn test_scope_covers_cfg_test_and_mod_tests() {
+        let src = r#"
+fn library() { foo.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    fn helper() { bar.unwrap(); }
+}
+
+mod test {
+    fn also_test() {}
+}
+
+#[test]
+fn standalone() { baz.unwrap(); }
+
+#[cfg(not(test))]
+fn not_test_gated() { qux.unwrap(); }
+"#;
+        let tokens = tokenize(src);
+        let scope = test_scope(&tokens);
+        let flag = |name: &str| {
+            let idx = tokens
+                .iter()
+                .position(|t| t.text == name)
+                .unwrap_or_else(|| panic!("token {name} exists"));
+            scope[idx]
+        };
+        assert!(!flag("foo"));
+        assert!(flag("bar"));
+        assert!(flag("also_test"));
+        assert!(flag("baz"));
+        assert!(!flag("qux"), "cfg(not(test)) is not test scope");
+    }
+
+    #[test]
+    fn use_scope_marks_imports_only() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let tokens = tokenize(src);
+        let in_use = use_scope(&tokens);
+        let hits: Vec<bool> = tokens
+            .iter()
+            .zip(&in_use)
+            .filter(|(t, _)| t.text == "HashMap")
+            .map(|(_, &u)| u)
+            .collect();
+        assert_eq!(hits, vec![true, false, false]);
+    }
+}

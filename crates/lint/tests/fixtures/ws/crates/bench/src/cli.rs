@@ -1,0 +1,10 @@
+//! Negative fixture for `wall-clock-in-compute`: this path starts with
+//! `crates/bench/`, which is allowlisted — timing reports belong here.
+
+use std::time::Instant;
+
+pub fn timed<T>(work: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let result = work();
+    (result, started.elapsed().as_secs_f64())
+}

@@ -1,0 +1,23 @@
+//! Fixture for `unregistered-fault-point`: a registered point passes, an
+//! unregistered literal is a violation (1 finding), and toy points inside
+//! test scope are ignored.
+
+use bgc_runtime::fault;
+
+pub fn registered() {
+    fault::fire("trainer.epoch");
+}
+
+pub fn unregistered() {
+    fault::fire("demo.bogus");
+}
+
+#[cfg(test)]
+mod tests {
+    use bgc_runtime::fault;
+
+    #[test]
+    fn toy_points_are_fine_in_tests() {
+        fault::fire("toy.point");
+    }
+}

@@ -1,0 +1,7 @@
+//! Baselined fixture for `unchecked-panic`: one pre-existing finding
+//! admitted by the fixture workspace's lint-baseline.json — reported as
+//! baselined, not as a violation, and not stale (count matches exactly).
+
+pub fn legacy(values: &[f32]) -> f32 {
+    *values.first().expect("legacy call sites guarantee non-empty input")
+}

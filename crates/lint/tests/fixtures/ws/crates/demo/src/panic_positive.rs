@@ -1,0 +1,25 @@
+//! Positive fixture for `unchecked-panic`: unwrap/expect/panic! in library
+//! code (3 findings), while the same constructs inside `#[cfg(test)]` are
+//! ignored.
+
+pub fn first(values: &[f32]) -> f32 {
+    let head = values.first().unwrap();
+    let checked = values.last().expect("non-empty");
+    if *head > *checked {
+        panic!("unsorted");
+    }
+    *head
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v = vec![1.0_f32];
+        v.first().unwrap();
+        v.last().expect("non-empty");
+        if v.is_empty() {
+            panic!("unreachable");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Waived fixture for `unchecked-panic`: a justified inline waiver
+//! suppresses the finding on the next line; nothing is reported.
+
+pub fn modulo(values: &[f32], index: usize) -> f32 {
+    // bgc-lint: allow(unchecked-panic) — index is reduced modulo len, the slice is non-empty by contract
+    *values.get(index % values.len()).unwrap()
+}

@@ -1,0 +1,20 @@
+//! Negative fixture for `poison-unsafe-lock`: the repaired memo-lock shape —
+//! poison recovery through `bgc_runtime::relock`, as in condense/methods.rs
+//! and core/selector.rs post-fix.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock, RwLock};
+
+static MEMO: OnceLock<Mutex<BTreeMap<u64, f32>>> = OnceLock::new();
+static TABLE: OnceLock<RwLock<Vec<String>>> = OnceLock::new();
+
+pub fn cached(key: u64) -> Option<f32> {
+    let memo = MEMO.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let guard = bgc_runtime::relock(memo);
+    guard.get(&key).copied()
+}
+
+pub fn names() -> Vec<String> {
+    let table = TABLE.get_or_init(|| RwLock::new(Vec::new()));
+    bgc_runtime::relock_read(table).clone()
+}

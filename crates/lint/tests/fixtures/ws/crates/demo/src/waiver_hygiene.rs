@@ -1,0 +1,13 @@
+//! Waiver-hygiene fixture: an unused waiver (suppresses nothing) and a
+//! malformed waiver (missing reason) are themselves violations, so waivers
+//! can never silently rot.
+
+// bgc-lint: allow(wall-clock-in-compute) — nothing on the next line reads a clock
+pub fn quiet() -> u32 {
+    7
+}
+
+// bgc-lint: allow(unchecked-panic)
+pub fn also_quiet() -> u32 {
+    11
+}

@@ -1,0 +1,11 @@
+//! Positive fixture for `wall-clock-in-compute`: `Instant::now()` and
+//! `SystemTime` in a crate outside the bench/runtime allowlist (2 findings;
+//! the `use` line itself is not flagged).
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> f64 {
+    let t = Instant::now();
+    let _wall = SystemTime::now();
+    t.elapsed().as_secs_f64()
+}

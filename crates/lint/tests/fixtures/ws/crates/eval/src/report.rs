@@ -1,0 +1,17 @@
+//! Negative fixtures for `nondet-iteration` and `poison-unsafe-lock`: a
+//! `HashMap` in a file that is *not* designated order-sensitive is fine,
+//! and `unwrap_or_else`/`unwrap_or` are not `unwrap`.
+
+use std::collections::HashMap;
+
+pub fn histogram(keys: &[u32]) -> usize {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for key in keys {
+        *counts.entry(*key).or_insert(0) += 1;
+    }
+    counts.len()
+}
+
+pub fn fallback(values: &[f32]) -> f32 {
+    values.first().copied().unwrap_or(0.0)
+}

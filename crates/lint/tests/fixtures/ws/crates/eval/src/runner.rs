@@ -1,0 +1,14 @@
+//! Positive fixture for `nondet-iteration`: this path ends with
+//! `crates/eval/src/runner.rs`, a designated order-sensitive file, so a
+//! `HashMap` outside the `use` line is a violation (2 findings: the type
+//! annotation and the constructor).
+
+use std::collections::HashMap;
+
+pub fn collect(pairs: &[(String, f32)]) -> Vec<(String, f32)> {
+    let mut results: HashMap<String, f32> = HashMap::new();
+    for (key, value) in pairs {
+        results.insert(key.clone(), *value);
+    }
+    results.into_iter().collect()
+}

@@ -91,7 +91,7 @@ pub trait GnnModel {
 }
 
 /// The GNN architectures evaluated in the transfer study (Table III).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum GnnArchitecture {
     /// Graph convolutional network (Kipf & Welling).
     Gcn,

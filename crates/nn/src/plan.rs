@@ -19,7 +19,7 @@ use std::fmt;
 use std::str::FromStr;
 
 /// Parameters of the sampled (minibatch) training strategy.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SampledPlan {
     /// Per-layer fanout caps, input-side first; `0` means "take every
     /// neighbour" (no cap).  The length must match the number of
@@ -60,7 +60,7 @@ impl SampledPlan {
 }
 
 /// How a model is trained on an original (non-condensed) graph.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TrainingPlan {
     /// One full-graph forward/backward per epoch (the historical default).
     #[default]

@@ -13,6 +13,8 @@
 
 use std::sync::{Arc, RwLock};
 
+use bgc_runtime::{relock_read, relock_write};
+
 /// Anything registrable under a display name.
 pub trait Named {
     /// Display name used in result tables, canonical keys and the CLI.
@@ -50,14 +52,14 @@ impl<T: ?Sized + Named + Send + Sync> Registry<T> {
     /// built-in, delete `target/experiments/` (or use an in-memory runner)
     /// to avoid being served the old implementation's cached cells.
     pub fn register(&self, entry: Arc<T>) {
-        let mut slots = self.slots.write().unwrap();
+        let mut slots = relock_write(&self.slots);
         slots.retain(|e| !e.name().eq_ignore_ascii_case(entry.name()));
         slots.push(entry);
     }
 
     /// Looks up an entry by name (exact first, then case-insensitive).
     pub fn resolve(&self, name: &str) -> Option<Arc<T>> {
-        let slots = self.slots.read().unwrap();
+        let slots = relock_read(&self.slots);
         slots
             .iter()
             .find(|e| e.name() == name)
@@ -67,9 +69,7 @@ impl<T: ?Sized + Named + Send + Sync> Registry<T> {
 
     /// Registered names in registration order (built-ins first).
     pub fn names(&self) -> Vec<String> {
-        self.slots
-            .read()
-            .unwrap()
+        relock_read(&self.slots)
             .iter()
             .map(|e| e.name().to_string())
             .collect()

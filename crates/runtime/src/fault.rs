@@ -31,6 +31,33 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Central registry of every named fault point in the workspace.
+///
+/// Instrumenting a new site means adding its name here *first*: the
+/// `unregistered-fault-point` rule of `bgc-lint` rejects any
+/// `fault::fire("…")` / `fault::fire_io("…")` literal that is not listed,
+/// a meta-test asserts the registry exactly matches the instrumented call
+/// sites, and the CLI help (`docs/cli-help.txt`) documents each point.
+pub const FAULT_POINTS: &[&str] = &[
+    // One trainer epoch (bgc-nn trainer, full-batch and sampled loops).
+    "trainer.epoch",
+    // One condensation outer epoch (gradient matching and GC-SNTK).
+    "condense.outer",
+    // The memoized clean-reference condensation stage (eval runner).
+    "stage.clean",
+    // The memoized attack stage (eval runner).
+    "stage.attack",
+    // Cell persist: between the temp-file write and the atomic rename.
+    "runner.persist",
+    // Cell load: before reading a persisted cell file.
+    "runner.load",
+];
+
+/// Whether `point` is a registered fault point (see [`FAULT_POINTS`]).
+pub fn is_registered(point: &str) -> bool {
+    FAULT_POINTS.contains(&point)
+}
+
 /// What an armed fault does when it fires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultAction {
@@ -236,6 +263,7 @@ pub fn fire(point: &str) {
         None => {}
         Some(FaultAction::Delay(duration)) => std::thread::sleep(duration),
         Some(FaultAction::Panic) | Some(FaultAction::IoError) => {
+            // bgc-lint: allow(unchecked-panic) — injecting a panic is this fault point's contract
             panic!("injected panic at fault point '{}'", point)
         }
     }
@@ -250,6 +278,7 @@ pub fn fire_io(point: &str) -> std::io::Result<()> {
             std::thread::sleep(duration);
             Ok(())
         }
+        // bgc-lint: allow(unchecked-panic) — injecting a panic is this fault point's contract
         Some(FaultAction::Panic) => panic!("injected panic at fault point '{}'", point),
         Some(FaultAction::IoError) => Err(std::io::Error::other(format!(
             "injected i/o error at fault point '{}'",

@@ -1,8 +1,9 @@
 //! # bgc-runtime
 //!
 //! Fault-tolerance substrate shared by every execution layer of the BGC
-//! reproduction: cooperative cancellation with deadlines ([`cancel`]) and
-//! deterministic fault injection ([`fault`]).
+//! reproduction: cooperative cancellation with deadlines ([`cancel`]),
+//! deterministic fault injection ([`fault`]) and poison-recovering lock
+//! helpers ([`lock`]).
 //!
 //! Both facilities are *scoped*: the experiment runner enters a scope around
 //! one cell's execution on the worker thread, and the long loops beneath it
@@ -16,6 +17,8 @@
 
 pub mod cancel;
 pub mod fault;
+pub mod lock;
 
 pub use cancel::{checkpoint, CancelScope, CancelToken, CancelUnwind};
-pub use fault::{FaultAction, FaultPlan, FaultScope, FaultSpec};
+pub use fault::{FaultAction, FaultPlan, FaultScope, FaultSpec, FAULT_POINTS};
+pub use lock::{relock, relock_read, relock_write};
