@@ -1,0 +1,5 @@
+//! `bgcd` — the warm-cache condensation daemon (see `docs/daemon.md`).
+
+fn main() -> ! {
+    bgc_bench::daemon::bgcd_main()
+}

@@ -7,14 +7,22 @@
 //! spellings execute the identical code path and produce byte-identical
 //! reports and cell caches.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bgc_condense::condenser_names;
 use bgc_core::{attack_names, BgcError, GeneratorKind};
 use bgc_defense::defense_names;
-use bgc_eval::{experiments, Experiment, ExperimentScale, FaultPlan, RunMetrics, Runner};
+use bgc_eval::report_json::{self, OutcomeCollector};
+use bgc_eval::{
+    enter_wave, experiments, CancelToken, Experiment, ExperimentScale, FaultPlan, RunMetrics,
+    Runner, WaveCtx,
+};
 use bgc_graph::{DatasetKind, PoisonBudget};
 use bgc_nn::{GnnArchitecture, SampledPlan, TrainingPlan};
+use serde::Value;
+
+use crate::daemon;
 
 /// The `bgc --help` text.  Snapshotted in `docs/cli-help.txt` (checked by a
 /// unit test and by CI), so help drift is caught at review time.
@@ -34,6 +42,8 @@ COMMANDS:
                     architectures|generators|scales
     lint            Check workspace invariants (determinism, panic-safety,
                     fault-point hygiene); see docs/lint.md
+    daemon <start|stop|status|ping>
+                    Manage the warm-cache bgcd daemon; see docs/daemon.md
     help            Show this message
 
 GLOBAL OPTIONS:
@@ -49,6 +59,14 @@ GLOBAL OPTIONS:
                           cooperatively cancelled and reported as timed out
     --retries <n>         Retry retriable cell failures (caught panics, I/O
                           errors) up to n extra attempts (default: 0)
+    --format human|json   run/grid/all output format (default: human); json
+                          emits the machine-readable grid report document
+    --deadline <s>        Whole-invocation deadline in seconds; cells past it
+                          are cancelled and reported as timed out
+    --daemon[=auto|require]
+                          Execute run/grid/all on the bgcd daemon (warm
+                          caches across invocations); auto falls back to
+                          in-process when no daemon is up, require fails
 
 EXPERIMENT OPTIONS (run; repeatable in grid):
     --dataset <name>      cora|citeseer|flickr|reddit|arxiv (required for run)
@@ -81,6 +99,12 @@ LINT OPTIONS (lint):
     --root <dir>          Workspace root (default: the nearest ancestor
                           directory containing Cargo.toml and crates/)
 
+DAEMON OPTIONS (daemon):
+    --socket <path>       Daemon socket path (default: target/bgcd.sock, or
+                          BGC_DAEMON_SOCKET when set)
+    --foreground          daemon start: serve in this process instead of
+                          spawning a background bgcd
+
 EXIT CODES:
     0  success                  3  cell failure(s) (panic/timeout/error)
     1  error                    4  every executed cell was OOM
@@ -90,10 +114,11 @@ EXIT CODES:
 FAULT INJECTION (testing and CI):
     BGC_FAULTS=\"point[@ctx][#n]=panic|io|delay:<ms>[;...]\" arms
     deterministic faults at named points: trainer.epoch, condense.outer,
-    stage.clean, stage.attack, runner.persist, runner.load.  @ctx fires only
-    in cells whose canonical key contains ctx; #n fires on the nth matching
-    hit (default 1).  Each fault fires exactly once, so retries and re-runs
-    heal.  Example: BGC_FAULTS=\"stage.clean@citeseer=panic\"
+    stage.clean, stage.attack, runner.persist, runner.load, daemon.accept,
+    daemon.request, daemon.persist.  @ctx fires only in cells whose canonical
+    key contains ctx; #n fires on the nth matching hit (default 1).  Each
+    fault fires exactly once, so retries and re-runs heal.
+    Example: BGC_FAULTS=\"stage.clean@citeseer=panic\"
 
 EXAMPLES:
     bgc run --dataset cora --method GCond --attack BGC --ratio 0.026
@@ -105,6 +130,8 @@ EXAMPLES:
     bgc table 2 --scale quick
     bgc list attacks
     bgc lint --format json
+    bgc daemon start
+    bgc all --scale quick --daemon    (second run hits the warm caches)
 ";
 
 /// A CLI failure: either a usage error (bad flag/operand, reported with a
@@ -222,13 +249,14 @@ pub fn run(args: &[String]) -> Result<CliOutcome, CliError> {
     let command = args.next().unwrap_or("help");
     let rest: Vec<&str> = args.collect();
     match command {
-        "run" => cmd_run(&rest),
-        "grid" => cmd_grid(&rest),
+        "run" => route(&rest, "run", cmd_run),
+        "grid" => route(&rest, "grid", cmd_grid),
         "table" => cmd_report(&rest, ReportFamily::Table),
         "fig" => cmd_report(&rest, ReportFamily::Fig),
-        "all" => cmd_all(&rest),
+        "all" => route(&rest, "all", cmd_all),
         "list" => cmd_list(&rest),
         "lint" => cmd_lint(&rest),
+        "daemon" => daemon::cmd_daemon(&rest),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(CliOutcome::default())
@@ -237,14 +265,47 @@ pub fn run(args: &[String]) -> Result<CliOutcome, CliError> {
     }
 }
 
+/// Routes `run`/`grid`/`all` either to the in-process implementation or,
+/// under `--daemon`, to a running `bgcd` (with in-process fallback in
+/// `auto` mode when no daemon is reachable).
+fn route(
+    rest: &[&str],
+    command: &str,
+    local: fn(&[&str]) -> Result<CliOutcome, CliError>,
+) -> Result<CliOutcome, CliError> {
+    let options = parse_options(rest)?;
+    match options.daemon {
+        None => local(rest),
+        Some(mode) => daemon::exec_remote_or(command, rest, &options, mode, local),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Option parsing
 // ---------------------------------------------------------------------------
 
+/// Output format of `run`/`grid`/`all` (`--format`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OutputFormat {
+    /// Table rows plus the grid/wall-clock footer.
+    Human,
+    /// One machine-readable grid-report document (shared report codec).
+    Json,
+}
+
+/// How `--daemon` routes `run`/`grid`/`all` (see [`crate::daemon`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DaemonMode {
+    /// Use a running daemon; fall back to in-process when none is up.
+    Auto,
+    /// Use a running daemon; error when none is reachable.
+    Require,
+}
+
 /// Parsed flags shared by every subcommand.  `run` reads the singular
 /// experiment fields; `grid` reads the repeated ones; reports read only the
 /// globals.
-struct Options {
+pub(crate) struct Options {
     scale: ExperimentScale,
     full: bool,
     serial: bool,
@@ -252,6 +313,9 @@ struct Options {
     keep_going: bool,
     cell_timeout: Option<Duration>,
     retries: Option<usize>,
+    format: OutputFormat,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) daemon: Option<DaemonMode>,
     datasets: Vec<DatasetKind>,
     methods: Vec<String>,
     attacks: Vec<String>,
@@ -271,11 +335,11 @@ struct Options {
     operands: Vec<String>,
 }
 
-fn usage(msg: impl Into<String>) -> CliError {
+pub(crate) fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
 }
 
-fn parse_options(args: &[&str]) -> Result<Options, CliError> {
+pub(crate) fn parse_options(args: &[&str]) -> Result<Options, CliError> {
     let mut options = Options {
         scale: ExperimentScale::Quick,
         full: false,
@@ -284,6 +348,9 @@ fn parse_options(args: &[&str]) -> Result<Options, CliError> {
         keep_going: false,
         cell_timeout: None,
         retries: None,
+        format: OutputFormat::Human,
+        deadline: None,
+        daemon: None,
         datasets: Vec::new(),
         methods: Vec::new(),
         attacks: Vec::new(),
@@ -325,6 +392,31 @@ fn parse_options(args: &[&str]) -> Result<Options, CliError> {
                 options.cell_timeout = Some(Duration::from_secs_f64(seconds));
             }
             "--retries" => options.retries = Some(parse_num(value("--retries")?, "--retries")?),
+            "--format" => {
+                options.format = match value("--format")? {
+                    "human" => OutputFormat::Human,
+                    "json" => OutputFormat::Json,
+                    other => {
+                        return Err(usage(format!(
+                            "unknown format '{}' (expected human or json)",
+                            other
+                        )))
+                    }
+                };
+            }
+            "--deadline" => {
+                let seconds: f64 = parse_num(value("--deadline")?, "--deadline")?;
+                if !(seconds > 0.0 && seconds.is_finite()) {
+                    return Err(usage("--deadline expects a positive number of seconds"));
+                }
+                options.deadline = Some(Duration::from_secs_f64(seconds));
+            }
+            "--daemon" | "--daemon=auto" => options.daemon = Some(DaemonMode::Auto),
+            "--daemon=require" => options.daemon = Some(DaemonMode::Require),
+            flag if flag.starts_with("--daemon=") => {
+                let hint = "expected --daemon, --daemon=auto or --daemon=require";
+                return Err(usage(format!("unknown daemon mode '{}' ({})", flag, hint)));
+            }
             "--dataset" => options
                 .datasets
                 .push(value("--dataset")?.parse().map_err(|e: String| usage(e))?),
@@ -397,6 +489,16 @@ fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, CliError
 }
 
 fn build_runner(options: &Options) -> Result<Runner, CliError> {
+    match FaultPlan::from_env() {
+        Ok(plan) => Ok(configure_runner(options, plan)),
+        Err(err) => Err(usage(format!("malformed BGC_FAULTS: {}", err))),
+    }
+}
+
+/// Builds a runner from the parsed runner-level flags and an explicit fault
+/// plan (the in-process path arms `BGC_FAULTS` via [`build_runner`]; the
+/// daemon arms the plan it was started with).
+pub(crate) fn configure_runner(options: &Options, fault_plan: Option<FaultPlan>) -> Runner {
     let mut runner = if options.no_cache {
         Runner::in_memory(options.scale)
     } else {
@@ -414,12 +516,25 @@ fn build_runner(options: &Options) -> Result<Runner, CliError> {
     if let Some(retries) = options.retries {
         runner = runner.with_retries(retries);
     }
-    match FaultPlan::from_env() {
-        Ok(Some(plan)) => runner = runner.with_fault_plan(plan),
-        Ok(None) => {}
-        Err(err) => return Err(usage(format!("malformed BGC_FAULTS: {}", err))),
+    if let Some(plan) = fault_plan {
+        runner = runner.with_fault_plan(plan);
     }
-    Ok(runner)
+    runner
+}
+
+/// The runner-level configuration of an invocation, as a stable key.  The
+/// daemon keeps one warm runner per distinct key, since a runner's scale,
+/// caching and fault-tolerance settings are fixed at construction.
+pub(crate) fn runner_config_key(options: &Options) -> String {
+    format!(
+        "scale={}|no_cache={}|serial={}|keep_going={}|cell_timeout_ms={:?}|retries={:?}",
+        options.scale.name(),
+        options.no_cache,
+        options.serial,
+        options.keep_going,
+        options.cell_timeout.map(|t| t.as_millis()),
+        options.retries,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -504,14 +619,122 @@ fn resolve_plan(options: &Options) -> Result<Option<TrainingPlan>, BgcError> {
     Ok(plan)
 }
 
-fn print_rows(rows: &[RunMetrics]) {
-    for row in rows {
-        println!("{}", row.table_row());
+/// Where a subcommand's stdout lines go: the process stdout for a CLI
+/// invocation, the response stream of a daemon request for remote
+/// execution.  Routing output through the sink is what makes daemon
+/// results byte-identical to in-process ones.
+pub(crate) struct OutputSink<'a> {
+    remote: Option<&'a (dyn Fn(&str) + Sync)>,
+}
+
+impl<'a> OutputSink<'a> {
+    /// The process's stdout.
+    pub(crate) fn stdout() -> OutputSink<'static> {
+        OutputSink { remote: None }
     }
+
+    /// A remote sink receiving each stdout line (without its newline).
+    pub(crate) fn remote(sink: &'a (dyn Fn(&str) + Sync)) -> Self {
+        OutputSink { remote: Some(sink) }
+    }
+
+    fn line(&self, text: &str) {
+        match self.remote {
+            None => println!("{}", text),
+            Some(sink) => sink(text),
+        }
+    }
+
+    /// Emits a multi-line block (e.g. a rendered report) line by line.
+    fn block(&self, text: &str) {
+        for line in text.lines() {
+            self.line(line);
+        }
+    }
+}
+
+fn print_rows(out: &OutputSink, rows: &[RunMetrics]) {
+    for row in rows {
+        out.line(&row.table_row());
+    }
+}
+
+/// Builds the invocation's wave context: the per-invocation outcome
+/// collector (always installed — it drives exit codes and `--format json`)
+/// plus the optional `--deadline` token.
+fn invocation_wave(options: &Options, collector: &Arc<OutcomeCollector>) -> WaveCtx {
+    WaveCtx {
+        deadline: options.deadline.map(CancelToken::with_timeout),
+        transient: false,
+        observer: Some(collector.observer()),
+    }
+}
+
+/// Exit-code classification from the cells this invocation observed (not
+/// the runner's lifetime counters, which accumulate across daemon
+/// requests).
+fn outcome_from(collector: &OutcomeCollector) -> CliOutcome {
+    let (completed, oom, failures) = collector.counts();
+    CliOutcome {
+        cell_failures: failures,
+        completed,
+        oom,
+        ..CliOutcome::default()
+    }
+}
+
+/// Emits the machine-readable grid-report document of `--format json`:
+/// per-cell status/attempts/results (deterministic), the runner's cache
+/// counters and the invocation outcome (execution metadata).
+fn emit_json(
+    out: &OutputSink,
+    command: &str,
+    runner: &Runner,
+    collector: &OutcomeCollector,
+    started: Instant,
+) {
+    let (completed, oom, failures) = collector.counts();
+    let doc = Value::Object(vec![
+        ("command".to_string(), Value::String(command.to_string())),
+        (
+            "scale".to_string(),
+            Value::String(runner.scale().name().to_string()),
+        ),
+        ("cells".to_string(), collector.cells_value(runner)),
+        (
+            "outcome".to_string(),
+            Value::Object(vec![
+                ("completed".to_string(), Value::Number(completed as f64)),
+                ("oom".to_string(), Value::Number(oom as f64)),
+                ("cell_failures".to_string(), Value::Number(failures as f64)),
+            ]),
+        ),
+        (
+            "stats".to_string(),
+            report_json::stats_value(&runner.stats()),
+        ),
+        (
+            "wall_clock_s".to_string(),
+            Value::Number(started.elapsed().as_secs_f64()),
+        ),
+    ]);
+    out.block(&doc.to_json_string_pretty());
 }
 
 fn cmd_run(args: &[&str]) -> Result<CliOutcome, CliError> {
     let options = parse_options(args)?;
+    let runner = build_runner(&options)?;
+    exec_run(&options, &runner, &OutputSink::stdout())
+}
+
+/// `bgc run` past parsing and runner construction — shared verbatim by the
+/// CLI and the daemon handler (which supplies a warm runner and a remote
+/// sink).
+pub(crate) fn exec_run(
+    options: &Options,
+    runner: &Runner,
+    out: &OutputSink,
+) -> Result<CliOutcome, CliError> {
     if !options.operands.is_empty() {
         return Err(usage(format!(
             "unexpected operand '{}'",
@@ -527,22 +750,48 @@ fn cmd_run(args: &[&str]) -> Result<CliOutcome, CliError> {
         ));
     }
     let experiment = experiment_for(
-        &options,
+        options,
         options.datasets[0],
         options.methods.first().map(String::as_str),
         options.attacks.first().map(String::as_str),
         options.ratios.first().copied(),
     )?;
-    let runner = build_runner(&options)?;
     let started = Instant::now();
-    let metrics = experiment.run(&runner)?;
-    print_rows(std::slice::from_ref(&metrics));
-    report_runner_stats(&runner, started);
-    Ok(CliOutcome::from_runner(&runner))
+    let collector = OutcomeCollector::new();
+    let group = experiment.group(runner)?;
+    let metrics = {
+        let _wave = enter_wave(invocation_wave(options, &collector));
+        // Submit through `run_cells` like the grid path: `metrics` alone
+        // resolves already-completed cells on its read-back path without
+        // entering the wave, which would leave a warm runner repeat (the
+        // daemon) with no observed outcomes and an empty JSON cell list.
+        if let Some(err) = runner.run_cells(&group.keys).error() {
+            return Err(CliError::Bgc(err));
+        }
+        runner.metrics(&group)?
+    };
+    match options.format {
+        OutputFormat::Human => {
+            print_rows(out, std::slice::from_ref(&metrics));
+            report_runner_stats_to(out, runner, started);
+        }
+        OutputFormat::Json => emit_json(out, "run", runner, &collector, started),
+    }
+    Ok(outcome_from(&collector))
 }
 
 fn cmd_grid(args: &[&str]) -> Result<CliOutcome, CliError> {
     let options = parse_options(args)?;
+    let runner = build_runner(&options)?;
+    exec_grid(&options, &runner, &OutputSink::stdout())
+}
+
+/// `bgc grid` past parsing and runner construction (see [`exec_run`]).
+pub(crate) fn exec_grid(
+    options: &Options,
+    runner: &Runner,
+    out: &OutputSink,
+) -> Result<CliOutcome, CliError> {
     if !options.operands.is_empty() {
         return Err(usage(format!(
             "unexpected operand '{}'",
@@ -574,37 +823,51 @@ fn cmd_grid(args: &[&str]) -> Result<CliOutcome, CliError> {
         for method in &methods {
             for attack in &attacks {
                 for ratio in &ratios {
-                    experiments.push(experiment_for(&options, dataset, *method, *attack, *ratio)?);
+                    experiments.push(experiment_for(options, dataset, *method, *attack, *ratio)?);
                 }
             }
         }
     }
-    let runner = build_runner(&options)?;
     let started = Instant::now();
-    let groups = experiments
-        .iter()
-        .map(|e| e.group(&runner))
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(CliError::Bgc)?;
-    let report = runner
-        .run_groups(&groups.iter().collect::<Vec<_>>())
-        .map_err(CliError::Bgc)?;
-    // Under --keep-going, render every group that completed and report the
-    // failed ones; otherwise any failure already aborted above.
-    let mut rows = Vec::new();
-    for group in &groups {
-        match runner.metrics(group) {
-            Ok(row) => rows.push(row),
-            Err(err) if options.keep_going => eprintln!("error: {}", err),
-            Err(err) => return Err(CliError::Bgc(err)),
+    let collector = OutcomeCollector::new();
+    let (report, rows) = {
+        let _wave = enter_wave(invocation_wave(options, &collector));
+        let groups = experiments
+            .iter()
+            .map(|e| e.group(runner))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CliError::Bgc)?;
+        let report = runner
+            .run_groups(&groups.iter().collect::<Vec<_>>())
+            .map_err(CliError::Bgc)?;
+        // Under --keep-going, render every group that completed and report
+        // the failed ones; otherwise any failure already aborted above.
+        let mut rows = Vec::new();
+        for group in &groups {
+            match runner.metrics(group) {
+                Ok(row) => rows.push(row),
+                Err(err) if options.keep_going => eprintln!("error: {}", err),
+                Err(err) => return Err(CliError::Bgc(err)),
+            }
+        }
+        (report, rows)
+    };
+    match options.format {
+        OutputFormat::Human => {
+            print_rows(out, &rows);
+            if !report.is_ok() {
+                eprintln!("-- grid outcome: {}", report.summary());
+            }
+            report_runner_stats_to(out, runner, started);
+        }
+        OutputFormat::Json => {
+            if !report.is_ok() {
+                eprintln!("-- grid outcome: {}", report.summary());
+            }
+            emit_json(out, "grid", runner, &collector, started);
         }
     }
-    print_rows(&rows);
-    if !report.is_ok() {
-        eprintln!("-- grid outcome: {}", report.summary());
-    }
-    report_runner_stats(&runner, started);
-    Ok(CliOutcome::from_runner(&runner))
+    Ok(outcome_from(&collector))
 }
 
 // ---------------------------------------------------------------------------
@@ -661,37 +924,53 @@ type Regenerator<'a> = Box<dyn Fn() -> Result<bgc_eval::ExperimentReport, BgcErr
 
 fn cmd_all(args: &[&str]) -> Result<CliOutcome, CliError> {
     let options = parse_options(args)?;
+    let runner = build_runner(&options)?;
+    exec_all(&options, &runner, &OutputSink::stdout())
+}
+
+/// `bgc all` past parsing and runner construction (see [`exec_run`]).
+pub(crate) fn exec_all(
+    options: &Options,
+    runner: &Runner,
+    out: &OutputSink,
+) -> Result<CliOutcome, CliError> {
     if !options.operands.is_empty() {
         return Err(usage(format!(
             "unexpected operand '{}'",
             options.operands[0]
         )));
     }
-    let runner = build_runner(&options)?;
     let full = options.full;
     let started = Instant::now();
+    let collector = OutcomeCollector::new();
+    let _wave = enter_wave(invocation_wave(options, &collector));
 
     // Under --keep-going a failed report is announced and the remaining
     // reports still regenerate (cells that failed stay failed on this
     // runner, so reports sharing them fail fast instead of re-running).
     let reports: Vec<(&str, Regenerator)> = vec![
         ("table 1", Box::new(|| experiments::table1(runner.scale()))),
-        ("fig 1", Box::new(|| experiments::fig1(&runner))),
-        ("table 2", Box::new(|| experiments::table2(&runner, full))),
-        ("fig 4", Box::new(|| experiments::fig4(&runner, full))),
-        ("table 3", Box::new(|| experiments::table3(&runner, full))),
-        ("table 4", Box::new(|| experiments::table4(&runner, full))),
-        ("fig 5", Box::new(|| experiments::fig5(&runner))),
-        ("table 5", Box::new(|| experiments::table5(&runner))),
-        ("table 6", Box::new(|| experiments::table6(&runner))),
-        ("fig 6", Box::new(|| experiments::fig6(&runner, full))),
-        ("table 7", Box::new(|| experiments::table7(&runner, full))),
-        ("table 8", Box::new(|| experiments::table8(&runner, full))),
-        ("fig 8", Box::new(|| experiments::fig8(&runner))),
+        ("fig 1", Box::new(|| experiments::fig1(runner))),
+        ("table 2", Box::new(|| experiments::table2(runner, full))),
+        ("fig 4", Box::new(|| experiments::fig4(runner, full))),
+        ("table 3", Box::new(|| experiments::table3(runner, full))),
+        ("table 4", Box::new(|| experiments::table4(runner, full))),
+        ("fig 5", Box::new(|| experiments::fig5(runner))),
+        ("table 5", Box::new(|| experiments::table5(runner))),
+        ("table 6", Box::new(|| experiments::table6(runner))),
+        ("fig 6", Box::new(|| experiments::fig6(runner, full))),
+        ("table 7", Box::new(|| experiments::table7(runner, full))),
+        ("table 8", Box::new(|| experiments::table8(runner, full))),
+        ("fig 8", Box::new(|| experiments::fig8(runner))),
     ];
     for (name, regenerate) in reports {
         match regenerate() {
-            Ok(report) => report.print_and_save(),
+            Ok(report) => {
+                if options.format == OutputFormat::Human {
+                    out.block(&report.render());
+                }
+                report.save();
+            }
             Err(err) if options.keep_going => {
                 eprintln!("error: {} failed: {}", name, err);
             }
@@ -699,8 +978,11 @@ fn cmd_all(args: &[&str]) -> Result<CliOutcome, CliError> {
         }
     }
 
-    report_runner_stats(&runner, started);
-    Ok(CliOutcome::from_runner(&runner))
+    match options.format {
+        OutputFormat::Human => report_runner_stats_to(out, runner, started),
+        OutputFormat::Json => emit_json(out, "all", runner, &collector, started),
+    }
+    Ok(outcome_from(&collector))
 }
 
 // ---------------------------------------------------------------------------
@@ -843,13 +1125,17 @@ fn lint_outcome(report: &bgc_lint::LintReport) -> CliOutcome {
 /// invocation (stdout only — the per-report JSON dumps stay byte-identical
 /// across cached re-runs).
 pub fn report_runner_stats(runner: &Runner, started: Instant) {
+    report_runner_stats_to(&OutputSink::stdout(), runner, started);
+}
+
+fn report_runner_stats_to(out: &OutputSink, runner: &Runner, started: Instant) {
     let stats = runner.stats();
-    println!("-- grid: {}", stats.summary());
-    println!(
+    out.line(&format!("-- grid: {}", stats.summary()));
+    out.line(&format!(
         "-- wall clock: {:.2}s ({} total cache hits)",
         started.elapsed().as_secs_f64(),
         stats.total_hits()
-    );
+    ));
 }
 
 #[cfg(test)]

@@ -1,0 +1,645 @@
+//! Daemon-mode glue between the `bgc` CLI and the `bgcd` server crate.
+//!
+//! Three pieces live here:
+//!
+//! * [`CliHandler`] — the [`ExecHandler`] behind `bgcd`: it pools warm
+//!   [`Runner`]s keyed by their CLI configuration and executes `run`/
+//!   `grid`/`all` requests through the exact same `exec_*` code paths as
+//!   the in-process CLI, which is what makes daemon results byte-identical.
+//! * `bgc daemon <start|stop|status|ping>` — client-side lifecycle
+//!   management ([`cmd_daemon`]).
+//! * [`exec_remote_or`] — the `--daemon` routing used by `run`/`grid`/
+//!   `all`: ship the invocation to a running daemon, or (in `auto` mode)
+//!   fall back to the in-process path when none is reachable.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bgc_core::BgcError;
+use bgc_daemon::{
+    serve, termination_flag, DaemonClient, DaemonConfig, ErrorKind, ExecHandler, ExecReply,
+    ProgressSink, RemoteError,
+};
+use bgc_eval::report_json::{self};
+use bgc_eval::{enter_wave, CancelToken, CellOutcome, FaultPlan, Runner, WaveCtx, WaveObserver};
+use bgc_runtime::relock;
+use serde::Value;
+
+use crate::cli::{self, exit_code, usage, CliError, CliOutcome, DaemonMode, Options, OutputSink};
+
+/// How long `daemon start`/`stop` wait for the server to come up / drain.
+const LIFECYCLE_WAIT: Duration = Duration::from_secs(12);
+/// Poll interval for lifecycle waits.
+const LIFECYCLE_POLL: Duration = Duration::from_millis(20);
+
+/// The daemon's unix socket: `$BGC_DAEMON_SOCKET` or `target/bgcd.sock`.
+pub fn socket_path() -> PathBuf {
+    std::env::var_os("BGC_DAEMON_SOCKET")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/bgcd.sock"))
+}
+
+fn remote_err(message: impl Into<String>) -> CliError {
+    CliError::Bgc(BgcError::Remote {
+        message: message.into(),
+        cell_failure: false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Server side: the ExecHandler behind bgcd
+// ---------------------------------------------------------------------------
+
+/// The daemon's request handler: a pool of warm [`Runner`]s (one per
+/// distinct CLI configuration) plus the shared fault plan.
+pub struct CliHandler {
+    fault_plan: Option<FaultPlan>,
+    runners: Mutex<BTreeMap<String, Arc<Runner>>>,
+}
+
+impl CliHandler {
+    /// A handler with no warm runners yet; `fault_plan` (typically from
+    /// `BGC_FAULTS`) is shared by every runner it creates.
+    pub fn new(fault_plan: Option<FaultPlan>) -> Self {
+        Self {
+            fault_plan,
+            runners: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The warm runner for `options`' configuration, created on first use.
+    /// Requests with the same scale/cache/parallelism settings share one
+    /// runner — and therefore its in-memory stage and cell caches.
+    fn runner_for(&self, options: &Options) -> Arc<Runner> {
+        let key = cli::runner_config_key(options);
+        let mut runners = relock(&self.runners);
+        Arc::clone(
+            runners.entry(key).or_insert_with(|| {
+                Arc::new(cli::configure_runner(options, self.fault_plan.clone()))
+            }),
+        )
+    }
+
+    fn dispatch(
+        &self,
+        argv: &[String],
+        deadline: &CancelToken,
+        progress: &Arc<dyn ProgressSink>,
+    ) -> Result<CliOutcome, CliError> {
+        let mut parts = argv.iter().map(String::as_str);
+        let command = parts.next().unwrap_or_default().to_string();
+        let rest: Vec<&str> = parts.collect();
+        if !matches!(command.as_str(), "run" | "grid" | "all") {
+            return Err(usage(format!(
+                "the daemon serves run, grid and all (got '{}')",
+                command
+            )));
+        }
+        let options = cli::parse_options(&rest)?;
+        let runner = self.runner_for(&options);
+        // Outer wave: the server-side request deadline plus a streaming
+        // observer relaying each cell outcome to the client.  `exec_*`
+        // nests its own wave inside (collector, no deadline — the client
+        // strips `--deadline` and ships it as `deadline_ms`), and
+        // innermost-deadline-wins resolution finds the request token.
+        let streamer: WaveObserver = {
+            let runner = Arc::clone(&runner);
+            let progress = Arc::clone(progress);
+            Arc::new(move |outcome: &CellOutcome| {
+                let result = runner.result(&outcome.key).ok();
+                progress.cell(report_json::outcome_value(outcome, result.as_ref()));
+            })
+        };
+        let _wave = enter_wave(WaveCtx {
+            deadline: Some(deadline.clone()),
+            transient: true,
+            observer: Some(streamer),
+        });
+        let line_sink = {
+            let progress = Arc::clone(progress);
+            move |line: &str| progress.stdout_line(line)
+        };
+        let out = OutputSink::remote(&line_sink);
+        match command.as_str() {
+            "run" => cli::exec_run(&options, &runner, &out),
+            "grid" => cli::exec_grid(&options, &runner, &out),
+            _ => cli::exec_all(&options, &runner, &out),
+        }
+    }
+}
+
+fn outcome_body(outcome: &CliOutcome) -> Value {
+    Value::Object(vec![
+        (
+            "completed".to_string(),
+            Value::Number(outcome.completed as f64),
+        ),
+        ("oom".to_string(), Value::Number(outcome.oom as f64)),
+        (
+            "cell_failures".to_string(),
+            Value::Number(outcome.cell_failures as f64),
+        ),
+    ])
+}
+
+impl ExecHandler for CliHandler {
+    fn exec(
+        &self,
+        argv: &[String],
+        deadline: &CancelToken,
+        progress: Arc<dyn ProgressSink>,
+    ) -> ExecReply {
+        let result = self.dispatch(argv, deadline, &progress);
+        let code = exit_code(&result);
+        match result {
+            Ok(outcome) => ExecReply {
+                exit_code: code,
+                error: None,
+                body: outcome_body(&outcome),
+            },
+            Err(CliError::Usage(message)) => ExecReply::err(
+                code,
+                RemoteError {
+                    kind: ErrorKind::Usage,
+                    message,
+                    cell_failure: false,
+                },
+            ),
+            Err(CliError::Bgc(err)) => ExecReply::err(
+                code,
+                RemoteError {
+                    kind: ErrorKind::Bgc,
+                    message: err.to_string(),
+                    cell_failure: err.is_cell_failure(),
+                },
+            ),
+        }
+    }
+
+    fn status(&self) -> Value {
+        let runners = relock(&self.runners);
+        Value::Array(
+            runners
+                .iter()
+                .map(|(key, runner)| {
+                    let mut cached = runner.cached_cell_canons();
+                    cached.sort();
+                    Value::Object(vec![
+                        ("config".to_string(), Value::String(key.clone())),
+                        (
+                            "stats".to_string(),
+                            report_json::stats_value(&runner.stats()),
+                        ),
+                        (
+                            "cached_cells".to_string(),
+                            Value::Array(cached.into_iter().map(Value::String).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client side: --daemon routing for run/grid/all
+// ---------------------------------------------------------------------------
+
+/// `argv` to ship to the daemon: the subcommand plus `rest` minus the
+/// routing flags the client already consumed (`--daemon*`, and
+/// `--deadline`, which travels as the request's `deadline_ms` so the
+/// server enforces it even if the connection stalls).
+fn remote_argv(command: &str, rest: &[&str]) -> Vec<String> {
+    let mut argv = vec![command.to_string()];
+    let mut iter = rest.iter();
+    while let Some(&arg) = iter.next() {
+        match arg {
+            "--daemon" | "--daemon=auto" | "--daemon=require" => {}
+            "--deadline" => {
+                let _ = iter.next();
+            }
+            other => argv.push(other.to_string()),
+        }
+    }
+    argv
+}
+
+fn reply_to_result(reply: ExecReply) -> Result<CliOutcome, CliError> {
+    match reply.error {
+        Some(error) => Err(match error.kind {
+            ErrorKind::Usage => CliError::Usage(error.message),
+            ErrorKind::Bgc => CliError::Bgc(BgcError::Remote {
+                message: error.message,
+                cell_failure: error.cell_failure,
+            }),
+            ErrorKind::Internal => CliError::Bgc(BgcError::Remote {
+                message: format!("daemon: {}", error.message),
+                cell_failure: false,
+            }),
+        }),
+        None => {
+            let count =
+                |key: &str| reply.body.get(key).and_then(Value::as_u64).unwrap_or(0) as usize;
+            Ok(CliOutcome {
+                completed: count("completed"),
+                oom: count("oom"),
+                cell_failures: count("cell_failures"),
+                ..CliOutcome::default()
+            })
+        }
+    }
+}
+
+/// Routes one `run`/`grid`/`all` invocation to a running daemon, or (in
+/// [`DaemonMode::Auto`]) back to the in-process `local` path when no
+/// daemon answers a ping.
+pub(crate) fn exec_remote_or(
+    command: &str,
+    rest: &[&str],
+    options: &Options,
+    mode: DaemonMode,
+    local: fn(&[&str]) -> Result<CliOutcome, CliError>,
+) -> Result<CliOutcome, CliError> {
+    let socket = socket_path();
+    if let Err(err) = DaemonClient::ping(&socket) {
+        return match mode {
+            DaemonMode::Auto => local(rest),
+            DaemonMode::Require => Err(remote_err(format!(
+                "--daemon=require, but no daemon answers at {} ({}); start one with `bgc daemon start`",
+                socket.display(),
+                err
+            ))),
+        };
+    }
+    let argv = remote_argv(command, rest);
+    let deadline_ms = options.deadline.map(|limit| limit.as_millis() as u64);
+    let reply = DaemonClient::exec(
+        &socket,
+        &argv,
+        deadline_ms,
+        &mut |line| println!("{}", line),
+        &mut |_cell| {},
+    )
+    .map_err(|err| remote_err(format!("daemon request failed: {}", err)))?;
+    reply_to_result(reply)
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle: bgc daemon start|stop|status|ping, and bgcd's main
+// ---------------------------------------------------------------------------
+
+/// `bgc daemon <start|stop|status|ping> [--socket <path>] [--foreground]`.
+pub(crate) fn cmd_daemon(args: &[&str]) -> Result<CliOutcome, CliError> {
+    let mut op: Option<&str> = None;
+    let mut socket_arg: Option<PathBuf> = None;
+    let mut foreground = false;
+    let mut iter = args.iter();
+    while let Some(&arg) = iter.next() {
+        match arg {
+            "--socket" => {
+                let path = iter
+                    .next()
+                    .ok_or_else(|| usage("--socket expects a path"))?;
+                socket_arg = Some(PathBuf::from(path));
+            }
+            "--foreground" => foreground = true,
+            flag if flag.starts_with("--") => {
+                return Err(usage(format!("unknown daemon option '{}'", flag)))
+            }
+            operand if op.is_none() => op = Some(operand),
+            operand => return Err(usage(format!("unexpected operand '{}'", operand))),
+        }
+    }
+    let socket = socket_arg.unwrap_or_else(socket_path);
+    match op {
+        Some("start") => daemon_start(&socket, foreground),
+        Some("stop") => daemon_stop(&socket),
+        Some("status") => daemon_status(&socket),
+        Some("ping") => match DaemonClient::ping(&socket) {
+            Ok(pid) => {
+                println!("pong from pid {} at {}", pid, socket.display());
+                Ok(CliOutcome::default())
+            }
+            Err(err) => Err(remote_err(format!(
+                "no daemon at {}: {}",
+                socket.display(),
+                err
+            ))),
+        },
+        _ => Err(usage("daemon expects one of: start, stop, status, ping")),
+    }
+}
+
+fn await_lifecycle(mut done: impl FnMut() -> bool) -> bool {
+    let token = CancelToken::with_timeout(LIFECYCLE_WAIT);
+    loop {
+        if done() {
+            return true;
+        }
+        if token.is_cancelled() {
+            return false;
+        }
+        std::thread::sleep(LIFECYCLE_POLL);
+    }
+}
+
+fn daemon_start(socket: &Path, foreground: bool) -> Result<CliOutcome, CliError> {
+    if let Ok(pid) = DaemonClient::ping(socket) {
+        println!(
+            "bgc daemon: already running (pid {}) at {}",
+            pid,
+            socket.display()
+        );
+        return Ok(CliOutcome::default());
+    }
+    if foreground {
+        return serve_foreground(socket);
+    }
+    let exe = std::env::current_exe()
+        .map_err(|err| remote_err(format!("cannot locate the bgc binary: {}", err)))?;
+    let bgcd = exe
+        .parent()
+        .map(|dir| dir.join("bgcd"))
+        .filter(|path| path.exists())
+        .ok_or_else(|| {
+            remote_err("bgcd binary not found next to bgc; build it with `cargo build --release`")
+        })?;
+    if let Some(parent) = socket.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|err| {
+                remote_err(format!("cannot create {}: {}", parent.display(), err))
+            })?;
+        }
+    }
+    let log_path = socket.with_extension("log");
+    let log = std::fs::File::create(&log_path)
+        .map_err(|err| remote_err(format!("cannot create {}: {}", log_path.display(), err)))?;
+    let log_err = log
+        .try_clone()
+        .map_err(|err| remote_err(format!("cannot clone log handle: {}", err)))?;
+    let mut child = process::Command::new(&bgcd)
+        .arg("--socket")
+        .arg(socket)
+        .stdin(process::Stdio::null())
+        .stdout(log)
+        .stderr(log_err)
+        .spawn()
+        .map_err(|err| remote_err(format!("cannot spawn {}: {}", bgcd.display(), err)))?;
+    let mut pid = None;
+    let started = await_lifecycle(|| {
+        pid = DaemonClient::ping(socket).ok();
+        pid.is_some()
+    });
+    if let Some(pid) = pid.filter(|_| started) {
+        println!("bgc daemon: started (pid {}) at {}", pid, socket.display());
+        return Ok(CliOutcome::default());
+    }
+    let detail = match child.try_wait() {
+        Ok(Some(status)) => format!("bgcd exited early with {}", status),
+        _ => "bgcd did not answer in time".to_string(),
+    };
+    Err(remote_err(format!(
+        "daemon failed to start: {} (see {})",
+        detail,
+        log_path.display()
+    )))
+}
+
+fn serve_foreground(socket: &Path) -> Result<CliOutcome, CliError> {
+    serve_daemon(&ServeOptions {
+        socket: socket.to_path_buf(),
+        workers: None,
+        grid_permits: None,
+        drain_timeout: None,
+    })
+    .map_err(remote_err)?;
+    Ok(CliOutcome::default())
+}
+
+fn daemon_stop(socket: &Path) -> Result<CliOutcome, CliError> {
+    let pid = match DaemonClient::ping(socket) {
+        Ok(pid) => pid,
+        Err(_) => {
+            println!("bgc daemon: not running at {}", socket.display());
+            return Ok(CliOutcome::default());
+        }
+    };
+    DaemonClient::shutdown(socket)
+        .map_err(|err| remote_err(format!("shutdown request failed: {}", err)))?;
+    if await_lifecycle(|| DaemonClient::ping(socket).is_err()) {
+        println!("bgc daemon: stopped (pid {})", pid);
+        Ok(CliOutcome::default())
+    } else {
+        Err(remote_err(format!(
+            "daemon (pid {}) acknowledged shutdown but is still draining; retry `bgc daemon ping`",
+            pid
+        )))
+    }
+}
+
+fn daemon_status(socket: &Path) -> Result<CliOutcome, CliError> {
+    match DaemonClient::status(socket) {
+        Ok(body) => {
+            println!("{}", body.to_json_string_pretty());
+            Ok(CliOutcome::default())
+        }
+        Err(err) => Err(remote_err(format!(
+            "no daemon at {}: {}",
+            socket.display(),
+            err
+        ))),
+    }
+}
+
+/// Relays SIGINT/SIGTERM (observed by the async-signal-safe flag) into the
+/// server's shutdown flag so `serve` starts draining.
+fn bridge_signals(shutdown: &Arc<AtomicBool>) {
+    let flag = termination_flag();
+    let shutdown = Arc::clone(shutdown);
+    std::thread::Builder::new()
+        .name("bgcd-signals".to_string())
+        .spawn(move || loop {
+            if flag.load(Ordering::SeqCst) {
+                shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(LIFECYCLE_POLL);
+        })
+        .ok();
+}
+
+struct ServeOptions {
+    socket: PathBuf,
+    workers: Option<usize>,
+    grid_permits: Option<usize>,
+    drain_timeout: Option<Duration>,
+}
+
+fn serve_daemon(options: &ServeOptions) -> Result<(), String> {
+    let plan = FaultPlan::from_env().map_err(|err| format!("malformed BGC_FAULTS: {}", err))?;
+    let mut config = DaemonConfig::new(&options.socket);
+    config.pidfile = Some(options.socket.with_extension("pid"));
+    config.fault_plan = plan.clone();
+    if let Some(workers) = options.workers {
+        config.workers = workers;
+    }
+    if let Some(permits) = options.grid_permits {
+        config.grid_permits = permits;
+    }
+    if let Some(drain) = options.drain_timeout {
+        config.drain_timeout = drain;
+    }
+    let shutdown = Arc::new(AtomicBool::new(false));
+    bridge_signals(&shutdown);
+    eprintln!("bgcd: listening on {}", options.socket.display());
+    serve(config, Arc::new(CliHandler::new(plan)), shutdown)
+        .map_err(|err| format!("{}: {}", options.socket.display(), err))
+}
+
+/// Entry point of the `bgcd` binary: `bgcd [--socket <path>]
+/// [--workers <n>] [--grid-permits <n>] [--drain-timeout <s>]`.
+pub fn bgcd_main() -> ! {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match bgcd_run(&args) {
+        Ok(()) => 0,
+        Err(message) => {
+            eprintln!("error: {}", message);
+            1
+        }
+    };
+    std::process::exit(code)
+}
+
+fn bgcd_run(args: &[String]) -> Result<(), String> {
+    let mut options = ServeOptions {
+        socket: socket_path(),
+        workers: None,
+        grid_permits: None,
+        drain_timeout: None,
+    };
+    let mut iter = args.iter().map(String::as_str);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{} expects a value", flag))
+        };
+        match arg {
+            "--socket" => options.socket = PathBuf::from(value("--socket")?),
+            "--workers" => {
+                options.workers = Some(
+                    value("--workers")?
+                        .parse::<usize>()
+                        .map_err(|err| format!("--workers: {}", err))?,
+                )
+            }
+            "--grid-permits" => {
+                options.grid_permits = Some(
+                    value("--grid-permits")?
+                        .parse::<usize>()
+                        .map_err(|err| format!("--grid-permits: {}", err))?,
+                )
+            }
+            "--drain-timeout" => {
+                let secs = value("--drain-timeout")?
+                    .parse::<f64>()
+                    .map_err(|err| format!("--drain-timeout: {}", err))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--drain-timeout expects a positive number of seconds".to_string());
+                }
+                options.drain_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            other => return Err(format!("unknown bgcd option '{}'", other)),
+        }
+    }
+    serve_daemon(&options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_argv_strips_routing_flags() {
+        let rest = [
+            "--dataset",
+            "cora",
+            "--daemon=require",
+            "--deadline",
+            "2.5",
+            "--format",
+            "json",
+        ];
+        assert_eq!(
+            remote_argv("run", &rest),
+            vec!["run", "--dataset", "cora", "--format", "json"]
+        );
+    }
+
+    #[test]
+    fn replies_map_back_to_cli_errors_and_outcomes() {
+        let ok = ExecReply {
+            exit_code: 0,
+            error: None,
+            body: Value::Object(vec![
+                ("completed".to_string(), Value::Number(3.0)),
+                ("oom".to_string(), Value::Number(1.0)),
+                ("cell_failures".to_string(), Value::Number(0.0)),
+            ]),
+        };
+        let outcome = reply_to_result(ok).expect("ok reply");
+        assert_eq!(
+            (outcome.completed, outcome.oom, outcome.cell_failures),
+            (3, 1, 0)
+        );
+
+        let usage_reply = ExecReply::err(
+            2,
+            RemoteError {
+                kind: ErrorKind::Usage,
+                message: "bad flag".to_string(),
+                cell_failure: false,
+            },
+        );
+        let err = reply_to_result(usage_reply).expect_err("usage error");
+        assert_eq!(exit_code(&Err(err)), 2);
+
+        let cell_reply = ExecReply::err(
+            3,
+            RemoteError {
+                kind: ErrorKind::Bgc,
+                message: "cell failed: panicked".to_string(),
+                cell_failure: true,
+            },
+        );
+        let err = reply_to_result(cell_reply).expect_err("cell failure");
+        assert_eq!(exit_code(&Err(err)), 3);
+    }
+
+    #[test]
+    fn unknown_commands_are_usage_errors() {
+        let handler = CliHandler::new(None);
+        struct NullSink;
+        impl ProgressSink for NullSink {
+            fn stdout_line(&self, _text: &str) {}
+            fn cell(&self, _cell: Value) {}
+        }
+        let token = CancelToken::new();
+        let reply = handler.exec(
+            &["lint".to_string()],
+            &token,
+            Arc::new(NullSink) as Arc<dyn ProgressSink>,
+        );
+        assert_eq!(reply.exit_code, 2);
+        let error = reply.error.expect("usage error");
+        assert!(matches!(error.kind, ErrorKind::Usage));
+        assert!(error.message.contains("run, grid and all"));
+    }
+}

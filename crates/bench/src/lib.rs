@@ -10,5 +10,6 @@
 //! completed cells from `target/experiments/<scale>/cells/`.
 
 pub mod cli;
+pub mod daemon;
 
 pub use cli::{forward, report_runner_stats, CliError, HELP};

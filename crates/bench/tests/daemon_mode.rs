@@ -1,0 +1,398 @@
+//! Subprocess tests of daemon mode: a real `bgcd` serving real `bgc`
+//! clients over its unix socket.
+//!
+//! Covered here: concurrent clients with overlapping grids produce results
+//! byte-identical (in their deterministic sub-documents) to the in-process
+//! path, the warm runner's caches are actually hit on repeat requests, a
+//! panicking cell or an expired deadline fails only its own request, and
+//! SIGTERM drains the daemon gracefully, sweeping its socket and pidfile.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+fn temp_workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bgc-daemon-{}-{}", tag, std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp workdir");
+    dir
+}
+
+fn bgc(workdir: &Path, socket: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_bgc"));
+    cmd.current_dir(workdir)
+        .env_remove("BGC_FAULTS")
+        .env("BGC_DAEMON_SOCKET", socket);
+    cmd
+}
+
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn start(workdir: &Path, faults: Option<&str>) -> Self {
+        let socket = workdir.join("bgcd.sock");
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_bgcd"));
+        cmd.current_dir(workdir)
+            .arg("--socket")
+            .arg(&socket)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .env_remove("BGC_FAULTS");
+        if let Some(plan) = faults {
+            cmd.env("BGC_FAULTS", plan);
+        }
+        let child = cmd.spawn().expect("bgcd spawns");
+        let daemon = Self {
+            child,
+            socket: socket.clone(),
+        };
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < deadline {
+            let ping = bgc(workdir, &socket)
+                .args(["daemon", "ping"])
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .status()
+                .expect("ping runs");
+            if ping.success() {
+                return daemon;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        panic!("bgcd did not answer a ping within 30 s");
+    }
+
+    fn stop(mut self, workdir: &Path) {
+        let status = bgc(workdir, &self.socket)
+            .args(["daemon", "stop"])
+            .stdout(Stdio::null())
+            .status()
+            .expect("stop runs");
+        assert!(status.success(), "daemon stop succeeds");
+        let _ = self.child.wait();
+        assert!(!self.socket.exists(), "socket swept after stop");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if matches!(self.child.try_wait(), Ok(None)) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// The deterministic sub-documents of a `--format json` grid report:
+/// (`cells`, `outcome`), with each cell reduced to its deterministic
+/// fields (canonical key, status, result values).  Execution metadata —
+/// per-cell attempts, runner stats, wall clock — legitimately differs
+/// between warm and cold runs and is excluded, as the report codec
+/// documents.
+fn deterministic_parts(output: &Output) -> (String, String) {
+    let doc = serde_json::from_str(&stdout_of(output)).expect("stdout is one JSON document");
+    let cells = doc
+        .get("cells")
+        .and_then(Value::as_array)
+        .expect("cells array")
+        .iter()
+        .map(|cell| {
+            Value::Object(
+                ["cell", "status", "result"]
+                    .into_iter()
+                    .map(|key| {
+                        (
+                            key.to_string(),
+                            cell.get(key).cloned().unwrap_or(Value::Null),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect::<Vec<_>>();
+    let outcome = doc.get("outcome").expect("outcome object").to_json_string();
+    (Value::Array(cells).to_json_string(), outcome)
+}
+
+fn json_doc(output: &Output) -> Value {
+    serde_json::from_str(&stdout_of(output)).expect("stdout is one JSON document")
+}
+
+#[test]
+fn concurrent_daemon_clients_match_in_process_results_and_hit_warm_caches() {
+    let local_dir = temp_workdir("local");
+    let server_dir = temp_workdir("server");
+    let cora: Vec<&str> = vec!["grid", "--dataset", "cora", "--serial", "--format", "json"];
+    let both: Vec<&str> = vec![
+        "grid",
+        "--dataset",
+        "cora",
+        "--dataset",
+        "citeseer",
+        "--serial",
+        "--format",
+        "json",
+    ];
+
+    // In-process references (no daemon flag; the socket env is inert).
+    let unused_socket = local_dir.join("unused.sock");
+    let local_cora = bgc(&local_dir, &unused_socket)
+        .args(&cora)
+        .output()
+        .expect("local cora grid");
+    assert_eq!(local_cora.status.code(), Some(0));
+    let local_both = bgc(&local_dir, &unused_socket)
+        .args(&both)
+        .output()
+        .expect("local two-dataset grid");
+    assert_eq!(local_both.status.code(), Some(0));
+
+    // Two concurrent clients with overlapping grids against one daemon.
+    let daemon = Daemon::start(&server_dir, None);
+    let handles: Vec<_> = [cora.clone(), both.clone()]
+        .into_iter()
+        .map(|args| {
+            let dir = server_dir.clone();
+            let socket = daemon.socket.clone();
+            thread::spawn(move || {
+                let mut cmd = bgc(&dir, &socket);
+                cmd.args(&args).arg("--daemon=require");
+                cmd.output().expect("daemon-routed grid")
+            })
+        })
+        .collect();
+    let outputs: Vec<Output> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    for (output, local) in outputs.iter().zip([&local_cora, &local_both]) {
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert_eq!(
+            deterministic_parts(output),
+            deterministic_parts(local),
+            "daemon results are byte-identical to the in-process path"
+        );
+    }
+
+    // A repeat of the overlapping grid resolves from the warm runner.
+    let warm = bgc(&server_dir, &daemon.socket)
+        .args(&both)
+        .arg("--daemon=require")
+        .output()
+        .expect("warm repeat");
+    assert_eq!(warm.status.code(), Some(0));
+    assert_eq!(deterministic_parts(&warm), deterministic_parts(&local_both));
+    let stats = json_doc(&warm);
+    let memory_hits = stats
+        .get("stats")
+        .and_then(|s| s.get("cell_memory_hits"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(
+        memory_hits >= both.iter().filter(|a| **a == "--dataset").count() as u64,
+        "repeat request hits the warm in-memory cell cache (hits={})",
+        memory_hits
+    );
+
+    // A warm `run` repeat must still observe its cell: `bgc run` aggregates
+    // through the runner's read-back path, which resolves warm cells without
+    // entering the wave — the regression here is an empty JSON cell list.
+    let run_args = ["run", "--dataset", "cora", "--serial", "--format", "json"];
+    let local_run = bgc(&local_dir, &unused_socket)
+        .args(run_args)
+        .output()
+        .expect("local run");
+    assert_eq!(local_run.status.code(), Some(0));
+    let warm_run = bgc(&server_dir, &daemon.socket)
+        .args(run_args)
+        .arg("--daemon=require")
+        .output()
+        .expect("warm run repeat");
+    assert_eq!(warm_run.status.code(), Some(0));
+    assert_eq!(
+        deterministic_parts(&warm_run),
+        deterministic_parts(&local_run),
+        "a warm daemon `run` repeat reports its cell"
+    );
+
+    // `daemon status` reports the warm runner and its cached cells.
+    let status = bgc(&server_dir, &daemon.socket)
+        .args(["daemon", "status"])
+        .output()
+        .expect("daemon status");
+    assert_eq!(status.status.code(), Some(0));
+    let text = stdout_of(&status);
+    assert!(text.contains("cell_memory_hits"), "status: {}", text);
+    assert!(text.contains("cached_cells"), "status: {}", text);
+
+    daemon.stop(&server_dir);
+    let _ = fs::remove_dir_all(&local_dir);
+    let _ = fs::remove_dir_all(&server_dir);
+}
+
+#[test]
+fn a_panicking_cell_and_an_expired_deadline_fail_only_their_own_request() {
+    let dir = temp_workdir("isolate");
+    // The daemon's own fault plan poisons the first citeseer clean stage.
+    let daemon = Daemon::start(&dir, Some("stage.clean@citeseer=panic"));
+
+    let run = |args: Vec<String>| {
+        let dir = dir.clone();
+        let socket = daemon.socket.clone();
+        thread::spawn(move || {
+            bgc(&dir, &socket)
+                .args(&args)
+                .output()
+                .expect("daemon-routed run")
+        })
+    };
+    let owned = |args: &[&str]| args.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let poisoned = run(owned(&[
+        "run",
+        "--dataset",
+        "citeseer",
+        "--serial",
+        "--daemon=require",
+    ]));
+    let clean = run(owned(&[
+        "run",
+        "--dataset",
+        "cora",
+        "--serial",
+        "--daemon=require",
+    ]));
+    let poisoned = poisoned.join().expect("poisoned client");
+    let clean = clean.join().expect("clean client");
+    assert_eq!(
+        poisoned.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&poisoned.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&poisoned.stderr).contains("injected panic"),
+        "panic message is relayed verbatim: {}",
+        String::from_utf8_lossy(&poisoned.stderr)
+    );
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "a concurrent clean request is unaffected; stderr: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // The fault fired exactly once: the same request heals on retry.
+    let healed = bgc(&dir, &daemon.socket)
+        .args([
+            "run",
+            "--dataset",
+            "citeseer",
+            "--serial",
+            "--daemon=require",
+        ])
+        .output()
+        .expect("healed run");
+    assert_eq!(
+        healed.status.code(),
+        Some(0),
+        "re-run heals; stderr: {}",
+        String::from_utf8_lossy(&healed.stderr)
+    );
+
+    // An already-expired client deadline times out only its own request.
+    let timed_out = bgc(&dir, &daemon.socket)
+        .args([
+            "run",
+            "--dataset",
+            "flickr",
+            "--serial",
+            "--no-cache",
+            "--deadline",
+            "0.0005",
+            "--daemon=require",
+        ])
+        .output()
+        .expect("deadline run");
+    assert_eq!(
+        timed_out.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&timed_out.stderr)
+    );
+    let after = bgc(&dir, &daemon.socket)
+        .args([
+            "run",
+            "--dataset",
+            "flickr",
+            "--serial",
+            "--no-cache",
+            "--daemon=require",
+        ])
+        .output()
+        .expect("follow-up run");
+    assert_eq!(
+        after.status.code(),
+        Some(0),
+        "the daemon keeps serving after a timed-out request; stderr: {}",
+        String::from_utf8_lossy(&after.stderr)
+    );
+
+    daemon.stop(&dir);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_drains_gracefully_and_sweeps_socket_and_pidfile() {
+    let dir = temp_workdir("drain");
+    let daemon = Daemon::start(&dir, None);
+    let warm = bgc(&dir, &daemon.socket)
+        .args(["run", "--dataset", "cora", "--serial", "--daemon=require"])
+        .output()
+        .expect("warm-up run");
+    assert_eq!(warm.status.code(), Some(0));
+
+    let pid = daemon.child.id().to_string();
+    let socket = daemon.socket.clone();
+    let pidfile = socket.with_extension("pid");
+    assert!(pidfile.exists(), "pidfile exists while serving");
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+
+    // `daemon` is consumed field-by-field here: take the child out to wait
+    // on it without triggering the Drop kill.
+    let mut daemon = daemon;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = daemon.child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "bgcd exited within the drain budget"
+        );
+        thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "graceful drain exits 0: {}", status);
+    assert!(!socket.exists(), "socket swept on shutdown");
+    assert!(!pidfile.exists(), "pidfile swept on shutdown");
+    let _ = fs::remove_dir_all(&dir);
+}

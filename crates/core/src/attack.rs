@@ -239,7 +239,12 @@ pub(crate) fn generator_update_step(
     let w_const = tape.leaf_detached(surrogate_weight);
     let mut total: Option<bgc_tensor::Var> = None;
     for (i, &node) in sample.iter().enumerate() {
-        let attached = cache.get(&node).expect("cache populated above").clone();
+        // Populated for every sampled node above; a (impossible) miss
+        // drops the node from the batch instead of panicking.
+        let attached = match cache.get(&node) {
+            Some(attached) => attached.clone(),
+            None => continue,
+        };
         let rows: Vec<usize> = (i * config.trigger_size..(i + 1) * config.trigger_size).collect();
         let trigger_block = tape.row_select(batch.features, &rows);
         let x = attached.combined_features(tape, trigger_block);
@@ -255,7 +260,11 @@ pub(crate) fn generator_update_step(
             None => term,
         });
     }
-    let total = total.expect("sample is non-empty");
+    // `sample_size` is clamped to ≥ 1, so a term always accumulates; an
+    // empty batch is a no-op step rather than a panic.
+    let Some(total) = total else {
+        return 0.0;
+    };
     let loss = tape.scale(total, 1.0 / sample.len() as f32);
     let loss_value = tape.scalar(loss);
     let grads = tape.backward(loss);

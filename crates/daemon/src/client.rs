@@ -1,0 +1,99 @@
+//! Blocking client for the `bgcd` protocol.
+//!
+//! Every request opens its own connection (the protocol is
+//! one-request-per-connection), writes a single request frame and reads
+//! frames until the terminal `done` frame.  Control requests get a short
+//! read timeout; `exec` reads without a timeout since grids legitimately
+//! run for a long time.
+
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::protocol::{self, ExecReply};
+
+/// Read timeout for control requests (ping/status/shutdown).
+const CONTROL_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Namespace for the client request functions.
+#[derive(Debug)]
+pub struct DaemonClient;
+
+fn unexpected_close() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        "daemon closed the connection before completing the request",
+    )
+}
+
+fn control(socket: &Path, cmd: &str) -> io::Result<ExecReply> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.set_read_timeout(Some(CONTROL_READ_TIMEOUT))?;
+    protocol::write_frame(&mut stream, &protocol::control_request(cmd))?;
+    loop {
+        let frame = protocol::read_frame(&mut stream)?.ok_or_else(unexpected_close)?;
+        if let Some(reply) = ExecReply::from_frame(&frame) {
+            return Ok(reply);
+        }
+    }
+}
+
+impl DaemonClient {
+    /// Pings the daemon; returns its pid.
+    pub fn ping(socket: &Path) -> io::Result<u64> {
+        let reply = control(socket, "ping")?;
+        reply
+            .body
+            .get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "ping reply without a pid"))
+    }
+
+    /// Fetches the daemon's status document.
+    pub fn status(socket: &Path) -> io::Result<Value> {
+        Ok(control(socket, "status")?.body)
+    }
+
+    /// Asks the daemon to shut down gracefully.  Returns once the daemon
+    /// acknowledged; draining continues in the background (poll
+    /// [`DaemonClient::ping`] until it errors to observe completion).
+    pub fn shutdown(socket: &Path) -> io::Result<()> {
+        control(socket, "shutdown").map(|_reply| ())
+    }
+
+    /// Executes `argv` remotely, streaming stdout lines and cell outcome
+    /// documents to the callbacks, and returns the terminal reply.
+    pub fn exec(
+        socket: &Path,
+        argv: &[String],
+        deadline_ms: Option<u64>,
+        on_stdout: &mut dyn FnMut(&str),
+        on_cell: &mut dyn FnMut(&Value),
+    ) -> io::Result<ExecReply> {
+        let mut stream = UnixStream::connect(socket)?;
+        protocol::write_frame(&mut stream, &protocol::exec_request(argv, deadline_ms))?;
+        loop {
+            let frame = protocol::read_frame(&mut stream)?.ok_or_else(unexpected_close)?;
+            match frame.get("event").and_then(Value::as_str) {
+                Some("stdout") => {
+                    if let Some(text) = frame.get("text").and_then(Value::as_str) {
+                        on_stdout(text);
+                    }
+                }
+                Some("cell") => {
+                    if let Some(cell) = frame.get("cell") {
+                        on_cell(cell);
+                    }
+                }
+                _ => {
+                    if let Some(reply) = ExecReply::from_frame(&frame) {
+                        return Ok(reply);
+                    }
+                }
+            }
+        }
+    }
+}

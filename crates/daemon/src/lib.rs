@@ -1,0 +1,50 @@
+//! # bgc-daemon
+//!
+//! Transport layer of `bgcd`, the condensation-as-a-service daemon: a
+//! length-prefixed JSON protocol over a unix domain socket, a small server
+//! framework (accept loop, bounded worker pool, fair grid limiter, graceful
+//! drain) and the matching blocking client.
+//!
+//! The crate is deliberately generic: it knows nothing about datasets,
+//! condensation methods or the CLI.  A server embeds domain logic through
+//! the [`ExecHandler`] trait — `bgc-bench` implements it over a pool of warm
+//! `bgc-eval` runners — and the transport guarantees the operational
+//! properties:
+//!
+//! - **Panic isolation.** Every request is dispatched inside
+//!   `catch_unwind`; a panicking handler fails only that request, the
+//!   daemon keeps serving.
+//! - **Per-request deadlines.** Each `exec` request gets its own
+//!   [`CancelToken`] (with the client-supplied timeout, when any); handlers
+//!   run under it and shutdown cancels all of them at the drain deadline.
+//! - **Fair concurrency.** Grid submissions pass through a FIFO ticket
+//!   [`Semaphore`][limiter::Semaphore] so a burst of heavy requests cannot
+//!   starve later ones; control requests (ping/status/shutdown) bypass it.
+//! - **Graceful shutdown.** SIGTERM/SIGINT (or a `shutdown` request) stops
+//!   the accept loop, drains in-flight requests within a hard deadline,
+//!   then cancels whatever is still running.
+//! - **Stale-state sweeping.** Startup removes dead sockets and pidfiles
+//!   left by a crashed daemon, but refuses to evict a live one.
+//!
+//! Fault points `daemon.accept`, `daemon.request` and `daemon.persist` are
+//! registered in [`bgc_runtime::fault::FAULT_POINTS`] and injectable via
+//! `BGC_FAULTS` like every other point in the workspace.
+//!
+//! [`CancelToken`]: bgc_runtime::CancelToken
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod lifecycle;
+pub mod limiter;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use client::DaemonClient;
+pub use lifecycle::{claim, ClaimGuard};
+pub use limiter::Semaphore;
+pub use protocol::{ErrorKind, ExecReply, RemoteError};
+pub use server::{serve, DaemonConfig, ExecHandler, ProgressSink};
+pub use signal::termination_flag;

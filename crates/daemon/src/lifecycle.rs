@@ -1,0 +1,149 @@
+//! Socket and pidfile lifecycle: claiming, stale-state sweeping, cleanup.
+//!
+//! `bgcd` leaves two artifacts on disk while it runs — the unix socket and
+//! a pidfile next to it.  A crash (SIGKILL, OOM) leaves both behind, and a
+//! stale socket makes every later `bind` fail with `AddrInUse`.  Startup
+//! therefore *sweeps*: a leftover socket nobody answers on is removed, a
+//! pidfile whose process is gone (no `/proc/<pid>`) is removed, but a live
+//! daemon is never evicted — claiming its socket fails instead.
+//!
+//! All bookkeeping writes funnel through the `daemon.persist` fault point
+//! so injection runs can exercise the error paths.
+
+use std::fs;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+
+use bgc_runtime::fault;
+
+/// Whether a process with this pid exists (Linux: `/proc/<pid>` is there).
+pub fn pid_alive(pid: u32) -> bool {
+    Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// Reads the pid recorded in `pidfile`, if the file exists and parses.
+pub fn read_pidfile(pidfile: &Path) -> Option<u32> {
+    fs::read_to_string(pidfile)
+        .ok()
+        .and_then(|text| text.trim().parse().ok())
+}
+
+fn already_running(what: &str, detail: String) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::AddrInUse,
+        format!("a daemon is already running ({what}: {detail})"),
+    )
+}
+
+/// Claims `socket` (and optionally `pidfile`) for this process: sweeps
+/// stale leftovers, binds the listener and records our pid.  Fails with
+/// [`io::ErrorKind::AddrInUse`] when a live daemon holds either artifact.
+///
+/// The returned [`ClaimGuard`] removes both files when dropped.
+pub fn claim(socket: &Path, pidfile: Option<&Path>) -> io::Result<(UnixListener, ClaimGuard)> {
+    if socket.exists() {
+        match UnixStream::connect(socket) {
+            Ok(_) => {
+                return Err(already_running("socket", socket.display().to_string()));
+            }
+            Err(_) => {
+                // Nobody is listening: a previous daemon died without
+                // cleanup.  Sweep the stale socket so bind can succeed.
+                fault::fire_io("daemon.persist")?;
+                fs::remove_file(socket)?;
+            }
+        }
+    }
+    if let Some(pidfile) = pidfile {
+        if let Some(pid) = read_pidfile(pidfile) {
+            if pid != std::process::id() && pid_alive(pid) {
+                return Err(already_running("pidfile", format!("pid {pid}")));
+            }
+            fault::fire_io("daemon.persist")?;
+            fs::remove_file(pidfile)?;
+        }
+    }
+    if let Some(parent) = socket
+        .parent()
+        .filter(|parent| !parent.as_os_str().is_empty())
+    {
+        fs::create_dir_all(parent)?;
+    }
+    let listener = UnixListener::bind(socket)?;
+    let guard = ClaimGuard {
+        socket: socket.to_path_buf(),
+        pidfile: pidfile.map(Path::to_path_buf),
+    };
+    if let Some(pidfile) = pidfile {
+        fault::fire_io("daemon.persist")?;
+        fs::write(pidfile, format!("{}\n", std::process::id()))?;
+    }
+    Ok((listener, guard))
+}
+
+/// Removes the claimed socket and pidfile on drop (best effort: the files
+/// may already be gone, e.g. when a second daemon swept them).
+#[derive(Debug)]
+pub struct ClaimGuard {
+    socket: PathBuf,
+    pidfile: Option<PathBuf>,
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.socket);
+        if let Some(pidfile) = &self.pidfile {
+            let _ = fs::remove_file(pidfile);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bgcd-lifecycle-{}-{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn claim_sweeps_stale_socket_and_pidfile() {
+        let dir = scratch_dir("sweep");
+        let socket = dir.join("bgcd.sock");
+        let pidfile = dir.join("bgcd.pid");
+        // A stale socket nobody answers on and a pidfile of a dead process.
+        drop(UnixListener::bind(&socket).expect("stale bind"));
+        fs::write(&pidfile, "999999999\n").expect("stale pidfile");
+
+        let (listener, guard) = claim(&socket, Some(&pidfile)).expect("claim sweeps");
+        assert_eq!(read_pidfile(&pidfile), Some(std::process::id()));
+        drop(listener);
+        drop(guard);
+        assert!(!socket.exists(), "guard removed the socket");
+        assert!(!pidfile.exists(), "guard removed the pidfile");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claim_refuses_a_live_daemon() {
+        let dir = scratch_dir("live");
+        let socket = dir.join("bgcd.sock");
+        let (listener, guard) = claim(&socket, None).expect("first claim");
+        let err = claim(&socket, None).expect_err("second claim must fail");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        drop(listener);
+        drop(guard);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pid_alive_distinguishes_this_process_from_a_dead_one() {
+        assert!(pid_alive(std::process::id()));
+        assert!(!pid_alive(999_999_999));
+    }
+}

@@ -1,0 +1,184 @@
+//! Fair concurrency limiter: a FIFO ticket semaphore.
+//!
+//! Grid submissions share one rayon pool, so running every request's grid
+//! concurrently would only thrash the cell queue; worse, `std`'s `Condvar`
+//! makes no fairness promise, so a naive permit counter can starve an early
+//! heavy request behind a stream of later ones.  The semaphore hands out
+//! numbered tickets and admits strictly in ticket order — the oldest waiting
+//! request always gets the next free permit.
+//!
+//! [`Semaphore::close`] wakes every waiter with an error; the server uses
+//! it to refuse queued work during shutdown while in-flight requests drain.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Error returned by [`Semaphore::acquire`] once the semaphore is closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Closed;
+
+#[derive(Debug, Default)]
+struct State {
+    permits: usize,
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+    closed: bool,
+}
+
+/// A FIFO ticket semaphore (see the module docs).
+#[derive(Debug)]
+pub struct Semaphore {
+    state: Mutex<State>,
+    signal: Condvar,
+}
+
+fn relock_state<'a>(semaphore: &'a Semaphore) -> MutexGuard<'a, State> {
+    bgc_runtime::relock(&semaphore.state)
+}
+
+fn rewait<'a>(signal: &Condvar, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+    match signal.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` concurrent slots (at least one).
+    pub fn new(permits: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                permits: permits.max(1),
+                ..State::default()
+            }),
+            signal: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is free and it is this caller's turn, then
+    /// returns an RAII permit.  Errors once the semaphore is closed.
+    pub fn acquire(&self) -> Result<Permit<'_>, Closed> {
+        let mut state = relock_state(self);
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back(ticket);
+        loop {
+            if state.closed {
+                state.queue.retain(|&queued| queued != ticket);
+                // Another waiter may now be at the front.
+                self.signal.notify_all();
+                return Err(Closed);
+            }
+            let at_front = state.queue.front() == Some(&ticket);
+            if at_front && state.permits > 0 {
+                state.permits -= 1;
+                state.queue.pop_front();
+                // The next ticket may also be admissible.
+                self.signal.notify_all();
+                return Ok(Permit { semaphore: self });
+            }
+            state = rewait(&self.signal, state);
+        }
+    }
+
+    /// Closes the semaphore: current and future [`Semaphore::acquire`]
+    /// calls fail with [`Closed`].  Already-issued permits stay valid.
+    pub fn close(&self) {
+        relock_state(self).closed = true;
+        self.signal.notify_all();
+    }
+
+    fn release(&self) {
+        relock_state(self).permits += 1;
+        self.signal.notify_all();
+    }
+}
+
+/// An acquired permit; dropping it releases the slot.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    semaphore: &'a Semaphore,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.semaphore.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_bound_concurrency() {
+        let semaphore = Arc::new(Semaphore::new(2));
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let semaphore = Arc::clone(&semaphore);
+                let running = Arc::clone(&running);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    let _permit = semaphore.acquire().expect("open");
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(5));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().expect("no panic");
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "at most two concurrent");
+    }
+
+    #[test]
+    fn admission_is_fifo_by_arrival() {
+        let semaphore = Arc::new(Semaphore::new(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Hold the only permit while the waiters queue up in a known order.
+        let gate = semaphore.acquire().expect("open");
+        let mut threads = Vec::new();
+        for id in 0..4usize {
+            let waiter = Arc::clone(&semaphore);
+            let order = Arc::clone(&order);
+            threads.push(std::thread::spawn(move || {
+                let _permit = waiter.acquire().expect("open");
+                order.lock().expect("test lock").push(id);
+            }));
+            // Give the thread time to enqueue its ticket before the next.
+            while bgc_runtime::relock(&semaphore.state).queue.len() < id + 1 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        drop(gate);
+        for thread in threads {
+            thread.join().expect("no panic");
+        }
+        assert_eq!(*order.lock().expect("test lock"), vec![0usize, 1, 2, 3]);
+    }
+
+    #[test]
+    fn close_rejects_waiters_and_future_acquires() {
+        let semaphore = Arc::new(Semaphore::new(1));
+        let held = semaphore.acquire().expect("open");
+        let waiter = {
+            let semaphore = Arc::clone(&semaphore);
+            std::thread::spawn(move || semaphore.acquire().map(|_| ()))
+        };
+        while bgc_runtime::relock(&semaphore.state).queue.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        semaphore.close();
+        assert_eq!(waiter.join().expect("no panic"), Err(Closed));
+        assert!(semaphore.acquire().is_err());
+        // Releasing an already-issued permit after close must not panic.
+        drop(held);
+    }
+}

@@ -1,0 +1,326 @@
+//! Wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one JSON value encoded as
+//! `u32` big-endian byte length followed by the UTF-8 JSON text.  A
+//! connection carries exactly one request and its response stream:
+//!
+//! Requests (`{"cmd": ...}`):
+//!
+//! | cmd        | fields                          | reply                     |
+//! |------------|---------------------------------|---------------------------|
+//! | `ping`     | —                               | one `done` frame          |
+//! | `status`   | —                               | one `done` frame          |
+//! | `shutdown` | —                               | one `done` frame          |
+//! | `exec`     | `argv: [..]`, `deadline_ms?: n` | `stdout`/`cell`*, `done`  |
+//!
+//! Response frames (`{"event": ...}`):
+//!
+//! - `{"event":"stdout","text":"..."}` — one line of command output.
+//! - `{"event":"cell",  "cell":{...}}` — a streamed cell outcome (the
+//!   shared `bgc-eval::report_json` shape).
+//! - `{"event":"done","exit_code":n,"error":null|{...},"body":...}` —
+//!   terminal frame; `error.kind` is `usage`/`bgc`/`internal` and
+//!   `error.cell_failure` preserves exit-code classification across the
+//!   wire.
+
+use std::io::{self, Read, Write};
+
+use serde::Value;
+
+/// Upper bound on a single frame's payload, protecting both sides from a
+/// corrupt or hostile length prefix.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+fn field(key: &str, value: Value) -> (String, Value) {
+    (key.to_string(), value)
+}
+
+fn string(text: impl Into<String>) -> Value {
+    Value::String(text.into())
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame(stream: &mut impl Write, value: &Value) -> io::Result<()> {
+    let payload = value.to_json_string().into_bytes();
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let len = (payload.len() as u32).to_be_bytes();
+    stream.write_all(&len)?;
+    stream.write_all(&payload)?;
+    stream.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean end-of-stream (the peer closed
+/// the connection between frames).
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Value>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < len.len() {
+        let n = stream.read(&mut len[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            ));
+        }
+        filled += n;
+    }
+    let size = u32::from_be_bytes(len) as usize;
+    if size > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let mut payload = vec![0u8; size];
+    stream.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?;
+    let value = serde_json::from_str(&text)
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?;
+    Ok(Some(value))
+}
+
+/// Builds a control request (`ping`, `status` or `shutdown`).
+pub fn control_request(cmd: &str) -> Value {
+    Value::Object(vec![field("cmd", string(cmd))])
+}
+
+/// Builds an `exec` request for `argv`, optionally bounded by a
+/// request-level deadline in milliseconds.
+pub fn exec_request(argv: &[String], deadline_ms: Option<u64>) -> Value {
+    let mut fields = vec![
+        field("cmd", string("exec")),
+        field(
+            "argv",
+            Value::Array(argv.iter().map(|arg| string(arg.clone())).collect()),
+        ),
+    ];
+    if let Some(ms) = deadline_ms {
+        fields.push(field("deadline_ms", Value::Number(ms as f64)));
+    }
+    Value::Object(fields)
+}
+
+/// Builds a `stdout` response frame carrying one line of output.
+pub fn stdout_frame(text: &str) -> Value {
+    Value::Object(vec![
+        field("event", string("stdout")),
+        field("text", string(text)),
+    ])
+}
+
+/// Builds a `cell` response frame carrying one streamed cell outcome.
+pub fn cell_frame(cell: Value) -> Value {
+    Value::Object(vec![field("event", string("cell")), field("cell", cell)])
+}
+
+/// How a remote error maps back onto the client's error taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A usage error (bad flags/operands); exits with the usage code.
+    Usage,
+    /// A domain error (`BgcError`); message and cell-failure class survive
+    /// the round trip.
+    Bgc,
+    /// A transport- or daemon-internal failure (handler panic, refused
+    /// dispatch).
+    Internal,
+}
+
+impl ErrorKind {
+    fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Usage => "usage",
+            ErrorKind::Bgc => "bgc",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn parse(label: &str) -> Self {
+        match label {
+            "usage" => ErrorKind::Usage,
+            "bgc" => ErrorKind::Bgc,
+            _ => ErrorKind::Internal,
+        }
+    }
+}
+
+/// An error carried across the wire inside a `done` frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemoteError {
+    /// Which side of the client's error taxonomy this belongs to.
+    pub kind: ErrorKind,
+    /// The exact message the in-process path would have printed.
+    pub message: String,
+    /// Whether the error classifies as a cell failure (exit code 3).
+    pub cell_failure: bool,
+}
+
+/// The terminal frame of a request: exit code, optional error, and a
+/// command-specific body (ping/status payloads, per-request counters).
+#[derive(Clone, Debug)]
+pub struct ExecReply {
+    /// The exit code the in-process invocation would have produced.
+    pub exit_code: i32,
+    /// The error, when the command failed.
+    pub error: Option<RemoteError>,
+    /// Command-specific payload (`Value::Null` when there is none).
+    pub body: Value,
+}
+
+impl ExecReply {
+    /// A successful reply with the given body.
+    pub fn ok(body: Value) -> Self {
+        Self {
+            exit_code: 0,
+            error: None,
+            body,
+        }
+    }
+
+    /// A failing reply.
+    pub fn err(exit_code: i32, error: RemoteError) -> Self {
+        Self {
+            exit_code,
+            error: Some(error),
+            body: Value::Null,
+        }
+    }
+
+    /// Renders the reply as its `done` frame.
+    pub fn to_frame(&self) -> Value {
+        let error = match &self.error {
+            Some(err) => Value::Object(vec![
+                field("kind", string(err.kind.label())),
+                field("message", string(err.message.clone())),
+                field("cell_failure", Value::Bool(err.cell_failure)),
+            ]),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            field("event", string("done")),
+            field("exit_code", Value::Number(self.exit_code as f64)),
+            field("error", error),
+            field("body", self.body.clone()),
+        ])
+    }
+
+    /// Parses a `done` frame back into a reply; `None` when the value is
+    /// not a well-formed `done` frame.
+    pub fn from_frame(frame: &Value) -> Option<Self> {
+        if frame.get("event").and_then(Value::as_str) != Some("done") {
+            return None;
+        }
+        let exit_code = frame.get("exit_code").and_then(Value::as_f64)? as i32;
+        let error = match frame.get("error") {
+            Some(Value::Null) | None => None,
+            Some(err) => Some(RemoteError {
+                kind: ErrorKind::parse(err.get("kind").and_then(Value::as_str).unwrap_or("")),
+                message: err
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                cell_failure: err
+                    .get("cell_failure")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+            }),
+        };
+        let body = frame.get("body").cloned().unwrap_or(Value::Null);
+        Some(Self {
+            exit_code,
+            error,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_through_a_byte_stream() {
+        let mut buffer = Vec::new();
+        let request = exec_request(
+            &["run".into(), "--scale".into(), "quick".into()],
+            Some(1500),
+        );
+        write_frame(&mut buffer, &request).expect("write");
+        write_frame(&mut buffer, &control_request("ping")).expect("write");
+
+        let mut cursor = Cursor::new(buffer);
+        let first = read_frame(&mut cursor).expect("read").expect("frame");
+        assert_eq!(first.get("cmd").and_then(Value::as_str), Some("exec"));
+        assert_eq!(first.get("deadline_ms").and_then(Value::as_u64), Some(1500));
+        let argv = first.get("argv").and_then(Value::as_array).expect("argv");
+        assert_eq!(argv.len(), 3);
+        let second = read_frame(&mut cursor).expect("read").expect("frame");
+        assert_eq!(second.get("cmd").and_then(Value::as_str), Some("ping"));
+        assert!(
+            read_frame(&mut cursor).expect("read").is_none(),
+            "clean EOF"
+        );
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_hanging() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, &control_request("ping")).expect("write");
+        buffer.truncate(buffer.len() - 2);
+        let mut cursor = Cursor::new(buffer);
+        assert!(read_frame(&mut cursor).is_err());
+
+        // A length prefix cut mid-way is also an error, not a clean EOF.
+        let mut cursor = Cursor::new(vec![0u8, 0]);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected() {
+        let mut buffer = (u32::MAX).to_be_bytes().to_vec();
+        buffer.extend_from_slice(b"junk");
+        let mut cursor = Cursor::new(buffer);
+        let err = read_frame(&mut cursor).expect_err("must reject");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn exec_replies_round_trip_with_and_without_errors() {
+        let ok = ExecReply::ok(Value::Object(vec![(
+            "pid".to_string(),
+            Value::Number(42.0),
+        )]));
+        let parsed = ExecReply::from_frame(&ok.to_frame()).expect("done frame");
+        assert_eq!(parsed.exit_code, 0);
+        assert!(parsed.error.is_none());
+        assert_eq!(parsed.body.get("pid").and_then(Value::as_u64), Some(42));
+
+        let err = ExecReply::err(
+            3,
+            RemoteError {
+                kind: ErrorKind::Bgc,
+                message: "cell failed: boom".into(),
+                cell_failure: true,
+            },
+        );
+        let parsed = ExecReply::from_frame(&err.to_frame()).expect("done frame");
+        assert_eq!(parsed.exit_code, 3);
+        let error = parsed.error.expect("error");
+        assert_eq!(error.kind, ErrorKind::Bgc);
+        assert!(error.cell_failure);
+        assert_eq!(error.message, "cell failed: boom");
+
+        assert!(ExecReply::from_frame(&stdout_frame("hi")).is_none());
+    }
+}

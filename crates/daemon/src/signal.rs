@@ -1,0 +1,62 @@
+//! Minimal signal handling: a termination flag set by SIGTERM/SIGINT.
+//!
+//! The build environment has no `libc` crate, so the two syscalls needed —
+//! installing a handler and (in tests) raising a signal — are declared
+//! directly.  The handler body is async-signal-safe: it performs a single
+//! atomic store and nothing else; the accept loop polls the flag.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+/// `SIGINT` signal number.
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` signal number.
+pub const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn raise(signum: i32) -> i32;
+}
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+static INSTALL: Once = Once::new();
+
+extern "C" fn on_termination(_signum: i32) {
+    TERMINATION.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers (once) and returns the flag they set.
+/// The returned reference is `'static`; hand clones of an
+/// `Arc<AtomicBool>` mirror around instead if ownership is needed.
+pub fn termination_flag() -> &'static AtomicBool {
+    INSTALL.call_once(|| {
+        // SAFETY: `signal` only replaces the process's signal disposition;
+        // the handler does a single atomic store, which is async-signal-safe.
+        unsafe {
+            let _ = signal(SIGTERM, on_termination);
+            let _ = signal(SIGINT, on_termination);
+        }
+    });
+    &TERMINATION
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigterm_sets_the_flag() {
+        let flag = termination_flag();
+        assert!(!flag.load(Ordering::SeqCst));
+        // SAFETY: raising a signal at ourselves with the handler installed.
+        unsafe {
+            let _ = raise(SIGTERM);
+        }
+        assert!(flag.load(Ordering::SeqCst));
+        // Leave the flag clear for any other test in this process.
+        flag.store(false, Ordering::SeqCst);
+    }
+}

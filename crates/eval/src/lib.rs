@@ -18,6 +18,7 @@ pub mod experiment;
 pub mod experiments;
 pub mod paper;
 pub mod protocol;
+pub mod report_json;
 pub mod runner;
 pub mod scale;
 pub mod tables;
@@ -30,8 +31,9 @@ pub use protocol::{
     RunSpec,
 };
 pub use runner::{
-    BudgetOverride, CellGroup, CellKey, CellOutcome, CellOverrides, CellResult, CellStatus,
-    EvalKind, GridReport, Runner, RunnerStats, DEFAULT_BASE_SEED,
+    enter_wave, BudgetOverride, CellGroup, CellKey, CellOutcome, CellOverrides, CellResult,
+    CellStatus, EvalKind, GridReport, Runner, RunnerStats, WaveCtx, WaveObserver, WaveScope,
+    DEFAULT_BASE_SEED,
 };
 pub use scale::ExperimentScale;
 pub use tables::ExperimentReport;

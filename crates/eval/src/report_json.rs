@@ -1,0 +1,226 @@
+//! Shared JSON codec for grid reports.
+//!
+//! One serialization of [`CellStatus`] / [`CellOutcome`] / [`RunnerStats`]
+//! used by both machine-readable surfaces of the workspace — the CLI's
+//! `--format json` documents and the daemon protocol's streamed `cell`
+//! frames — so a client reading either sees the same shapes.
+//!
+//! The cell sub-documents are deterministic (canonical key, status, result
+//! values); execution metadata that legitimately varies between runs
+//! (attempts, cache-hit counters, wall clock) is kept in separate fields so
+//! callers can diff the deterministic part byte-for-byte across warm and
+//! cold runs.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+use bgc_runtime::relock;
+use serde::Value;
+
+use crate::runner::{CellOutcome, CellResult, CellStatus, Runner, RunnerStats, WaveObserver};
+
+fn field(key: &str, value: Value) -> (String, Value) {
+    (key.to_string(), value)
+}
+
+fn string(text: impl Into<String>) -> Value {
+    Value::String(text.into())
+}
+
+/// The status of one cell as a JSON object: `{"kind": "...", ...}` with a
+/// `message` for failures/panics and a `limit_ms` for timeouts.
+pub fn status_value(status: &CellStatus) -> Value {
+    let mut fields = vec![field("kind", string(status.label()))];
+    match status {
+        CellStatus::Failed(err) => fields.push(field("message", string(err.to_string()))),
+        CellStatus::Panicked { message } => fields.push(field("message", string(message.clone()))),
+        CellStatus::TimedOut { limit_ms } => {
+            fields.push(field("limit_ms", Value::Number(*limit_ms as f64)))
+        }
+        CellStatus::Ok | CellStatus::Oom | CellStatus::Skipped => {}
+    }
+    Value::Object(fields)
+}
+
+/// One cell of a report: canonical key, status, attempts, persist error and
+/// (for completed cells) the measured [`CellResult`] values.
+pub fn outcome_value(outcome: &CellOutcome, result: Option<&CellResult>) -> Value {
+    let result_value = result
+        .and_then(|r| serde_json::to_value(r).ok())
+        .unwrap_or(Value::Null);
+    Value::Object(vec![
+        field("cell", string(outcome.key.canon())),
+        field("status", status_value(&outcome.status)),
+        field("attempts", Value::Number(outcome.attempts as f64)),
+        field(
+            "persist_error",
+            match &outcome.persist_error {
+                Some(reason) => string(reason.clone()),
+                None => Value::Null,
+            },
+        ),
+        field("result", result_value),
+    ])
+}
+
+/// The runner's cache/execution counters as a JSON object.
+pub fn stats_value(stats: &RunnerStats) -> Value {
+    serde_json::to_value(stats).unwrap_or(Value::Null)
+}
+
+/// Collects every distinct cell outcome observed across the waves of one
+/// invocation (first occurrence wins, in observation order).  Install it as
+/// a wave observer via [`OutcomeCollector::observer`] and render the
+/// collected cells with [`OutcomeCollector::cells_value`].
+#[derive(Default)]
+pub struct OutcomeCollector {
+    state: Mutex<CollectorState>,
+}
+
+#[derive(Default)]
+struct CollectorState {
+    seen: BTreeSet<String>,
+    cells: Vec<CellOutcome>,
+}
+
+impl OutcomeCollector {
+    /// A fresh collector behind an [`Arc`] (the observer closure and the
+    /// caller share it).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// A wave observer recording every first-seen cell outcome.
+    pub fn observer(self: &Arc<Self>) -> WaveObserver {
+        let collector = Arc::clone(self);
+        Arc::new(move |outcome| collector.record(outcome))
+    }
+
+    fn record(&self, outcome: &CellOutcome) {
+        let mut state = relock(&self.state);
+        if state.seen.insert(outcome.key.canon()) {
+            state.cells.push(outcome.clone());
+        }
+    }
+
+    /// Per-invocation tallies driving exit-code classification:
+    /// `(completed, oom, failures)`.  Completed counts cells with a usable
+    /// result (including OOM rows); failures count terminal
+    /// failed/timed-out/panicked cells; skipped cells count as neither.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let state = relock(&self.state);
+        let mut completed = 0;
+        let mut oom = 0;
+        let mut failures = 0;
+        for outcome in &state.cells {
+            match &outcome.status {
+                CellStatus::Ok => completed += 1,
+                CellStatus::Oom => {
+                    completed += 1;
+                    oom += 1;
+                }
+                CellStatus::Failed(_)
+                | CellStatus::TimedOut { .. }
+                | CellStatus::Panicked { .. } => failures += 1,
+                CellStatus::Skipped => {}
+            }
+        }
+        (completed, oom, failures)
+    }
+
+    /// Number of distinct cells collected so far.
+    pub fn len(&self) -> usize {
+        relock(&self.state).cells.len()
+    }
+
+    /// Whether nothing has been collected yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The collected cells as a JSON array (results looked up from
+    /// `runner`'s completed-cell map).
+    pub fn cells_value(&self, runner: &Runner) -> Value {
+        let state = relock(&self.state);
+        Value::Array(
+            state
+                .cells
+                .iter()
+                .map(|outcome| outcome_value(outcome, runner.result(&outcome.key).ok().as_ref()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{enter_wave, CellOverrides, EvalKind, WaveCtx};
+    use crate::scale::ExperimentScale;
+    use bgc_core::BgcError;
+    use bgc_graph::DatasetKind;
+    use bgc_runtime::FaultPlan;
+
+    #[test]
+    fn status_values_carry_their_details() {
+        assert_eq!(
+            status_value(&CellStatus::Ok).to_json_string(),
+            r#"{"kind":"ok"}"#
+        );
+        let timed_out = status_value(&CellStatus::TimedOut { limit_ms: 250 });
+        assert_eq!(timed_out.get("limit_ms").and_then(Value::as_u64), Some(250));
+        let failed = status_value(&CellStatus::Failed(BgcError::UnknownAttack("Ghost".into())));
+        assert!(failed
+            .get("message")
+            .and_then(Value::as_str)
+            .is_some_and(|m| m.contains("Ghost")));
+        let panicked = status_value(&CellStatus::Panicked {
+            message: "boom".into(),
+        });
+        assert_eq!(
+            panicked.get("kind").and_then(Value::as_str),
+            Some("panicked")
+        );
+    }
+
+    #[test]
+    fn collector_records_each_cell_once_with_results() {
+        let runner = Runner::in_memory(ExperimentScale::Quick)
+            .with_fault_plan(FaultPlan::new())
+            .serial();
+        let group = runner.bgc_group(DatasetKind::Cora, "GCond", 0.026);
+        let collector = OutcomeCollector::new();
+        {
+            let _scope = enter_wave(WaveCtx {
+                observer: Some(collector.observer()),
+                ..WaveCtx::default()
+            });
+            runner.run_cells(&group.keys);
+            // A second wave over the same cells resolves from memory and
+            // must not duplicate collected entries.
+            runner.run_cells(&group.keys);
+        }
+        assert_eq!(collector.len(), group.keys.len());
+        let (completed, oom, failures) = collector.counts();
+        assert_eq!(completed, group.keys.len());
+        assert_eq!((oom, failures), (0, 0));
+        let cells = collector.cells_value(&runner);
+        let cells = cells.as_array().expect("array");
+        for cell in cells {
+            assert_eq!(
+                cell.get("status")
+                    .and_then(|s| s.get("kind"))
+                    .and_then(Value::as_str),
+                Some("ok")
+            );
+            assert!(cell.get("result").and_then(|r| r.get("cta")).is_some());
+        }
+        // Deterministic sub-document: re-rendering is byte-identical.
+        assert_eq!(
+            collector.cells_value(&runner).to_json_string(),
+            Value::Array(cells.clone()).to_json_string()
+        );
+        let _ = EvalKind::Standard;
+        let _ = CellOverrides::default();
+    }
+}

@@ -46,6 +46,7 @@
 // module keyed by cells or stage keys is a `BTreeMap`/`BTreeSet`, so no
 // iteration order in the persist/report path can ever depend on hash-seed
 // or insertion order (`bgc-lint` rule `nondet-iteration`).
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
@@ -582,6 +583,101 @@ fn resolved_outcome(key: &CellKey, status: CellStatus) -> CellOutcome {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Ambient wave context
+// ---------------------------------------------------------------------------
+
+/// Per-outcome progress callback of a wave scope.  Called from the pool
+/// threads as cells resolve, so implementations must synchronize their own
+/// state (e.g. a mutex around a socket).
+pub type WaveObserver = Arc<dyn Fn(&CellOutcome) + Send + Sync>;
+
+/// Ambient per-request execution context for [`Runner::run_cells`] waves.
+///
+/// A caller that owns a whole unit of work spanning many waves — a daemon
+/// request, a CLI invocation with a `--deadline` — enters a `WaveCtx` via
+/// [`enter_wave`] on its thread; every wave the runner starts on that thread
+/// (including nested ones from [`Runner::metrics`] read-back) picks it up:
+///
+/// * `deadline` — a request-level [`CancelToken`]; cells compose it with the
+///   per-cell timeout via [`CancelToken::child_with_timeout`], so whichever
+///   fires first cancels the cell;
+/// * `transient` — failures of this wave are reported in the [`GridReport`]
+///   but *not* recorded in the runner's permanent failure map, so a shared
+///   long-lived runner (the daemon) can serve the same cell to a later
+///   request instead of pinning one client's timeout forever;
+/// * `observer` — streamed per-cell progress (the daemon's `cell` frames,
+///   the CLI's `--format json` collector).
+///
+/// Scopes nest: every active observer receives events, the innermost
+/// deadline applies, and the wave is transient when any scope is.
+#[derive(Clone, Default)]
+pub struct WaveCtx {
+    /// Request-level cancellation/deadline token.
+    pub deadline: Option<CancelToken>,
+    /// Do not record this wave's failures in the permanent failure map.
+    pub transient: bool,
+    /// Streamed per-outcome progress callback.
+    pub observer: Option<WaveObserver>,
+}
+
+thread_local! {
+    static WAVES: RefCell<Vec<WaveCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Makes `ctx` ambient on the calling thread until the returned guard drops
+/// (see [`WaveCtx`]).
+#[must_use = "the wave context is only ambient while the returned guard lives"]
+pub fn enter_wave(ctx: WaveCtx) -> WaveScope {
+    WAVES.with(|stack| stack.borrow_mut().push(ctx));
+    WaveScope { _private: () }
+}
+
+/// RAII guard of an entered wave context (see [`enter_wave`]).
+#[derive(Debug)]
+pub struct WaveScope {
+    _private: (),
+}
+
+impl Drop for WaveScope {
+    fn drop(&mut self) {
+        WAVES.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// The merged view of every entered wave scope, captured once per wave on
+/// the submitting thread (cells execute on pool threads, where the
+/// thread-local stack is not visible).
+struct MergedWave {
+    deadline: Option<CancelToken>,
+    transient: bool,
+    observers: Vec<WaveObserver>,
+}
+
+impl MergedWave {
+    fn current() -> Self {
+        WAVES.with(|stack| {
+            let stack = stack.borrow();
+            Self {
+                deadline: stack.iter().rev().find_map(|ctx| ctx.deadline.clone()),
+                transient: stack.iter().any(|ctx| ctx.transient),
+                observers: stack
+                    .iter()
+                    .filter_map(|ctx| ctx.observer.clone())
+                    .collect(),
+            }
+        })
+    }
+
+    fn notify(&self, outcome: &CellOutcome) {
+        for observer in &self.observers {
+            observer(outcome);
+        }
+    }
+}
+
 /// Terminal status of one cell in a [`GridReport`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum CellStatus {
@@ -1002,6 +1098,7 @@ impl Runner {
     /// failure stops cells that have not started yet (recorded as
     /// [`CellStatus::Skipped`]); with it the whole grid completes.
     pub fn run_cells(&self, keys: &[CellKey]) -> GridReport {
+        let wave = MergedWave::current();
         let mut order: Vec<CellKey> = Vec::new();
         let mut resolved: BTreeMap<CellKey, CellOutcome> = BTreeMap::new();
         let mut pending: Vec<CellKey> = Vec::new();
@@ -1029,21 +1126,30 @@ impl Runner {
                 }
             }
         }
+        // Notify outside the lock scope: observers may do slow I/O.
+        for key in &order {
+            if let Some(outcome) = resolved.get(key) {
+                wave.notify(outcome);
+            }
+        }
         let aborted = AtomicBool::new(false);
         let computed: Mutex<BTreeMap<CellKey, CellOutcome>> = Mutex::new(BTreeMap::new());
         let execute = |key: CellKey| {
             let outcome = if aborted.load(Ordering::Relaxed) {
                 resolved_outcome(&key, CellStatus::Skipped)
             } else {
-                let outcome = self.execute_cell(&key);
+                let outcome = self.execute_cell(&key, &wave);
                 if !outcome.status.is_success() {
-                    relock(&self.failures).insert(key.clone(), outcome.status.clone());
+                    if !wave.transient {
+                        relock(&self.failures).insert(key.clone(), outcome.status.clone());
+                    }
                     if !self.keep_going {
                         aborted.store(true, Ordering::Relaxed);
                     }
                 }
                 outcome
             };
+            wave.notify(&outcome);
             relock(&computed).insert(key, outcome);
         };
         if self.parallel && pending.len() > 1 {
@@ -1080,14 +1186,21 @@ impl Runner {
 
     /// Executes one cell behind the unwind boundary, with the deadline
     /// token, the fault-injection scope and bounded deterministic retry.
-    fn execute_cell(&self, key: &CellKey) -> CellOutcome {
+    fn execute_cell(&self, key: &CellKey, wave: &MergedWave) -> CellOutcome {
         let canon = key.canon();
         let mut attempt = 0usize;
         loop {
             attempt += 1;
             let unwound = catch_unwind(AssertUnwindSafe(|| {
                 let _faults = self.fault_plan.as_ref().map(|plan| plan.enter(&canon));
-                let deadline = self.cell_timeout.map(CancelToken::with_timeout);
+                // The per-cell timeout composes with the ambient request
+                // deadline: the child token cancels on whichever fires first.
+                let deadline = match (&wave.deadline, self.cell_timeout) {
+                    (Some(request), Some(timeout)) => Some(request.child_with_timeout(timeout)),
+                    (Some(request), None) => Some(request.clone()),
+                    (None, Some(timeout)) => Some(CancelToken::with_timeout(timeout)),
+                    (None, None) => None,
+                };
                 let _scope = deadline.as_ref().map(CancelToken::enter);
                 match self.load_cell(key) {
                     Some(result) => Ok((result, false, None)),
@@ -1125,7 +1238,10 @@ impl Runner {
                     if payload.downcast_ref::<CancelUnwind>().is_some() {
                         BgcError::CellTimedOut {
                             canon: canon.clone(),
-                            limit_ms: self.cell_timeout.map_or(0, |t| t.as_millis() as u64),
+                            limit_ms: self
+                                .cell_timeout
+                                .or_else(|| wave.deadline.as_ref().and_then(CancelToken::timeout))
+                                .map_or(0, |t| t.as_millis() as u64),
                         }
                     } else {
                         BgcError::CellPanicked {
@@ -1254,6 +1370,12 @@ impl Runner {
         let results = relock(&self.results);
         let oom = results.values().filter(|r| r.oom).count();
         (results.len(), oom)
+    }
+
+    /// Canonical keys of every completed cell in the in-memory result map,
+    /// in canonical order (daemon status / cache listings).
+    pub fn cached_cell_canons(&self) -> Vec<String> {
+        relock(&self.results).keys().map(CellKey::canon).collect()
     }
 
     /// Snapshot of the cache/execution counters.

@@ -63,6 +63,13 @@ impl ExperimentReport {
     /// but never abort the run.
     pub fn print_and_save(&self) {
         print!("{}", self.render());
+        self.save();
+    }
+
+    /// Writes the JSON dump under `target/experiments/<id>.json` without
+    /// printing (the daemon and `--format json` route the rendered text
+    /// elsewhere).  I/O failures are reported on stderr but never abort.
+    pub fn save(&self) {
         let dir = PathBuf::from("target/experiments");
         if let Err(err) = fs::create_dir_all(&dir) {
             eprintln!("warning: could not create {}: {}", dir.display(), err);

@@ -103,13 +103,12 @@ impl SampledBatch {
     /// input-sized outputs; this maps target rows back out).
     pub fn target_positions_in_inputs(&self) -> Vec<usize> {
         let inputs = self.input_nodes();
+        // Every target is included in the input nodes by construction;
+        // filtering (rather than panicking) keeps a malformed batch
+        // degraded instead of fatal.
         self.targets
             .iter()
-            .map(|t| {
-                inputs
-                    .binary_search(t)
-                    .expect("targets are always included in the input nodes")
-            })
+            .filter_map(|t| inputs.binary_search(t).ok())
             .collect()
     }
 }
@@ -266,10 +265,13 @@ fn sample_block(
     src_nodes.sort_unstable();
     src_nodes.dedup();
 
+    // The source set is closed over every referenced column by
+    // construction; clamping to the insertion slot keeps an impossible
+    // miss in-bounds instead of panicking.
     let local = |node: usize| -> usize {
         src_nodes
             .binary_search(&node)
-            .expect("column is a member of the source set")
+            .unwrap_or_else(|slot| slot.min(src_nodes.len().saturating_sub(1)))
     };
     let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
     for (r, kept) in kept_rows.iter().enumerate() {

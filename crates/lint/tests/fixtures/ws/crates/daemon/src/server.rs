@@ -1,0 +1,21 @@
+//! Fixture for `unregistered-fault-point` over a daemon-style crate: the
+//! three registered `daemon.*` points are silent, one bogus daemon literal
+//! is a violation (1 finding).
+
+use bgc_runtime::fault;
+
+pub fn accept() {
+    fault::fire("daemon.accept");
+}
+
+pub fn request() {
+    fault::fire("daemon.request");
+}
+
+pub fn persist() -> std::io::Result<()> {
+    fault::fire_io("daemon.persist")
+}
+
+pub fn unregistered() {
+    fault::fire("daemon.bogus");
+}

@@ -50,7 +50,9 @@ impl SampledPlan {
     pub fn with_depth(&self, depth: usize) -> SampledPlan {
         assert!(depth >= 1, "a sampled plan needs at least one step");
         let mut fanouts = self.fanouts.clone();
-        let last = *fanouts.last().expect("plans always have a fanout");
+        // Constructors guarantee at least one fanout; 0 (= unbounded) keeps
+        // an impossible empty plan usable instead of panicking.
+        let last = fanouts.last().copied().unwrap_or(0);
         fanouts.resize(depth, last);
         SampledPlan {
             fanouts,

@@ -34,6 +34,28 @@ pub struct CancelToken {
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// The timeout this token was created with (reporting only; the live
+    /// deadline is `deadline`).
+    timeout: Option<Duration>,
+    /// Parent token: cancelling the parent cancels every descendant, so a
+    /// request-level deadline composes with per-cell timeouts (see
+    /// [`CancelToken::child_with_timeout`]).
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+            || self
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+            || self.parent.as_deref().is_some_and(Inner::is_cancelled)
+    }
+
+    fn timeout(&self) -> Option<Duration> {
+        self.timeout
+            .or_else(|| self.parent.as_deref().and_then(Inner::timeout))
+    }
 }
 
 /// The unwind payload raised by [`checkpoint`] when the current scope's
@@ -55,23 +77,46 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(Instant::now() + timeout),
+                timeout: Some(timeout),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token with its own deadline that is *also* cancelled whenever
+    /// this (or any ancestor) token cancels or times out.  The experiment
+    /// runner uses this to compose a request-level deadline (a daemon
+    /// request, a whole-invocation `--deadline`) with the per-cell timeout:
+    /// the cell's checkpoints observe whichever fires first.
+    pub fn child_with_timeout(&self, timeout: Duration) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                timeout: Some(timeout),
+                parent: Some(self.inner.clone()),
             }),
         }
     }
 
     /// Requests cancellation; the executing thread observes it at its next
-    /// [`checkpoint`].
+    /// [`checkpoint`].  Cancelling a token also cancels every child derived
+    /// from it via [`CancelToken::child_with_timeout`].
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
-    /// Whether the token has been cancelled or its deadline has passed.
+    /// Whether the token has been cancelled, its deadline has passed, or any
+    /// ancestor token is cancelled.
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Acquire)
-            || self
-                .inner
-                .deadline
-                .is_some_and(|deadline| Instant::now() >= deadline)
+        self.inner.is_cancelled()
+    }
+
+    /// The timeout this token (or, when it has none, its nearest ancestor)
+    /// was created with — `None` for manual-cancel tokens.  Reporting only:
+    /// the value does not change as the deadline approaches.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.inner.timeout()
     }
 
     /// Makes this token the current one on the calling thread until the
@@ -153,6 +198,34 @@ mod tests {
         let token = CancelToken::with_timeout(Duration::from_millis(0));
         std::thread::sleep(Duration::from_millis(2));
         assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn child_tokens_inherit_parent_cancellation() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_timeout(Duration::from_secs(3600));
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled(), "parent cancel reaches the child");
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn child_deadline_fires_independently_of_the_parent() {
+        let parent = CancelToken::with_timeout(Duration::from_secs(3600));
+        let child = parent.child_with_timeout(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(child.is_cancelled(), "child deadline elapsed");
+        assert!(!parent.is_cancelled(), "parent is unaffected by the child");
+    }
+
+    #[test]
+    fn timeout_reports_the_creation_value() {
+        assert_eq!(CancelToken::new().timeout(), None);
+        let token = CancelToken::with_timeout(Duration::from_millis(250));
+        assert_eq!(token.timeout(), Some(Duration::from_millis(250)));
+        let child = token.child_with_timeout(Duration::from_millis(50));
+        assert_eq!(child.timeout(), Some(Duration::from_millis(50)));
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub const FAULT_POINTS: &[&str] = &[
     "runner.persist",
     // Cell load: before reading a persisted cell file.
     "runner.load",
+    // Daemon accept loop: after a client connection is accepted.
+    "daemon.accept",
+    // Daemon request dispatch: before a request is executed.
+    "daemon.request",
+    // Daemon lifecycle persistence: pidfile/socket bookkeeping writes.
+    "daemon.persist",
 ];
 
 /// Whether `point` is a registered fault point (see [`FAULT_POINTS`]).

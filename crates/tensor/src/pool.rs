@@ -85,11 +85,7 @@ impl BufferPool {
                     best = Some((i, *l));
                 }
             }
-            if let Some((i, _)) = best {
-                let mut buf = self.f32_buckets[i]
-                    .1
-                    .pop()
-                    .expect("bucket checked non-empty");
+            if let Some(mut buf) = best.and_then(|(i, _)| self.f32_buckets[i].1.pop()) {
                 buf.truncate(len);
                 self.stats.reuses += 1;
                 return buf;
