@@ -20,6 +20,7 @@ use bgc_eval::{
 };
 use bgc_graph::{DatasetKind, PoisonBudget};
 use bgc_nn::{GnnArchitecture, SampledPlan, TrainingPlan};
+use bgc_store::{Store, StoreReport};
 use serde::Value;
 
 use crate::daemon;
@@ -44,6 +45,9 @@ COMMANDS:
                     fault-point hygiene); see docs/lint.md
     daemon <start|stop|status|ping>
                     Manage the warm-cache bgcd daemon; see docs/daemon.md
+    store <stats|gc|doctor|clear>
+                    Inspect or maintain the content-addressed artifact
+                    store; see docs/store.md
     help            Show this message
 
 GLOBAL OPTIONS:
@@ -52,7 +56,7 @@ GLOBAL OPTIONS:
                           the paper's full node counts with sampled plans)
     --full                Include all four datasets in sweeps at quick scale
     --serial              Disable the cell thread pool (bit-identical output)
-    --no-cache            Disable the on-disk cell cache
+    --no-cache            Disable the on-disk cell cache and artifact store
     --keep-going          Complete the rest of the grid around failed cells
                           (every failure is reported; exit code 3)
     --cell-timeout <s>    Per-cell deadline in seconds; cells past it are
@@ -105,6 +109,11 @@ DAEMON OPTIONS (daemon):
     --foreground          daemon start: serve in this process instead of
                           spawning a background bgcd
 
+STORE OPTIONS (store):
+    --store-dir <dir>     Store root (default: target/store, or
+                          BGC_STORE_DIR when set); --format json renders
+                          the report through the shared JSON codec
+
 EXIT CODES:
     0  success                  3  cell failure(s) (panic/timeout/error)
     1  error                    4  every executed cell was OOM
@@ -115,9 +124,10 @@ FAULT INJECTION (testing and CI):
     BGC_FAULTS=\"point[@ctx][#n]=panic|io|delay:<ms>[;...]\" arms
     deterministic faults at named points: trainer.epoch, condense.outer,
     stage.clean, stage.attack, runner.persist, runner.load, daemon.accept,
-    daemon.request, daemon.persist.  @ctx fires only in cells whose canonical
-    key contains ctx; #n fires on the nth matching hit (default 1).  Each
-    fault fires exactly once, so retries and re-runs heal.
+    daemon.request, daemon.persist, store.read, store.write, store.lock.
+    @ctx fires only in cells whose canonical key contains ctx; #n fires on
+    the nth matching hit (default 1).  Each fault fires exactly once, so
+    retries and re-runs heal.
     Example: BGC_FAULTS=\"stage.clean@citeseer=panic\"
 
 EXAMPLES:
@@ -130,6 +140,7 @@ EXAMPLES:
     bgc table 2 --scale quick
     bgc list attacks
     bgc lint --format json
+    bgc store stats
     bgc daemon start
     bgc all --scale quick --daemon    (second run hits the warm caches)
 ";
@@ -257,6 +268,7 @@ pub fn run(args: &[String]) -> Result<CliOutcome, CliError> {
         "list" => cmd_list(&rest),
         "lint" => cmd_lint(&rest),
         "daemon" => daemon::cmd_daemon(&rest),
+        "store" => route(&rest, "store", cmd_store),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(CliOutcome::default())
@@ -332,6 +344,7 @@ pub(crate) struct Options {
     batch_size: Option<usize>,
     fanouts: Option<Vec<usize>>,
     seed: Option<u64>,
+    store_dir: Option<String>,
     operands: Vec<String>,
 }
 
@@ -367,6 +380,7 @@ pub(crate) fn parse_options(args: &[&str]) -> Result<Options, CliError> {
         batch_size: None,
         fanouts: None,
         seed: None,
+        store_dir: None,
         operands: Vec::new(),
     };
     let mut iter = args.iter();
@@ -474,6 +488,7 @@ pub(crate) fn parse_options(args: &[&str]) -> Result<Options, CliError> {
                 options.fanouts = Some(fanouts);
             }
             "--seed" => options.seed = Some(parse_num(value("--seed")?, "--seed")?),
+            "--store-dir" => options.store_dir = Some(value("--store-dir")?.to_string()),
             flag if flag.starts_with("--") => {
                 return Err(usage(format!("unknown option '{}'", flag)))
             }
@@ -1121,6 +1136,80 @@ fn lint_outcome(report: &bgc_lint::LintReport) -> CliOutcome {
     }
 }
 
+// ---------------------------------------------------------------------------
+// store
+// ---------------------------------------------------------------------------
+
+fn cmd_store(args: &[&str]) -> Result<CliOutcome, CliError> {
+    let options = parse_options(args)?;
+    exec_store(&options, &OutputSink::stdout())
+}
+
+/// `bgc store <stats|gc|doctor|clear>` past parsing — shared by the CLI and
+/// the daemon handler (which streams the report lines back to the client),
+/// like [`exec_run`].  Administrative scans iterate in sorted name order,
+/// so the rendered report is deterministic for a given store state.
+pub(crate) fn exec_store(options: &Options, out: &OutputSink) -> Result<CliOutcome, CliError> {
+    if options.operands.len() != 1 {
+        return Err(usage("store expects one of: stats, gc, doctor, clear"));
+    }
+    let root = match &options.store_dir {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => bgc_store::default_store_root(),
+    };
+    let store = Store::open(root);
+    let report = match options.operands[0].as_str() {
+        "stats" => store.stats(),
+        "gc" => store.gc(),
+        "doctor" => store.doctor(),
+        "clear" => store.clear(),
+        other => {
+            return Err(usage(format!(
+                "unknown store action '{}' (expected stats, gc, doctor or clear)",
+                other
+            )))
+        }
+    }
+    .map_err(|err| CliError::Bgc(BgcError::invalid(format!("bgc store: {}", err))))?;
+    match options.format {
+        OutputFormat::Human => out.block(&render_store_report(&report)),
+        OutputFormat::Json => {
+            out.block(&report_json::store_report_value(&report).to_json_string_pretty())
+        }
+    }
+    Ok(CliOutcome::default())
+}
+
+/// The human rendering of a [`StoreReport`]: fixed field order, stages and
+/// file lists pre-sorted by the store.
+fn render_store_report(report: &StoreReport) -> String {
+    let mut lines = vec![
+        format!("store {}: {}", report.action, report.root),
+        format!("  artifacts: {} ({} bytes)", report.artifacts, report.bytes),
+    ];
+    for (stage, count) in &report.stages {
+        lines.push(format!("    {}: {}", stage, count));
+    }
+    lines.push(format!(
+        "  locks: {}  tmp: {}  corrupt: {}",
+        report.locks, report.tmp_files, report.corrupt
+    ));
+    if report.action == "doctor" {
+        lines.push(format!("  verified: {}", report.verified));
+    }
+    for name in &report.removed {
+        lines.push(format!("  removed {}", name));
+    }
+    for name in &report.quarantined {
+        lines.push(format!("  quarantined {}", name));
+    }
+    lines.push(format!(
+        "  health: {}",
+        if report.healthy() { "ok" } else { "attention" }
+    ));
+    lines.join("\n")
+}
+
 /// Prints the runner's cache-hit counters and the wall-clock time of the
 /// invocation (stdout only — the per-report JSON dumps stay byte-identical
 /// across cached re-runs).
@@ -1309,6 +1398,50 @@ mod tests {
             run(&args(&["lint", "--frobnicate"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn store_reports_render_in_fixed_order() {
+        let mut report = StoreReport {
+            action: "gc".to_string(),
+            root: "target/store".to_string(),
+            artifacts: 1,
+            bytes: 64,
+            ..StoreReport::default()
+        };
+        report.stages.insert("clean".to_string(), 1);
+        report.removed.push("0000000000000004.lock".to_string());
+        assert_eq!(
+            render_store_report(&report),
+            "store gc: target/store\n  artifacts: 1 (64 bytes)\n    clean: 1\n  \
+             locks: 0  tmp: 0  corrupt: 0\n  removed 0000000000000004.lock\n  health: ok"
+        );
+    }
+
+    #[test]
+    fn store_subcommand_runs_and_rejects_bad_actions() {
+        let dir = std::env::temp_dir().join(format!("bgc-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = |argv: &[&str]| -> Vec<String> { argv.iter().map(|s| s.to_string()).collect() };
+        let dir_str = dir.to_str().expect("utf-8 temp dir");
+        let outcome = run(&args(&["store", "stats", "--store-dir", dir_str])).expect("stats");
+        assert_eq!(exit_code(&Ok(outcome)), EXIT_OK);
+        let outcome = run(&args(&[
+            "store",
+            "doctor",
+            "--store-dir",
+            dir_str,
+            "--format",
+            "json",
+        ]))
+        .expect("doctor");
+        assert_eq!(exit_code(&Ok(outcome)), EXIT_OK);
+        assert!(matches!(run(&args(&["store"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["store", "frobnicate", "--store-dir", dir_str])),
+            Err(CliError::Usage(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

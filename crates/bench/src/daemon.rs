@@ -93,13 +93,23 @@ impl CliHandler {
         let mut parts = argv.iter().map(String::as_str);
         let command = parts.next().unwrap_or_default().to_string();
         let rest: Vec<&str> = parts.collect();
-        if !matches!(command.as_str(), "run" | "grid" | "all") {
+        if !matches!(command.as_str(), "run" | "grid" | "all" | "store") {
             return Err(usage(format!(
-                "the daemon serves run, grid and all (got '{}')",
+                "the daemon serves run, grid, all and store (got '{}')",
                 command
             )));
         }
         let options = cli::parse_options(&rest)?;
+        if command == "store" {
+            // Administrative pass over the shared store directory; no
+            // runner involved, report lines stream like any other stdout.
+            let line_sink = {
+                let progress = Arc::clone(progress);
+                move |line: &str| progress.stdout_line(line)
+            };
+            let out = OutputSink::remote(&line_sink);
+            return cli::exec_store(&options, &out);
+        }
         let runner = self.runner_for(&options);
         // Outer wave: the server-side request deadline plus a streaming
         // observer relaying each cell outcome to the client.  `exec_*`
@@ -254,9 +264,33 @@ fn reply_to_result(reply: ExecReply) -> Result<CliOutcome, CliError> {
     }
 }
 
-/// Routes one `run`/`grid`/`all` invocation to a running daemon, or (in
-/// [`DaemonMode::Auto`]) back to the in-process `local` path when no
-/// daemon answers a ping.
+/// Connect attempts before the client gives up on reaching a daemon
+/// (`--daemon=auto` right after `bgc daemon start` races the server's
+/// socket bind; a short bounded retry absorbs that window).
+const CONNECT_ATTEMPTS: u32 = 4;
+/// Base of the deterministic linear backoff between connect attempts
+/// (15ms, 30ms, 45ms — ~90ms worst case before giving up).
+const CONNECT_BACKOFF: Duration = Duration::from_millis(15);
+
+/// Pings the daemon with a bounded, deterministic backoff; returns the
+/// last ping error once every attempt has failed.
+fn ping_with_retry(socket: &Path) -> Result<u64, String> {
+    let mut last = String::new();
+    for attempt in 1..=CONNECT_ATTEMPTS {
+        match DaemonClient::ping(socket) {
+            Ok(pid) => return Ok(pid),
+            Err(err) => last = err.to_string(),
+        }
+        if attempt < CONNECT_ATTEMPTS {
+            std::thread::sleep(CONNECT_BACKOFF * attempt);
+        }
+    }
+    Err(last)
+}
+
+/// Routes one `run`/`grid`/`all`/`store` invocation to a running daemon,
+/// or (in [`DaemonMode::Auto`]) back to the in-process `local` path when
+/// no daemon answers a ping.
 pub(crate) fn exec_remote_or(
     command: &str,
     rest: &[&str],
@@ -265,12 +299,13 @@ pub(crate) fn exec_remote_or(
     local: fn(&[&str]) -> Result<CliOutcome, CliError>,
 ) -> Result<CliOutcome, CliError> {
     let socket = socket_path();
-    if let Err(err) = DaemonClient::ping(&socket) {
+    if let Err(err) = ping_with_retry(&socket) {
         return match mode {
             DaemonMode::Auto => local(rest),
             DaemonMode::Require => Err(remote_err(format!(
-                "--daemon=require, but no daemon answers at {} ({}); start one with `bgc daemon start`",
+                "--daemon=require, but no daemon answers at {} after {} attempts ({}); start one with `bgc daemon start`",
                 socket.display(),
+                CONNECT_ATTEMPTS,
                 err
             ))),
         };
@@ -640,6 +675,19 @@ mod tests {
         assert_eq!(reply.exit_code, 2);
         let error = reply.error.expect("usage error");
         assert!(matches!(error.kind, ErrorKind::Usage));
-        assert!(error.message.contains("run, grid and all"));
+        assert!(error.message.contains("run, grid, all and store"));
+    }
+
+    #[test]
+    fn ping_retry_reports_the_last_error_after_bounded_attempts() {
+        // No daemon listens here; every attempt fails and the helper
+        // returns the final error instead of hanging or panicking.
+        let socket =
+            std::env::temp_dir().join(format!("bgc-no-daemon-{}.sock", std::process::id()));
+        let started = std::time::Instant::now();
+        let err = ping_with_retry(&socket).expect_err("no daemon is running");
+        assert!(!err.is_empty());
+        // Backoff is bounded: 15+30+45ms of sleep plus connect overhead.
+        assert!(started.elapsed() < LIFECYCLE_WAIT);
     }
 }

@@ -83,6 +83,29 @@ impl CondensationConfig {
     pub fn synthetic_nodes(&self, train_size: usize, num_classes: usize) -> usize {
         ((train_size as f32 * self.ratio).round() as usize).max(num_classes)
     }
+
+    /// Canonical, bit-exact description of every hyper-parameter, used by
+    /// the content-addressed artifact store: two configs with equal canons
+    /// produce bit-identical condensations (floats are rendered by their
+    /// IEEE-754 bits, so `0.1` and `0.1000000001` never collide).
+    pub fn canon(&self) -> String {
+        format!(
+            "r={:08x}|oe={}|ps={}|sre={}|ss={}|slr={:08x}|flr={:08x}|stlr={:08x}|rank={}|thr={:08x}|krr={:08x}|lim={}|seed={}",
+            self.ratio.to_bits(),
+            self.outer_epochs,
+            self.propagation_steps,
+            self.surrogate_resample_every,
+            self.surrogate_steps,
+            self.surrogate_lr.to_bits(),
+            self.feature_lr.to_bits(),
+            self.structure_lr.to_bits(),
+            self.structure_rank,
+            self.structure_threshold.to_bits(),
+            self.krr_lambda.to_bits(),
+            self.sntk_node_limit,
+            self.seed,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +123,19 @@ mod tests {
         // Reddit-like: 7696 train nodes at 0.2%.
         let cfg = CondensationConfig::paper(0.002);
         assert_eq!(cfg.synthetic_nodes(7696, 10), 15);
+    }
+
+    #[test]
+    fn canon_is_total_over_the_fields() {
+        let base = CondensationConfig::quick(0.01);
+        let mut edited = base.clone();
+        assert_eq!(base.canon(), edited.canon());
+        edited.feature_lr += 1e-7;
+        assert_ne!(
+            base.canon(),
+            edited.canon(),
+            "bit-level float edits change the canon"
+        );
     }
 
     #[test]

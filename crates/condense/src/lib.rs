@@ -9,6 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Code epoch of the condensation implementations.  The artifact store
+/// mixes this into the keys of clean and poisoned condensation artifacts;
+/// bump it when any condensation method, the matching state machine or the
+/// structure generator changes numerical behaviour, so stored condensations
+/// from the old implementation are invalidated precisely.
+pub const CONDENSE_CODE_EPOCH: u32 = 1;
+
 pub mod config;
 pub mod error;
 pub mod labels;

@@ -72,23 +72,23 @@ impl DoorpingAttack {
     ) -> f32 {
         let sample_size = self.config.update_sample_size.min(graph.num_nodes()).max(1);
         let sample = sample_without_replacement(graph.num_nodes(), sample_size, rng);
-        for &node in &sample {
-            cache.entry(node).or_insert_with(|| {
-                attach_to_computation_graph(
-                    graph,
-                    node,
-                    self.config.trigger_size,
-                    self.config.khop,
-                    self.config.max_neighbors_per_hop,
-                )
-            });
-        }
         tape.reset();
         let trig_var = tape.leaf_copied(trigger);
         let w_const = tape.leaf_detached(surrogate_weight);
         let mut total: Option<bgc_tensor::Var> = None;
         for &node in &sample {
-            let attached = cache.get(&node).expect("cache populated").clone();
+            let attached = cache
+                .entry(node)
+                .or_insert_with(|| {
+                    attach_to_computation_graph(
+                        graph,
+                        node,
+                        self.config.trigger_size,
+                        self.config.khop,
+                        self.config.max_neighbors_per_hop,
+                    )
+                })
+                .clone();
             let x = attached.combined_features(tape, trig_var);
             let mut z = x;
             for _ in 0..self.config.condensation.propagation_steps {
@@ -102,7 +102,12 @@ impl DoorpingAttack {
                 None => term,
             });
         }
-        let total = total.expect("sample non-empty");
+        // `sample` has at least one node, so `total` is always `Some`; the
+        // early return keeps the update a no-op rather than a panic if that
+        // invariant ever changes.
+        let Some(total) = total else {
+            return 0.0;
+        };
         let loss = tape.scale(total, 1.0 / sample.len() as f32);
         let loss_value = tape.scalar(loss);
         let grads = tape.backward(loss);

@@ -165,6 +165,44 @@ impl BgcConfig {
             ..Self::default()
         }
     }
+
+    /// Canonical, bit-exact description of every attack hyper-parameter
+    /// (floats by IEEE-754 bits), including the nested condensation canon.
+    /// The content-addressed artifact store keys attack-stage artifacts on
+    /// this: equal canons imply bit-identical attack outputs.
+    pub fn canon(&self) -> String {
+        let budget = match self.poison_budget {
+            PoisonBudget::Ratio(r) => format!("ratio:{:08x}", r.to_bits()),
+            PoisonBudget::Count(n) => format!("count:{}", n),
+        };
+        let selection = match self.selection {
+            SelectionStrategy::Representative => "rep".to_string(),
+            SelectionStrategy::Random => "rand".to_string(),
+            SelectionStrategy::DirectedFrom(c) => format!("dir:{}", c),
+        };
+        format!(
+            "tc={}|ts={}|pb={}|sel={}|sl={:08x}|km={}|hd={}|se={}|gen={}|tfs={:08x}|glr={:08x}|gs={}|sus={}|uss={}|khop={}|mnh={}|plan={}|cond=[{}]|seed={}",
+            self.target_class,
+            self.trigger_size,
+            budget,
+            selection,
+            self.selection_lambda.to_bits(),
+            self.kmeans_clusters,
+            self.hidden_dim,
+            self.selector_epochs,
+            self.generator.name(),
+            self.trigger_feature_scale.to_bits(),
+            self.generator_lr.to_bits(),
+            self.generator_steps,
+            self.surrogate_steps,
+            self.update_sample_size,
+            self.khop,
+            self.max_neighbors_per_hop,
+            self.training_plan,
+            self.condensation.canon(),
+            self.seed,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +226,25 @@ mod tests {
         let names: std::collections::HashSet<_> =
             GeneratorKind::all().iter().map(|g| g.name()).collect();
         assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn canon_distinguishes_every_edit() {
+        let base = BgcConfig::quick();
+        assert_eq!(base.canon(), BgcConfig::quick().canon());
+        let mut other = base.clone();
+        other.trigger_feature_scale += 1e-6;
+        assert_ne!(base.canon(), other.canon());
+        let mut other = base.clone();
+        other.selection = SelectionStrategy::DirectedFrom(2);
+        assert_ne!(base.canon(), other.canon());
+        let mut other = base.clone();
+        other.condensation.seed ^= 1;
+        assert_ne!(
+            base.canon(),
+            other.canon(),
+            "nested condensation canon is included"
+        );
     }
 
     #[test]

@@ -12,6 +12,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Code epoch of the attack implementations.  The artifact store mixes this
+/// into the keys of attack-stage artifacts; bump it when the BGC attack, a
+/// baseline attack, the selector, the trigger generator or the attachment
+/// operator changes numerical behaviour, so stored attack artifacts from the
+/// old implementation are invalidated precisely.
+pub const ATTACK_CODE_EPOCH: u32 = 1;
+
 pub mod attach;
 pub mod attack;
 pub mod baselines;
@@ -40,7 +47,9 @@ pub use registry::{
     attack_names, register_attack, resolve_attack, Attack, AttackArtifacts, AttackId, AttackKind,
 };
 pub use selector::{select_poisoned_nodes, SelectionResult};
-pub use trigger::{TriggerGenerator, TriggerProvider, UniversalTrigger};
+pub use trigger::{
+    GeneratorSnapshot, TriggerGenerator, TriggerProvider, TriggerSnapshot, UniversalTrigger,
+};
 pub use variants::{directed_attack, randomized_selection};
 
 #[cfg(test)]

@@ -33,6 +33,17 @@ pub struct TriggerBatch {
     pub param_vars: Vec<Var>,
 }
 
+/// The single-head self-attention block of the Transformer decoder.  Kept as
+/// one struct so a Transformer generator carries all four projections or none
+/// — the code can match on the whole head instead of unwrapping each matrix.
+#[derive(Clone, Debug)]
+struct AttentionHead {
+    w_query: Matrix,
+    w_key: Matrix,
+    w_value: Matrix,
+    w_out: Matrix,
+}
+
 /// The adaptive trigger generator.
 #[derive(Clone, Debug)]
 pub struct TriggerGenerator {
@@ -49,17 +60,36 @@ pub struct TriggerGenerator {
     // Feature head: `hidden -> trigger_size * d` for MLP/GCN, or
     // `hidden -> trigger_size * hidden` slot embeddings for the Transformer.
     w_feat: Matrix,
-    // Transformer-only attention + output projection.
-    w_query: Option<Matrix>,
-    w_key: Option<Matrix>,
-    w_value: Option<Matrix>,
-    w_out: Option<Matrix>,
+    // Transformer-only attention + output projection (`Some` iff the kind is
+    // `Transformer`).
+    attention: Option<AttentionHead>,
     // Structure head `hidden -> trigger_size^2` (Eq. 11).
     w_adj: Matrix,
     // L2 norm every generated trigger row is rescaled to (keeps triggers on
     // the data's feature scale so they survive condensation and transfer to
     // the victim model).
     feature_scale: f32,
+}
+
+/// Plain-data image of a [`TriggerGenerator`], used by the artifact store to
+/// persist and restore attack outputs across processes.  The matrices are
+/// ordered `enc_w1, enc_b1, enc_w2, enc_b2, w_feat, w_adj` followed by the
+/// four attention projections `w_query, w_key, w_value, w_out` when the kind
+/// is `Transformer`.
+#[derive(Clone, Debug)]
+pub struct GeneratorSnapshot {
+    /// Encoder variant.
+    pub kind: GeneratorKind,
+    /// Trigger nodes per poisoned node.
+    pub trigger_size: usize,
+    /// Feature dimensionality.
+    pub feat_dim: usize,
+    /// Hidden width (already clamped to the generator's minimum).
+    pub hidden: usize,
+    /// L2 norm of generated trigger rows.
+    pub feature_scale: f32,
+    /// Weight matrices in the documented order.
+    pub matrices: Vec<Matrix>,
 }
 
 impl TriggerGenerator {
@@ -92,15 +122,15 @@ impl TriggerGenerator {
             GeneratorKind::Transformer => trigger_size * hidden,
             _ => trigger_size * feat_dim,
         };
-        let (w_query, w_key, w_value, w_out) = if kind == GeneratorKind::Transformer {
-            (
-                Some(xavier_uniform(hidden, hidden, rng)),
-                Some(xavier_uniform(hidden, hidden, rng)),
-                Some(xavier_uniform(hidden, hidden, rng)),
-                Some(xavier_uniform(hidden, feat_dim, rng)),
-            )
+        let attention = if kind == GeneratorKind::Transformer {
+            Some(AttentionHead {
+                w_query: xavier_uniform(hidden, hidden, rng),
+                w_key: xavier_uniform(hidden, hidden, rng),
+                w_value: xavier_uniform(hidden, hidden, rng),
+                w_out: xavier_uniform(hidden, feat_dim, rng),
+            })
         } else {
-            (None, None, None, None)
+            None
         };
         Self {
             kind,
@@ -112,13 +142,89 @@ impl TriggerGenerator {
             enc_w2: xavier_uniform(hidden, hidden, rng),
             enc_b2: Matrix::zeros(1, hidden),
             w_feat: xavier_uniform(hidden, feat_head_out, rng),
-            w_query,
-            w_key,
-            w_value,
-            w_out,
+            attention,
             w_adj: xavier_uniform(hidden, trigger_size * trigger_size, rng),
             feature_scale,
         }
+    }
+
+    /// Captures every weight and hyper-parameter as plain data for artifact
+    /// persistence.
+    pub fn snapshot(&self) -> GeneratorSnapshot {
+        let mut matrices = vec![
+            self.enc_w1.clone(),
+            self.enc_b1.clone(),
+            self.enc_w2.clone(),
+            self.enc_b2.clone(),
+            self.w_feat.clone(),
+            self.w_adj.clone(),
+        ];
+        if let Some(head) = &self.attention {
+            matrices.extend([
+                head.w_query.clone(),
+                head.w_key.clone(),
+                head.w_value.clone(),
+                head.w_out.clone(),
+            ]);
+        }
+        GeneratorSnapshot {
+            kind: self.kind,
+            trigger_size: self.trigger_size,
+            feat_dim: self.feat_dim,
+            hidden: self.hidden,
+            feature_scale: self.feature_scale,
+            matrices,
+        }
+    }
+
+    /// Rebuilds a generator from a snapshot.  Returns `None` when the
+    /// snapshot is structurally invalid (wrong matrix count for its kind, or
+    /// non-positive dimensions), which a store read path treats as
+    /// corruption.
+    pub fn from_snapshot(snap: GeneratorSnapshot) -> Option<Self> {
+        if snap.trigger_size == 0 || snap.feature_scale <= 0.0 {
+            return None;
+        }
+        let expected = match snap.kind {
+            GeneratorKind::Transformer => 10,
+            _ => 6,
+        };
+        if snap.matrices.len() != expected {
+            return None;
+        }
+        let mut it = snap.matrices.into_iter();
+        // Length checked above, so each `next()` yields; `?` keeps this
+        // panic-free regardless.
+        let enc_w1 = it.next()?;
+        let enc_b1 = it.next()?;
+        let enc_w2 = it.next()?;
+        let enc_b2 = it.next()?;
+        let w_feat = it.next()?;
+        let w_adj = it.next()?;
+        let attention = if snap.kind == GeneratorKind::Transformer {
+            Some(AttentionHead {
+                w_query: it.next()?,
+                w_key: it.next()?,
+                w_value: it.next()?,
+                w_out: it.next()?,
+            })
+        } else {
+            None
+        };
+        Some(Self {
+            kind: snap.kind,
+            trigger_size: snap.trigger_size,
+            feat_dim: snap.feat_dim,
+            hidden: snap.hidden,
+            enc_w1,
+            enc_b1,
+            enc_w2,
+            enc_b2,
+            w_feat,
+            attention,
+            w_adj,
+            feature_scale: snap.feature_scale,
+        })
     }
 
     /// Encoder variant in use.
@@ -145,10 +251,8 @@ impl TriggerGenerator {
             &self.enc_b2,
             &self.w_feat,
         ];
-        if let (Some(q), Some(k), Some(v), Some(o)) =
-            (&self.w_query, &self.w_key, &self.w_value, &self.w_out)
-        {
-            out.extend([q, k, v, o]);
+        if let Some(head) = &self.attention {
+            out.extend([&head.w_query, &head.w_key, &head.w_value, &head.w_out]);
         }
         out
     }
@@ -162,13 +266,13 @@ impl TriggerGenerator {
             &mut self.enc_b2,
             &mut self.w_feat,
         ];
-        if let (Some(q), Some(k), Some(v), Some(o)) = (
-            self.w_query.as_mut(),
-            self.w_key.as_mut(),
-            self.w_value.as_mut(),
-            self.w_out.as_mut(),
-        ) {
-            out.extend([q, k, v, o]);
+        if let Some(head) = self.attention.as_mut() {
+            out.extend([
+                &mut head.w_query,
+                &mut head.w_key,
+                &mut head.w_value,
+                &mut head.w_out,
+            ]);
         }
         out
     }
@@ -227,15 +331,13 @@ impl TriggerGenerator {
         let w_feat = tape.leaf_copied(&self.w_feat);
         param_vars.push(w_feat);
         let decoded = tape.matmul(hidden, w_feat);
-        let features_var = match self.kind {
-            GeneratorKind::Mlp | GeneratorKind::Gcn => {
-                tape.reshape(decoded, nodes.len() * self.trigger_size, self.feat_dim)
-            }
-            GeneratorKind::Transformer => {
-                let wq = tape.leaf_copied(self.w_query.as_ref().expect("transformer weights"));
-                let wk = tape.leaf_copied(self.w_key.as_ref().expect("transformer weights"));
-                let wv = tape.leaf_copied(self.w_value.as_ref().expect("transformer weights"));
-                let wo = tape.leaf_copied(self.w_out.as_ref().expect("transformer weights"));
+        let features_var = match &self.attention {
+            None => tape.reshape(decoded, nodes.len() * self.trigger_size, self.feat_dim),
+            Some(head) => {
+                let wq = tape.leaf_copied(&head.w_query);
+                let wk = tape.leaf_copied(&head.w_key);
+                let wv = tape.leaf_copied(&head.w_value);
+                let wo = tape.leaf_copied(&head.w_out);
                 param_vars.extend([wq, wk, wv, wo]);
                 let slots_all = tape.reshape(decoded, nodes.len() * self.trigger_size, self.hidden);
                 let scale = 1.0 / (self.hidden as f32).sqrt();
@@ -426,6 +528,48 @@ mod tests {
             !a.approx_eq(&b, 1e-6),
             "GCN encoder must depend on the adjacency"
         );
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_variant() {
+        let (adj, features) = toy_inputs();
+        for kind in GeneratorKind::all() {
+            let mut rng = rng_from_seed(8);
+            let gen = TriggerGenerator::new(kind, 10, 16, 3, &mut rng);
+            let reference = gen.generate_plain(&adj, &features, &[0, 2, 5]);
+            let snap = gen.snapshot();
+            let restored = TriggerGenerator::from_snapshot(snap)
+                .unwrap_or_else(|| unreachable!("own snapshot is always valid"));
+            let replayed = restored.generate_plain(&adj, &features, &[0, 2, 5]);
+            assert!(
+                reference.approx_eq(&replayed, 0.0),
+                "{}: restored generator must be bit-identical",
+                kind.name()
+            );
+            assert_eq!(restored.kind(), kind);
+            assert_eq!(restored.parameters().len(), gen.parameters().len());
+        }
+    }
+
+    #[test]
+    fn invalid_snapshots_are_rejected() {
+        let mut rng = rng_from_seed(9);
+        let gen = TriggerGenerator::new(GeneratorKind::Transformer, 10, 16, 3, &mut rng);
+        let mut snap = gen.snapshot();
+        snap.matrices.pop();
+        assert!(
+            TriggerGenerator::from_snapshot(snap).is_none(),
+            "missing attention projection is structural corruption"
+        );
+        let mut snap = gen.snapshot();
+        snap.kind = GeneratorKind::Mlp;
+        assert!(
+            TriggerGenerator::from_snapshot(snap).is_none(),
+            "an MLP snapshot must not carry attention matrices"
+        );
+        let mut snap = gen.snapshot();
+        snap.trigger_size = 0;
+        assert!(TriggerGenerator::from_snapshot(snap).is_none());
     }
 
     #[test]

@@ -2,10 +2,44 @@
 
 pub mod generator;
 
-pub use generator::{TriggerBatch, TriggerGenerator};
+pub use generator::{GeneratorSnapshot, TriggerBatch, TriggerGenerator};
+
+use std::sync::Arc;
 
 use bgc_nn::AdjacencyRef;
 use bgc_tensor::{Matrix, Tape};
+
+/// Plain-data image of a trigger provider, used by the artifact store to
+/// persist attack outputs across processes.  Third-party providers registered
+/// through [`crate::register_attack`] may not be snapshottable; their attack
+/// artifacts simply stay process-local.
+#[derive(Clone, Debug)]
+pub enum TriggerSnapshot {
+    /// BGC's adaptive generator with all of its weights.
+    Generator(GeneratorSnapshot),
+    /// A sample-agnostic universal trigger block.
+    Universal(Matrix),
+}
+
+impl TriggerSnapshot {
+    /// Rebuilds the provider this snapshot was taken from.  Returns `None`
+    /// for structurally invalid generator snapshots (treated as corruption
+    /// by store read paths).
+    pub fn into_provider(self) -> Option<Arc<dyn TriggerProvider + Send + Sync>> {
+        match self {
+            TriggerSnapshot::Generator(snap) => {
+                let gen = TriggerGenerator::from_snapshot(snap)?;
+                Some(Arc::new(gen))
+            }
+            TriggerSnapshot::Universal(features) => {
+                if features.rows() == 0 {
+                    return None;
+                }
+                Some(Arc::new(UniversalTrigger::new(features)))
+            }
+        }
+    }
+}
 
 /// Anything that can produce the trigger features for a given node at test
 /// time: BGC's adaptive generator, or the universal trigger of the DOORPING
@@ -30,6 +64,13 @@ pub trait TriggerProvider {
         let _ = tape;
         self.trigger_for(adj, features, node)
     }
+
+    /// Plain-data image of this provider for artifact persistence, or `None`
+    /// when the provider cannot be snapshotted (the default for third-party
+    /// providers), in which case its artifacts stay process-local.
+    fn snapshot(&self) -> Option<TriggerSnapshot> {
+        None
+    }
 }
 
 impl TriggerProvider for TriggerGenerator {
@@ -49,6 +90,10 @@ impl TriggerProvider for TriggerGenerator {
         node: usize,
     ) -> Matrix {
         self.generate_plain_on(tape, adj, features, &[node])
+    }
+
+    fn snapshot(&self) -> Option<TriggerSnapshot> {
+        Some(TriggerSnapshot::Generator(TriggerGenerator::snapshot(self)))
     }
 }
 
@@ -74,5 +119,9 @@ impl TriggerProvider for UniversalTrigger {
 
     fn trigger_for(&self, _adj: &AdjacencyRef, _features: &Matrix, _node: usize) -> Matrix {
         self.features.clone()
+    }
+
+    fn snapshot(&self) -> Option<TriggerSnapshot> {
+        Some(TriggerSnapshot::Universal(self.features.clone()))
     }
 }

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact_codec;
 pub mod experiment;
 pub mod experiments;
 pub mod paper;
@@ -32,8 +33,8 @@ pub use protocol::{
 };
 pub use runner::{
     enter_wave, BudgetOverride, CellGroup, CellKey, CellOutcome, CellOverrides, CellResult,
-    CellStatus, EvalKind, GridReport, Runner, RunnerStats, WaveCtx, WaveObserver, WaveScope,
-    DEFAULT_BASE_SEED,
+    CellStatus, CodeEpochs, EvalKind, GridReport, Runner, RunnerStats, WaveCtx, WaveObserver,
+    WaveScope, DEFAULT_BASE_SEED, EVAL_CODE_EPOCH,
 };
 pub use scale::ExperimentScale;
 pub use tables::ExperimentReport;

@@ -15,6 +15,7 @@ use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 
 use bgc_runtime::relock;
+use bgc_store::StoreReport;
 use serde::Value;
 
 use crate::runner::{CellOutcome, CellResult, CellStatus, Runner, RunnerStats, WaveObserver};
@@ -66,6 +67,39 @@ pub fn outcome_value(outcome: &CellOutcome, result: Option<&CellResult>) -> Valu
 /// The runner's cache/execution counters as a JSON object.
 pub fn stats_value(stats: &RunnerStats) -> Value {
     serde_json::to_value(stats).unwrap_or(Value::Null)
+}
+
+/// A [`StoreReport`] (from `bgc store stats|gc|doctor|clear` or the
+/// daemon's store handling) as a JSON object.  One codec for both
+/// surfaces, like [`stats_value`]; field order is fixed and the list
+/// fields are sorted by the store, so rendering is deterministic.
+pub fn store_report_value(report: &StoreReport) -> Value {
+    let count = |n: usize| Value::Number(n as f64);
+    let names =
+        |list: &[String]| Value::Array(list.iter().map(|name| string(name.clone())).collect());
+    Value::Object(vec![
+        field("action", string(report.action.clone())),
+        field("root", string(report.root.clone())),
+        field("artifacts", count(report.artifacts)),
+        field("bytes", Value::Number(report.bytes as f64)),
+        field(
+            "stages",
+            Value::Object(
+                report
+                    .stages
+                    .iter()
+                    .map(|(stage, n)| (stage.clone(), count(*n)))
+                    .collect(),
+            ),
+        ),
+        field("locks", count(report.locks)),
+        field("tmp_files", count(report.tmp_files)),
+        field("corrupt", count(report.corrupt)),
+        field("verified", count(report.verified)),
+        field("removed", names(&report.removed)),
+        field("quarantined", names(&report.quarantined)),
+        field("healthy", Value::Bool(report.healthy())),
+    ])
 }
 
 /// Collects every distinct cell outcome observed across the waves of one
@@ -180,6 +214,44 @@ mod tests {
         assert_eq!(
             panicked.get("kind").and_then(Value::as_str),
             Some("panicked")
+        );
+    }
+
+    #[test]
+    fn store_reports_render_through_the_shared_codec() {
+        let mut report = StoreReport {
+            action: "doctor".to_string(),
+            root: "target/store".to_string(),
+            artifacts: 2,
+            bytes: 128,
+            verified: 1,
+            ..StoreReport::default()
+        };
+        report.stages.insert("clean".to_string(), 1);
+        report.stages.insert("attack".to_string(), 1);
+        report.quarantined.push("00000000deadbeef.art".to_string());
+        let value = store_report_value(&report);
+        assert_eq!(value.get("action").and_then(Value::as_str), Some("doctor"));
+        assert_eq!(value.get("artifacts").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            value
+                .get("stages")
+                .and_then(|s| s.get("attack"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(value.get("healthy").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            value
+                .get("quarantined")
+                .and_then(Value::as_array)
+                .map(Vec::len),
+            Some(1)
+        );
+        // Deterministic: re-rendering the same report is byte-identical.
+        assert_eq!(
+            value.to_json_string(),
+            store_report_value(&report).to_json_string()
         );
     }
 

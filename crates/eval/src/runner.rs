@@ -61,11 +61,13 @@ use rayon::prelude::*;
 use serde::Serialize;
 
 use bgc_runtime::{fault, relock, CancelToken, CancelUnwind, FaultPlan};
+use bgc_store::{KeyBuilder, Store, StoreKey, StoreRole};
 
-use bgc_condense::MethodId;
+use bgc_condense::{CondensationMethod, MethodId};
 use bgc_core::{
-    asr_sample_nodes, attach_for_evaluation, directed_attack, evaluate_backdoor, AttackArtifacts,
-    AttackId, BgcConfig, BgcError, EvaluationOptions, GeneratorKind, TriggerProvider, VictimSpec,
+    asr_sample_nodes, attach_for_evaluation, directed_attack, evaluate_backdoor, Attack,
+    AttackArtifacts, AttackId, BgcConfig, BgcError, EvaluationOptions, GeneratorKind,
+    TriggerProvider, VictimSpec,
 };
 use bgc_defense::{resolve_defense, Defense, DefenseId};
 use bgc_graph::{CondensedGraph, DatasetKind, Graph, PoisonBudget};
@@ -75,6 +77,7 @@ use bgc_nn::{
 use bgc_tensor::init::rng_from_seed;
 use bgc_tensor::Matrix;
 
+use crate::artifact_codec;
 use crate::protocol::{
     attack_stage, clean_stage, lookup_attack, lookup_method, AttackKind, RunMetrics, RunSpec,
 };
@@ -87,8 +90,52 @@ pub const DEFAULT_BASE_SEED: u64 = 17;
 /// Version tag of the on-disk cell format; bump when [`CellResult`] or the
 /// evaluation protocol changes so stale caches are recomputed.  v2: defended
 /// cells train their victim from the shared defended init stream regardless
-/// of the defense kind.
-const CELL_FILE_VERSION: u64 = 2;
+/// of the defense kind.  v3: the cell canon carries the code epochs of every
+/// stage, so epoch bumps invalidate persisted cells.
+const CELL_FILE_VERSION: u64 = 3;
+
+/// Code epoch of the evaluation protocol (victim training, CTA/ASR
+/// estimation, defended evaluation).  The artifact store and the cell canon
+/// mix this into their keys; bump it when the evaluation changes numerical
+/// behaviour so stale results are invalidated precisely.
+pub const EVAL_CODE_EPOCH: u32 = 1;
+
+/// The per-stage code epochs a runner keys its caches with.  The defaults
+/// are the workspace's current epoch constants; tests override single
+/// epochs via [`Runner::with_code_epochs`] to prove that bumping one
+/// invalidates exactly that stage and its downstreams.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CodeEpochs {
+    /// Dataset synthesis/loading ([`bgc_graph::DATASET_CODE_EPOCH`]).
+    pub dataset: u32,
+    /// Condensation methods ([`bgc_condense::CONDENSE_CODE_EPOCH`]).
+    pub condense: u32,
+    /// Attack implementations ([`bgc_core::ATTACK_CODE_EPOCH`]).
+    pub attack: u32,
+    /// Evaluation protocol ([`EVAL_CODE_EPOCH`]).
+    pub eval: u32,
+}
+
+impl Default for CodeEpochs {
+    fn default() -> Self {
+        Self {
+            dataset: bgc_graph::DATASET_CODE_EPOCH,
+            condense: bgc_condense::CONDENSE_CODE_EPOCH,
+            attack: bgc_core::ATTACK_CODE_EPOCH,
+            eval: EVAL_CODE_EPOCH,
+        }
+    }
+}
+
+impl CodeEpochs {
+    /// Fixed-order canonical encoding (part of [`CellKey::canon`]).
+    fn canon(&self) -> String {
+        format!(
+            "d{}c{}a{}e{}",
+            self.dataset, self.condense, self.attack, self.eval
+        )
+    }
+}
 
 /// How the victim is evaluated in a cell: undefended, or through a named
 /// defense from the defense registry.
@@ -333,6 +380,12 @@ pub struct CellKey {
     pub eval: EvalKind,
     /// Deviations from the scale's baseline configuration.
     pub overrides: CellOverrides,
+    /// Per-stage code epochs of the runner that built the key.  Part of the
+    /// canon, so bumping any stage's epoch retires persisted cell results;
+    /// this is conservative (a dataset bump also retires eval-only work) —
+    /// cells are cheap relative to their stages, and the stage artifacts in
+    /// the content-addressed store invalidate precisely.
+    pub epochs: CodeEpochs,
 }
 
 impl CellKey {
@@ -351,7 +404,7 @@ impl CellKey {
     /// the full string is stored inside the cell file and verified on load.
     pub fn canon(&self) -> String {
         format!(
-            "v{}|{}|{}|{}|{}|r={:08x}|seed={}|rep={}|eval={}|{}",
+            "v{}|{}|{}|{}|{}|r={:08x}|seed={}|rep={}|eval={}|{}|ce={}",
             CELL_FILE_VERSION,
             self.scale.name(),
             self.dataset.name(),
@@ -362,6 +415,7 @@ impl CellKey {
             self.rep,
             self.eval.canon_tag(),
             self.overrides.canon(),
+            self.epochs.canon(),
         )
     }
 
@@ -522,6 +576,14 @@ pub struct RunnerStats {
     /// Cells whose results could not be persisted to the on-disk cache (the
     /// in-memory results stayed valid).
     pub persist_failures: usize,
+    /// Stages served from the content-addressed artifact store (computed by
+    /// an earlier process or another concurrent process).
+    pub store_hits: usize,
+    /// Stages computed in this process and published to the artifact store.
+    pub store_computed: usize,
+    /// Stages computed in-process because the artifact store was
+    /// unavailable, timed out or failed (graceful degradation).
+    pub store_degraded: usize,
 }
 
 impl RunnerStats {
@@ -544,6 +606,12 @@ impl RunnerStats {
             self.clean_stages_computed,
             self.clean_stage_hits,
         );
+        if self.store_hits + self.store_computed + self.store_degraded > 0 {
+            summary.push_str(&format!(
+                " | store: {} hits, {} computed, {} degraded",
+                self.store_hits, self.store_computed, self.store_degraded
+            ));
+        }
         if self.cells_quarantined > 0 {
             summary.push_str(&format!(" | {} quarantined", self.cells_quarantined));
         }
@@ -843,6 +911,11 @@ pub struct Runner {
     retry_backoff: Duration,
     fault_plan: Option<FaultPlan>,
     cache_dir: Option<PathBuf>,
+    /// Content-addressed artifact store the stage caches read through
+    /// (`None`: stages stay purely in-process, as before the store existed).
+    store: Option<Arc<Store>>,
+    /// Per-stage code epochs mixed into every cache key.
+    epochs: CodeEpochs,
     results: Mutex<BTreeMap<CellKey, CellResult>>,
     /// Cells that failed terminally in an earlier wave.  A failed cell stays
     /// failed for the lifetime of the runner (so overlapping reports are
@@ -854,21 +927,29 @@ pub struct Runner {
     /// determines the graph, so overlapping cells reuse one instance
     /// instead of re-generating it.
     graphs: StageCache<Arc<Graph>>,
+    /// Content fingerprints of generated datasets (process-independent,
+    /// unlike the `Arc`-keyed memo identity), shared across cells.
+    fingerprints: StageCache<u64>,
     cells_computed: AtomicUsize,
     cell_memory_hits: AtomicUsize,
     cell_disk_hits: AtomicUsize,
     cells_quarantined: AtomicUsize,
     persist_failure_count: AtomicUsize,
+    store_hits: AtomicUsize,
+    store_computed: AtomicUsize,
+    store_degraded: AtomicUsize,
 }
 
 impl Runner {
     /// A runner with the default on-disk cache under
-    /// `target/experiments/<scale>/cells/`.
+    /// `target/experiments/<scale>/cells/` and the shared artifact store
+    /// under [`bgc_store::default_store_root`].
     pub fn new(scale: ExperimentScale) -> Self {
         let dir = PathBuf::from("target/experiments")
             .join(scale.name())
             .join("cells");
         Self::with_cache_dir(scale, Some(dir))
+            .with_store(Some(Store::open(bgc_store::default_store_root())))
     }
 
     /// A runner without on-disk persistence (unit tests, library use).
@@ -894,17 +975,45 @@ impl Runner {
             retry_backoff: Duration::from_millis(100),
             fault_plan: None,
             cache_dir,
+            store: None,
+            epochs: CodeEpochs::default(),
             results: Mutex::new(BTreeMap::new()),
             failures: Mutex::new(BTreeMap::new()),
             clean_cache: StageCache::new(),
             attack_cache: StageCache::new(),
             graphs: StageCache::new(),
+            fingerprints: StageCache::new(),
             cells_computed: AtomicUsize::new(0),
             cell_memory_hits: AtomicUsize::new(0),
             cell_disk_hits: AtomicUsize::new(0),
             cells_quarantined: AtomicUsize::new(0),
             persist_failure_count: AtomicUsize::new(0),
+            store_hits: AtomicUsize::new(0),
+            store_computed: AtomicUsize::new(0),
+            store_degraded: AtomicUsize::new(0),
         }
+    }
+
+    /// Attaches (or detaches) the content-addressed artifact store the
+    /// clean- and attack-stage caches read through.  `None` keeps stages
+    /// purely in-process.  The store is shared: multiple runners, processes
+    /// and the daemon can point at one root and each artifact is computed
+    /// once.
+    pub fn with_store(mut self, store: Option<Arc<Store>>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Overrides the per-stage code epochs (tests prove precise
+    /// invalidation by bumping one stage's epoch).
+    pub fn with_code_epochs(mut self, epochs: CodeEpochs) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// The artifact store this runner reads through, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// Disables the thread pool: cells run serially on the calling thread
@@ -1025,6 +1134,7 @@ impl Runner {
                 rep,
                 eval: eval.clone(),
                 overrides: overrides.clone(),
+                epochs: self.epochs,
             })
             .collect();
         CellGroup {
@@ -1390,6 +1500,9 @@ impl Runner {
             clean_stage_hits: self.clean_cache.hits.load(Ordering::Relaxed),
             cells_quarantined: self.cells_quarantined.load(Ordering::Relaxed),
             persist_failures: self.persist_failure_count.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_computed: self.store_computed.load(Ordering::Relaxed),
+            store_degraded: self.store_degraded.load(Ordering::Relaxed),
         }
     }
 
@@ -1409,11 +1522,18 @@ impl Runner {
         };
 
         let seed = key.seed();
-        let graph = self
-            .graphs
-            .get_or_compute(format!("{}|{}", key.dataset.name(), seed), || {
-                Arc::new(self.scale.load(key.dataset, seed))
-            });
+        let graph_memo = format!("{}|{}", key.dataset.name(), seed);
+        let graph = self.graphs.get_or_compute(graph_memo.clone(), || {
+            Arc::new(self.scale.load(key.dataset, seed))
+        });
+        // Store keys need a process-independent dataset identity (the memo
+        // key above is only unique within this process); computed once per
+        // graph, and only when a store is attached.
+        let graph_fp = self.store.as_ref().map(|_| {
+            let graph = graph.clone();
+            self.fingerprints
+                .get_or_compute(graph_memo, move || graph.content_fingerprint())
+        });
         let mut config = self.scale.bgc_config(key.dataset, key.ratio(), seed);
         let mut victim = self.scale.victim_spec_for(key.dataset);
         let mut options = self.scale.evaluation_options_for(key.dataset, seed);
@@ -1426,8 +1546,10 @@ impl Runner {
         let needs_clean = key.eval == EvalKind::Standard || attack.needs_clean_reference();
         let clean = if needs_clean {
             let outcome = self.clean_cache.get_or_compute(key.clean_stage_key(), || {
+                // The fault point fires before the store read-through, so an
+                // injected `stage.clean` fault hits even on a warm store.
                 fault::fire("stage.clean");
-                clean_stage(&graph, method.as_ref(), &config).map(Arc::new)
+                self.clean_through_store(&graph, graph_fp, key, method.as_ref(), &config)
             });
             match outcome {
                 Ok(clean) => Some(clean),
@@ -1443,10 +1565,12 @@ impl Runner {
                 .attack_cache
                 .get_or_compute(key.attack_stage_key(), || {
                     fault::fire("stage.attack");
-                    attack_stage(
+                    self.attack_through_store(
+                        &graph,
+                        graph_fp,
+                        key,
                         attack.as_ref(),
                         method.as_ref(),
-                        &graph,
                         &config,
                         clean.as_deref(),
                     )
@@ -1513,6 +1637,119 @@ impl Runner {
                 })
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Content-addressed stage artifacts
+    // ------------------------------------------------------------------
+
+    fn count_role(&self, role: StoreRole) {
+        let counter = match role {
+            StoreRole::Hit => &self.store_hits,
+            StoreRole::Computed => &self.store_computed,
+            StoreRole::Degraded => &self.store_degraded,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Store key of a clean condensation: the dataset and condensation code
+    /// epochs, the graph's content fingerprint, the method, and the full
+    /// condensation canon (ratio and seed included).
+    fn clean_store_key(&self, key: &CellKey, graph_fp: u64, config: &BgcConfig) -> StoreKey {
+        KeyBuilder::new("clean", self.epochs.condense)
+            .field("dsep", self.epochs.dataset)
+            .field("scale", self.scale.name())
+            .field("dataset", key.dataset.name())
+            .hash_field("graph", graph_fp)
+            .field("method", &key.method)
+            .field("cond", config.condensation.canon())
+            .build()
+    }
+
+    /// Store key of an attack stage: the clean key's inputs plus the attack
+    /// code epoch, the attack name and the full attack-config canon.
+    /// Attacks that consume the clean reference chain the clean artifact's
+    /// key hash as an upstream field, so invalidating the clean stage
+    /// (e.g. a condensation epoch bump) invalidates them too.
+    fn attack_store_key(
+        &self,
+        key: &CellKey,
+        graph_fp: u64,
+        config: &BgcConfig,
+        needs_clean: bool,
+    ) -> StoreKey {
+        let mut builder = KeyBuilder::new("attack", self.epochs.attack)
+            .field("dsep", self.epochs.dataset)
+            .field("cdep", self.epochs.condense)
+            .field("scale", self.scale.name())
+            .field("dataset", key.dataset.name())
+            .hash_field("graph", graph_fp)
+            .field("method", &key.method)
+            .field("attack", &key.attack)
+            .field("cfg", config.canon());
+        if needs_clean {
+            builder = builder.upstream("clean", &self.clean_store_key(key, graph_fp, config));
+        }
+        builder.build()
+    }
+
+    /// Clean-stage computation read through the artifact store (straight
+    /// compute when no store is attached).  Failed computations are
+    /// returned but never persisted.
+    fn clean_through_store(
+        &self,
+        graph: &Graph,
+        graph_fp: Option<u64>,
+        key: &CellKey,
+        method: &dyn CondensationMethod,
+        config: &BgcConfig,
+    ) -> StageResult<Arc<CondensedGraph>> {
+        let (Some(store), Some(graph_fp)) = (&self.store, graph_fp) else {
+            return clean_stage(graph, method, config).map(Arc::new);
+        };
+        let store_key = self.clean_store_key(key, graph_fp, config);
+        let (result, role) = store.get_or_compute(
+            &store_key,
+            |bytes| artifact_codec::decode_condensed(bytes).map(|g| Ok(Arc::new(g))),
+            |result| {
+                result
+                    .as_ref()
+                    .ok()
+                    .map(|g| artifact_codec::encode_condensed(g))
+            },
+            || clean_stage(graph, method, config).map(Arc::new),
+        );
+        self.count_role(role);
+        result
+    }
+
+    /// Attack-stage computation read through the artifact store.  Artifacts
+    /// whose trigger provider is not snapshottable (third-party registry
+    /// attacks) are returned but stay process-local.
+    #[allow(clippy::too_many_arguments)]
+    fn attack_through_store(
+        &self,
+        graph: &Graph,
+        graph_fp: Option<u64>,
+        key: &CellKey,
+        attack: &dyn Attack,
+        method: &dyn CondensationMethod,
+        config: &BgcConfig,
+        clean: Option<&CondensedGraph>,
+    ) -> StageResult<AttackArtifacts> {
+        let (Some(store), Some(graph_fp)) = (&self.store, graph_fp) else {
+            return attack_stage(attack, method, graph, config, clean);
+        };
+        let store_key =
+            self.attack_store_key(key, graph_fp, config, attack.needs_clean_reference());
+        let (result, role) = store.get_or_compute(
+            &store_key,
+            |bytes| artifact_codec::decode_attack(bytes).map(Ok),
+            |result| result.as_ref().ok().and_then(artifact_codec::encode_attack),
+            || attack_stage(attack, method, graph, config, clean),
+        );
+        self.count_role(role);
+        result
     }
 
     // ------------------------------------------------------------------
@@ -2235,7 +2472,7 @@ mod tests {
             ("bit-flipped", pristine.replacen("\"cta\"", "\"ctA\"", 1)),
             (
                 "stale-version",
-                pristine.replace("#bgc-cell v2", "#bgc-cell v1"),
+                pristine.replace("#bgc-cell v3", "#bgc-cell v2"),
             ),
             ("footer-less (pre-footer format)", {
                 let json_end = pristine.rfind("\n#bgc-cell").unwrap();
@@ -2264,6 +2501,181 @@ mod tests {
         }
 
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stages_read_through_the_store_and_epoch_bumps_invalidate() {
+        use bgc_store::Store;
+
+        let root = std::env::temp_dir().join(format!("bgc-store-rt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let group_of = |runner: &Runner| {
+            runner.group(
+                DatasetKind::Cora,
+                CondensationKind::GCondX,
+                AttackKind::Bgc,
+                0.026,
+                EvalKind::Standard,
+                CellOverrides {
+                    outer_epochs: Some(4),
+                    ..CellOverrides::default()
+                },
+            )
+        };
+
+        // Cold: both stages compute and publish artifacts.
+        let cold = Runner::in_memory(ExperimentScale::Quick)
+            .serial()
+            .with_store(Some(Store::open(&root)));
+        let group = group_of(&cold);
+        assert!(cold.run_cells(&group.keys).is_ok());
+        let stats = cold.stats();
+        assert_eq!(stats.store_computed, 2, "clean + attack each published");
+        assert_eq!(stats.store_hits, 0);
+        assert_eq!(stats.store_degraded, 0);
+        assert!(stats.summary().contains("store: 0 hits, 2 computed"));
+        let artifacts = fs::read_dir(&root)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".art"))
+            .count();
+        assert_eq!(artifacts, 2);
+
+        // Warm (a fresh runner, conceptually a fresh process): both stages
+        // are served from the store, bit-identically.
+        let warm = Runner::in_memory(ExperimentScale::Quick)
+            .serial()
+            .with_store(Some(Store::open(&root)));
+        let group_warm = group_of(&warm);
+        assert_eq!(group.keys, group_warm.keys);
+        assert!(warm.run_cells(&group_warm.keys).is_ok());
+        let stats = warm.stats();
+        assert_eq!(stats.store_hits, 2, "clean + attack both served");
+        assert_eq!(stats.store_computed, 0);
+        for key in &group.keys {
+            let a = cold.result(key).unwrap();
+            let b = warm.result(key).unwrap();
+            assert_eq!(a.c_cta.to_bits(), b.c_cta.to_bits());
+            assert_eq!(a.cta.to_bits(), b.cta.to_bits());
+            assert_eq!(a.c_asr.to_bits(), b.c_asr.to_bits());
+            assert_eq!(a.asr.to_bits(), b.asr.to_bits());
+            assert_eq!(a.asr_nodes, b.asr_nodes);
+        }
+
+        // Bumping the condensation epoch invalidates the clean stage AND
+        // the downstream attack stage (the attack key chains the epoch),
+        // but the cell key changes too, so this runner recomputes both.
+        let bumped_epochs = CodeEpochs {
+            condense: CodeEpochs::default().condense + 1,
+            ..CodeEpochs::default()
+        };
+        let bumped = Runner::in_memory(ExperimentScale::Quick)
+            .serial()
+            .with_store(Some(Store::open(&root)))
+            .with_code_epochs(bumped_epochs);
+        let group_bumped = group_of(&bumped);
+        assert_ne!(group.keys[0].canon(), group_bumped.keys[0].canon());
+        assert!(bumped.run_cells(&group_bumped.keys).is_ok());
+        let stats = bumped.stats();
+        assert_eq!(stats.store_hits, 0, "old artifacts must not be served");
+        assert_eq!(stats.store_computed, 2, "both stages recomputed");
+
+        // Bumping only the attack epoch leaves the clean artifact valid:
+        // exactly the attack stage (and nothing upstream) recomputes.
+        let attack_bumped = Runner::in_memory(ExperimentScale::Quick)
+            .serial()
+            .with_store(Some(Store::open(&root)))
+            .with_code_epochs(CodeEpochs {
+                attack: CodeEpochs::default().attack + 1,
+                ..CodeEpochs::default()
+            });
+        let group_attack = group_of(&attack_bumped);
+        assert!(attack_bumped.run_cells(&group_attack.keys).is_ok());
+        let stats = attack_bumped.stats();
+        assert_eq!(stats.store_hits, 1, "clean artifact still serves");
+        assert_eq!(stats.store_computed, 1, "only the attack recomputed");
+
+        // A read-only/unusable store degrades to in-process compute without
+        // failing the grid.
+        let file_as_root =
+            std::env::temp_dir().join(format!("bgc-store-rt-file-{}", std::process::id()));
+        fs::write(&file_as_root, b"not a directory").unwrap();
+        let degraded = Runner::in_memory(ExperimentScale::Quick)
+            .serial()
+            .with_store(Some(Store::open(&file_as_root)));
+        let group_degraded = group_of(&degraded);
+        assert!(degraded.run_cells(&group_degraded.keys).is_ok());
+        let stats = degraded.stats();
+        assert_eq!(stats.store_degraded, 2, "both stages degraded");
+        assert_eq!(stats.store_hits + stats.store_computed, 0);
+        let a = cold.result(&group.keys[0]).unwrap();
+        let b = degraded.result(&group_degraded.keys[0]).unwrap();
+        assert_eq!(a.cta.to_bits(), b.cta.to_bits(), "degraded == computed");
+        assert_eq!(a.asr.to_bits(), b.asr.to_bits());
+
+        let _ = fs::remove_file(&file_as_root);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_store_artifacts_are_quarantined_and_recomputed() {
+        use bgc_store::Store;
+
+        let root = std::env::temp_dir().join(format!("bgc-store-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let group_of = |runner: &Runner| {
+            runner.group(
+                DatasetKind::Cora,
+                CondensationKind::GCondX,
+                AttackKind::Bgc,
+                0.026,
+                EvalKind::Standard,
+                CellOverrides {
+                    outer_epochs: Some(4),
+                    ..CellOverrides::default()
+                },
+            )
+        };
+        let seed = Runner::in_memory(ExperimentScale::Quick)
+            .serial()
+            .with_store(Some(Store::open(&root)));
+        let group = group_of(&seed);
+        assert!(seed.run_cells(&group.keys).is_ok());
+
+        // Truncate every artifact mid-payload.
+        let mut originals = BTreeMap::new();
+        for entry in fs::read_dir(&root).unwrap().flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".art") {
+                let bytes = fs::read(entry.path()).unwrap();
+                fs::write(entry.path(), &bytes[..bytes.len() / 2]).unwrap();
+                originals.insert(name, bytes);
+            }
+        }
+        assert_eq!(originals.len(), 2);
+
+        let healed = Runner::in_memory(ExperimentScale::Quick)
+            .serial()
+            .with_store(Some(Store::open(&root)));
+        let group_healed = group_of(&healed);
+        assert!(healed.run_cells(&group_healed.keys).is_ok());
+        let stats = healed.stats();
+        assert_eq!(stats.store_computed, 2, "corrupt artifacts recomputed");
+        assert_eq!(stats.store_hits, 0);
+        for key in &group.keys {
+            let a = seed.result(key).unwrap();
+            let b = healed.result(key).unwrap();
+            assert_eq!(a.cta.to_bits(), b.cta.to_bits());
+            assert_eq!(a.asr.to_bits(), b.asr.to_bits());
+        }
+        // The re-published artifacts are byte-identical to the originals and
+        // the corrupt bytes were kept for inspection.
+        for (name, bytes) in &originals {
+            assert_eq!(&fs::read(root.join(name)).unwrap(), bytes, "{}", name);
+            assert!(root.join(format!("{}.corrupt", name)).exists(), "{}", name);
+        }
+
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -246,6 +246,50 @@ impl Graph {
         )
     }
 
+    /// A process-independent FNV-1a fingerprint of the full graph content:
+    /// name, setting, labels, splits, every feature bit and every adjacency
+    /// entry.  Unlike [`Graph::memo_key`] (which leans on `Arc` addresses
+    /// and is only meaningful within one process), two graphs with equal
+    /// fingerprints hold bit-identical data in any process — this is the
+    /// dataset input the content-addressed artifact store keys on.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut put = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for &b in self.name.as_bytes() {
+            put(b as u64);
+        }
+        put(self.num_classes as u64);
+        put(matches!(self.setting, TaskSetting::Inductive) as u64);
+        put(self.labels.len() as u64);
+        for &l in &self.labels {
+            put(l as u64);
+        }
+        for part in [&self.split.train, &self.split.val, &self.split.test] {
+            put(part.len() as u64);
+            for &i in part.iter() {
+                put(i as u64);
+            }
+        }
+        put(self.features.rows() as u64);
+        put(self.features.cols() as u64);
+        for &x in self.features.data() {
+            put(x.to_bits() as u64);
+        }
+        put(self.adjacency.rows() as u64);
+        put(self.adjacency.nnz() as u64);
+        for r in 0..self.adjacency.rows() {
+            put(self.adjacency.row_nnz(r) as u64);
+            for (c, v) in self.adjacency.row_iter(r) {
+                put(c as u64);
+                put(v.to_bits() as u64);
+            }
+        }
+        h
+    }
+
     /// The same graph with a replacement feature matrix (same node count):
     /// adjacency, normalization, labels and split are shared by `Arc` /
     /// clone instead of being rebuilt.  This is the per-epoch path of the
@@ -360,6 +404,25 @@ mod tests {
         assert_eq!(poisoned.labels[6], 1);
         assert!(poisoned.adjacency.get(6, 0) > 0.0);
         assert!(poisoned.split.train.contains(&7));
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_content_not_identity() {
+        let g = toy_graph();
+        let same = toy_graph();
+        assert_eq!(
+            g.content_fingerprint(),
+            same.content_fingerprint(),
+            "independently built identical graphs fingerprint equally"
+        );
+        let clone = g.clone();
+        assert_eq!(g.content_fingerprint(), clone.content_fingerprint());
+        let mut features = (*g.features).clone();
+        features.set(0, 0, 42.0);
+        let edited = g.with_replaced_features(features);
+        assert_ne!(g.content_fingerprint(), edited.content_fingerprint());
+        let relabeled = g.with_features_and_labels((*g.features).clone(), vec![1, 0, 0, 1, 1, 1]);
+        assert_ne!(g.content_fingerprint(), relabeled.content_fingerprint());
     }
 
     #[test]

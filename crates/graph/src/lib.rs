@@ -11,6 +11,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Code epoch of dataset synthesis and loading.  The artifact store mixes
+/// this into every key derived from a loaded graph; bump it when dataset
+/// generation, splits or feature construction change behaviour, so stored
+/// artifacts computed from the old datasets are invalidated precisely.
+pub const DATASET_CODE_EPOCH: u32 = 1;
+
 pub mod condensed;
 pub mod datasets;
 pub mod graph;

@@ -97,12 +97,14 @@ pub const ORDER_SENSITIVE_FILES: &[&str] = &[
     "crates/core/src/selector.rs",
     "crates/core/src/baselines/gta.rs",
     "crates/core/src/baselines/doorping.rs",
+    "crates/store/src/admin.rs",
 ];
 
 /// Workspace-relative path prefixes allowed to read the wall clock:
-/// the fault-tolerance runtime (cell deadlines) and the bench/CLI crate
-/// (timing reports).  Compute crates must stay clock-free.
-pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/runtime/", "crates/bench/"];
+/// the fault-tolerance runtime (cell deadlines), the bench/CLI crate
+/// (timing reports) and the artifact store (lock leases, wait deadlines,
+/// tmp-file age).  Compute crates must stay clock-free.
+pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/runtime/", "crates/bench/", "crates/store/"];
 
 /// The file providing poison recovery itself — the one place allowed to
 /// call `.lock()`/`.read()`/`.write()` directly.

@@ -1,0 +1,15 @@
+//! Negative fixture for the artifact-store crate: `crates/store/` is on
+//! the wall-clock allowlist (lock leases and wait deadlines need real
+//! time) and its three `store.*` fault points are registered, so this
+//! file produces zero findings.
+
+use std::time::Instant;
+
+use bgc_runtime::fault;
+
+pub fn locked_read() -> std::io::Result<()> {
+    let _deadline = Instant::now();
+    fault::fire("store.lock");
+    fault::fire("store.read");
+    fault::fire_io("store.write")
+}

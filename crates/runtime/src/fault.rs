@@ -57,6 +57,13 @@ pub const FAULT_POINTS: &[&str] = &[
     "daemon.request",
     // Daemon lifecycle persistence: pidfile/socket bookkeeping writes.
     "daemon.persist",
+    // Artifact-store read: before a stored artifact is read and verified.
+    "store.read",
+    // Artifact-store write: between the temp-file write and the atomic
+    // rename that publishes an artifact.
+    "store.write",
+    // Artifact-store single-flight: before a lock-file acquisition attempt.
+    "store.lock",
 ];
 
 /// Whether `point` is a registered fault point (see [`FAULT_POINTS`]).
