@@ -9,11 +9,21 @@
 //!   bit-identical;
 //! * unbounded blocks are exact — a block forward pass reproduces the
 //!   full-batch logits bit for bit on the batch rows;
-//! * both engines report finite, positive throughput.
+//! * both engines report finite, positive throughput;
+//! * the sampled path (prefetch pipeline + batched gathers on) stays above
+//!   its historical **0.15x** full-batch per-node throughput — the
+//!   regression floor for the overlapped data plane (both engines measured
+//!   in the same run, so machine differences cannot produce false
+//!   failures); the aspirational 0.4x target is warn-only, because on this
+//!   graph shape the two-hop receptive field of every 1024-target batch
+//!   covers most of the graph — a ~25x layer-1 FLOP-volume gap per train
+//!   node that no engine work can close while the bit-identity contract
+//!   pins the operation order (sampling buys *memory*, not mid-size
+//!   throughput; see `crates/nn/README.md`).
 //!
-//! The sampled/full throughput *ratio* is recorded but not gated: it is a
-//! property of the graph size (sampling wins ever harder as graphs grow,
-//! and full batch stops fitting at all at the 233k-node Reddit scale).
+//! A `thread_scaling` column (threads 1/2/4/physical) is measured by
+//! re-executing this binary per thread count (`bgc_bench::scaling`), since
+//! the rayon shim pins its pool size once per process.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -120,11 +130,46 @@ fn smoke_gates(graph: &Graph) {
     }
 }
 
+/// Child-mode env var / stdout marker of the thread-scaling re-execution.
+const CHILD_FLAG: &str = "BENCH_SAMPLING_CHILD";
+const CHILD_MARKER: &str = "SAMPLING_SCALING_RESULT";
+
 fn bench_sampling(_c: &mut Criterion) {
     let quick = std::env::var("BENCH_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false);
     let graph = bench_graph(quick);
+    let epochs = if quick { 1 } else { 2 };
+    let sampled_plan = TrainingPlan::Sampled(SampledPlan {
+        fanouts: vec![10, 10],
+        batch_size: 1024,
+    });
+
+    if let Ok(depth) = std::env::var("BENCH_PREFETCH_DEPTH") {
+        bgc_nn::set_default_prefetch_depth(depth.parse().unwrap());
+    }
+    if bgc_bench::scaling::is_scaling_child(CHILD_FLAG) {
+        // Scaling child: measure both engines at this process's pinned
+        // thread count, print the parseable result line, and exit before
+        // the rest of the harness runs.
+        let sampled = run_plan(&graph, &sampled_plan, epochs);
+        let full = run_plan(&graph, &TrainingPlan::FullBatch, epochs);
+        let stats = bgc_nn::prefetch_stats();
+        println!(
+            "{}",
+            bgc_bench::scaling::child_result_line(
+                CHILD_MARKER,
+                &[
+                    ("sampled_nodes_per_second", sampled.nodes_per_second),
+                    ("full_nodes_per_second", full.nodes_per_second),
+                    ("trainer_stall_ms", stats.trainer_stall_ms as f64),
+                    ("sampler_idle_ms", stats.sampler_idle_ms as f64),
+                ],
+            )
+        );
+        std::process::exit(0);
+    }
+
     println!(
         "sampling/graph: {} nodes, {} edges, {} train",
         graph.num_nodes(),
@@ -135,11 +180,6 @@ fn bench_sampling(_c: &mut Criterion) {
     smoke_gates(&graph);
     println!("sampling/gates: determinism + unbounded-block exactness OK");
 
-    let epochs = if quick { 1 } else { 2 };
-    let sampled_plan = TrainingPlan::Sampled(SampledPlan {
-        fanouts: vec![10, 10],
-        batch_size: 1024,
-    });
     let sampled = run_plan(&graph, &sampled_plan, epochs);
     let full = run_plan(&graph, &TrainingPlan::FullBatch, epochs);
     println!(
@@ -160,6 +200,45 @@ fn bench_sampling(_c: &mut Criterion) {
         full.nodes_per_second.is_finite() && full.nodes_per_second > 0.0,
         "full-batch engine reported no throughput"
     );
+    let ratio = sampled.nodes_per_second / full.nodes_per_second;
+    println!("sampling/ratio      {:.3}x sampled/full", ratio);
+    // Regression floor for the overlapped data plane: the prefetch pipeline,
+    // batched gathers and SIMD kernels lifted this ratio from its historical
+    // 0.151x; falling back below that baseline is a real regression.  Same
+    // run, so the gate is machine-independent.
+    assert!(
+        ratio >= 0.15,
+        "sampled path fell to {:.3}x full-batch throughput (regression floor: >= 0.15x)",
+        ratio
+    );
+    // 0.4x is the aspirational target, warn-only: with two-hop fanouts
+    // 10x10 on this avg-degree-12 graph each 1024-target batch's receptive
+    // field covers most of the graph, so the sampled path performs ~25x the
+    // layer-1 projection FLOPs per train node that full batch amortizes
+    // across the whole split.  That volume gap is inherent to the workload
+    // shape (and to the bit-identity contract, which pins the operation
+    // order); overlap and kernels cannot close it on any core count.
+    if ratio < 0.4 {
+        eprintln!(
+            "sampling/ratio WARNING: sampled path is only {:.3}x full batch \
+             (target: 0.4x; FLOP-volume bound on this graph shape, see module doc)",
+            ratio
+        );
+    }
+
+    let scaling = bgc_bench::scaling::run_scaling_children(CHILD_FLAG, CHILD_MARKER)
+        .expect("thread-scaling children must succeed");
+    for (threads, metrics) in &scaling {
+        println!(
+            "sampling/scaling    {} threads: sampled {:.0} nodes/s, full {:.0} nodes/s",
+            threads,
+            metrics
+                .get("sampled_nodes_per_second")
+                .copied()
+                .unwrap_or(0.0),
+            metrics.get("full_nodes_per_second").copied().unwrap_or(0.0),
+        );
+    }
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"sampled_vs_full_batch_gcn\",");
@@ -172,18 +251,20 @@ fn bench_sampling(_c: &mut Criterion) {
     );
     let _ = writeln!(
         json,
-        "  \"sampled\": {{\n    \"nodes_per_second\": {:.1},\n    \"fanouts\": [10, 10],\n    \"batch_size\": 1024\n  }},",
-        sampled.nodes_per_second
+        "  \"sampled\": {{\n    \"nodes_per_second\": {:.1},\n    \"fanouts\": [10, 10],\n    \"batch_size\": 1024,\n    \"prefetch_depth\": {}\n  }},",
+        sampled.nodes_per_second,
+        bgc_nn::default_prefetch_depth()
     );
     let _ = writeln!(
         json,
         "  \"full_batch\": {{\n    \"nodes_per_second\": {:.1}\n  }},",
         full.nodes_per_second
     );
+    let _ = writeln!(json, "  \"sampled_over_full_ratio\": {:.3},", ratio);
     let _ = writeln!(
         json,
-        "  \"sampled_over_full_ratio\": {:.3}",
-        sampled.nodes_per_second / full.nodes_per_second
+        "  \"thread_scaling\": {{\n{}\n  }}",
+        bgc_bench::scaling::scaling_json(&scaling, "    ")
     );
     json.push('}');
     json.push('\n');

@@ -7,10 +7,19 @@
 //! naive reference implementations at 2048x512-shaped operands plus
 //! Cora/Citeseer/ogbn-arxiv-like shapes, times one GC-SNTK condensation
 //! iteration end-to-end, and writes the results to `BENCH_substrate.json` at
-//! the workspace root so the speedup is recorded, not asserted.
+//! the workspace root so the speedup is recorded, not asserted (both
+//! `matmul_transpose` and `transpose_matmul` warn below 3x).  Hard same-run
+//! gates: the runtime-dispatched SIMD gemm must agree with the scalar
+//! reference on awkward shapes and be deterministic.  A `thread_scaling`
+//! column (threads 1/2/4/physical) is measured by re-executing this binary
+//! per thread count (`bgc_bench::scaling`).
 
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Child-mode env var / stdout marker of the thread-scaling re-execution.
+const CHILD_FLAG: &str = "BENCH_SUBSTRATE_CHILD";
+const CHILD_MARKER: &str = "SUBSTRATE_SCALING_RESULT";
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -19,6 +28,89 @@ use bgc_graph::DatasetKind;
 use bgc_nn::{AdjacencyRef, GnnArchitecture};
 use bgc_tensor::init::{randn, rng_from_seed};
 use bgc_tensor::{kernel, CsrMatrix, Matrix, Tape};
+
+/// Runs first in the group: in a thread-scaling child process, measure the
+/// representative kernels at this process's pinned thread count, print the
+/// parseable result line and exit before the rest of the harness runs.
+fn scaling_child_gate(_c: &mut Criterion) {
+    if !bgc_bench::scaling::is_scaling_child(CHILD_FLAG) {
+        return;
+    }
+    let mut rng = rng_from_seed(42);
+    let (m, k) = (2048usize, 512usize);
+    let a = randn(m, k, 0.0, 1.0, &mut rng);
+    let b = randn(m, k, 0.0, 1.0, &mut rng);
+    let mt_secs = best_secs(1, || {
+        black_box(a.matmul_transpose(&b));
+    });
+    let (nodes, deg, feats) = (16934usize, 13usize, 128usize);
+    let edges: Vec<(usize, usize)> = (0..nodes * deg)
+        .map(|i| (i % nodes, (i * 7 + 3) % nodes))
+        .collect();
+    let adj = CsrMatrix::from_edges(nodes, &edges)
+        .symmetrize()
+        .gcn_normalize();
+    let x = randn(nodes, feats, 0.0, 1.0, &mut rng);
+    let spmm_secs = best_secs(1, || {
+        black_box(adj.spmm(&x));
+    });
+    println!(
+        "{}",
+        bgc_bench::scaling::child_result_line(
+            CHILD_MARKER,
+            &[
+                (
+                    "matmul_transpose_gflops",
+                    2.0 * (m * m * k) as f64 / mt_secs / 1e9,
+                ),
+                (
+                    "spmm_gflops",
+                    2.0 * (adj.nnz() * feats) as f64 / spmm_secs / 1e9,
+                ),
+            ],
+        )
+    );
+    std::process::exit(0);
+}
+
+/// Same-run gate: the runtime-dispatched SIMD gemm must agree with the
+/// scalar reference on awkward shapes (remainder rows/columns/depths) and
+/// be deterministic across repeated dispatches.
+fn simd_agreement_gate() -> f64 {
+    let mut max_abs_diff = 0.0f64;
+    for &(m, k, n) in &[
+        (1usize, 1usize, 1usize),
+        (3, 5, 7),
+        (13, 1, 17),
+        (17, 31, 13),
+        (64, 64, 64),
+        (65, 129, 33),
+        (7, 513, 130),
+    ] {
+        let mut rng = rng_from_seed((m * 1_000_003 + k * 1009 + n) as u64);
+        let a = randn(m, k, 0.0, 1.0, &mut rng);
+        let b = randn(k, n, 0.0, 1.0, &mut rng);
+        let mut dispatched = vec![0.0f32; m * n];
+        let mut repeat = vec![0.0f32; m * n];
+        let mut scalar = vec![0.0f32; m * n];
+        kernel::gemm(m, k, n, a.data(), b.data(), &mut dispatched);
+        kernel::gemm(m, k, n, a.data(), b.data(), &mut repeat);
+        kernel::gemm_scalar(m, k, n, a.data(), b.data(), &mut scalar);
+        assert_eq!(
+            dispatched, repeat,
+            "dispatched gemm is non-deterministic at ({m}, {k}, {n})"
+        );
+        for (d, s) in dispatched.iter().zip(scalar.iter()) {
+            let diff = (*d as f64 - *s as f64).abs();
+            max_abs_diff = max_abs_diff.max(diff);
+            assert!(
+                diff <= 1e-4,
+                "simd gemm diverged from scalar by {diff:e} at ({m}, {k}, {n})"
+            );
+        }
+    }
+    max_abs_diff
+}
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("dense_matmul");
@@ -286,6 +378,37 @@ fn bench_substrate_speedup(_c: &mut Criterion) {
         config.outer_epochs, secs, per_iter_ms
     ));
 
+    // --- SIMD dispatch: level, agreement with the scalar reference (hard
+    // --- same-run gate, awkward shapes) and determinism.
+    let max_abs_diff = simd_agreement_gate();
+    println!(
+        "substrate_speedup/simd: level {} agrees with scalar (max |diff| {:.1e}) and is deterministic",
+        kernel::simd_level().label(),
+        max_abs_diff
+    );
+    sections.push(format!(
+        "  \"simd\": {{\"level\": \"{}\", \"max_abs_diff_vs_scalar\": {:.3e}}}",
+        kernel::simd_level().label(),
+        max_abs_diff
+    ));
+
+    // --- Multi-thread scaling column (re-executed children; the rayon shim
+    // --- pins its pool size once per process).
+    let scaling = bgc_bench::scaling::run_scaling_children(CHILD_FLAG, CHILD_MARKER)
+        .expect("thread-scaling children must succeed");
+    for (threads, metrics) in &scaling {
+        println!(
+            "substrate_speedup/scaling {} threads: matmul_transpose {:.2} GFLOP/s, spmm {:.2} GFLOP/s",
+            threads,
+            metrics.get("matmul_transpose_gflops").copied().unwrap_or(0.0),
+            metrics.get("spmm_gflops").copied().unwrap_or(0.0),
+        );
+    }
+    sections.push(format!(
+        "  \"thread_scaling\": {{\n{}\n  }}",
+        bgc_bench::scaling::scaling_json(&scaling, "    ")
+    ));
+
     sections.push(format!("  \"threads\": {}", rayon::current_num_threads()));
     let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
     // benches run with cwd = crate root (crates/bench); record at the
@@ -305,10 +428,18 @@ fn bench_substrate_speedup(_c: &mut Criterion) {
             mt_speedup
         );
     }
+    if tm_speedup < 3.0 {
+        eprintln!(
+            "substrate_speedup: WARNING: blocked transpose_matmul is only {:.2}x the naive \
+             reference on this machine (reference result: >= 3x)",
+            tm_speedup
+        );
+    }
 }
 
 criterion_group!(
     benches,
+    scaling_child_gate,
     bench_matmul,
     bench_dense_substrate,
     bench_spmm,

@@ -93,6 +93,9 @@ EXPERIMENT OPTIONS (run; repeatable in grid):
     --batch-size <n>      Sampled-plan minibatch size (implies --plan sampled)
     --fanouts <f1xf2...>  Sampled-plan per-layer fanout caps, 0 = unbounded
                           (implies --plan sampled)
+    --prefetch-depth <n>  Sampled-training prefetch pipeline depth (batches
+                          kept ready ahead of the trainer; 0 = synchronous,
+                          default: 2; results are bit-identical at any depth)
     --seed <n>            Base seed (default: 17)
 
 LINT OPTIONS (lint):
@@ -124,7 +127,8 @@ FAULT INJECTION (testing and CI):
     BGC_FAULTS=\"point[@ctx][#n]=panic|io|delay:<ms>[;...]\" arms
     deterministic faults at named points: trainer.epoch, condense.outer,
     stage.clean, stage.attack, runner.persist, runner.load, daemon.accept,
-    daemon.request, daemon.persist, store.read, store.write, store.lock.
+    daemon.request, daemon.persist, store.read, store.write, store.lock,
+    sampler.produce.
     @ctx fires only in cells whose canonical key contains ctx; #n fires on
     the nth matching hit (default 1).  Each fault fires exactly once, so
     retries and re-runs heal.
@@ -343,6 +347,7 @@ pub(crate) struct Options {
     plan: Option<TrainingPlan>,
     batch_size: Option<usize>,
     fanouts: Option<Vec<usize>>,
+    prefetch_depth: Option<usize>,
     seed: Option<u64>,
     store_dir: Option<String>,
     operands: Vec<String>,
@@ -379,6 +384,7 @@ pub(crate) fn parse_options(args: &[&str]) -> Result<Options, CliError> {
         plan: None,
         batch_size: None,
         fanouts: None,
+        prefetch_depth: None,
         seed: None,
         store_dir: None,
         operands: Vec::new(),
@@ -487,6 +493,10 @@ pub(crate) fn parse_options(args: &[&str]) -> Result<Options, CliError> {
                 }
                 options.fanouts = Some(fanouts);
             }
+            "--prefetch-depth" => {
+                options.prefetch_depth =
+                    Some(parse_num(value("--prefetch-depth")?, "--prefetch-depth")?)
+            }
             "--seed" => options.seed = Some(parse_num(value("--seed")?, "--seed")?),
             "--store-dir" => options.store_dir = Some(value("--store-dir")?.to_string()),
             flag if flag.starts_with("--") => {
@@ -514,6 +524,11 @@ fn build_runner(options: &Options) -> Result<Runner, CliError> {
 /// plan (the in-process path arms `BGC_FAULTS` via [`build_runner`]; the
 /// daemon arms the plan it was started with).
 pub(crate) fn configure_runner(options: &Options, fault_plan: Option<FaultPlan>) -> Runner {
+    if let Some(depth) = options.prefetch_depth {
+        // Process-wide training-side tuning knob: results are bit-identical
+        // at every depth, so this never affects cell identity or caching.
+        bgc_nn::pipeline::set_default_prefetch_depth(depth);
+    }
     let mut runner = if options.no_cache {
         Runner::in_memory(options.scale)
     } else {

@@ -11,5 +11,6 @@
 
 pub mod cli;
 pub mod daemon;
+pub mod scaling;
 
 pub use cli::{forward, report_runner_stats, CliError, HELP};

@@ -1,0 +1,148 @@
+//! Multi-thread scaling columns for the bench binaries.
+//!
+//! The rayon shim pins its pool size once per process (first read of
+//! `BGC_NUM_THREADS`), so a bench cannot sweep thread counts in-process.
+//! Instead the running bench binary re-executes itself once per thread
+//! count with a child-mode env var set; the child measures its kernels and
+//! prints a single `<marker> key=value ...` line on stdout that the parent
+//! parses into the `thread_scaling` section of its `BENCH_*.json`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::Command;
+
+/// Per-thread-count measurements: `threads -> metric name -> value`.
+pub type ScalingResults = BTreeMap<usize, BTreeMap<String, f64>>;
+
+/// The thread counts of the scaling column: `{1, 2, 4, physical}`, deduped
+/// and ascending (a machine with fewer than 4 cores still measures the
+/// oversubscribed counts — the column is about scaling shape, not peak).
+pub fn scaling_thread_counts() -> Vec<usize> {
+    let physical = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, 4, physical];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Whether this process is a scaling child (spawned by
+/// [`run_scaling_children`] with `child_flag=1`).
+pub fn is_scaling_child(child_flag: &str) -> bool {
+    std::env::var(child_flag).map(|v| v == "1").unwrap_or(false)
+}
+
+/// Formats a child's measurement line for [`run_scaling_children`] to parse:
+/// `<marker> key=value key=value ...` (keys in iteration order).
+pub fn child_result_line(marker: &str, metrics: &[(&str, f64)]) -> String {
+    let mut line = String::from(marker);
+    for (key, value) in metrics {
+        let _ = write!(line, " {key}={value:.3}");
+    }
+    line
+}
+
+/// Re-executes the current bench binary once per [`scaling_thread_counts`]
+/// entry with `child_flag=1` and `BGC_NUM_THREADS=<n>`, returning the
+/// parsed per-count metrics.  Errors carry the failing child's thread count
+/// and stderr — the scaling column is a same-run CI gate, so callers should
+/// treat an `Err` as a bench failure, not best-effort telemetry.
+pub fn run_scaling_children(child_flag: &str, marker: &str) -> Result<ScalingResults, String> {
+    let exe =
+        std::env::current_exe().map_err(|err| format!("cannot locate bench binary: {err}"))?;
+    let mut results = ScalingResults::new();
+    for threads in scaling_thread_counts() {
+        let output = Command::new(&exe)
+            .env(child_flag, "1")
+            .env("BGC_NUM_THREADS", threads.to_string())
+            .output()
+            .map_err(|err| format!("spawning scaling child ({threads} threads): {err}"))?;
+        if !output.status.success() {
+            return Err(format!(
+                "scaling child ({} threads) failed with {}:\n{}",
+                threads,
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            ));
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let line = stdout
+            .lines()
+            .find(|line| line.starts_with(marker))
+            .ok_or_else(|| {
+                format!("scaling child ({threads} threads) printed no '{marker}' line")
+            })?;
+        let mut metrics = BTreeMap::new();
+        for pair in line[marker.len()..].split_whitespace() {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("malformed scaling metric '{pair}'"))?;
+            let value: f64 = value
+                .parse()
+                .map_err(|err| format!("bad scaling value '{pair}': {err}"))?;
+            metrics.insert(key.to_string(), value);
+        }
+        results.insert(threads, metrics);
+    }
+    Ok(results)
+}
+
+/// Renders the scaling map as the body of a JSON object, one
+/// `"<threads>": {"metric": value, ...}` entry per line at `indent`.
+pub fn scaling_json(results: &ScalingResults, indent: &str) -> String {
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(threads, metrics)| {
+            let fields: Vec<String> = metrics
+                .iter()
+                .map(|(key, value)| format!("\"{key}\": {value:.3}"))
+                .collect();
+            format!("{indent}\"{threads}\": {{{}}}", fields.join(", "))
+        })
+        .collect();
+    entries.join(",\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts_are_deduped_and_ascending() {
+        let counts = scaling_thread_counts();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        assert!(counts.contains(&1) && counts.contains(&2) && counts.contains(&4));
+    }
+
+    #[test]
+    fn child_line_round_trips_through_the_parser() {
+        let line = child_result_line("MARK", &[("alpha", 1.25), ("beta", 3.0)]);
+        assert_eq!(line, "MARK alpha=1.250 beta=3.000");
+        // The parser in run_scaling_children splits on whitespace and '=';
+        // mirror it here.
+        let metrics: Vec<(&str, f64)> = line["MARK".len()..]
+            .split_whitespace()
+            .map(|pair| {
+                let (k, v) = pair.split_once('=').expect("key=value");
+                (k, v.parse().expect("float"))
+            })
+            .collect();
+        assert_eq!(metrics, vec![("alpha", 1.25), ("beta", 3.0)]);
+    }
+
+    #[test]
+    fn scaling_json_renders_sorted_entries() {
+        let mut results = ScalingResults::new();
+        for threads in [4usize, 1] {
+            let mut m = BTreeMap::new();
+            m.insert("x".to_string(), threads as f64);
+            results.insert(threads, m);
+        }
+        let body = scaling_json(&results, "    ");
+        assert_eq!(
+            body,
+            "    \"1\": {\"x\": 1.000},\n    \"4\": {\"x\": 4.000}"
+        );
+    }
+}

@@ -96,6 +96,61 @@ fn exit_codes_distinguish_failure_classes_end_to_end() {
 }
 
 #[test]
+fn sampler_thread_panic_fails_only_its_cell_and_shuts_down_cleanly() {
+    let dir = temp_workdir("sampler-fault");
+    let sampled_args = [
+        "run",
+        "--dataset",
+        "cora",
+        "--serial",
+        "--batch-size",
+        "32",
+        "--fanouts",
+        "5x5",
+    ];
+
+    // A panic injected on the prefetch producer thread must be forwarded to
+    // the trainer, fail the cell as an ordinary cell failure (exit 3, not a
+    // crash), name the fault point in the failure output, and leave no
+    // deadlocked pipeline behind — the process must exit promptly instead
+    // of hanging on a blocked channel or an unjoined sampler thread.
+    let start = Instant::now();
+    let output = bgc(&dir)
+        .args(sampled_args)
+        .args(["--keep-going", "--no-cache"])
+        .env("BGC_FAULTS", "sampler.produce=panic")
+        .output()
+        .expect("bgc runs");
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "a sampler-thread panic is a cell failure:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let combined = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        combined.contains("sampler.produce"),
+        "the failure names the injected fault point:\n{}",
+        combined
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(600),
+        "the pipeline shut down instead of deadlocking"
+    );
+
+    // The identical fault-free invocation succeeds: the producer fault
+    // poisoned one run, not the workspace.
+    let status = bgc(&dir).args(sampled_args).status().expect("bgc runs");
+    assert_eq!(status.code(), Some(0));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn kill_during_persist_leaves_no_partial_cell_file_and_rerun_heals() {
     let dir = temp_workdir("kill-persist");
 

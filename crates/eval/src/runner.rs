@@ -584,6 +584,15 @@ pub struct RunnerStats {
     /// Stages computed in-process because the artifact store was
     /// unavailable, timed out or failed (graceful degradation).
     pub store_degraded: usize,
+    /// Sampled-training prefetch: batches produced by sampler threads
+    /// (0 when no cell used the pipeline).
+    pub prefetch_produced: u64,
+    /// Sampled-training prefetch: batches consumed by trainers.
+    pub prefetch_consumed: u64,
+    /// Milliseconds trainers spent stalled waiting on the prefetch channel.
+    pub prefetch_trainer_stall_ms: u64,
+    /// Milliseconds sampler threads spent idle with a full prefetch channel.
+    pub prefetch_sampler_idle_ms: u64,
 }
 
 impl RunnerStats {
@@ -617,6 +626,15 @@ impl RunnerStats {
         }
         if self.persist_failures > 0 {
             summary.push_str(&format!(" | {} persist failures", self.persist_failures));
+        }
+        if self.prefetch_produced > 0 {
+            summary.push_str(&format!(
+                " | prefetch: {} produced, {} consumed, trainer stalled {} ms, sampler idle {} ms",
+                self.prefetch_produced,
+                self.prefetch_consumed,
+                self.prefetch_trainer_stall_ms,
+                self.prefetch_sampler_idle_ms
+            ));
         }
         summary
     }
@@ -1490,6 +1508,7 @@ impl Runner {
 
     /// Snapshot of the cache/execution counters.
     pub fn stats(&self) -> RunnerStats {
+        let prefetch = bgc_nn::prefetch_stats();
         RunnerStats {
             cells_computed: self.cells_computed.load(Ordering::Relaxed),
             cell_memory_hits: self.cell_memory_hits.load(Ordering::Relaxed),
@@ -1503,6 +1522,10 @@ impl Runner {
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_computed: self.store_computed.load(Ordering::Relaxed),
             store_degraded: self.store_degraded.load(Ordering::Relaxed),
+            prefetch_produced: prefetch.batches_produced,
+            prefetch_consumed: prefetch.batches_consumed,
+            prefetch_trainer_stall_ms: prefetch.trainer_stall_ms,
+            prefetch_sampler_idle_ms: prefetch.sampler_idle_ms,
         }
     }
 

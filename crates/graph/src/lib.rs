@@ -28,7 +28,7 @@ pub mod subgraph;
 pub use condensed::CondensedGraph;
 pub use datasets::{DatasetKind, PoisonBudget, SbmSpec};
 pub use graph::{Graph, TaskSetting};
-pub use sampling::{mix_seed, NeighborSampler, SampledBatch, SampledBlock};
+pub use sampling::{mix_seed, NeighborSampler, SampledBatch, SampledBlock, SamplerWorkspace};
 pub use splits::DataSplit;
 pub use stats::GraphStats;
 pub use subgraph::{k_hop_subgraph, ComputationGraph};

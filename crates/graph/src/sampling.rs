@@ -140,6 +140,22 @@ impl NeighborSampler {
     /// every batch draws from its own RNG stream regardless of execution
     /// order.
     pub fn sample(&self, normalized: &CsrMatrix, targets: &[usize], key: u64) -> SampledBatch {
+        let mut ws = SamplerWorkspace::new();
+        self.sample_into(normalized, targets, key, &mut ws)
+    }
+
+    /// [`NeighborSampler::sample`] with caller-owned scratch: the hot
+    /// minibatch loop reuses one [`SamplerWorkspace`] across batches so
+    /// steady-state sampling performs no per-row allocations. Output is
+    /// bit-identical to [`NeighborSampler::sample`] (the workspace never
+    /// affects the RNG stream or entry order).
+    pub fn sample_into(
+        &self,
+        normalized: &CsrMatrix,
+        targets: &[usize],
+        key: u64,
+        ws: &mut SamplerWorkspace,
+    ) -> SampledBatch {
         assert!(!targets.is_empty(), "cannot sample an empty batch");
         assert!(
             targets.windows(2).all(|w| w[0] < w[1]),
@@ -152,7 +168,7 @@ impl NeighborSampler {
         for (depth, &fanout) in self.fanouts.iter().rev().enumerate() {
             let layer = self.fanouts.len() - 1 - depth;
             let mut rng = rng_from_seed(self.seed ^ mix_seed(&[key, layer as u64]));
-            let block = sample_block(normalized, &dst, fanout, &mut rng);
+            let block = sample_block(normalized, &dst, fanout, &mut rng, ws);
             dst = block.src_nodes.clone();
             blocks_rev.push(block);
         }
@@ -217,70 +233,186 @@ impl NeighborSampler {
     }
 }
 
+/// Reusable scratch for [`NeighborSampler::sample_into`]: per-node marker /
+/// position tables plus flat per-row entry buffers. One workspace serves any
+/// number of batches (capacity grows to the largest block seen and is
+/// reused), which removes the ~tens of thousands of short-lived `Vec`
+/// allocations per batch the original per-row formulation performed.
+///
+/// The workspace is pure scratch: it never influences the RNG stream or the
+/// produced blocks, so `sample_into` with a recycled workspace is
+/// bit-identical to a fresh [`NeighborSampler::sample`].
+#[derive(Debug, Default)]
+pub struct SamplerWorkspace {
+    /// `seen[node]`: node is in the block's source set (cleared per block).
+    seen: Vec<bool>,
+    /// `pos[node]`: local column of `node` in the block's `src_nodes`
+    /// (only meaningful while `seen[node]`).
+    pos: Vec<u32>,
+    /// Current capped row's entries, ascending columns.
+    row_scratch: Vec<(usize, f32)>,
+    /// Current capped row's non-diagonal entries, ascending columns.
+    others: Vec<(usize, f32)>,
+    /// Fisher–Yates pool for `sample_without_replacement`-identical draws.
+    pool: Vec<usize>,
+    /// Sorted picked indices into `others`.
+    picked: Vec<usize>,
+    /// Kept (global column, value) entries of all rows, flattened.
+    kept_cols: Vec<usize>,
+    kept_vals: Vec<f32>,
+    /// `kept_*` prefix length after each dst row.
+    row_ends: Vec<usize>,
+}
+
+impl SamplerWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_nodes(&mut self, num_nodes: usize) {
+        assert!(
+            num_nodes <= u32::MAX as usize,
+            "sampler workspace supports at most u32::MAX nodes"
+        );
+        if self.seen.len() < num_nodes {
+            self.seen.resize(num_nodes, false);
+            self.pos.resize(num_nodes, 0);
+        }
+    }
+}
+
+/// Draws `take` distinct indices from `0..n` into `ws.picked` (sorted
+/// ascending), consuming exactly the RNG stream of
+/// [`sample_without_replacement`] — same partial Fisher–Yates, same
+/// `gen_range` calls — but into reused buffers.
+fn sample_indices_into(n: usize, take: usize, rng: &mut StdRng, ws: &mut SamplerWorkspace) {
+    use rand::Rng;
+    ws.pool.clear();
+    ws.pool.extend(0..n);
+    for i in 0..take {
+        let j = rng.gen_range(i..n);
+        ws.pool.swap(i, j);
+    }
+    ws.picked.clear();
+    ws.picked.extend_from_slice(&ws.pool[..take]);
+    ws.picked.sort_unstable();
+}
+
 /// Builds one bipartite block: for every dst node, slice its normalized
 /// adjacency row; rows above the fanout cap keep their diagonal entry and a
 /// uniform sample of `fanout` neighbours, rescaled by `others / kept` so the
 /// expected message matches the uncapped row.
+///
+/// Entries are gathered into the workspace's flat buffers (ascending columns
+/// per row by construction) and the block CSR is assembled directly — no
+/// per-row `Vec`s, no triplet sort. Zero-valued entries are dropped exactly
+/// like `CsrMatrix::from_triplets` would, so the result is bit-identical to
+/// the original triplet-based formulation.
 fn sample_block(
     normalized: &CsrMatrix,
     dst: &[usize],
     fanout: usize,
     rng: &mut StdRng,
+    ws: &mut SamplerWorkspace,
 ) -> SampledBlock {
-    // Kept (global column, value) entries per dst row, ascending columns.
-    let mut kept_rows: Vec<Vec<(usize, f32)>> = Vec::with_capacity(dst.len());
+    ws.ensure_nodes(normalized.cols());
+    ws.kept_cols.clear();
+    ws.kept_vals.clear();
+    ws.row_ends.clear();
+
     for &v in dst {
-        let entries: Vec<(usize, f32)> = normalized.row_iter(v).collect();
-        if fanout == 0 || entries.len() <= fanout {
-            kept_rows.push(entries);
+        let nnz = normalized.row_nnz(v);
+        if fanout == 0 || nnz <= fanout {
+            // Uncapped: the row is kept verbatim (ascending columns).
+            for (c, val) in normalized.row_iter(v) {
+                if val != 0.0 {
+                    ws.kept_cols.push(c);
+                    ws.kept_vals.push(val);
+                }
+            }
+            ws.row_ends.push(ws.kept_cols.len());
             continue;
         }
-        let diag = entries.iter().position(|&(c, _)| c == v);
-        let others: Vec<(usize, f32)> = entries
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| Some(i) != diag)
-            .map(|(_, &e)| e)
-            .collect();
-        let take = fanout.min(others.len());
-        let mut picked = sample_without_replacement(others.len(), take, rng);
-        picked.sort_unstable();
-        let scale = others.len() as f32 / take as f32;
-        let mut kept: Vec<(usize, f32)> = Vec::with_capacity(take + 1);
-        if let Some(d) = diag {
-            kept.push(entries[d]);
+        // Capped: keep the diagonal, sample `fanout` of the others, rescale.
+        ws.row_scratch.clear();
+        ws.row_scratch.extend(normalized.row_iter(v));
+        let diag = ws.row_scratch.iter().position(|&(c, _)| c == v);
+        ws.others.clear();
+        match diag {
+            Some(d) => {
+                ws.others.extend_from_slice(&ws.row_scratch[..d]);
+                ws.others.extend_from_slice(&ws.row_scratch[d + 1..]);
+            }
+            None => ws.others.extend_from_slice(&ws.row_scratch),
         }
-        kept.extend(
-            picked
-                .into_iter()
-                .map(|i| (others[i].0, others[i].1 * scale)),
-        );
-        kept.sort_unstable_by_key(|&(c, _)| c);
-        kept_rows.push(kept);
+        let take = fanout.min(ws.others.len());
+        sample_indices_into(ws.others.len(), take, rng, ws);
+        let scale = ws.others.len() as f32 / take as f32;
+        // Merge the diagonal entry into the (column-ascending) picked
+        // entries so the row is emitted pre-sorted — the same order the
+        // original `sort_unstable_by_key` produced.
+        let diag_entry = diag.map(|d| ws.row_scratch[d]);
+        let mut diag_pending = diag_entry;
+        for idx in 0..ws.picked.len() {
+            let (c, raw) = ws.others[ws.picked[idx]];
+            if let Some((dc, dv)) = diag_pending {
+                if dc < c {
+                    if dv != 0.0 {
+                        ws.kept_cols.push(dc);
+                        ws.kept_vals.push(dv);
+                    }
+                    diag_pending = None;
+                }
+            }
+            let val = raw * scale;
+            if val != 0.0 {
+                ws.kept_cols.push(c);
+                ws.kept_vals.push(val);
+            }
+        }
+        if let Some((dc, dv)) = diag_pending {
+            if dv != 0.0 {
+                ws.kept_cols.push(dc);
+                ws.kept_vals.push(dv);
+            }
+        }
+        ws.row_ends.push(ws.kept_cols.len());
     }
 
-    // Source set: the dst nodes plus every referenced column, ascending.
-    let mut src_nodes: Vec<usize> = dst.to_vec();
-    src_nodes.extend(kept_rows.iter().flatten().map(|&(c, _)| c));
-    src_nodes.sort_unstable();
-    src_nodes.dedup();
-
-    // The source set is closed over every referenced column by
-    // construction; clamping to the insertion slot keeps an impossible
-    // miss in-bounds instead of panicking.
-    let local = |node: usize| -> usize {
-        src_nodes
-            .binary_search(&node)
-            .unwrap_or_else(|slot| slot.min(src_nodes.len().saturating_sub(1)))
-    };
-    let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
-    for (r, kept) in kept_rows.iter().enumerate() {
-        for &(c, v) in kept {
-            triplets.push((r, local(c), v));
+    // Source set: the dst nodes plus every referenced column, ascending —
+    // marked in the node bitmap, then emitted by an ordered scan.
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for &v in dst {
+        ws.seen[v] = true;
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    for &c in &ws.kept_cols {
+        ws.seen[c] = true;
+        lo = lo.min(c);
+        hi = hi.max(c);
+    }
+    let mut src_nodes: Vec<usize> = Vec::new();
+    for node in lo..=hi {
+        if ws.seen[node] {
+            ws.seen[node] = false;
+            ws.pos[node] = src_nodes.len() as u32;
+            src_nodes.push(node);
         }
     }
-    let adj = CsrMatrix::from_triplets(dst.len(), src_nodes.len(), &triplets);
-    let dst_in_src: Vec<usize> = dst.iter().map(|&v| local(v)).collect();
+
+    // Assemble the block CSR directly: rows are already in ascending-column
+    // order and zero values were dropped at gather time, so this matches
+    // `from_triplets` output exactly without the counting sort.
+    let mut indptr: Vec<usize> = Vec::with_capacity(dst.len() + 1);
+    indptr.push(0);
+    indptr.extend_from_slice(&ws.row_ends);
+    let indices: Vec<usize> = ws.kept_cols.iter().map(|&c| ws.pos[c] as usize).collect();
+    let values: Vec<f32> = ws.kept_vals.clone();
+    let adj = CsrMatrix::from_raw_parts(dst.len(), src_nodes.len(), indptr, indices, values);
+    let dst_in_src: Vec<usize> = dst.iter().map(|&v| ws.pos[v] as usize).collect();
     SampledBlock {
         dst_nodes: dst.to_vec(),
         src_nodes,

@@ -102,9 +102,15 @@ pub const ORDER_SENSITIVE_FILES: &[&str] = &[
 
 /// Workspace-relative path prefixes allowed to read the wall clock:
 /// the fault-tolerance runtime (cell deadlines), the bench/CLI crate
-/// (timing reports) and the artifact store (lock leases, wait deadlines,
-/// tmp-file age).  Compute crates must stay clock-free.
-pub const WALL_CLOCK_ALLOWLIST: &[&str] = &["crates/runtime/", "crates/bench/", "crates/store/"];
+/// (timing reports), the artifact store (lock leases, wait deadlines,
+/// tmp-file age) and the sampled-training prefetch pipeline (trainer-stall /
+/// sampler-idle instrumentation).  Compute crates must stay clock-free.
+pub const WALL_CLOCK_ALLOWLIST: &[&str] = &[
+    "crates/runtime/",
+    "crates/bench/",
+    "crates/store/",
+    "crates/nn/src/pipeline.rs",
+];
 
 /// The file providing poison recovery itself — the one place allowed to
 /// call `.lock()`/`.read()`/`.write()` directly.

@@ -126,14 +126,14 @@ impl AdjacencyRef {
         cursor: &Arc<AtomicUsize>,
     ) -> &'a bgc_graph::SampledBlock {
         let i = cursor.fetch_add(1, Ordering::SeqCst);
-        batch.blocks.get(i).unwrap_or_else(|| {
-            panic!(
-                "block adjacency exhausted: the model requested propagation step {} but the \
-                 sampled plan provides only {} blocks",
-                i + 1,
-                batch.blocks.len()
-            )
-        })
+        assert!(
+            i < batch.blocks.len(),
+            "block adjacency exhausted: the model requested propagation step {} but the \
+             sampled plan provides only {} blocks",
+            i + 1,
+            batch.blocks.len()
+        );
+        &batch.blocks[i]
     }
 
     fn peek_block<'a>(
@@ -141,12 +141,12 @@ impl AdjacencyRef {
         cursor: &Arc<AtomicUsize>,
     ) -> &'a bgc_graph::SampledBlock {
         let i = cursor.load(Ordering::SeqCst);
-        batch.blocks.get(i).unwrap_or_else(|| {
-            panic!(
-                "block adjacency exhausted: no block left for propagation step {}",
-                i + 1
-            )
-        })
+        assert!(
+            i < batch.blocks.len(),
+            "block adjacency exhausted: no block left for propagation step {}",
+            i + 1
+        );
+        &batch.blocks[i]
     }
 }
 

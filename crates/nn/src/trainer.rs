@@ -25,14 +25,14 @@
 
 use std::sync::Arc;
 
-use bgc_graph::{mix_seed, CondensedGraph, Graph, NeighborSampler};
-use bgc_tensor::init::{rng_from_seed, shuffle};
+use bgc_graph::{CondensedGraph, Graph, NeighborSampler};
 use bgc_tensor::{Matrix, Tape};
 
 use crate::adjacency::AdjacencyRef;
 use crate::metrics::accuracy;
 use crate::model::GnnModel;
 use crate::optim::{Adam, Optimizer};
+use crate::pipeline::{self, BatchSchedule, BatchSource, PreparedBatch};
 use crate::plan::{SampledPlan, TrainingPlan};
 
 /// Hyper-parameters of a training run.
@@ -50,6 +50,11 @@ pub struct TrainConfig {
     /// Stop when the validation accuracy has not improved for this many
     /// evaluations; `None` disables early stopping.
     pub patience: Option<usize>,
+    /// How many sampled minibatches the prefetch pipeline keeps ready ahead
+    /// of the trainer (`0` samples synchronously on the trainer thread).
+    /// Only the sampled training path reads this; results are bit-identical
+    /// for every depth.
+    pub prefetch_depth: usize,
 }
 
 impl Default for TrainConfig {
@@ -60,6 +65,7 @@ impl Default for TrainConfig {
             weight_decay: 5e-4,
             eval_every: 10,
             patience: Some(10),
+            prefetch_depth: pipeline::default_prefetch_depth(),
         }
     }
 }
@@ -73,6 +79,7 @@ impl TrainConfig {
             weight_decay: 5e-4,
             eval_every: 10,
             patience: None,
+            prefetch_depth: pipeline::default_prefetch_depth(),
         }
     }
 }
@@ -291,6 +298,60 @@ pub fn train_with_plan(
     }
 }
 
+/// Eager validation bookkeeping shared by the sampled loops: full-graph
+/// evaluation, best-parameter tracking and patience-based early stopping.
+struct ValTracker {
+    val_labels: Vec<usize>,
+    best_params: Vec<Matrix>,
+    has_best: bool,
+    best_val: f32,
+    evals_since_improvement: usize,
+}
+
+impl ValTracker {
+    fn new(graph: &Graph, best_params: Vec<Matrix>) -> Self {
+        Self {
+            val_labels: graph.split.val.iter().map(|&i| graph.labels[i]).collect(),
+            best_params,
+            has_best: false,
+            best_val: 0.0,
+            evals_since_improvement: 0,
+        }
+    }
+
+    /// Runs one eager evaluation; `true` when patience is exhausted.
+    fn observe(
+        &mut self,
+        model: &mut dyn GnnModel,
+        tape: &mut Tape,
+        full_adj: &AdjacencyRef,
+        graph: &Graph,
+        patience: Option<usize>,
+    ) -> bool {
+        let preds = model.predict_on(tape, full_adj, &graph.features);
+        let val_preds: Vec<usize> = graph.split.val.iter().map(|&i| preds[i]).collect();
+        let val_acc = accuracy(&val_preds, &self.val_labels);
+        if val_acc > self.best_val {
+            self.best_val = val_acc;
+            save_params(&mut self.best_params, model);
+            self.has_best = true;
+            self.evals_since_improvement = 0;
+            false
+        } else {
+            self.evals_since_improvement += 1;
+            patience.is_some_and(|p| self.evals_since_improvement >= p)
+        }
+    }
+
+    /// Restores the best parameters (when any) and reports the best value.
+    fn finish(self, model: &mut dyn GnnModel) -> f32 {
+        if self.has_best {
+            restore_params(model, &self.best_params);
+        }
+        self.best_val
+    }
+}
+
 /// The neighbour-sampled minibatch loop (see [`train_with_plan`]).
 ///
 /// Batches are ascending-sorted node lists: sorting keeps the block source
@@ -301,6 +362,13 @@ pub fn train_with_plan(
 /// `eval_every` epochs — observably the same protocol (accuracies, early
 /// stopping, restored parameters) as the full-batch loop's deferred
 /// evaluation.
+///
+/// Batch production is delegated to a [`BatchSource`]:
+/// `config.prefetch_depth == 0` samples synchronously on this thread
+/// ([`pipeline::SyncSampler`]); any other depth runs the overlapped
+/// producer/consumer pipeline ([`pipeline::with_prefetcher`]), which keeps
+/// that many batches ready ahead of the trainer.  Both sources are
+/// bit-identical (property-tested in `tests/sampled_training.rs`).
 fn train_sampled(
     model: &mut dyn GnnModel,
     graph: &Graph,
@@ -309,7 +377,6 @@ fn train_sampled(
     plan_seed: u64,
 ) -> TrainReport {
     let train_idx = &graph.split.train;
-    let val_idx = &graph.split.val;
     assert!(!train_idx.is_empty(), "training split must not be empty");
     let batch_size = plan.batch_size.max(1).min(train_idx.len());
     // A plan that samples nothing collapses onto the full propagation
@@ -317,102 +384,159 @@ fn train_sampled(
     // of re-slicing it, and the computation matches full-batch training bit
     // for bit (modulo the sorted batch order).
     let collapses = batch_size >= train_idx.len() && plan.is_unbounded();
+    if collapses {
+        return train_sampled_collapsed(model, graph, config, train_idx);
+    }
     let sampler = NeighborSampler::new(plan.fanouts.clone(), plan_seed);
-    let full_adj = AdjacencyRef::from_graph(graph);
+    let schedule = BatchSchedule {
+        train_idx,
+        batch_size,
+        epochs: config.epochs,
+        plan_seed,
+    };
+    if config.prefetch_depth == 0 {
+        let mut source = pipeline::SyncSampler::new(graph, &sampler, schedule);
+        train_sampled_epochs(model, graph, config, plan, &mut source)
+    } else {
+        pipeline::with_prefetcher(
+            graph,
+            &sampler,
+            schedule,
+            config.prefetch_depth,
+            |prefetcher| train_sampled_epochs(model, graph, config, plan, prefetcher),
+        )
+    }
+}
 
-    let val_labels: Vec<usize> = val_idx.iter().map(|&i| graph.labels[i]).collect();
-    let (zero_grads, mut best_params) = param_buffers(model);
-    let mut has_best = false;
+/// The degenerate single-batch/unbounded sampled plan: full propagation
+/// operator, sorted-batch row selection — bit-identical to full-batch
+/// training modulo the sorted batch order.
+fn train_sampled_collapsed(
+    model: &mut dyn GnnModel,
+    graph: &Graph,
+    config: &TrainConfig,
+    train_idx: &[usize],
+) -> TrainReport {
+    let full_adj = AdjacencyRef::from_graph(graph);
+    let mut batch = train_idx.to_vec();
+    batch.sort_unstable();
+    let batch_labels: Vec<usize> = batch.iter().map(|&i| graph.labels[i]).collect();
+    let (zero_grads, best_params) = param_buffers(model);
+    let mut tracker = ValTracker::new(graph, best_params);
     let mut optimizer = Adam::new(config.lr, config.weight_decay);
     let mut losses = Vec::with_capacity(config.epochs);
-    let mut best_val = 0.0f32;
-    let mut evals_since_improvement = 0usize;
     let mut epochs_run = 0usize;
     let mut tape = Tape::new();
-
-    let sorted_chunks = |order: &[usize]| -> Vec<Vec<usize>> {
-        order
-            .chunks(batch_size)
-            .map(|chunk| {
-                let mut batch = chunk.to_vec();
-                batch.sort_unstable();
-                batch
-            })
-            .collect()
-    };
-    let single_batch: Vec<Vec<usize>> = if collapses {
-        sorted_chunks(train_idx)
-    } else {
-        Vec::new()
-    };
 
     'epochs: for epoch in 0..config.epochs {
         bgc_runtime::checkpoint();
         bgc_runtime::fault::fire("trainer.epoch");
-        let batches: Vec<Vec<usize>> = if collapses {
-            single_batch.clone()
-        } else {
-            let mut order = train_idx.clone();
-            let mut epoch_rng = rng_from_seed(plan_seed ^ mix_seed(&[0x5a7c, epoch as u64]));
-            shuffle(&mut order, &mut epoch_rng);
-            sorted_chunks(&order)
-        };
+        tape.reset();
+        let x = tape.const_leaf(graph.features.clone());
+        let pass = model.forward(&mut tape, &full_adj, x);
+        let selected = tape.row_select(pass.logits, &batch);
+        let loss = tape.softmax_cross_entropy(selected, &batch_labels);
+        // Kept in the general loop's weighted-mean form (scale up by the
+        // batch size, divide by the split size) so the loss trace stays
+        // bit-identical to the historical shared epoch loop.
+        let epoch_loss = tape.scalar(loss) * batch.len() as f32;
+        losses.push(epoch_loss / train_idx.len() as f32);
+        let grads = tape.backward(loss);
+        step_and_absorb(
+            &mut tape,
+            model,
+            &mut optimizer,
+            &pass.param_vars,
+            &zero_grads,
+            grads,
+        );
+        epochs_run = epoch + 1;
+
+        let is_eval_epoch = !graph.split.val.is_empty()
+            && (epoch % config.eval_every == config.eval_every - 1 || epoch + 1 == config.epochs);
+        if is_eval_epoch && tracker.observe(model, &mut tape, &full_adj, graph, config.patience) {
+            break 'epochs;
+        }
+    }
+
+    TrainReport {
+        train_losses: losses,
+        best_val_accuracy: tracker.finish(model),
+        epochs_run,
+    }
+}
+
+/// The epoch/consumption loop over a [`BatchSource`], shared by the
+/// synchronous and prefetched sampled paths.
+fn train_sampled_epochs(
+    model: &mut dyn GnnModel,
+    graph: &Graph,
+    config: &TrainConfig,
+    plan: &SampledPlan,
+    source: &mut dyn BatchSource,
+) -> TrainReport {
+    let train_idx = &graph.split.train;
+    let batch_size = plan.batch_size.max(1).min(train_idx.len());
+    let batches_per_epoch = train_idx.len().div_ceil(batch_size);
+    let full_adj = AdjacencyRef::from_graph(graph);
+
+    let (zero_grads, best_params) = param_buffers(model);
+    let mut tracker = ValTracker::new(graph, best_params);
+    let mut optimizer = Adam::new(config.lr, config.weight_decay);
+    let mut losses = Vec::with_capacity(config.epochs);
+    let mut epochs_run = 0usize;
+    let mut tape = Tape::new();
+    // The features of the previously consumed batch: its tape reference is
+    // released by the next `tape.reset()`, at which point the storage flows
+    // back to the source's pool.
+    let mut spent_features: Option<Arc<Matrix>> = None;
+
+    'epochs: for epoch in 0..config.epochs {
+        bgc_runtime::checkpoint();
+        bgc_runtime::fault::fire("trainer.epoch");
         let mut epoch_loss = 0.0f32;
-        for (b, batch) in batches.iter().enumerate() {
+        for index in 0..batches_per_epoch {
             tape.reset();
-            let batch_labels: Vec<usize> = batch.iter().map(|&i| graph.labels[i]).collect();
-            let (selected, pass) = if collapses {
-                let x = tape.const_leaf(graph.features.clone());
-                let pass = model.forward(&mut tape, &full_adj, x);
-                let selected = tape.row_select(pass.logits, batch);
-                (selected, pass)
+            if let Some(features) = spent_features.take() {
+                source.recycle(features);
+            }
+            let PreparedBatch {
+                targets,
+                labels,
+                sampled,
+                target_positions,
+                input_features,
+                ..
+            } = source.next_batch(epoch, index);
+            let num_inputs = sampled.input_nodes().len();
+            let adj = AdjacencyRef::blocks(Arc::new(sampled));
+            let x = tape.const_leaf(input_features.clone());
+            spent_features = Some(input_features);
+            let pass = model.forward(&mut tape, &adj, x);
+            // Propagating models shrink their output to exactly the
+            // batch rows; propagation-free models (MLP) stay input-sized
+            // and need the target rows mapped out.  Anything in between
+            // means the model consumed fewer propagation steps than the
+            // plan provides fanouts — selecting rows from a mid-chain
+            // matrix would silently train on the wrong nodes.
+            let rows = tape.shape(pass.logits).0;
+            let selected = if rows == targets.len() {
+                pass.logits
+            } else if rows == num_inputs {
+                tape.row_select(pass.logits, &target_positions)
             } else {
-                let sampled = sampler.sample(
-                    &graph.normalized,
-                    batch,
-                    mix_seed(&[epoch as u64, b as u64]),
+                panic!(
+                    "sampled-plan depth mismatch: the model produced {} output rows for a \
+                     batch of {} targets ({} input nodes) — a sampled plan needs exactly \
+                     one fanout per propagation step of the model ({} provided)",
+                    rows,
+                    targets.len(),
+                    num_inputs,
+                    plan.fanouts.len()
                 );
-                let target_positions = sampled.target_positions_in_inputs();
-                // Pool-backed input gather: batch receptive fields differ in
-                // size every step, so this leans on the pool's best-fit
-                // reuse instead of a fresh multi-megabyte allocation.
-                let inputs = sampled.input_nodes();
-                let num_inputs = inputs.len();
-                let mut input_features = tape.pool_mut().raw(num_inputs, graph.num_features());
-                for (r, &node) in inputs.iter().enumerate() {
-                    input_features
-                        .row_mut(r)
-                        .copy_from_slice(graph.features.row(node));
-                }
-                let adj = AdjacencyRef::blocks(Arc::new(sampled));
-                let x = tape.constant(input_features);
-                let pass = model.forward(&mut tape, &adj, x);
-                // Propagating models shrink their output to exactly the
-                // batch rows; propagation-free models (MLP) stay input-sized
-                // and need the target rows mapped out.  Anything in between
-                // means the model consumed fewer propagation steps than the
-                // plan provides fanouts — selecting rows from a mid-chain
-                // matrix would silently train on the wrong nodes.
-                let rows = tape.shape(pass.logits).0;
-                let selected = if rows == batch.len() {
-                    pass.logits
-                } else if rows == num_inputs {
-                    tape.row_select(pass.logits, &target_positions)
-                } else {
-                    panic!(
-                        "sampled-plan depth mismatch: the model produced {} output rows for a \
-                         batch of {} targets ({} input nodes) — a sampled plan needs exactly \
-                         one fanout per propagation step of the model ({} provided)",
-                        rows,
-                        batch.len(),
-                        num_inputs,
-                        plan.fanouts.len()
-                    );
-                };
-                (selected, pass)
             };
-            let loss = tape.softmax_cross_entropy(selected, &batch_labels);
-            epoch_loss += tape.scalar(loss) * batch.len() as f32;
+            let loss = tape.softmax_cross_entropy(selected, &labels);
+            epoch_loss += tape.scalar(loss) * targets.len() as f32;
             let grads = tape.backward(loss);
             step_and_absorb(
                 &mut tape,
@@ -426,35 +550,16 @@ fn train_sampled(
         losses.push(epoch_loss / train_idx.len() as f32);
         epochs_run = epoch + 1;
 
-        let is_eval_epoch = !val_idx.is_empty()
+        let is_eval_epoch = !graph.split.val.is_empty()
             && (epoch % config.eval_every == config.eval_every - 1 || epoch + 1 == config.epochs);
-        if is_eval_epoch {
-            let preds = model.predict_on(&mut tape, &full_adj, &graph.features);
-            let val_preds: Vec<usize> = val_idx.iter().map(|&i| preds[i]).collect();
-            let val_acc = accuracy(&val_preds, &val_labels);
-            if val_acc > best_val {
-                best_val = val_acc;
-                save_params(&mut best_params, model);
-                has_best = true;
-                evals_since_improvement = 0;
-            } else {
-                evals_since_improvement += 1;
-                if let Some(patience) = config.patience {
-                    if evals_since_improvement >= patience {
-                        break 'epochs;
-                    }
-                }
-            }
+        if is_eval_epoch && tracker.observe(model, &mut tape, &full_adj, graph, config.patience) {
+            break 'epochs;
         }
-    }
-
-    if has_best {
-        restore_params(model, &best_params);
     }
 
     TrainReport {
         train_losses: losses,
-        best_val_accuracy: best_val,
+        best_val_accuracy: tracker.finish(model),
         epochs_run,
     }
 }

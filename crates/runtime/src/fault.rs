@@ -64,6 +64,9 @@ pub const FAULT_POINTS: &[&str] = &[
     "store.write",
     // Artifact-store single-flight: before a lock-file acquisition attempt.
     "store.lock",
+    // Prefetch producer: before each sampled batch is produced (bgc-nn
+    // sampled-training pipeline; fires on the sampler thread).
+    "sampler.produce",
 ];
 
 /// Whether `point` is a registered fault point (see [`FAULT_POINTS`]).
@@ -245,6 +248,38 @@ thread_local! {
     static SCOPE: RefCell<Vec<(FaultPlan, String)>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Owned snapshot of the calling thread's innermost fault scope.
+///
+/// Scopes are thread-local, so worker threads spawned inside a scope (the
+/// sampled-training prefetch producer, for instance) start unarmed.  A
+/// snapshot captures the innermost plan and context so the worker can
+/// [`ScopeSnapshot::enter`] the same scope; hit counters stay shared, so a
+/// spec still fires exactly once across all threads.
+#[derive(Clone, Debug)]
+pub struct ScopeSnapshot {
+    plan: FaultPlan,
+    context: String,
+}
+
+impl ScopeSnapshot {
+    /// Captures the calling thread's innermost scope; `None` outside one.
+    pub fn capture() -> Option<Self> {
+        SCOPE.with(|stack| {
+            stack.borrow().last().map(|(plan, context)| Self {
+                plan: plan.clone(),
+                context: context.clone(),
+            })
+        })
+    }
+
+    /// Re-arms the captured scope on the calling thread until the returned
+    /// guard drops.
+    #[must_use = "the plan is only armed while the returned scope guard lives"]
+    pub fn enter(&self) -> FaultScope {
+        self.plan.enter(&self.context)
+    }
+}
+
 /// RAII guard of an entered plan (see [`FaultPlan::enter`]).
 #[derive(Debug)]
 pub struct FaultScope {
@@ -364,6 +399,23 @@ mod tests {
         }
         let _scope = plan.enter("cell-b");
         assert!(fire_io("p").is_ok());
+    }
+
+    #[test]
+    fn snapshot_rearms_scope_on_another_thread_with_shared_counters() {
+        let plan = FaultPlan::new().with(FaultSpec::new("sampler.produce", FaultAction::IoError));
+        let _scope = plan.enter("v2|quick|cora|GCond");
+        let snapshot = ScopeSnapshot::capture().expect("inside a scope");
+        let fired_on_worker = std::thread::spawn(move || {
+            let _scope = snapshot.enter();
+            fire_io("sampler.produce").is_err()
+        })
+        .join()
+        .expect("worker does not panic");
+        assert!(fired_on_worker, "snapshot arms the plan on the worker");
+        // Hit counters are shared: the spec is spent for this thread too.
+        assert!(fire_io("sampler.produce").is_ok());
+        assert!(ScopeSnapshot::capture().is_some());
     }
 
     #[test]

@@ -8,7 +8,30 @@
 //! [`crate::tape`].
 
 use crate::kernel;
+use std::cell::RefCell;
 use std::fmt;
+
+thread_local! {
+    /// Reusable transpose-pack scratch for [`Matrix::transpose_matmul`] and
+    /// [`Matrix::matmul_transpose`].  Both helpers run in the training hot
+    /// loop (every backward pass packs a gradient operand); without reuse
+    /// each call pays a fresh multi-megabyte zeroed allocation whose page
+    /// faults dominate the pack itself.
+    static PACK_BUFFER: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a thread-local scratch slice of exactly `len` elements.
+/// The contents are unspecified on entry — `transpose_into` overwrites every
+/// element before `gemm` reads it.
+fn with_pack_buffer(len: usize, f: impl FnOnce(&mut [f32])) {
+    PACK_BUFFER.with(|cell| {
+        let mut buffer = cell.borrow_mut();
+        if buffer.len() < len {
+            buffer.resize(len, 0.0);
+        }
+        f(&mut buffer[..len]);
+    });
+}
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -327,17 +350,18 @@ impl Matrix {
             "transpose_matmul: row mismatch {} vs {}",
             self.rows, other.rows
         );
-        let mut packed = vec![0.0; self.data.len()];
-        kernel::transpose_into(self.rows, self.cols, &self.data, &mut packed);
         let mut out = Matrix::zeros(self.cols, other.cols);
-        kernel::gemm(
-            self.cols,
-            self.rows,
-            other.cols,
-            &packed,
-            &other.data,
-            &mut out.data,
-        );
+        with_pack_buffer(self.data.len(), |packed| {
+            kernel::transpose_into(self.rows, self.cols, &self.data, packed);
+            kernel::gemm(
+                self.cols,
+                self.rows,
+                other.cols,
+                packed,
+                &other.data,
+                &mut out.data,
+            );
+        });
         out
     }
 
@@ -351,17 +375,18 @@ impl Matrix {
             "matmul_transpose: column mismatch {} vs {}",
             self.cols, other.cols
         );
-        let mut packed = vec![0.0; other.data.len()];
-        kernel::transpose_into(other.rows, other.cols, &other.data, &mut packed);
         let mut out = Matrix::zeros(self.rows, other.rows);
-        kernel::gemm(
-            self.rows,
-            self.cols,
-            other.rows,
-            &self.data,
-            &packed,
-            &mut out.data,
-        );
+        with_pack_buffer(other.data.len(), |packed| {
+            kernel::transpose_into(other.rows, other.cols, &other.data, packed);
+            kernel::gemm(
+                self.rows,
+                self.cols,
+                other.rows,
+                &self.data,
+                packed,
+                &mut out.data,
+            );
+        });
         out
     }
 

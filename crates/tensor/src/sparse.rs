@@ -120,6 +120,55 @@ impl CsrMatrix {
         }
     }
 
+    /// Builds a CSR matrix directly from pre-validated components, skipping
+    /// the counting sort of [`CsrMatrix::from_triplets`]. The hot sampled
+    /// data plane assembles blocks in row/column order already; this
+    /// constructor lets it avoid re-sorting ~nnz entries per block.
+    ///
+    /// Requirements (checked in debug builds): `indptr` has `rows + 1`
+    /// monotone entries starting at 0 and ending at `indices.len()`;
+    /// `indices` and `values` have equal length; each row's columns are
+    /// strictly ascending and `< cols`; values are non-zero.
+    ///
+    /// # Panics
+    /// Panics (debug builds) when the components violate the CSR invariants.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), rows + 1);
+        debug_assert_eq!(indptr.first(), Some(&0));
+        debug_assert_eq!(indptr.last(), Some(&indices.len()));
+        debug_assert_eq!(indices.len(), values.len());
+        #[cfg(debug_assertions)]
+        for r in 0..rows {
+            debug_assert!(indptr[r] <= indptr[r + 1], "indptr must be monotone");
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            debug_assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "row {} columns must be strictly ascending",
+                r
+            );
+            debug_assert!(
+                row.iter().all(|&c| c < cols),
+                "row {} has a column out of bounds",
+                r
+            );
+        }
+        debug_assert!(values.iter().all(|&v| v != 0.0), "values must be non-zero");
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+            transpose_cache: OnceLock::new(),
+        }
+    }
+
     /// Builds an unweighted adjacency matrix (every edge has weight 1) from an
     /// edge list.  The edges are inserted as given; call
     /// [`CsrMatrix::symmetrize`] for an undirected graph.
@@ -377,31 +426,69 @@ impl CsrMatrix {
         }
         let work = self.nnz() * cols;
         if work >= kernel::PAR_SPMM_WORK && rayon::current_num_threads() > 1 {
-            use rayon::prelude::*;
-            let bounds = self.balanced_row_partition(rayon::current_num_threads() * 4);
-            // Slice the output into one disjoint block per row range.
-            let mut blocks: Vec<(usize, &mut [f32])> = Vec::with_capacity(bounds.len() - 1);
-            let mut rest = out.data_mut();
-            for w in bounds.windows(2) {
-                let (head, tail) = rest.split_at_mut((w[1] - w[0]) * cols);
-                blocks.push((w[0], head));
-                rest = tail;
-            }
-            blocks.into_par_iter().for_each(|(row0, block)| {
-                for (i, out_row) in block.chunks_mut(cols).enumerate() {
-                    for (c, v) in self.row_iter(row0 + i) {
-                        kernel::axpy(out_row, v, dense.row(c));
-                    }
-                }
-            });
+            self.spmm_partitioned_into(dense, out, rayon::current_num_threads() * 4);
         } else {
-            for r in 0..self.rows {
-                let out_row = out.row_mut(r);
-                for (c, v) in self.row_iter(r) {
+            self.spmm_serial_into(dense, out);
+        }
+    }
+
+    /// The serial row loop of [`CsrMatrix::spmm_into`] — also the reference
+    /// the partitioned path must match bit for bit.
+    fn spmm_serial_into(&self, dense: &Matrix, out: &mut Matrix) {
+        for r in 0..self.rows {
+            let out_row = out.row_mut(r);
+            for (c, v) in self.row_iter(r) {
+                kernel::axpy(out_row, v, dense.row(c));
+            }
+        }
+    }
+
+    /// The partitioned body of [`CsrMatrix::spmm_into`]: splits the
+    /// destination rows into `parts` balanced-nnz contiguous ranges, each
+    /// owning a disjoint slice of the output.  Per-row accumulation order is
+    /// the same as the serial loop, so the result is bit-identical for every
+    /// partition and thread count.  Works for bipartite (non-square) shapes:
+    /// the partition runs over *destination* rows while every range gathers
+    /// from all of `dense`.
+    fn spmm_partitioned_into(&self, dense: &Matrix, out: &mut Matrix, parts: usize) {
+        use rayon::prelude::*;
+        let cols = dense.cols();
+        let bounds = self.balanced_row_partition(parts);
+        // Slice the output into one disjoint block per row range.
+        let mut blocks: Vec<(usize, &mut [f32])> = Vec::with_capacity(bounds.len() - 1);
+        let mut rest = out.data_mut();
+        for w in bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut((w[1] - w[0]) * cols);
+            blocks.push((w[0], head));
+            rest = tail;
+        }
+        blocks.into_par_iter().for_each(|(row0, block)| {
+            for (i, out_row) in block.chunks_mut(cols).enumerate() {
+                for (c, v) in self.row_iter(row0 + i) {
                     kernel::axpy(out_row, v, dense.row(c));
                 }
             }
+        });
+    }
+
+    /// Test hooks: the serial reference and the forced-partition path of
+    /// [`CsrMatrix::spmm`], exposed so bit-identity can be checked on any
+    /// machine regardless of its thread count or the work threshold.
+    #[doc(hidden)]
+    pub fn spmm_serial(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        self.spmm_serial_into(dense, &mut out);
+        out
+    }
+
+    /// See [`CsrMatrix::spmm_serial`].
+    #[doc(hidden)]
+    pub fn spmm_partitioned(&self, dense: &Matrix, parts: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        if dense.cols() > 0 && self.nnz() > 0 {
+            self.spmm_partitioned_into(dense, &mut out, parts);
         }
+        out
     }
 
     /// Sparse-transpose times dense: `self^T * dense`.
@@ -543,6 +630,44 @@ mod tests {
         let sparse_result = m.spmm(&x);
         let dense_result = m.to_dense().matmul(&x);
         assert!(sparse_result.approx_eq(&dense_result, 1e-6));
+    }
+
+    #[test]
+    fn partitioned_spmm_is_bit_identical_to_serial_on_bipartite_blocks() {
+        // A sampled bipartite block: 193 destination rows gathering from 611
+        // source nodes, with a skewed degree distribution (hub rows) so the
+        // balanced-nnz partition produces uneven row ranges.  Values use
+        // odd reciprocals so any accumulation-order change flips bits.
+        let mut triplets = Vec::new();
+        for r in 0..193usize {
+            let degree = if r % 37 == 0 { 143 } else { 1 + (r * 7) % 11 };
+            for k in 0..degree {
+                let c = (r * 131 + k * 17) % 611;
+                triplets.push((r, c, 1.0 / (1.0 + (r * 613 + c) as f32)));
+            }
+        }
+        let block = CsrMatrix::from_triplets(193, 611, &triplets);
+        let x = Matrix::from_fn(611, 23, |r, c| ((r * 29 + c * 7) % 97) as f32 / 9.7 - 5.0);
+        let serial = block.spmm_serial(&x);
+        for parts in [1, 2, 3, 7, 16, 64] {
+            let partitioned = block.spmm_partitioned(&x, parts);
+            assert_eq!(
+                serial
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                partitioned
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "partitioned spmm diverged from serial at parts={parts}"
+            );
+        }
+        // The public entry point (whatever path it picks on this machine)
+        // must agree too.
+        assert_eq!(serial.data(), block.spmm(&x).data());
     }
 
     #[test]
